@@ -1,0 +1,34 @@
+//! # hpfq-analysis — bounds and empirical metrics for H-PFQ experiments
+//!
+//! Two halves, mirroring the paper's theory/measurement split:
+//!
+//! * [`bounds`] — closed-form values from the paper's theorems: the WF²Q+
+//!   B-WFI of Theorem 4 (eq. 30), the standalone delay bound of Theorem
+//!   4(3), the hierarchical B-WFI of Theorem 1 (eq. 23), and the
+//!   hierarchical delay bounds of Corollary 1 (eq. 24) and Corollary 2
+//!   (eq. 25/31).
+//! * [`wfi`] and [`measures`] — the corresponding quantities *measured*
+//!   from simulation traces: empirical B-WFI extraction over all
+//!   backlogged intervals, service curves reconstructed from packet
+//!   service records, delay series/percentiles, and per-interval
+//!   bandwidth.
+//!
+//! [`report`] provides the small CSV writer used by every experiment
+//! binary in `hpfq-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod measures;
+pub mod report;
+pub mod sbi;
+pub mod wfi;
+
+pub use bounds::{
+    corollary1_bound, corollary2_bound, theorem1_bwfi, wf2q_plus_bwfi, wf2q_plus_delay_bound,
+};
+pub use measures::{delay_series, percentile, service_curve_from_records};
+pub use report::CsvWriter;
+pub use sbi::{empirical_sbi, lemma1_delay_bound, t_wfi_from_b_wfi};
+pub use wfi::empirical_bwfi;

@@ -1,0 +1,85 @@
+//! Minimal CSV output for the experiment binaries (no external
+//! dependencies; values are written with enough precision to replot).
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Writes one CSV file: a header row then numeric rows.
+pub struct CsvWriter {
+    out: BufWriter<File>,
+    columns: usize,
+}
+
+impl CsvWriter {
+    /// Creates `path` (and its parent directories) and writes the header.
+    pub fn create<P: AsRef<Path>>(path: P, header: &[&str]) -> io::Result<Self> {
+        if let Some(dir) = path.as_ref().parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let mut out = BufWriter::new(File::create(path)?);
+        writeln!(out, "{}", header.join(","))?;
+        Ok(CsvWriter {
+            out,
+            columns: header.len(),
+        })
+    }
+
+    /// Writes a row of numbers.
+    pub fn row(&mut self, values: &[f64]) -> io::Result<()> {
+        assert_eq!(values.len(), self.columns, "row width mismatch");
+        let mut first = true;
+        for v in values {
+            if !first {
+                write!(self.out, ",")?;
+            }
+            first = false;
+            write!(self.out, "{v:.9}")?;
+        }
+        writeln!(self.out)
+    }
+
+    /// Writes a row with a leading string label followed by numbers.
+    pub fn labeled_row(&mut self, label: &str, values: &[f64]) -> io::Result<()> {
+        assert_eq!(values.len() + 1, self.columns, "row width mismatch");
+        write!(self.out, "{label}")?;
+        for v in values {
+            write!(self.out, ",{v:.9}")?;
+        }
+        writeln!(self.out)
+    }
+
+    /// Flushes the file.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_csv() {
+        let dir = std::env::temp_dir().join("hpfq_csv_test");
+        let path = dir.join("x/y.csv");
+        let mut w = CsvWriter::create(&path, &["t", "v"]).unwrap();
+        w.row(&[1.0, 2.5]).unwrap();
+        w.finish().unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("t,v\n1.000000000,2.500000000\n"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn labeled_rows() {
+        let dir = std::env::temp_dir().join("hpfq_csv_test_labeled");
+        let path = dir.join("z.csv");
+        let mut w = CsvWriter::create(&path, &["algo", "delay"]).unwrap();
+        w.labeled_row("wf2q+", &[0.25]).unwrap();
+        w.finish().unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("wf2q+,0.250000000"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,144 @@
+//! Empirical Worst-case Fair Index extraction (Definition 2 of the paper).
+//!
+//! The B-WFI a server actually exhibited for a session over a trace is
+//!
+//! ```text
+//! α̂ = max over backlogged [t1, t2] of  (φ_i/φ_s)·W_s(t1,t2) − W_i(t1,t2)
+//! ```
+//!
+//! Define the *lag* `D(t) = (φ_i/φ_s)·W_s(0,t) − W_i(0,t)`; then within one
+//! backlogged period the inner maximum is `max_{t2} (D(t2) − min_{t1 ≤ t2}
+//! D(t1))` — computable with a running minimum in one pass. `D` is
+//! piecewise linear with breakpoints at the union of both curves'
+//! breakpoints, so evaluating at those points is exact.
+
+use hpfq_fluid::ServiceCurve;
+
+/// Computes the empirical B-WFI (bits) for a session given
+///
+/// * its cumulative arrivals `(time, bits)` (sorted; used to derive the
+///   backlogged periods),
+/// * its cumulative service curve `w_i`,
+/// * the server's cumulative service curve `w_s` (for a standalone server,
+///   build it from all flows' records; while the session is backlogged the
+///   server is necessarily busy, so this equals `r·(t2−t1)` as in eq. 12),
+/// * `share` = `φ_i / φ_s`.
+pub fn empirical_bwfi(
+    arrivals: &[(f64, f64)],
+    w_i: &ServiceCurve,
+    w_s: &ServiceCurve,
+    share: f64,
+) -> f64 {
+    assert!(share > 0.0 && share <= 1.0 + 1e-12);
+    // Candidate evaluation times: arrivals and both curves' breakpoints.
+    let mut times: Vec<f64> = arrivals.iter().map(|&(t, _)| t).collect();
+    times.extend(w_i.points().iter().map(|&(t, _)| t));
+    times.extend(w_s.points().iter().map(|&(t, _)| t));
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
+
+    let arrived_at = |t: f64| -> f64 {
+        // Cumulative arrivals in [0, t] (inclusive).
+        let idx = arrivals.partition_point(|&(at, _)| at <= t + 1e-15);
+        arrivals[..idx].iter().map(|&(_, b)| b).sum()
+    };
+
+    let mut best = 0.0_f64;
+    let mut run_min: Option<f64> = None; // min D within the current backlogged period
+    for &t in &times {
+        let backlog = arrived_at(t) - w_i.value_at(t);
+        let d = share * w_s.value_at(t) - w_i.value_at(t);
+        if backlog > 1e-6 {
+            // Backlogged (with a bits-scale epsilon): extend the period.
+            let m = run_min.get_or_insert(d);
+            if d - *m > best {
+                best = d - *m;
+            }
+            if d < *m {
+                *m = d;
+            }
+        } else {
+            // Idle: close the period. The instant the backlog hits zero is
+            // still a valid t2 of the preceding period.
+            if let Some(m) = run_min.take() {
+                if d - m > best {
+                    best = d - m;
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A perfectly fair fluid split exhibits zero WFI.
+    #[test]
+    fn fluid_share_has_zero_wfi() {
+        let mut w_i = ServiceCurve::new();
+        w_i.push(0.0, 0.0);
+        w_i.push(10.0, 5.0); // rate 0.5
+        let mut w_s = ServiceCurve::new();
+        w_s.push(0.0, 0.0);
+        w_s.push(10.0, 10.0); // rate 1
+        let arrivals = vec![(0.0, 5.0)];
+        let wfi = empirical_bwfi(&arrivals, &w_i, &w_s, 0.5);
+        assert!(wfi < 1e-9, "{wfi}");
+    }
+
+    /// A session starved for its first 4 seconds while entitled to half the
+    /// link shows a WFI of 2 bits (= 0.5 × 4).
+    #[test]
+    fn starvation_shows_up() {
+        let mut w_i = ServiceCurve::new();
+        w_i.push(0.0, 0.0);
+        w_i.push(4.0, 0.0);
+        w_i.push(10.0, 6.0);
+        let mut w_s = ServiceCurve::new();
+        w_s.push(0.0, 0.0);
+        w_s.push(10.0, 10.0);
+        let arrivals = vec![(0.0, 6.0)];
+        let wfi = empirical_bwfi(&arrivals, &w_i, &w_s, 0.5);
+        assert!((wfi - 2.0).abs() < 1e-9, "{wfi}");
+    }
+
+    /// Lag accumulated while the session is idle must NOT count: the
+    /// definition quantifies only over backlogged intervals.
+    #[test]
+    fn idle_periods_excluded() {
+        // Session idle in [0,5) — server serves others — then backlogged
+        // [5,10] and served at exactly its share.
+        let mut w_i = ServiceCurve::new();
+        w_i.push(5.0, 0.0);
+        w_i.push(10.0, 2.5);
+        let mut w_s = ServiceCurve::new();
+        w_s.push(0.0, 0.0);
+        w_s.push(10.0, 10.0);
+        let arrivals = vec![(5.0, 2.5)];
+        let wfi = empirical_bwfi(&arrivals, &w_i, &w_s, 0.5);
+        assert!(wfi < 1e-9, "{wfi}");
+    }
+
+    /// Extra service early, then a catch-up gap (the WFQ Fig. 2 pattern):
+    /// the WFI sees the gap measured from the in-period minimum.
+    #[test]
+    fn burst_then_gap() {
+        // Session gets the full link [0,2] (ahead), then nothing [2,6],
+        // then its share [6,10]; backlogged throughout.
+        let mut w_i = ServiceCurve::new();
+        w_i.push(0.0, 0.0);
+        w_i.push(2.0, 2.0);
+        w_i.push(6.0, 2.0);
+        w_i.push(10.0, 4.0);
+        let mut w_s = ServiceCurve::new();
+        w_s.push(0.0, 0.0);
+        w_s.push(10.0, 10.0);
+        let arrivals = vec![(0.0, 100.0)];
+        // D(t) at breakpoints: 0, -1 (t=2), +1 (t=6), +1 (t=10).
+        // Max rise from the running min: 1 - (-1) = 2.
+        let wfi = empirical_bwfi(&arrivals, &w_i, &w_s, 0.5);
+        assert!((wfi - 2.0).abs() < 1e-9, "{wfi}");
+    }
+}

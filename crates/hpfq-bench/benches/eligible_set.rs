@@ -1,0 +1,67 @@
+//! Ablation of the SEFF eligible-set structure (DESIGN.md §3.4): dual
+//! lazy heaps (migration on virtual-time advance) vs an augmented treap
+//! (single-descent queries), plus the O(N) brute-force reference for
+//! scale.
+//!
+//! The workload mirrors a busy WF²Q+ node: N sessions resident; each
+//! iteration pops the minimum-finish eligible session at an advancing
+//! threshold and reinserts it with later tags.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpfq_core::eligible::{
+    dual_heap::DualHeapEligibleSet, treap::TreapEligibleSet, BruteForceEligibleSet, EligibleSet,
+};
+use hpfq_core::SessionId;
+
+struct Harness<E: EligibleSet> {
+    set: E,
+    v: f64,
+}
+
+impl<E: EligibleSet> Harness<E> {
+    fn new(mut set: E, n: usize) -> Self {
+        for i in 0..n {
+            let start = i as f64 / n as f64;
+            set.insert(SessionId(i), start, start + 1.0);
+        }
+        Harness { set, v: 0.0 }
+    }
+
+    /// One WF²Q+-style dispatch: threshold, pop, reinsert with later tags.
+    fn step(&mut self) -> SessionId {
+        let thr = self.set.eligibility_threshold(self.v).expect("non-empty");
+        let id = self.set.pop_min_finish(thr).expect("eligible");
+        self.v = thr + 0.01;
+        self.set.insert(id, self.v + 0.5, self.v + 1.5);
+        id
+    }
+}
+
+fn bench_sets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eligible_set");
+    for &n in &[16usize, 64, 256, 1024, 4096] {
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("dual_heap", n), &n, |b, &n| {
+            let mut h = Harness::new(DualHeapEligibleSet::new(), n);
+            b.iter(|| h.step());
+        });
+        g.bench_with_input(BenchmarkId::new("treap", n), &n, |b, &n| {
+            let mut h = Harness::new(TreapEligibleSet::new(), n);
+            b.iter(|| h.step());
+        });
+        if n <= 1024 {
+            g.bench_with_input(BenchmarkId::new("brute_force", n), &n, |b, &n| {
+                let mut h = Harness::new(BruteForceEligibleSet::default(), n);
+                b.iter(|| h.step());
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_sets
+}
+criterion_main!(benches);

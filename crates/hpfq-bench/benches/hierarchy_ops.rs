@@ -1,0 +1,72 @@
+//! Per-packet cost of the H-WF²Q+ hierarchy as a function of tree depth:
+//! each dispatch runs RESET-PATH + a RESTART-NODE chain of length `depth`,
+//! so the cost should grow linearly in depth with an O(log fanout) factor
+//! per level — the practical footprint of the paper's §4 construction.
+//!
+//! Trees hold ~256 leaves throughout: depth 1 ⇒ 256 leaves under the
+//! root; depth 2 ⇒ 16 classes × 16 leaves; depth 4 ⇒ fanout 4; depth 8 ⇒
+//! fanout 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpfq_core::{Hierarchy, NodeId, Packet, Wf2qPlus};
+
+/// Builds a uniform tree of the given depth/fanout and returns its leaves.
+fn build(depth: u32, fanout: usize) -> (Hierarchy<Wf2qPlus>, Vec<NodeId>) {
+    let mut h = Hierarchy::new_with(1e9, Wf2qPlus::new);
+    let mut parents = vec![h.root()];
+    for _ in 1..depth {
+        let mut next = Vec::new();
+        for &p in &parents {
+            for _ in 0..fanout {
+                next.push(h.add_internal(p, 1.0 / fanout as f64).unwrap());
+            }
+        }
+        parents = next;
+    }
+    let mut leaves = Vec::new();
+    for &p in &parents {
+        for _ in 0..fanout {
+            leaves.push(h.add_leaf(p, 1.0 / fanout as f64).unwrap());
+        }
+    }
+    (h, leaves)
+}
+
+fn bench_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hwf2qplus_depth");
+    for &(depth, fanout) in &[(1u32, 256usize), (2, 16), (4, 4), (8, 2)] {
+        let (mut h, leaves) = build(depth, fanout);
+        assert_eq!(leaves.len(), 256);
+        // Keep every leaf two packets deep; each iteration transmits one
+        // packet and replenishes the drained leaf.
+        let mut id = 0u64;
+        for &leaf in &leaves {
+            for _ in 0..2 {
+                id += 1;
+                h.enqueue(leaf, Packet::new(id, leaf.0 as u32, 1500, 0.0));
+            }
+        }
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(
+            BenchmarkId::new("dispatch", format!("depth{depth}x{fanout}")),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    let pkt = h.dequeue().expect("backlogged");
+                    id += 1;
+                    h.enqueue(NodeId(pkt.flow as usize), Packet::new(id, pkt.flow, 1500, 0.0));
+                    pkt.id
+                })
+            },
+        );
+        while h.dequeue().is_some() {}
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_depth
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! The §3.4 complexity claim: WF²Q+ and the other self-clocked schedulers
+//! cost O(log N) per packet, while WFQ/WF²Q pay the O(N) worst case of the
+//! exact GPS virtual time (`GpsClock` processes up to N fluid departures
+//! between packet events).
+//!
+//! Two workloads per scheduler and session count:
+//!
+//! * `steady` — all N sessions continuously backlogged; each iteration is
+//!   one dispatch + re-offer. GPS departures are rare, so even WFQ runs
+//!   fast; this isolates the heap costs.
+//! * `churn` — each session goes idle after its packet and is immediately
+//!   re-backlogged. Every re-backlog stamps a new tag and the GPS clock
+//!   crosses many fluid departures per advance — the O(N) path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpfq_core::{MixedScheduler, NodeScheduler, SchedulerKind, SessionId};
+
+const PKT_BITS: f64 = 12_000.0;
+
+const KINDS: [SchedulerKind; 5] = [
+    SchedulerKind::Wf2qPlus,
+    SchedulerKind::Wfq,
+    SchedulerKind::Wf2q,
+    SchedulerKind::Scfq,
+    SchedulerKind::Drr,
+];
+
+fn build(kind: SchedulerKind, n: usize) -> (MixedScheduler, Vec<SessionId>) {
+    let mut s = kind.build(1e9);
+    let ids: Vec<SessionId> = (0..n).map(|_| s.add_session(1.0 / n as f64)).collect();
+    (s, ids)
+}
+
+fn drain(s: &mut MixedScheduler) {
+    while let Some(id) = s.select_next() {
+        s.requeue(id, None);
+    }
+}
+
+fn bench_steady(c: &mut Criterion) {
+    let mut g = c.benchmark_group("steady_dispatch");
+    for &n in &[16usize, 64, 256, 1024, 4096] {
+        g.throughput(Throughput::Elements(1));
+        for kind in KINDS {
+            let (mut s, ids) = build(kind, n);
+            for &id in &ids {
+                s.backlog(id, PKT_BITS, None);
+            }
+            g.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
+                b.iter(|| {
+                    let id = s.select_next().expect("backlogged");
+                    s.requeue(id, Some(PKT_BITS));
+                    id
+                })
+            });
+            drain(&mut s);
+        }
+    }
+    g.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("churn_dispatch");
+    for &n in &[16usize, 64, 256, 1024, 4096] {
+        g.throughput(Throughput::Elements(1));
+        for kind in KINDS {
+            let (mut s, ids) = build(kind, n);
+            for &id in &ids {
+                s.backlog(id, PKT_BITS, None);
+            }
+            g.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
+                b.iter(|| {
+                    let id = s.select_next().expect("backlogged");
+                    // Session drains, then immediately re-arrives: a fresh
+                    // tag stamp (and GPS-set re-entry) per iteration.
+                    s.requeue(id, None);
+                    s.backlog(id, PKT_BITS, None);
+                    id
+                })
+            });
+            drain(&mut s);
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_steady, bench_churn
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates Fig. 6: RT-1 delay under overloaded Poisson cross traffic
+//! (§5.1.2, scenario 2): PS-n sources send 1.5× their guaranteed rates and
+//! become persistently backlogged; CS-n trains are off.
+//!
+//! Expected shape: even with purely random arrivals, the maximum delay
+//! under H-WFQ stays much larger than under H-WF²Q+.
+
+use hpfq_bench::experiments::{print_delay_table, run_fig3_delays};
+use hpfq_bench::scenarios::fig3::Scenario;
+use hpfq_core::SchedulerKind;
+
+fn main() {
+    let rows = run_fig3_delays(
+        "fig6",
+        Scenario::OverloadedPoisson,
+        &[SchedulerKind::Wfq, SchedulerKind::Wf2qPlus],
+        30.0,
+        1,
+    );
+    print_delay_table(
+        "Fig 6 — RT-1 delay, scenario 2 (overloaded Poisson); series in results/fig6/",
+        &rows,
+    );
+    println!();
+    println!(
+        "max-delay ratio H-WFQ / H-WF2Q+ = {:.2}x",
+        rows[0].max / rows[1].max
+    );
+}

@@ -1,0 +1,29 @@
+//! Regenerates Fig. 7: RT-1 delay with overloaded Poisson AND constant
+//! (packet-train) cross traffic (§5.1.3, scenario 3).
+//!
+//! Expected shape: the worst-case delay increases substantially under
+//! H-WFQ compared with scenarios 1–2 (correlated sources magnified under
+//! overload) but remains almost unchanged for H-WF²Q+.
+
+use hpfq_bench::experiments::{print_delay_table, run_fig3_delays};
+use hpfq_bench::scenarios::fig3::Scenario;
+use hpfq_core::SchedulerKind;
+
+fn main() {
+    let rows = run_fig3_delays(
+        "fig7",
+        Scenario::OverloadedPlusConstant,
+        &[SchedulerKind::Wfq, SchedulerKind::Wf2qPlus],
+        30.0,
+        1,
+    );
+    print_delay_table(
+        "Fig 7 — RT-1 delay, scenario 3 (overload + constant); series in results/fig7/",
+        &rows,
+    );
+    println!();
+    println!(
+        "max-delay ratio H-WFQ / H-WF2Q+ = {:.2}x",
+        rows[0].max / rows[1].max
+    );
+}

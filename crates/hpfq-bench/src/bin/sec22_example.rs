@@ -1,0 +1,76 @@
+//! Regenerates the §2.2 worked example: H-GPS fluid finish times and the
+//! relative-order inversion caused by a future arrival (the reason
+//! Property 1 — and hence single-virtual-time implementations — fails for
+//! H-GPS).
+//!
+//! Topology: root { A (0.8) { A1 (0.75 abs), A2 (0.05 abs) }, B (0.2) },
+//! link rate 1, unit packets. A2 and B are deeply backlogged from t=0; in
+//! the second run A1 floods from t=1.
+
+use hpfq_analysis::CsvWriter;
+use hpfq_bench::experiments::results_dir;
+use hpfq_fluid::{Arrival, FluidSim, FluidTree};
+
+fn arrivals(
+    a2: hpfq_fluid::FluidNodeId,
+    b: hpfq_fluid::FluidNodeId,
+    a1: Option<hpfq_fluid::FluidNodeId>,
+) -> Vec<Arrival> {
+    let mut arr = Vec::new();
+    for k in 0..40 {
+        arr.push(Arrival { time: 0.0, leaf: a2, bits: 1.0, id: 200 + k });
+        arr.push(Arrival { time: 0.0, leaf: b, bits: 1.0, id: 300 + k });
+    }
+    if let Some(a1) = a1 {
+        for k in 0..60 {
+            arr.push(Arrival { time: 1.0, leaf: a1, bits: 1.0, id: 400 + k });
+        }
+    }
+    arr.sort_by(|x, y| x.time.partial_cmp(&y.time).unwrap());
+    arr
+}
+
+fn main() {
+    let mut tree = FluidTree::new();
+    let a = tree.add_internal(tree.root(), 0.8).unwrap();
+    let b = tree.add_leaf(tree.root(), 0.2).unwrap();
+    let a1 = tree.add_leaf(a, 0.9375).unwrap(); // 0.75 absolute
+    let a2 = tree.add_leaf(a, 0.0625).unwrap(); // 0.05 absolute
+
+    let no_a1 = FluidSim::run(&tree, 1.0, &arrivals(a2, b, None));
+    let with_a1 = FluidSim::run(&tree, 1.0, &arrivals(a2, b, Some(a1)));
+
+    println!("H-GPS fluid finish times (link rate 1, unit packets)");
+    println!("{:<12} {:>18} {:>18}", "packet", "no A1 arrivals", "A1 floods at t=1");
+    let dir = results_dir("sec22_example");
+    let mut w = CsvWriter::create(dir.join("finish_times.csv"), &["packet", "no_a1", "with_a1"])
+        .expect("csv");
+    for k in 0..5u64 {
+        let f0 = no_a1.finish_of(200 + k).unwrap();
+        let f1 = with_a1.finish_of(200 + k).unwrap();
+        println!("{:<12} {:>18.3} {:>18.3}", format!("A2 #{}", k + 1), f0, f1);
+        w.row(&[200.0 + k as f64, f0, f1]).unwrap();
+    }
+    for k in 0..5u64 {
+        let f0 = no_a1.finish_of(300 + k).unwrap();
+        let f1 = with_a1.finish_of(300 + k).unwrap();
+        println!("{:<12} {:>18.3} {:>18.3}", format!("B  #{}", k + 1), f0, f1);
+        w.row(&[300.0 + k as f64, f0, f1]).unwrap();
+    }
+    w.finish().unwrap();
+
+    // The paper's point: A2 #2 finished before B #2 without A1, and after
+    // it with A1 — the relative order depends on a future arrival.
+    let a2_2_before = no_a1.finish_of(201).unwrap();
+    let b_2_before = no_a1.finish_of(301).unwrap();
+    let a2_2_after = with_a1.finish_of(201).unwrap();
+    let b_2_after = with_a1.finish_of(301).unwrap();
+    println!();
+    println!(
+        "order of (A2 #2, B #2): without A1 {} ; with A1 {}",
+        if a2_2_before < b_2_before { "A2 first" } else { "B first" },
+        if a2_2_after < b_2_after { "A2 first" } else { "B first" },
+    );
+    assert!(a2_2_before < b_2_before && a2_2_after > b_2_after);
+    println!("=> relative packet order in H-GPS depends on future arrivals (Property 1 fails)");
+}

@@ -1,0 +1,25 @@
+//! # hpfq-bench — experiment harness and benchmarks
+//!
+//! One binary per paper artifact (see DESIGN.md §4 for the index):
+//!
+//! | binary | regenerates |
+//! |--------|-------------|
+//! | `sec22_example` | §2.2 H-GPS finish-time reordering |
+//! | `fig2` | Fig. 2 service-order timelines (GPS/WFQ/WF²Q/WF²Q+) |
+//! | `sec31_example` | §3.1 1001-class delay comparison |
+//! | `fig4` | Fig. 4 RT-1 delay vs time, H-WFQ vs H-WF²Q+ (scenario 1) |
+//! | `fig5` | Fig. 5 RT-1 arrival/service curves (service lag) |
+//! | `fig6` | Fig. 6 delays under overloaded Poisson (scenario 2) |
+//! | `fig7` | Fig. 7 delays under overload + constant (scenario 3) |
+//! | `fig9` | Fig. 9 TCP link-sharing bandwidth vs ideal H-GPS |
+//! | `wfi_table` | measured vs theoretical B-WFI across schedulers |
+//! | `delay_bound_table` | Corollary-2 bound vs measured max delay |
+//!
+//! Each binary prints a summary to stdout and writes CSV series under
+//! `results/<name>/`. Criterion micro-benchmarks (`benches/`) cover the
+//! O(log N) complexity claims and the eligible-set ablation.
+
+pub mod experiments;
+pub mod scenarios;
+
+pub use scenarios::{fig3, fig8};

@@ -1,0 +1,276 @@
+//! Dual-heap eligible set: the structure used by production WF²Q+
+//! implementations.
+//!
+//! Sessions whose start tag exceeds the highest threshold seen so far live
+//! in a *pending* min-heap ordered by start tag; the rest live in a *ready*
+//! min-heap ordered by finish tag. Each [`EligibleSet::pop_min_finish`] call
+//! first migrates every pending session whose start tag is within the
+//! threshold, then pops the ready heap. Since virtual time (and hence the
+//! thresholds) is monotone within a busy period, each session migrates at
+//! most once per backlog episode, giving amortized O(log N) per operation.
+//!
+//! Removal is lazy: heap entries carry a per-session generation number and
+//! stale entries are skipped on pop.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use super::EligibleSet;
+use crate::scheduler::SessionId;
+
+/// Heap entry; ordering is inverted so `BinaryHeap` (a max-heap) acts as a
+/// min-heap on `(key, tiebreak, id)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    key: f64,
+    tiebreak: f64,
+    id: SessionId,
+    generation: u64,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Inverted: smaller (key, tiebreak, id) is "greater" for the heap.
+        let lhs = (other.key, other.tiebreak, other.id.0);
+        let rhs = (self.key, self.tiebreak, self.id.0);
+        lhs.partial_cmp(&rhs)
+            .expect("tags must not be NaN (asserted on insert)")
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Slot {
+    Absent,
+    Pending { start: f64, finish: f64 },
+    Ready,
+}
+
+/// See the [module documentation](self).
+#[derive(Debug, Default, Clone)]
+pub struct DualHeapEligibleSet {
+    /// Min-heap on start tag of not-yet-eligible sessions.
+    pending: BinaryHeap<Entry>,
+    /// Min-heap on finish tag of eligible sessions.
+    ready: BinaryHeap<Entry>,
+    /// Per-session membership state, indexed by session id.
+    slots: Vec<Slot>,
+    /// Per-session generation counters invalidating stale heap entries.
+    generations: Vec<u64>,
+    /// Number of live members.
+    live: usize,
+}
+
+impl DualHeapEligibleSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, id: SessionId) {
+        if id.0 >= self.slots.len() {
+            self.slots.resize(id.0 + 1, Slot::Absent);
+            self.generations.resize(id.0 + 1, 0);
+        }
+    }
+
+    /// Drops stale entries from the top of `pending` and migrates every
+    /// current entry with `start <= thr` into `ready`.
+    fn migrate(&mut self, thr: f64) {
+        while let Some(top) = self.pending.peek().copied() {
+            if self.generations[top.id.0] != top.generation {
+                self.pending.pop();
+                continue;
+            }
+            if top.key > thr {
+                break;
+            }
+            self.pending.pop();
+            let Slot::Pending { start, finish } = self.slots[top.id.0] else {
+                unreachable!("current-generation pending entry must be Pending");
+            };
+            debug_assert_eq!(start, top.key);
+            self.slots[top.id.0] = Slot::Ready;
+            // tiebreak pinned to 0 so ready ordering is (finish, id) — the
+            // session-index tie-break of the paper's Fig. 2 timelines.
+            let _ = start;
+            self.ready.push(Entry {
+                key: finish,
+                tiebreak: 0.0,
+                id: top.id,
+                generation: top.generation,
+            });
+        }
+    }
+
+    /// Minimum start tag among pending members, pruning stale entries.
+    fn pending_min_start(&mut self) -> Option<f64> {
+        while let Some(top) = self.pending.peek().copied() {
+            if self.generations[top.id.0] == top.generation {
+                return Some(top.key);
+            }
+            self.pending.pop();
+        }
+        None
+    }
+
+    /// Whether any live member is in the ready heap (prunes stale tops).
+    fn ready_nonempty(&mut self) -> bool {
+        while let Some(top) = self.ready.peek().copied() {
+            if self.generations[top.id.0] == top.generation {
+                return true;
+            }
+            self.ready.pop();
+        }
+        false
+    }
+}
+
+impl EligibleSet for DualHeapEligibleSet {
+    fn insert(&mut self, id: SessionId, start: f64, finish: f64) {
+        assert!(
+            start.is_finite() && finish.is_finite() && start <= finish,
+            "bad tags ({start}, {finish}) for session {id:?}"
+        );
+        self.ensure(id);
+        assert_eq!(
+            self.slots[id.0],
+            Slot::Absent,
+            "session {id:?} inserted twice"
+        );
+        self.generations[id.0] += 1;
+        self.slots[id.0] = Slot::Pending { start, finish };
+        self.pending.push(Entry {
+            key: start,
+            tiebreak: finish,
+            id,
+            generation: self.generations[id.0],
+        });
+        self.live += 1;
+    }
+
+    fn remove(&mut self, id: SessionId) {
+        self.ensure(id);
+        if self.slots[id.0] != Slot::Absent {
+            self.slots[id.0] = Slot::Absent;
+            self.generations[id.0] += 1; // invalidates any heap entry
+            self.live -= 1;
+        }
+    }
+
+    fn eligibility_threshold(&mut self, v: f64) -> Option<f64> {
+        if self.live == 0 {
+            return None;
+        }
+        // Any ready member has start <= some earlier threshold <= v
+        // (thresholds are monotone within a busy period), so Smin <= v and
+        // the clamp is v itself. Otherwise Smin is the pending minimum.
+        if self.ready_nonempty() {
+            Some(v)
+        } else {
+            let smin = self
+                .pending_min_start()
+                .expect("live members must be in a heap");
+            Some(v.max(smin))
+        }
+    }
+
+    fn pop_min_finish(&mut self, thr: f64) -> Option<SessionId> {
+        self.migrate(thr);
+        while let Some(top) = self.ready.pop() {
+            if self.generations[top.id.0] != top.generation {
+                continue;
+            }
+            debug_assert_eq!(self.slots[top.id.0], Slot::Ready);
+            self.slots[top.id.0] = Slot::Absent;
+            self.generations[top.id.0] += 1;
+            self.live -= 1;
+            return Some(top.id);
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn clear(&mut self) {
+        self.pending.clear();
+        self.ready.clear();
+        self.slots.fill(Slot::Absent);
+        // Bump generations rather than zeroing so pre-clear entries can
+        // never be mistaken for live ones.
+        for g in &mut self.generations {
+            *g += 1;
+        }
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_module_example() {
+        let mut s = DualHeapEligibleSet::new();
+        s.insert(SessionId(0), 2.0, 5.0);
+        s.insert(SessionId(1), 0.0, 9.0);
+        s.insert(SessionId(2), 0.5, 3.0);
+        assert_eq!(s.eligibility_threshold(1.0), Some(1.0));
+        assert_eq!(s.pop_min_finish(1.0), Some(SessionId(2)));
+        assert_eq!(s.pop_min_finish(1.0), Some(SessionId(1)));
+        assert_eq!(s.pop_min_finish(1.0), None);
+        assert_eq!(s.eligibility_threshold(1.0), Some(2.0));
+        assert_eq!(s.pop_min_finish(2.0), Some(SessionId(0)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn reinsertion_after_pop() {
+        let mut s = DualHeapEligibleSet::new();
+        s.insert(SessionId(4), 0.0, 1.0);
+        assert_eq!(s.pop_min_finish(0.0), Some(SessionId(4)));
+        s.insert(SessionId(4), 1.0, 2.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.pop_min_finish(1.0), Some(SessionId(4)));
+    }
+
+    #[test]
+    fn remove_is_lazy_but_correct() {
+        let mut s = DualHeapEligibleSet::new();
+        s.insert(SessionId(0), 0.0, 1.0);
+        s.insert(SessionId(1), 0.0, 2.0);
+        s.remove(SessionId(0));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.pop_min_finish(0.0), Some(SessionId(1)));
+        assert_eq!(s.pop_min_finish(0.0), None);
+    }
+
+    #[test]
+    fn clear_invalidates_everything() {
+        let mut s = DualHeapEligibleSet::new();
+        s.insert(SessionId(0), 0.0, 1.0);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.pop_min_finish(10.0), None);
+        s.insert(SessionId(0), 5.0, 6.0);
+        assert_eq!(s.eligibility_threshold(0.0), Some(5.0));
+        assert_eq!(s.pop_min_finish(5.0), Some(SessionId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn double_insert_panics() {
+        let mut s = DualHeapEligibleSet::new();
+        s.insert(SessionId(0), 0.0, 1.0);
+        s.insert(SessionId(0), 0.0, 2.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Eligible-set data structures for SEFF (Smallest Eligible virtual Finish
+//! time First) schedulers.
+//!
+//! A SEFF scheduler (WF²Q, WF²Q+) must repeatedly answer: *among the
+//! backlogged sessions whose virtual start time `S_i` is at most a threshold
+//! `thr`, which has the smallest virtual finish time `F_i`?* — and it must
+//! also know `Smin`, the smallest start time over **all** backlogged
+//! sessions, to evaluate the `max(V, Smin)` operation of the paper's
+//! eq. (27) / RESTART-NODE line 12.
+//!
+//! Two O(log N) implementations are provided behind the [`EligibleSet`]
+//! trait:
+//!
+//! * [`dual_heap::DualHeapEligibleSet`] — a pair of lazy binary heaps
+//!   (pending sessions ordered by start time, eligible ones by finish time);
+//!   sessions migrate as the virtual time advances. This is the structure
+//!   used by production WF²Q+ implementations (e.g. dummynet).
+//! * [`treap::TreapEligibleSet`] — a randomized balanced BST keyed by start
+//!   time in which every subtree caches its minimum finish time, answering
+//!   the query in a single descent with no migration.
+//!
+//! Both are exercised against [`BruteForceEligibleSet`] in unit and property
+//! tests, and against each other in the `eligible_set` criterion ablation.
+
+pub mod dual_heap;
+pub mod treap;
+
+use crate::scheduler::SessionId;
+
+/// A set of backlogged sessions, each with immutable `(start, finish)`
+/// virtual tags, supporting the SEFF queries.
+///
+/// Invariants required from the caller (upheld by the schedulers):
+///
+/// * a session id is inserted at most once until popped or removed;
+/// * tags are finite and `start <= finish`;
+/// * within one busy period, the thresholds passed to
+///   [`EligibleSet::pop_min_finish`] are non-decreasing (virtual time is
+///   monotone); [`EligibleSet::clear`] starts a new busy period.
+pub trait EligibleSet {
+    /// Adds a backlogged session with the tags of its head packet.
+    fn insert(&mut self, id: SessionId, start: f64, finish: f64);
+
+    /// Removes a session regardless of eligibility (used when a logical
+    /// queue is torn down). No-op if absent.
+    fn remove(&mut self, id: SessionId);
+
+    /// `max(v, Smin)` where `Smin` is the minimum start tag over all
+    /// members — the eligibility threshold of eq. (27). `None` if empty.
+    fn eligibility_threshold(&mut self, v: f64) -> Option<f64>;
+
+    /// Removes and returns the member with the smallest finish tag among
+    /// those with `start <= thr`. Ties are broken by the smaller session
+    /// index — the convention that reproduces the paper's Fig. 2 timelines
+    /// (where session 1's packet wins finish-tag ties against the small
+    /// sessions). `None` if no member is eligible.
+    fn pop_min_finish(&mut self, thr: f64) -> Option<SessionId>;
+
+    /// Number of members.
+    fn len(&self) -> usize;
+
+    /// Whether the set is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes all members and resets internal monotonic state (new busy
+    /// period).
+    fn clear(&mut self);
+}
+
+/// Deterministic total-order key for selecting the minimum-finish eligible
+/// session: finish tag, then session id (the paper's Fig. 2 tie-break).
+/// `start` is carried along as the BST key for deletions, not for ordering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct FinishKey {
+    pub finish: f64,
+    pub start: f64,
+    pub id: SessionId,
+}
+
+impl FinishKey {
+    pub(crate) fn better_than(&self, other: &FinishKey) -> bool {
+        (self.finish, self.id.0) < (other.finish, other.id.0)
+    }
+}
+
+/// O(N) reference implementation used as the oracle in tests.
+#[derive(Debug, Default, Clone)]
+pub struct BruteForceEligibleSet {
+    members: Vec<(SessionId, f64, f64)>,
+}
+
+impl EligibleSet for BruteForceEligibleSet {
+    fn insert(&mut self, id: SessionId, start: f64, finish: f64) {
+        debug_assert!(start.is_finite() && finish.is_finite() && start <= finish);
+        debug_assert!(!self.members.iter().any(|&(m, _, _)| m == id));
+        self.members.push((id, start, finish));
+    }
+
+    fn remove(&mut self, id: SessionId) {
+        self.members.retain(|&(m, _, _)| m != id);
+    }
+
+    fn eligibility_threshold(&mut self, v: f64) -> Option<f64> {
+        self.members
+            .iter()
+            .map(|&(_, s, _)| s)
+            .fold(None, |acc: Option<f64>, s| {
+                Some(acc.map_or(s, |a| a.min(s)))
+            })
+            .map(|smin| v.max(smin))
+    }
+
+    fn pop_min_finish(&mut self, thr: f64) -> Option<SessionId> {
+        let mut best: Option<(usize, FinishKey)> = None;
+        for (i, &(id, start, finish)) in self.members.iter().enumerate() {
+            if start <= thr {
+                let key = FinishKey { finish, start, id };
+                if best.as_ref().map_or(true, |(_, b)| key.better_than(b)) {
+                    best = Some((i, key));
+                }
+            }
+        }
+        best.map(|(i, key)| {
+            self.members.swap_remove(i);
+            key.id
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    fn clear(&mut self) {
+        self.members.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brute_force_basics() {
+        let mut s = BruteForceEligibleSet::default();
+        assert!(s.is_empty());
+        assert_eq!(s.eligibility_threshold(1.0), None);
+        s.insert(SessionId(0), 2.0, 5.0);
+        s.insert(SessionId(1), 0.0, 9.0);
+        s.insert(SessionId(2), 0.5, 3.0);
+        // Smin = 0.0 <= v, threshold is v itself.
+        assert_eq!(s.eligibility_threshold(1.0), Some(1.0));
+        // Only ids 1 and 2 eligible at thr=1.0; min finish is id 2.
+        assert_eq!(s.pop_min_finish(1.0), Some(SessionId(2)));
+        assert_eq!(s.pop_min_finish(1.0), Some(SessionId(1)));
+        assert_eq!(s.pop_min_finish(1.0), None);
+        // Remaining session has start 2.0 > v: threshold jumps to Smin.
+        assert_eq!(s.eligibility_threshold(1.0), Some(2.0));
+        assert_eq!(s.pop_min_finish(2.0), Some(SessionId(0)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let mut s = BruteForceEligibleSet::default();
+        s.insert(SessionId(3), 0.0, 4.0);
+        s.insert(SessionId(1), 0.0, 4.0);
+        s.insert(SessionId(2), 0.0, 4.0);
+        assert_eq!(s.pop_min_finish(0.0), Some(SessionId(1)));
+        assert_eq!(s.pop_min_finish(0.0), Some(SessionId(2)));
+        assert_eq!(s.pop_min_finish(0.0), Some(SessionId(3)));
+    }
+}

@@ -1,0 +1,355 @@
+//! Augmented-treap eligible set.
+//!
+//! Sessions are stored in a randomized balanced BST keyed by
+//! `(start tag, session id)`. Every node caches the minimum finish key of
+//! its subtree, so *"minimum finish among start ≤ thr"* is answered in one
+//! O(log N) descent without moving elements — the alternative O(log N)
+//! realization of the paper's §3.4 complexity claim, benchmarked against the
+//! dual-heap structure in the `eligible_set` ablation.
+
+use super::{EligibleSet, FinishKey};
+use crate::scheduler::SessionId;
+
+type Link = Option<usize>;
+
+#[derive(Debug, Clone)]
+struct Node {
+    start: f64,
+    finish: f64,
+    id: SessionId,
+    prio: u64,
+    left: Link,
+    right: Link,
+    /// Minimum finish key in this node's subtree (including itself).
+    min_fk: FinishKey,
+}
+
+impl Node {
+    fn own_key(&self) -> FinishKey {
+        FinishKey {
+            finish: self.finish,
+            start: self.start,
+            id: self.id,
+        }
+    }
+}
+
+/// Small deterministic xorshift64* generator for treap priorities; avoids a
+/// dependency on `rand` in the core crate and keeps runs reproducible.
+#[derive(Debug, Clone)]
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// See the [module documentation](self).
+#[derive(Debug, Clone)]
+pub struct TreapEligibleSet {
+    arena: Vec<Node>,
+    free: Vec<usize>,
+    root: Link,
+    /// Per-session membership: `(start, finish)` while present.
+    slots: Vec<Option<(f64, f64)>>,
+    live: usize,
+    rng: XorShift64,
+}
+
+impl Default for TreapEligibleSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TreapEligibleSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        TreapEligibleSet {
+            arena: Vec::new(),
+            free: Vec::new(),
+            root: None,
+            slots: Vec::new(),
+            live: 0,
+            rng: XorShift64(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    fn key(&self, n: usize) -> (f64, usize) {
+        (self.arena[n].start, self.arena[n].id.0)
+    }
+
+    fn pull(&mut self, n: usize) {
+        let mut best = self.arena[n].own_key();
+        for child in [self.arena[n].left, self.arena[n].right].into_iter().flatten() {
+            let ck = self.arena[child].min_fk;
+            if ck.better_than(&best) {
+                best = ck;
+            }
+        }
+        self.arena[n].min_fk = best;
+    }
+
+    fn alloc(&mut self, id: SessionId, start: f64, finish: f64) -> usize {
+        let prio = self.rng.next();
+        let node = Node {
+            start,
+            finish,
+            id,
+            prio,
+            left: None,
+            right: None,
+            min_fk: FinishKey { finish, start, id },
+        };
+        if let Some(i) = self.free.pop() {
+            self.arena[i] = node;
+            i
+        } else {
+            self.arena.push(node);
+            self.arena.len() - 1
+        }
+    }
+
+    fn insert_at(&mut self, root: Link, n: usize) -> usize {
+        let Some(r) = root else { return n };
+        if self.key(n) < self.key(r) {
+            let nl = self.insert_at(self.arena[r].left, n);
+            self.arena[r].left = Some(nl);
+            if self.arena[nl].prio > self.arena[r].prio {
+                // Rotate right: nl becomes the root of this subtree.
+                self.arena[r].left = self.arena[nl].right;
+                self.arena[nl].right = Some(r);
+                self.pull(r);
+                self.pull(nl);
+                nl
+            } else {
+                self.pull(r);
+                r
+            }
+        } else {
+            let nr = self.insert_at(self.arena[r].right, n);
+            self.arena[r].right = Some(nr);
+            if self.arena[nr].prio > self.arena[r].prio {
+                // Rotate left.
+                self.arena[r].right = self.arena[nr].left;
+                self.arena[nr].left = Some(r);
+                self.pull(r);
+                self.pull(nr);
+                nr
+            } else {
+                self.pull(r);
+                r
+            }
+        }
+    }
+
+    /// Merges two treaps where every key in `l` is smaller than every key in
+    /// `r`.
+    fn merge(&mut self, l: Link, r: Link) -> Link {
+        match (l, r) {
+            (None, r) => r,
+            (l, None) => l,
+            (Some(a), Some(b)) => {
+                if self.arena[a].prio > self.arena[b].prio {
+                    let m = self.merge(self.arena[a].right, Some(b));
+                    self.arena[a].right = m;
+                    self.pull(a);
+                    Some(a)
+                } else {
+                    let m = self.merge(Some(a), self.arena[b].left);
+                    self.arena[b].left = m;
+                    self.pull(b);
+                    Some(b)
+                }
+            }
+        }
+    }
+
+    fn delete_at(&mut self, root: Link, key: (f64, usize)) -> Link {
+        let r = root.expect("key to delete must be present");
+        let rk = self.key(r);
+        if key == rk {
+            let merged = self.merge(self.arena[r].left, self.arena[r].right);
+            self.free.push(r);
+            merged
+        } else if key < rk {
+            let nl = self.delete_at(self.arena[r].left, key);
+            self.arena[r].left = nl;
+            self.pull(r);
+            Some(r)
+        } else {
+            let nr = self.delete_at(self.arena[r].right, key);
+            self.arena[r].right = nr;
+            self.pull(r);
+            Some(r)
+        }
+    }
+
+    /// Minimum-finish key among members with `start <= thr`.
+    fn query_best(&self, thr: f64) -> Option<FinishKey> {
+        let mut best: Option<FinishKey> = None;
+        let consider = |k: FinishKey, best: &mut Option<FinishKey>| {
+            if best.as_ref().map_or(true, |b| k.better_than(b)) {
+                *best = Some(k);
+            }
+        };
+        let mut cur = self.root;
+        while let Some(n) = cur {
+            let node = &self.arena[n];
+            if node.start <= thr {
+                // The node itself and its whole left subtree are eligible.
+                consider(node.own_key(), &mut best);
+                if let Some(l) = node.left {
+                    consider(self.arena[l].min_fk, &mut best);
+                }
+                cur = node.right;
+            } else {
+                cur = node.left;
+            }
+        }
+        best
+    }
+
+    fn min_start(&self) -> Option<f64> {
+        let mut cur = self.root?;
+        while let Some(l) = self.arena[cur].left {
+            cur = l;
+        }
+        Some(self.arena[cur].start)
+    }
+}
+
+impl EligibleSet for TreapEligibleSet {
+    fn insert(&mut self, id: SessionId, start: f64, finish: f64) {
+        assert!(
+            start.is_finite() && finish.is_finite() && start <= finish,
+            "bad tags ({start}, {finish}) for session {id:?}"
+        );
+        if id.0 >= self.slots.len() {
+            self.slots.resize(id.0 + 1, None);
+        }
+        assert!(
+            self.slots[id.0].is_none(),
+            "session {id:?} inserted twice"
+        );
+        self.slots[id.0] = Some((start, finish));
+        let n = self.alloc(id, start, finish);
+        self.root = Some(self.insert_at(self.root, n));
+        self.live += 1;
+    }
+
+    fn remove(&mut self, id: SessionId) {
+        if let Some(Some((start, _))) = self.slots.get(id.0).copied() {
+            self.slots[id.0] = None;
+            self.root = self.delete_at(self.root, (start, id.0));
+            self.live -= 1;
+        }
+    }
+
+    fn eligibility_threshold(&mut self, v: f64) -> Option<f64> {
+        self.min_start().map(|smin| v.max(smin))
+    }
+
+    fn pop_min_finish(&mut self, thr: f64) -> Option<SessionId> {
+        let best = self.query_best(thr)?;
+        self.slots[best.id.0] = None;
+        self.root = self.delete_at(self.root, (best.start, best.id.0));
+        self.live -= 1;
+        Some(best.id)
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn clear(&mut self) {
+        self.arena.clear();
+        self.free.clear();
+        self.root = None;
+        self.slots.fill(None);
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eligible::BruteForceEligibleSet;
+
+    #[test]
+    fn matches_module_example() {
+        let mut s = TreapEligibleSet::new();
+        s.insert(SessionId(0), 2.0, 5.0);
+        s.insert(SessionId(1), 0.0, 9.0);
+        s.insert(SessionId(2), 0.5, 3.0);
+        assert_eq!(s.eligibility_threshold(1.0), Some(1.0));
+        assert_eq!(s.pop_min_finish(1.0), Some(SessionId(2)));
+        assert_eq!(s.pop_min_finish(1.0), Some(SessionId(1)));
+        assert_eq!(s.pop_min_finish(1.0), None);
+        assert_eq!(s.eligibility_threshold(1.0), Some(2.0));
+        assert_eq!(s.pop_min_finish(2.0), Some(SessionId(0)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_scripted_sequence() {
+        // Deterministic pseudo-random workload (no rand dependency).
+        let mut rng = XorShift64(42);
+        let mut treap = TreapEligibleSet::new();
+        let mut oracle = BruteForceEligibleSet::default();
+        let mut present = [false; 64];
+        let mut thr = 0.0_f64;
+        for step in 0..4000 {
+            let r = rng.next();
+            let id = (r % 64) as usize;
+            match (r >> 8) % 3 {
+                0 => {
+                    if !present[id] {
+                        let start = thr + ((r >> 16) % 1000) as f64 / 100.0;
+                        let finish = start + 0.01 + ((r >> 32) % 1000) as f64 / 100.0;
+                        treap.insert(SessionId(id), start, finish);
+                        oracle.insert(SessionId(id), start, finish);
+                        present[id] = true;
+                    }
+                }
+                1 => {
+                    thr += ((r >> 16) % 300) as f64 / 100.0;
+                    let a = treap.pop_min_finish(thr);
+                    let b = oracle.pop_min_finish(thr);
+                    assert_eq!(a, b, "step {step}");
+                    if let Some(id) = a {
+                        present[id.0] = false;
+                    }
+                }
+                _ => {
+                    let a = treap.eligibility_threshold(thr);
+                    let b = oracle.eligibility_threshold(thr);
+                    assert_eq!(a, b, "step {step}");
+                }
+            }
+            assert_eq!(treap.len(), oracle.len(), "step {step}");
+        }
+    }
+
+    #[test]
+    fn remove_and_reinsert() {
+        let mut s = TreapEligibleSet::new();
+        for i in 0..10 {
+            s.insert(SessionId(i), i as f64, 10.0 + i as f64);
+        }
+        s.remove(SessionId(5));
+        s.remove(SessionId(0));
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.eligibility_threshold(0.0), Some(1.0));
+        s.insert(SessionId(5), 0.5, 0.75);
+        assert_eq!(s.pop_min_finish(0.5), Some(SessionId(5)));
+        // Min finish among start <= 3 is id 1 (finish 11).
+        assert_eq!(s.pop_min_finish(3.0), Some(SessionId(1)));
+    }
+}

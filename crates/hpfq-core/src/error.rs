@@ -1,0 +1,42 @@
+//! Error type for scheduler and hierarchy configuration.
+
+use std::fmt;
+
+/// Errors raised while building or operating a scheduler hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HpfqError {
+    /// A service share was not a finite positive number.
+    InvalidShare(f64),
+    /// The children of a node were assigned shares summing to more than 1.
+    ShareOverflow {
+        /// The node whose children overflow.
+        node: usize,
+        /// The resulting sum of child shares.
+        sum: f64,
+    },
+    /// A node id did not refer to an existing node.
+    UnknownNode(usize),
+    /// A leaf operation was attempted on an internal node or vice versa.
+    NotALeaf(usize),
+    /// An internal-node operation was attempted on a leaf.
+    NotInternal(usize),
+    /// A rate was not a finite positive number.
+    InvalidRate(f64),
+}
+
+impl fmt::Display for HpfqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HpfqError::InvalidShare(s) => write!(f, "invalid service share {s}"),
+            HpfqError::ShareOverflow { node, sum } => {
+                write!(f, "children of node {node} have shares summing to {sum} > 1")
+            }
+            HpfqError::UnknownNode(n) => write!(f, "unknown node id {n}"),
+            HpfqError::NotALeaf(n) => write!(f, "node {n} is not a leaf"),
+            HpfqError::NotInternal(n) => write!(f, "node {n} is not an internal node"),
+            HpfqError::InvalidRate(r) => write!(f, "invalid rate {r}"),
+        }
+    }
+}
+
+impl std::error::Error for HpfqError {}

@@ -1,0 +1,652 @@
+//! The H-PFQ hierarchy of paper §4: a tree of one-level [`NodeScheduler`]s
+//! approximating H-GPS.
+//!
+//! ## Structure
+//!
+//! The root node represents the physical link; each leaf holds a real FIFO
+//! packet queue; every internal node runs a one-level scheduler over its
+//! children's *logical queues*. A logical queue exposes only its head
+//! packet; the packet itself stays in the leaf FIFO until the link finishes
+//! transmitting it (paper §4.2). At any moment when the server is busy
+//! there is a path from the root to a leaf whose logical heads all refer to
+//! the packet in flight.
+//!
+//! ## Driving protocol (what the paper's pseudocode becomes)
+//!
+//! * [`Hierarchy::enqueue`] — ARRIVE: append to the leaf FIFO; if the leaf
+//!   was idle, offer the packet to the parent ([`NodeScheduler::backlog`],
+//!   stamping `S = max(F, V_parent)`) and *bubble up*: every ancestor that
+//!   was not offering a packet runs RESTART-NODE (selects a head, advancing
+//!   its own `V`/`T` per lines 12–13) and offers it upward in turn.
+//! * [`Hierarchy::start_transmission`] — the link takes the root's offered
+//!   packet (pseudocode line 20).
+//! * [`Hierarchy::complete_transmission`] — RESET-PATH: clear the logical
+//!   heads along the in-flight path, pop the packet from its leaf FIFO,
+//!   re-offer the leaf's next packet (`S = F`, eq. 28 first case), and
+//!   re-run RESTART-NODE bottom-up along the path so every node on it
+//!   selects its next head. On return, if the root offers a packet the link
+//!   starts it immediately (work conservation).
+//!
+//! Arrivals during a transmission bubble up until they meet a node already
+//! offering a packet — in particular they never disturb the in-flight path,
+//! exactly as in the paper.
+//!
+//! ## Reference time
+//!
+//! Nodes are clocked purely by their own dispatches (reference time §4.1):
+//! real time never enters the tree. For the root, reference time coincides
+//! with real time during busy periods (eq. 32), so a depth-1 hierarchy is a
+//! standalone packet server.
+
+use std::collections::VecDeque;
+
+use crate::error::HpfqError;
+use crate::packet::Packet;
+use crate::scheduler::{NodeScheduler, SessionId};
+
+/// Identifies a node in a [`Hierarchy`]. The root is
+/// [`Hierarchy::root`]; ids are dense indices assigned in creation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The head of a logical queue: which leaf's front packet it refers to.
+#[derive(Debug, Clone, Copy)]
+struct Head {
+    leaf: usize,
+    bits: f64,
+}
+
+#[derive(Debug)]
+struct Node<S> {
+    /// `(parent index, session slot within the parent's scheduler)`;
+    /// `None` for the root.
+    parent: Option<(usize, SessionId)>,
+    /// Child node index per session slot (internal nodes only).
+    children: Vec<usize>,
+    /// The one-level scheduler (internal nodes only).
+    sched: Option<S>,
+    /// Guaranteed rate `r_n = φ_n · r_parent` in bits/s.
+    rate: f64,
+    /// Share of the parent's rate (1.0 for the root).
+    phi: f64,
+    /// Running sum of children's shares, for validation.
+    child_phi_sum: f64,
+    /// The packet this node currently offers to its parent.
+    head: Option<Head>,
+    /// The child whose head this node adopted.
+    active_child: Option<usize>,
+    /// Real packet queue (leaves only).
+    fifo: VecDeque<Packet>,
+    /// Queued bytes in `fifo`, for buffer management by the caller.
+    fifo_bytes: u64,
+    is_leaf: bool,
+}
+
+/// An H-PFQ server: a tree of one-level schedulers. See the
+/// [module documentation](self) for the driving protocol.
+pub struct Hierarchy<S: NodeScheduler> {
+    nodes: Vec<Node<S>>,
+    factory: Box<dyn Fn(f64) -> S>,
+    transmitting: bool,
+    /// Real time at which the current busy period began (eq. 32: the
+    /// root's reference time is real elapsed busy time).
+    busy_start: f64,
+}
+
+impl<S: NodeScheduler> std::fmt::Debug for Hierarchy<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hierarchy")
+            .field("nodes", &self.nodes.len())
+            .field("transmitting", &self.transmitting)
+            .finish()
+    }
+}
+
+impl<S: NodeScheduler> Hierarchy<S> {
+    /// Creates a hierarchy whose root (the physical link) runs at
+    /// `rate_bps`, building node schedulers with `factory`.
+    pub fn new_with(rate_bps: f64, factory: impl Fn(f64) -> S + 'static) -> Self {
+        assert!(
+            rate_bps.is_finite() && rate_bps > 0.0,
+            "invalid link rate {rate_bps}"
+        );
+        let factory: Box<dyn Fn(f64) -> S> = Box::new(factory);
+        let root = Node {
+            parent: None,
+            children: Vec::new(),
+            sched: Some(factory(rate_bps)),
+            rate: rate_bps,
+            phi: 1.0,
+            child_phi_sum: 0.0,
+            head: None,
+            active_child: None,
+            fifo: VecDeque::new(),
+            fifo_bytes: 0,
+            is_leaf: false,
+        };
+        Hierarchy {
+            nodes: vec![root],
+            factory,
+            transmitting: false,
+            busy_start: 0.0,
+        }
+    }
+
+    /// The root node (the physical link).
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Link rate in bits/s.
+    pub fn link_rate(&self) -> f64 {
+        self.nodes[0].rate
+    }
+
+    fn validate_new_child(&mut self, parent: NodeId, phi: f64) -> Result<(), HpfqError> {
+        if !(phi.is_finite() && phi > 0.0 && phi <= 1.0) {
+            return Err(HpfqError::InvalidShare(phi));
+        }
+        let p = self
+            .nodes
+            .get(parent.0)
+            .ok_or(HpfqError::UnknownNode(parent.0))?;
+        if p.is_leaf {
+            return Err(HpfqError::NotInternal(parent.0));
+        }
+        let sum = p.child_phi_sum + phi;
+        if sum > 1.0 + 1e-9 {
+            return Err(HpfqError::ShareOverflow {
+                node: parent.0,
+                sum,
+            });
+        }
+        Ok(())
+    }
+
+    fn push_node(&mut self, parent: NodeId, phi: f64, sched: Option<S>, is_leaf: bool) -> NodeId {
+        let rate = phi * self.nodes[parent.0].rate;
+        let idx = self.nodes.len();
+        let slot = self.nodes[parent.0]
+            .sched
+            .as_mut()
+            .expect("internal node has a scheduler")
+            .add_session(phi);
+        debug_assert_eq!(slot.0, self.nodes[parent.0].children.len());
+        self.nodes[parent.0].children.push(idx);
+        self.nodes[parent.0].child_phi_sum += phi;
+        self.nodes.push(Node {
+            parent: Some((parent.0, slot)),
+            children: Vec::new(),
+            sched,
+            rate,
+            phi,
+            child_phi_sum: 0.0,
+            head: None,
+            active_child: None,
+            fifo: VecDeque::new(),
+            fifo_bytes: 0,
+            is_leaf,
+        });
+        NodeId(idx)
+    }
+
+    /// Adds an internal node (a link-sharing class) with share `phi` of its
+    /// parent, running a scheduler built by the hierarchy's factory.
+    pub fn add_internal(&mut self, parent: NodeId, phi: f64) -> Result<NodeId, HpfqError> {
+        self.validate_new_child(parent, phi)?;
+        let rate = phi * self.nodes[parent.0].rate;
+        let sched = (self.factory)(rate);
+        Ok(self.push_node(parent, phi, Some(sched), false))
+    }
+
+    /// Adds an internal node running a caller-supplied scheduler (for
+    /// heterogeneous trees via [`crate::MixedScheduler`]). The scheduler's
+    /// configured rate should equal `phi` times the parent's rate.
+    pub fn add_internal_with(
+        &mut self,
+        parent: NodeId,
+        phi: f64,
+        sched: S,
+    ) -> Result<NodeId, HpfqError> {
+        self.validate_new_child(parent, phi)?;
+        Ok(self.push_node(parent, phi, Some(sched), false))
+    }
+
+    /// Adds a leaf (a session with a real FIFO queue) with share `phi` of
+    /// its parent.
+    pub fn add_leaf(&mut self, parent: NodeId, phi: f64) -> Result<NodeId, HpfqError> {
+        self.validate_new_child(parent, phi)?;
+        Ok(self.push_node(parent, phi, None, true))
+    }
+
+    /// ARRIVE: appends `pkt` to leaf `leaf`'s queue and propagates logical
+    /// heads up the tree.
+    ///
+    /// `pkt.arrival` is taken as the (real) arrival time: arrivals within
+    /// one run must carry non-decreasing arrival stamps (the simulator
+    /// guarantees this). The root server's reference time at the arrival —
+    /// real time elapsed in the current busy period, eq. 32 — is derived
+    /// from it, so arrivals between dispatches are stamped with the exact
+    /// root virtual time instead of the dispatch-quantized one. Internal
+    /// nodes remain clocked purely by their own dispatches, as in the
+    /// paper's pseudocode.
+    ///
+    /// # Panics
+    /// If `leaf` is not a leaf node.
+    pub fn enqueue(&mut self, leaf: NodeId, pkt: Packet) {
+        let l = leaf.0;
+        assert!(self.nodes[l].is_leaf, "enqueue on non-leaf node {l}");
+        if self.is_idle() {
+            self.busy_start = pkt.arrival;
+        }
+        let root_ref = (pkt.arrival - self.busy_start).max(0.0);
+        self.nodes[l].fifo_bytes += u64::from(pkt.len_bytes);
+        self.nodes[l].fifo.push_back(pkt);
+        if self.nodes[l].head.is_some() {
+            return; // leaf already offers a packet; nothing changes upstream
+        }
+        let bits = pkt.bits();
+        self.nodes[l].head = Some(Head { leaf: l, bits });
+        let (p, slot) = self.nodes[l].parent.expect("leaf has a parent");
+        let hint = if p == 0 { Some(root_ref) } else { None };
+        self.sched_mut(p).backlog(slot, bits, hint);
+        self.bubble_up(p, root_ref);
+    }
+
+    /// Whether no packet is queued anywhere and the link is idle.
+    pub fn is_idle(&self) -> bool {
+        !self.transmitting
+            && self.nodes[0].head.is_none()
+            && self.nodes[0]
+                .sched
+                .as_ref()
+                .expect("root has a scheduler")
+                .backlogged()
+                == 0
+    }
+
+    /// RESTART-NODE chain for newly backlogged subtrees: every ancestor not
+    /// yet offering a packet selects one and offers it upward.
+    fn bubble_up(&mut self, from: usize, root_ref: f64) {
+        let mut n = from;
+        while self.nodes[n].head.is_none() {
+            let slot = self
+                .sched_mut(n)
+                .select_next()
+                .expect("bubble_up reached a node with no backlogged child");
+            let child = self.nodes[n].children[slot.0];
+            let head = self.nodes[child].head.expect("selected child offers a head");
+            self.nodes[n].head = Some(head);
+            self.nodes[n].active_child = Some(child);
+            let Some((p, pslot)) = self.nodes[n].parent else {
+                break; // root now offers a packet; the link may start it
+            };
+            let hint = if p == 0 { Some(root_ref) } else { None };
+            self.sched_mut(p).backlog(pslot, head.bits, hint);
+            n = p;
+        }
+    }
+
+    /// Whether the root currently offers a packet the link could transmit.
+    pub fn has_pending(&self) -> bool {
+        self.nodes[0].head.is_some()
+    }
+
+    /// Whether a transmission is in progress (between
+    /// [`Hierarchy::start_transmission`] and
+    /// [`Hierarchy::complete_transmission`]).
+    pub fn is_transmitting(&self) -> bool {
+        self.transmitting
+    }
+
+    /// The link takes the root's offered packet for transmission; returns a
+    /// copy of it (the packet stays in its leaf queue until
+    /// [`Hierarchy::complete_transmission`]). `None` if nothing is pending.
+    ///
+    /// # Panics
+    /// If a transmission is already in progress.
+    pub fn start_transmission(&mut self) -> Option<Packet> {
+        assert!(!self.transmitting, "transmission already in progress");
+        let head = self.nodes[0].head?;
+        self.transmitting = true;
+        Some(*self.nodes[head.leaf].fifo.front().expect("head refers to a queued packet"))
+    }
+
+    /// RESET-PATH + RESTART-NODE chain at the end of a transmission: pops
+    /// the transmitted packet from its leaf, re-offers successors along the
+    /// path, and pre-selects the root's next packet. Returns the popped
+    /// packet.
+    ///
+    /// # Panics
+    /// If no transmission is in progress.
+    pub fn complete_transmission(&mut self) -> Packet {
+        assert!(self.transmitting, "no transmission in progress");
+        self.transmitting = false;
+
+        // Collect the in-flight path root → leaf and clear its heads.
+        let mut path = vec![0usize];
+        let mut n = 0usize;
+        while let Some(c) = self.nodes[n].active_child {
+            path.push(c);
+            n = c;
+        }
+        let leaf = n;
+        debug_assert!(self.nodes[leaf].is_leaf, "path must end at a leaf");
+        for &x in &path {
+            self.nodes[x].head = None;
+            self.nodes[x].active_child = None;
+        }
+
+        // Dequeue the transmitted packet and re-offer the leaf's next head.
+        let pkt = self.nodes[leaf]
+            .fifo
+            .pop_front()
+            .expect("transmitted packet was queued");
+        self.nodes[leaf].fifo_bytes -= u64::from(pkt.len_bytes);
+        let (lp, lslot) = self.nodes[leaf].parent.expect("leaf has a parent");
+        match self.nodes[leaf].fifo.front() {
+            Some(next) => {
+                let bits = next.bits();
+                self.nodes[leaf].head = Some(Head { leaf, bits });
+                self.sched_mut(lp).requeue(lslot, Some(bits));
+            }
+            None => self.sched_mut(lp).requeue(lslot, None),
+        }
+
+        // RESTART-NODE bottom-up along the path (excluding the leaf).
+        for i in (0..path.len() - 1).rev() {
+            let n = path[i];
+            let selected = self.sched_mut(n).select_next();
+            match selected {
+                Some(slot) => {
+                    let child = self.nodes[n].children[slot.0];
+                    let head = self.nodes[child]
+                        .head
+                        .expect("selected child offers a head");
+                    self.nodes[n].head = Some(head);
+                    self.nodes[n].active_child = Some(child);
+                    if let Some((p, pslot)) = self.nodes[n].parent {
+                        self.sched_mut(p).requeue(pslot, Some(head.bits));
+                    }
+                }
+                None => {
+                    if let Some((p, pslot)) = self.nodes[n].parent {
+                        self.sched_mut(p).requeue(pslot, None);
+                    }
+                }
+            }
+        }
+        pkt
+    }
+
+    /// Convenience for order-only tests and simple examples:
+    /// `start_transmission` + `complete_transmission` in one step.
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        self.start_transmission()?;
+        Some(self.complete_transmission())
+    }
+
+    fn sched_mut(&mut self, n: usize) -> &mut S {
+        self.nodes[n]
+            .sched
+            .as_mut()
+            .expect("internal node has a scheduler")
+    }
+
+    // ----- introspection ---------------------------------------------------
+
+    /// Number of nodes (including the root).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Guaranteed rate of `node` in bits/s.
+    pub fn rate(&self, node: NodeId) -> f64 {
+        self.nodes[node.0].rate
+    }
+
+    /// Share of `node` relative to its parent.
+    pub fn phi(&self, node: NodeId) -> f64 {
+        self.nodes[node.0].phi
+    }
+
+    /// Parent of `node`, or `None` for the root.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.0].parent.map(|(p, _)| NodeId(p))
+    }
+
+    /// Whether `node` is a leaf.
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        self.nodes[node.0].is_leaf
+    }
+
+    /// Queued packets in a leaf's FIFO (including one in flight).
+    pub fn leaf_queue_len(&self, leaf: NodeId) -> usize {
+        debug_assert!(self.nodes[leaf.0].is_leaf);
+        self.nodes[leaf.0].fifo.len()
+    }
+
+    /// Queued bytes in a leaf's FIFO (including one in flight).
+    pub fn leaf_queue_bytes(&self, leaf: NodeId) -> u64 {
+        debug_assert!(self.nodes[leaf.0].is_leaf);
+        self.nodes[leaf.0].fifo_bytes
+    }
+
+    /// Virtual time of an internal node's scheduler.
+    pub fn node_virtual_time(&self, node: NodeId) -> f64 {
+        self.nodes[node.0]
+            .sched
+            .as_ref()
+            .expect("internal node")
+            .virtual_time()
+    }
+
+    /// Ancestor chain of `node` from its parent up to the root — the
+    /// `p(i), p²(i), …, p^H(i) = R` of Theorems 1–2.
+    pub fn ancestors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut n = node.0;
+        while let Some((p, _)) = self.nodes[n].parent {
+            out.push(NodeId(p));
+            n = p;
+        }
+        out
+    }
+
+    /// All leaf node ids, in creation order.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].is_leaf)
+            .map(NodeId)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wf2q_plus::Wf2qPlus;
+
+    fn wf2qp(rate: f64) -> Hierarchy<Wf2qPlus> {
+        Hierarchy::new_with(rate, Wf2qPlus::new)
+    }
+
+    fn pkt(id: u64, flow: u32) -> Packet {
+        Packet::new(id, flow, 125, 0.0) // 1000 bits
+    }
+
+    #[test]
+    fn depth_one_equal_weights_alternate() {
+        let mut h = wf2qp(1000.0);
+        let root = h.root();
+        let a = h.add_leaf(root, 0.5).unwrap();
+        let b = h.add_leaf(root, 0.5).unwrap();
+        for i in 0..4 {
+            h.enqueue(a, pkt(i, 0));
+            h.enqueue(b, pkt(100 + i, 1));
+        }
+        let mut flows = Vec::new();
+        while let Some(p) = h.dequeue() {
+            flows.push(p.flow);
+        }
+        assert_eq!(flows.len(), 8);
+        for w in flows.windows(2) {
+            assert_ne!(w[0], w[1], "equal weights must alternate: {flows:?}");
+        }
+    }
+
+    /// The §2.2 topology: root children A (0.8) and leaf B (0.2); A's
+    /// children A1 (0.75 absolute = 0.9375 of A) and A2 (0.05 absolute =
+    /// 0.0625 of A). With A1 idle, A2 and B split the link 80/20; once A1
+    /// becomes active the split is 75/5/20.
+    #[test]
+    fn hierarchical_excess_distribution() {
+        let mut h = wf2qp(1000.0);
+        let root = h.root();
+        let a = h.add_internal(root, 0.8).unwrap();
+        let b = h.add_leaf(root, 0.2).unwrap();
+        let a1 = h.add_leaf(a, 0.9375).unwrap();
+        let a2 = h.add_leaf(a, 0.0625).unwrap();
+
+        // Phase 1: A1 idle, A2 and B heavily backlogged.
+        for i in 0..200 {
+            h.enqueue(a2, pkt(i, 2));
+            h.enqueue(b, pkt(1000 + i, 3));
+        }
+        let mut counts = [0usize; 4];
+        for _ in 0..100 {
+            let p = h.dequeue().unwrap();
+            counts[p.flow as usize] += 1;
+        }
+        assert!(
+            (counts[2] as i64 - 80).unsigned_abs() <= 2,
+            "A2 should get ~80%: {counts:?}"
+        );
+        assert!(
+            (counts[3] as i64 - 20).unsigned_abs() <= 2,
+            "B should get ~20%: {counts:?}"
+        );
+
+        // Phase 2: A1 becomes active.
+        for i in 0..200 {
+            h.enqueue(a1, pkt(2000 + i, 1));
+        }
+        let mut counts = [0usize; 4];
+        for _ in 0..100 {
+            let p = h.dequeue().unwrap();
+            counts[p.flow as usize] += 1;
+        }
+        assert!(
+            (counts[1] as i64 - 75).unsigned_abs() <= 2,
+            "A1 should get ~75%: {counts:?}"
+        );
+        assert!(
+            (counts[2] as i64 - 5).unsigned_abs() <= 2,
+            "A2 should get ~5%: {counts:?}"
+        );
+        assert!(
+            (counts[3] as i64 - 20).unsigned_abs() <= 2,
+            "B should get ~20%: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn per_leaf_fifo_order_is_preserved() {
+        let mut h = wf2qp(8.0);
+        let root = h.root();
+        let a = h.add_leaf(root, 0.5).unwrap();
+        let b = h.add_leaf(root, 0.5).unwrap();
+        for i in 0..10 {
+            h.enqueue(a, Packet::new(i, 0, 1 + (i as u32 % 3), 0.0));
+            h.enqueue(b, Packet::new(100 + i, 1, 2, 0.0));
+        }
+        let mut last_a = None;
+        let mut last_b = None;
+        while let Some(p) = h.dequeue() {
+            let last = if p.flow == 0 { &mut last_a } else { &mut last_b };
+            if let Some(prev) = *last {
+                assert!(p.id > prev, "per-flow FIFO violated");
+            }
+            *last = Some(p.id);
+        }
+    }
+
+    #[test]
+    fn arrivals_mid_transmission_do_not_disturb_the_path() {
+        let mut h = wf2qp(1000.0);
+        let root = h.root();
+        let a = h.add_leaf(root, 0.5).unwrap();
+        let b = h.add_leaf(root, 0.5).unwrap();
+        h.enqueue(a, pkt(1, 0));
+        let started = h.start_transmission().unwrap();
+        assert_eq!(started.id, 1);
+        // b's packet arrives mid-flight; the in-flight head is untouched.
+        h.enqueue(b, pkt(2, 1));
+        assert!(h.is_transmitting());
+        let done = h.complete_transmission();
+        assert_eq!(done.id, 1);
+        // Root pre-selected b's packet during completion.
+        assert!(h.has_pending());
+        assert_eq!(h.dequeue().unwrap().id, 2);
+        assert!(!h.has_pending());
+    }
+
+    #[test]
+    fn drains_to_empty_and_restarts() {
+        let mut h = wf2qp(1000.0);
+        let root = h.root();
+        let a = h.add_leaf(root, 1.0).unwrap();
+        h.enqueue(a, pkt(1, 0));
+        assert_eq!(h.dequeue().unwrap().id, 1);
+        assert!(h.dequeue().is_none());
+        assert_eq!(h.leaf_queue_len(a), 0);
+        h.enqueue(a, pkt(2, 0));
+        assert_eq!(h.dequeue().unwrap().id, 2);
+    }
+
+    #[test]
+    fn share_validation() {
+        let mut h = wf2qp(1000.0);
+        let root = h.root();
+        assert!(matches!(
+            h.add_leaf(root, 0.0),
+            Err(HpfqError::InvalidShare(_))
+        ));
+        assert!(matches!(
+            h.add_leaf(root, f64::NAN),
+            Err(HpfqError::InvalidShare(_))
+        ));
+        let a = h.add_leaf(root, 0.7).unwrap();
+        assert!(matches!(
+            h.add_leaf(root, 0.4),
+            Err(HpfqError::ShareOverflow { .. })
+        ));
+        assert!(matches!(
+            h.add_leaf(a, 0.1),
+            Err(HpfqError::NotInternal(_))
+        ));
+        assert!(h.add_leaf(root, 0.3).is_ok());
+    }
+
+    #[test]
+    fn introspection() {
+        let mut h = wf2qp(1000.0);
+        let root = h.root();
+        let a = h.add_internal(root, 0.8).unwrap();
+        let a1 = h.add_leaf(a, 0.5).unwrap();
+        assert_eq!(h.rate(a), 800.0);
+        assert_eq!(h.rate(a1), 400.0);
+        assert_eq!(h.ancestors(a1), vec![a, root]);
+        assert_eq!(h.leaves(), vec![a1]);
+        assert!(h.is_leaf(a1));
+        assert!(!h.is_leaf(a));
+    }
+}

@@ -1,0 +1,70 @@
+//! # hpfq-core — Packet Fair Queueing schedulers and the H-PFQ hierarchy
+//!
+//! This crate implements the scheduling algorithms of *Hierarchical Packet
+//! Fair Queueing Algorithms* (Bennett & Zhang, SIGCOMM 1996):
+//!
+//! * [`Wf2qPlus`] — the paper's contribution: the WF²Q+ algorithm, a
+//!   Smallest-Eligible-virtual-Finish-time-First (SEFF) scheduler driven by
+//!   the low-complexity virtual time function of eq. (27), with O(log N)
+//!   per-packet cost.
+//! * [`Wfq`] and [`Wf2q`] — the classic baselines that track the exact GPS
+//!   fluid virtual time (O(N) worst case, see [`GpsClock`]).
+//! * [`Scfq`], [`Sfq`], [`Drr`], [`Fifo`] — the related low-complexity
+//!   schedulers the paper compares against in its related-work discussion.
+//! * [`Hierarchy`] — the H-PFQ construction of §4: a tree of one-level
+//!   schedulers implementing the paper's ARRIVE / RESTART-NODE / RESET-PATH
+//!   pseudocode, generic over the node scheduler (H-WFQ, H-SCFQ, H-WF²Q+, …).
+//!
+//! ## Conventions
+//!
+//! * Real (simulation) time and *reference time* (§4.1 of the paper,
+//!   `T_n(t) = W_n(0,t) / r_n`) are `f64` seconds.
+//! * Virtual time is `f64` in reference-time seconds; a session with
+//!   guaranteed rate `r_i` advances its virtual finish tag by `L / r_i` per
+//!   packet of `L` bits.
+//! * Rates are bits/second; packet lengths are bytes on the wire and bits in
+//!   the scheduler maths.
+//!
+//! A one-level (standalone) server is a depth-1 [`Hierarchy`]; the root's
+//! reference time coincides with real time during busy periods (paper
+//! eq. 32).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drr;
+pub mod eligible;
+pub mod error;
+pub mod fifo;
+pub mod gps_clock;
+pub mod hierarchy;
+pub mod mixed;
+pub mod packet;
+pub mod scfq;
+pub mod scheduler;
+pub mod sfq;
+mod tag_heap;
+pub mod wf2q;
+pub mod wf2q_plus;
+pub mod wfq;
+
+pub use drr::Drr;
+pub use eligible::{dual_heap::DualHeapEligibleSet, treap::TreapEligibleSet, EligibleSet};
+pub use error::HpfqError;
+pub use fifo::Fifo;
+pub use gps_clock::GpsClock;
+pub use hierarchy::{Hierarchy, NodeId};
+pub use mixed::{MixedScheduler, SchedulerKind};
+pub use packet::Packet;
+pub use scfq::Scfq;
+pub use scheduler::{NodeScheduler, SessionId};
+pub use sfq::Sfq;
+pub use wf2q::Wf2q;
+pub use wf2q_plus::Wf2qPlus;
+pub use wfq::Wfq;
+
+/// Converts a packet length in bytes to bits.
+#[inline]
+pub fn bits(len_bytes: u32) -> f64 {
+    f64::from(len_bytes) * 8.0
+}

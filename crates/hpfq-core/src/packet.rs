@@ -1,0 +1,62 @@
+//! The packet type shared by the schedulers, the hierarchy, and the
+//! discrete-event simulator.
+
+/// A network packet as seen by the scheduling machinery.
+///
+/// The scheduler only ever inspects `len_bytes`; the remaining fields are
+/// carried through so that measurement code can attribute service to flows
+/// and compute per-packet delays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Packet {
+    /// Globally unique identifier, assigned by the traffic source.
+    pub id: u64,
+    /// Identifier of the flow (user-level session) the packet belongs to.
+    pub flow: u32,
+    /// Length on the wire in bytes.
+    pub len_bytes: u32,
+    /// Creation time at the source, in simulation seconds.
+    pub birth: f64,
+    /// Arrival time at the server under measurement, in simulation seconds.
+    /// Set by the simulator when the packet is enqueued.
+    pub arrival: f64,
+}
+
+impl Packet {
+    /// Creates a packet born (and, until re-stamped, arriving) at `t`.
+    pub fn new(id: u64, flow: u32, len_bytes: u32, t: f64) -> Self {
+        debug_assert!(len_bytes > 0, "zero-length packet");
+        Packet {
+            id,
+            flow,
+            len_bytes,
+            birth: t,
+            arrival: t,
+        }
+    }
+
+    /// Length of the packet in bits.
+    #[inline]
+    pub fn bits(&self) -> f64 {
+        f64::from(self.len_bytes) * 8.0
+    }
+
+    /// Transmission time of this packet on a link of `rate_bps` bits/s.
+    #[inline]
+    pub fn tx_time(&self, rate_bps: f64) -> f64 {
+        self.bits() / rate_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_and_tx_time() {
+        let p = Packet::new(1, 7, 1500, 0.25);
+        assert_eq!(p.bits(), 12_000.0);
+        assert!((p.tx_time(1_000_000.0) - 0.012).abs() < 1e-12);
+        assert_eq!(p.flow, 7);
+        assert_eq!(p.arrival, 0.25);
+    }
+}

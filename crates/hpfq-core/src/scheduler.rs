@@ -1,0 +1,200 @@
+//! The [`NodeScheduler`] trait: a one-level PFQ server over logical child
+//! queues, usable standalone or as a node of an H-PFQ [`crate::Hierarchy`].
+//!
+//! ## The contract
+//!
+//! A node scheduler serves a set of *sessions* (child logical queues). At
+//! any instant a session is either **idle** (offers no packet) or
+//! **backlogged** (offers exactly one *head* packet of known length; further
+//! packets behind the head are invisible to the scheduler, exactly as in the
+//! paper's per-node logical queues, §4.2).
+//!
+//! The driver (the hierarchy, or a link for a standalone server) calls:
+//!
+//! * [`NodeScheduler::backlog`] when a session transitions idle →
+//!   backlogged. Virtual-time schedulers stamp the head with
+//!   `S = max(F_prev, V)` per eq. (28), second case.
+//! * [`NodeScheduler::select_next`] when the node may dispatch: the
+//!   scheduler picks a session according to its policy, accounts the head as
+//!   served (advancing its virtual/reference clocks per RESTART-NODE lines
+//!   12–13), and returns the session. The session is *in service* until the
+//!   matching `requeue`.
+//! * [`NodeScheduler::requeue`] once the dispatched head has been consumed:
+//!   `Some(len)` re-offers the session's next head (`S = F_prev`, eq. (28)
+//!   first case); `None` marks the session idle.
+//!
+//! ## Busy periods
+//!
+//! Virtual time is defined per server busy period (paper eq. 4). When the
+//! last session goes idle, implementations reset their virtual clock and all
+//! session tags to zero; tags from a previous busy period must not penalise
+//! (or favour) sessions in the next one.
+
+/// Index of a session (child logical queue) within one scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub usize);
+
+impl SessionId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A one-level packet fair queueing server over logical child queues.
+///
+/// See the [module documentation](self) for the driving contract.
+pub trait NodeScheduler {
+    /// The configured output rate of this server in bits/s.
+    fn rate_bps(&self) -> f64;
+
+    /// Registers a new session with guaranteed share `phi` (fraction of this
+    /// server's rate, `0 < phi <= 1`). The session starts idle.
+    ///
+    /// The caller is responsible for keeping the sum of shares at or below 1
+    /// (the hierarchy enforces this); exceeding it voids the delay and WFI
+    /// guarantees but the scheduler still operates.
+    fn add_session(&mut self, phi: f64) -> SessionId;
+
+    /// Session `id` transitions idle → backlogged with a head packet of
+    /// `head_bits` bits.
+    ///
+    /// `ref_now` is the server's reference time at the arrival instant if
+    /// the caller knows it — the hierarchy passes `Some(real elapsed busy
+    /// time)` for the root server, where reference time coincides with
+    /// real time (paper eq. 32), so arrivals between dispatches are
+    /// stamped with the exact virtual time rather than the
+    /// dispatch-quantized one. Internal nodes pass `None`: their reference
+    /// time only advances at dispatches (pseudocode line 13), exactly as
+    /// in the paper.
+    fn backlog(&mut self, id: SessionId, head_bits: f64, ref_now: Option<f64>);
+
+    /// Picks the next session to serve per the policy and accounts its head
+    /// packet as dispatched. Returns `None` iff no session is backlogged.
+    ///
+    /// The returned session stays *in service* — excluded from further
+    /// selection — until [`NodeScheduler::requeue`] is called for it.
+    fn select_next(&mut self) -> Option<SessionId>;
+
+    /// Completes service of `id`'s dispatched head. `Some(len)` offers the
+    /// session's next head packet of `len` bits; `None` marks it idle.
+    fn requeue(&mut self, id: SessionId, next_head_bits: Option<f64>);
+
+    /// Number of sessions currently offering a packet (including one in
+    /// service, if any).
+    fn backlogged(&self) -> usize;
+
+    /// Current value of the scheduler's virtual time function, in
+    /// reference-time seconds. Round-robin schedulers that do not maintain a
+    /// virtual clock return their served-work reference time instead.
+    fn virtual_time(&self) -> f64;
+
+    /// Guaranteed share of session `id`.
+    fn phi(&self, id: SessionId) -> f64;
+
+    /// Virtual start and finish tags of session `id`'s current head packet.
+    /// Meaningful only while the session is backlogged; round-robin
+    /// schedulers return `(0.0, 0.0)`.
+    fn tags(&self, id: SessionId) -> (f64, f64);
+
+    /// Short policy name for reports ("wf2q+", "wfq", …).
+    fn name(&self) -> &'static str;
+}
+
+/// Common per-session bookkeeping shared by the virtual-time schedulers.
+///
+/// Stores the share, the derived inverse guaranteed rate, the head tags
+/// `(start, finish)` of eq. (28)/(29), and the backlog flag.
+#[derive(Debug, Clone)]
+pub(crate) struct SessionState {
+    /// Guaranteed share of the parent server's rate.
+    pub phi: f64,
+    /// `1 / (phi * server_rate)` — seconds of virtual time per bit.
+    pub inv_rate: f64,
+    /// Virtual start tag of the head packet.
+    pub start: f64,
+    /// Virtual finish tag of the head packet.
+    pub finish: f64,
+    /// Length of the head packet in bits (valid while backlogged).
+    pub head_bits: f64,
+    /// Whether the session currently offers a head packet (or has one in
+    /// service).
+    pub backlogged: bool,
+}
+
+impl SessionState {
+    pub(crate) fn new(phi: f64, server_rate: f64) -> Self {
+        assert!(
+            phi.is_finite() && phi > 0.0,
+            "session share must be a positive finite number, got {phi}"
+        );
+        assert!(
+            server_rate.is_finite() && server_rate > 0.0,
+            "server rate must be a positive finite number, got {server_rate}"
+        );
+        SessionState {
+            phi,
+            inv_rate: 1.0 / (phi * server_rate),
+            start: 0.0,
+            finish: 0.0,
+            head_bits: 0.0,
+            backlogged: false,
+        }
+    }
+
+    /// Stamps tags for a head arriving to an idle session: `S = max(F, V)`,
+    /// `F = S + L / r_i` (eq. 28 second case + eq. 29).
+    pub(crate) fn stamp_new_backlog(&mut self, v: f64, head_bits: f64) {
+        debug_assert!(head_bits.is_finite() && head_bits > 0.0);
+        self.start = self.finish.max(v);
+        self.finish = self.start + head_bits * self.inv_rate;
+        self.head_bits = head_bits;
+        self.backlogged = true;
+    }
+
+    /// Stamps tags for the next head of a continuously backlogged session:
+    /// `S = F` (eq. 28 first case).
+    pub(crate) fn stamp_continuation(&mut self, head_bits: f64) {
+        debug_assert!(head_bits.is_finite() && head_bits > 0.0);
+        self.start = self.finish;
+        self.finish = self.start + head_bits * self.inv_rate;
+        self.head_bits = head_bits;
+    }
+
+    /// Resets tags at a busy-period boundary.
+    pub(crate) fn reset(&mut self) {
+        self.start = 0.0;
+        self.finish = 0.0;
+        debug_assert!(!self.backlogged, "resetting a backlogged session");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_rules_follow_eq_28_29() {
+        // phi = 0.5 of a 2 bit/s server => r_i = 1 bit/s.
+        let mut s = SessionState::new(0.5, 2.0);
+        s.stamp_new_backlog(3.0, 4.0);
+        assert_eq!(s.start, 3.0);
+        assert_eq!(s.finish, 7.0);
+        // Continuation: S = F.
+        s.stamp_continuation(2.0);
+        assert_eq!(s.start, 7.0);
+        assert_eq!(s.finish, 9.0);
+        // Re-backlog with stale V: S = max(F, V) = F.
+        s.backlogged = false;
+        s.stamp_new_backlog(1.0, 1.0);
+        assert_eq!(s.start, 9.0);
+        assert_eq!(s.finish, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn rejects_nonpositive_share() {
+        let _ = SessionState::new(0.0, 1.0);
+    }
+}

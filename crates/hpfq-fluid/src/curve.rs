@@ -1,0 +1,224 @@
+//! Piecewise-linear cumulative service curves.
+//!
+//! A [`ServiceCurve`] records `W(t)` — cumulative bits served by time `t` —
+//! as a non-decreasing piecewise-linear function. Fluid simulations emit
+//! one per leaf; the analysis crate builds them from packet service traces
+//! too, so `W_i(t1, t2)` queries (the quantity in every definition of §3.2)
+//! are uniform across fluid and packet systems.
+
+/// A non-decreasing piecewise-linear cumulative function of time.
+///
+/// Stored as breakpoints `(t, w)`; between breakpoints the function is
+/// linear; before the first breakpoint it is 0; after the last it stays at
+/// the final value (append more breakpoints to extend).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceCurve {
+    points: Vec<(f64, f64)>,
+}
+
+impl ServiceCurve {
+    /// An empty curve (identically zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a breakpoint. Time and value must be non-decreasing.
+    pub fn push(&mut self, t: f64, w: f64) {
+        if let Some(&(pt, pw)) = self.points.last() {
+            assert!(
+                t >= pt - 1e-12 && w >= pw - 1e-9,
+                "breakpoints must be non-decreasing: ({t}, {w}) after ({pt}, {pw})"
+            );
+            // Collapse zero-width duplicates to keep the vector tidy.
+            if (t - pt).abs() < 1e-15 && (w - pw).abs() < 1e-12 {
+                return;
+            }
+        }
+        self.points.push((t, w));
+    }
+
+    /// `W(t)`: cumulative bits served by time `t`.
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self.points.binary_search_by(|&(pt, _)| {
+            pt.partial_cmp(&t).expect("curve times must not be NaN")
+        }) {
+            Ok(i) => self.points[i].1,
+            Err(0) => 0.0,
+            Err(i) if i == self.points.len() => self.points[i - 1].1,
+            Err(i) => {
+                let (t0, w0) = self.points[i - 1];
+                let (t1, w1) = self.points[i];
+                if t1 - t0 <= 0.0 {
+                    w1
+                } else {
+                    w0 + (w1 - w0) * (t - t0) / (t1 - t0)
+                }
+            }
+        }
+    }
+
+    /// `W(t1, t2)`: bits served in `[t1, t2]`.
+    pub fn served(&self, t1: f64, t2: f64) -> f64 {
+        debug_assert!(t2 >= t1);
+        self.value_at(t2) - self.value_at(t1)
+    }
+
+    /// Total bits served over the whole recorded horizon.
+    pub fn total(&self) -> f64 {
+        self.points.last().map_or(0.0, |&(_, w)| w)
+    }
+
+    /// Time of the last breakpoint.
+    pub fn end_time(&self) -> f64 {
+        self.points.last().map_or(0.0, |&(t, _)| t)
+    }
+
+    /// The earliest time at which `W(t) >= w`, or `None` if the curve never
+    /// reaches `w`. Used to extract fluid packet finish times.
+    pub fn time_to_reach(&self, w: f64) -> Option<f64> {
+        if w <= 0.0 {
+            return Some(self.points.first().map_or(0.0, |&(t, _)| t));
+        }
+        let i = self
+            .points
+            .partition_point(|&(_, pw)| pw < w - 1e-12);
+        if i == self.points.len() {
+            return None;
+        }
+        let (t1, w1) = self.points[i];
+        if i == 0 {
+            return Some(t1);
+        }
+        let (t0, w0) = self.points[i - 1];
+        if w1 - w0 <= 0.0 {
+            Some(t1)
+        } else {
+            Some(t0 + (t1 - t0) * (w - w0) / (w1 - w0))
+        }
+    }
+
+    /// Breakpoints `(t, W(t))`.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Average rate over `[t1, t2]` in bits/s.
+    pub fn avg_rate(&self, t1: f64, t2: f64) -> f64 {
+        if t2 <= t1 {
+            0.0
+        } else {
+            self.served(t1, t2) / (t2 - t1)
+        }
+    }
+}
+
+/// A right-continuous step function of time — cumulative *arrivals*
+/// `A(t)`: the amount of traffic arrived in `[0, t]` (paper eq. 17 uses
+/// `A_i(t1, t2) = A(t2) − A(t1⁻)`; this type exposes both one-sided
+/// limits).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ArrivalCurve {
+    /// `(t, cumulative bits including the arrival at t)`, strictly
+    /// increasing in `t`.
+    steps: Vec<(f64, f64)>,
+}
+
+impl ArrivalCurve {
+    /// An empty arrival curve.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `bits` arriving at time `t` (must be non-decreasing in `t`).
+    pub fn add(&mut self, t: f64, bits: f64) {
+        debug_assert!(bits > 0.0);
+        if let Some(last) = self.steps.last_mut() {
+            assert!(t >= last.0, "arrivals must be time-ordered");
+            if (t - last.0).abs() < 1e-15 {
+                last.1 += bits;
+                return;
+            }
+            let w = last.1 + bits;
+            self.steps.push((t, w));
+        } else {
+            self.steps.push((t, bits));
+        }
+    }
+
+    /// `A(t)`: bits arrived in `[0, t]` (inclusive of arrivals at `t`).
+    pub fn value_at(&self, t: f64) -> f64 {
+        let i = self.steps.partition_point(|&(st, _)| st <= t);
+        if i == 0 {
+            0.0
+        } else {
+            self.steps[i - 1].1
+        }
+    }
+
+    /// `A(t⁻)`: bits arrived strictly before `t`.
+    pub fn value_before(&self, t: f64) -> f64 {
+        let i = self.steps.partition_point(|&(st, _)| st < t);
+        if i == 0 {
+            0.0
+        } else {
+            self.steps[i - 1].1
+        }
+    }
+
+    /// Total arrived bits.
+    pub fn total(&self) -> f64 {
+        self.steps.last().map_or(0.0, |&(_, w)| w)
+    }
+
+    /// The step points `(t, A(t))`.
+    pub fn steps(&self) -> &[(f64, f64)] {
+        &self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_curve_interpolates() {
+        let mut c = ServiceCurve::new();
+        c.push(0.0, 0.0);
+        c.push(2.0, 4.0); // rate 2
+        c.push(5.0, 4.0); // idle
+        c.push(6.0, 7.0); // rate 3
+        assert_eq!(c.value_at(-1.0), 0.0);
+        assert_eq!(c.value_at(1.0), 2.0);
+        assert_eq!(c.value_at(3.0), 4.0);
+        assert_eq!(c.value_at(5.5), 5.5);
+        assert_eq!(c.value_at(10.0), 7.0);
+        assert_eq!(c.served(1.0, 5.5), 3.5);
+        assert!((c.avg_rate(0.0, 2.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_to_reach_inverts() {
+        let mut c = ServiceCurve::new();
+        c.push(1.0, 0.0);
+        c.push(3.0, 4.0);
+        assert_eq!(c.time_to_reach(0.0), Some(1.0));
+        assert_eq!(c.time_to_reach(2.0), Some(2.0));
+        assert_eq!(c.time_to_reach(4.0), Some(3.0));
+        assert_eq!(c.time_to_reach(4.5), None);
+    }
+
+    #[test]
+    fn arrival_curve_steps() {
+        let mut a = ArrivalCurve::new();
+        a.add(1.0, 10.0);
+        a.add(1.0, 5.0); // same-instant arrivals merge
+        a.add(2.0, 1.0);
+        assert_eq!(a.value_at(0.5), 0.0);
+        assert_eq!(a.value_at(1.0), 15.0);
+        assert_eq!(a.value_before(1.0), 0.0);
+        assert_eq!(a.value_at(1.5), 15.0);
+        assert_eq!(a.value_at(2.0), 16.0);
+        assert_eq!(a.value_before(2.0), 15.0);
+        assert_eq!(a.total(), 16.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # hpfq-fluid — GPS and H-GPS fluid reference servers
+//!
+//! The idealized fluid systems of paper §2: one-level Generalized Processor
+//! Sharing (GPS, §2.1) and Hierarchical GPS (H-GPS, §2.2). Both are exact
+//! event-driven simulations: between events (packet arrivals and fluid
+//! queue-empty instants) every backlogged leaf is served at a constant rate
+//! obtained by distributing the link rate down the hierarchy in proportion
+//! to the shares of backlogged children (eq. 8); a one-level GPS is simply
+//! a depth-1 tree.
+//!
+//! Outputs are per-leaf piecewise-linear cumulative [`curve::ServiceCurve`]s
+//! and per-packet fluid finish times — the reference against which the
+//! packet schedulers of `hpfq-core` are measured, the oracle for property
+//! tests, and the source of Fig. 9(b)'s ideal bandwidth curves (via
+//! [`shares::ideal_shares`], the demand-capped water-filling variant).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod curve;
+pub mod shares;
+pub mod sim;
+pub mod tree;
+
+pub use curve::ServiceCurve;
+pub use shares::ideal_shares;
+pub use sim::{Arrival, FluidResult, FluidSim};
+pub use tree::{FluidNodeId, FluidTree};

@@ -1,0 +1,177 @@
+//! Demand-capped hierarchical bandwidth shares (water-filling).
+//!
+//! [`ideal_shares`] computes the steady-state rate each leaf receives from
+//! an H-GPS server when every leaf has a fixed *demand* (its sending rate;
+//! `f64::INFINITY` for a greedy/backlogged source such as TCP in paper
+//! §5.2). This is the piecewise-constant "ideal H-GPS bandwidth" of
+//! Fig. 9(b): over an interval where the set of active sources is fixed,
+//! the fluid rates settle to exactly this allocation.
+//!
+//! The algorithm is hierarchical progressive filling: demands aggregate
+//! bottom-up; capacity is distributed top-down at each node in proportion
+//! to φ among unsaturated children, iterating as children saturate (a
+//! node's surplus is redistributed to its hungrier siblings).
+
+use crate::tree::{FluidNodeId, FluidTree};
+
+/// Computes each node's allocated rate (bits/s) given per-leaf demands.
+///
+/// `demands` is indexed by node id; entries for internal nodes are ignored
+/// (their demand is the sum over descendant leaves). Use `f64::INFINITY`
+/// for a source that consumes everything offered. Returns the allocation
+/// for every node (internal nodes get the sum of their children's).
+pub fn ideal_shares(tree: &FluidTree, rate_bps: f64, demands: &[f64]) -> Vec<f64> {
+    assert_eq!(demands.len(), tree.node_count());
+    let n = tree.node_count();
+
+    // Aggregate demands bottom-up (children always have larger indices).
+    let mut agg = vec![0.0_f64; n];
+    for i in (0..n).rev() {
+        let id = FluidNodeId(i);
+        if tree.is_leaf(id) {
+            let d = demands[i];
+            assert!(d >= 0.0, "negative demand for leaf {i}");
+            agg[i] = d;
+        } else {
+            agg[i] = tree.children(id).iter().map(|c| agg[c.0]).sum();
+        }
+    }
+
+    let mut alloc = vec![0.0_f64; n];
+    alloc[0] = rate_bps.min(agg[0]);
+
+    // Distribute top-down with per-node water-filling.
+    for i in 0..n {
+        let id = FluidNodeId(i);
+        if tree.is_leaf(id) || alloc[i] <= 0.0 {
+            continue;
+        }
+        let children = tree.children(id);
+        let mut capacity = alloc[i];
+        let mut unsat: Vec<FluidNodeId> = children
+            .iter()
+            .copied()
+            .filter(|c| agg[c.0] > 0.0)
+            .collect();
+        // Progressive filling: saturate children whose fair share exceeds
+        // their demand, redistribute the surplus, repeat. Terminates in at
+        // most |children| rounds.
+        while !unsat.is_empty() && capacity > 1e-12 {
+            let phi_sum: f64 = unsat.iter().map(|c| tree.phi(*c)).sum();
+            debug_assert!(phi_sum > 0.0);
+            let mut saturated = Vec::new();
+            for &c in &unsat {
+                let fair = capacity * tree.phi(c) / phi_sum;
+                if agg[c.0] <= fair * (1.0 + 1e-12) {
+                    alloc[c.0] = agg[c.0];
+                    saturated.push(c);
+                }
+            }
+            if saturated.is_empty() {
+                // No one saturates: split the remaining capacity by φ.
+                for &c in &unsat {
+                    alloc[c.0] = capacity * tree.phi(c) / phi_sum;
+                }
+                break;
+            }
+            for c in &saturated {
+                capacity -= agg[c.0];
+                unsat.retain(|u| u != c);
+            }
+            capacity = capacity.max(0.0);
+        }
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 1 flavour: A1 gets 50% with a best-effort floor inside it.
+    #[test]
+    fn one_level_water_filling() {
+        let mut t = FluidTree::new();
+        let a = t.add_leaf(t.root(), 0.5).unwrap();
+        let b = t.add_leaf(t.root(), 0.3).unwrap();
+        let c = t.add_leaf(t.root(), 0.2).unwrap();
+        let inf = f64::INFINITY;
+        let mut demands = vec![0.0; t.node_count()];
+        demands[a.0] = inf;
+        demands[b.0] = inf;
+        demands[c.0] = inf;
+        let alloc = ideal_shares(&t, 10.0, &demands);
+        assert!((alloc[a.0] - 5.0).abs() < 1e-9);
+        assert!((alloc[b.0] - 3.0).abs() < 1e-9);
+        assert!((alloc[c.0] - 2.0).abs() < 1e-9);
+
+        // b demands only 1: its surplus splits 5:2 between a and c.
+        demands[b.0] = 1.0;
+        let alloc = ideal_shares(&t, 10.0, &demands);
+        assert!((alloc[b.0] - 1.0).abs() < 1e-9);
+        assert!((alloc[a.0] - 5.0 - 2.0 * 5.0 / 7.0).abs() < 1e-9);
+        assert!((alloc[c.0] - 2.0 - 2.0 * 2.0 / 7.0).abs() < 1e-9);
+    }
+
+    /// Hierarchical redistribution: surplus stays inside the subtree first.
+    #[test]
+    fn hierarchy_prioritizes_siblings() {
+        let mut t = FluidTree::new();
+        let a = t.add_internal(t.root(), 0.5).unwrap();
+        let b = t.add_leaf(t.root(), 0.5).unwrap();
+        let a1 = t.add_leaf(a, 0.5).unwrap();
+        let a2 = t.add_leaf(a, 0.5).unwrap();
+        let mut demands = vec![0.0; t.node_count()];
+        demands[b.0] = f64::INFINITY;
+        demands[a1.0] = 1.0;
+        demands[a2.0] = f64::INFINITY;
+        let alloc = ideal_shares(&t, 10.0, &demands);
+        // A gets 5; within A, a1 takes 1 and a2 the remaining 4 —
+        // a1's surplus does NOT leak to b.
+        assert!((alloc[a1.0] - 1.0).abs() < 1e-9);
+        assert!((alloc[a2.0] - 4.0).abs() < 1e-9);
+        assert!((alloc[b.0] - 5.0).abs() < 1e-9);
+    }
+
+    /// When a whole subtree under-uses its allocation, the excess flows to
+    /// the rest of the tree.
+    #[test]
+    fn subtree_surplus_flows_up() {
+        let mut t = FluidTree::new();
+        let a = t.add_internal(t.root(), 0.5).unwrap();
+        let b = t.add_leaf(t.root(), 0.5).unwrap();
+        let a1 = t.add_leaf(a, 1.0).unwrap();
+        let mut demands = vec![0.0; t.node_count()];
+        demands[b.0] = f64::INFINITY;
+        demands[a1.0] = 2.0;
+        let alloc = ideal_shares(&t, 10.0, &demands);
+        assert!((alloc[a1.0] - 2.0).abs() < 1e-9);
+        assert!((alloc[b.0] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn undersubscribed_link() {
+        let mut t = FluidTree::new();
+        let a = t.add_leaf(t.root(), 0.5).unwrap();
+        let b = t.add_leaf(t.root(), 0.5).unwrap();
+        let mut demands = vec![0.0; t.node_count()];
+        demands[a.0] = 1.0;
+        demands[b.0] = 2.0;
+        let alloc = ideal_shares(&t, 10.0, &demands);
+        assert!((alloc[a.0] - 1.0).abs() < 1e-9);
+        assert!((alloc[b.0] - 2.0).abs() < 1e-9);
+        assert!((alloc[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_leaf_gets_nothing() {
+        let mut t = FluidTree::new();
+        let a = t.add_leaf(t.root(), 0.9).unwrap();
+        let b = t.add_leaf(t.root(), 0.1).unwrap();
+        let mut demands = vec![0.0; t.node_count()];
+        demands[b.0] = f64::INFINITY;
+        let alloc = ideal_shares(&t, 10.0, &demands);
+        assert_eq!(alloc[a.0], 0.0);
+        assert!((alloc[b.0] - 10.0).abs() < 1e-9);
+    }
+}

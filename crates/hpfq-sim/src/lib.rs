@@ -1,0 +1,33 @@
+//! # hpfq-sim — discrete-event network simulator for H-PFQ experiments
+//!
+//! A single-link discrete-event simulator standing in for the modified MIT
+//! NETSIM the paper used (§5). It drives an H-PFQ [`hpfq_core::Hierarchy`]
+//! as the output-link scheduler and provides:
+//!
+//! * the paper's traffic sources — constant rate (PS-n), deterministic
+//!   on/off (RT-1 and the §5.2 on/off sources), Poisson, multiplexed
+//!   packet trains (CS-n) — plus trace replay and a greedy leaky-bucket
+//!   source for delay-bound experiments ([`source`]);
+//! * per-leaf drop-tail buffers and delivery notifications with a
+//!   configurable one-way delay (the hook the TCP crate uses for ACK
+//!   feedback);
+//! * measurement: per-packet service records, per-flow aggregates, and the
+//!   exponentially-averaged windowed bandwidth estimator of §5.2
+//!   ([`stats`]).
+//!
+//! Events at equal timestamps fire in scheduling order, so runs are fully
+//! deterministic given source seeds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod simulation;
+pub mod source;
+pub mod stats;
+
+pub use simulation::{Simulation, SourceConfig, SourceId};
+pub use source::{
+    CbrSource, GreedyLbSource, PacketTrainSource, PeriodicOnOffSource, PoissonSource,
+    ScheduledOnOffSource, Source, SourceOutput, TraceSource,
+};
+pub use stats::{BandwidthEstimator, FlowStats, ServiceRecord, SimStats};

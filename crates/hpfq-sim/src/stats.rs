@@ -1,0 +1,249 @@
+//! Measurement infrastructure: per-packet service records, per-flow
+//! aggregates, and the windowed exponential bandwidth average of paper
+//! §5.2.
+
+use std::collections::HashMap;
+
+/// One transmitted packet, as recorded by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceRecord {
+    /// Packet id.
+    pub id: u64,
+    /// Flow the packet belongs to.
+    pub flow: u32,
+    /// Length in bytes.
+    pub len_bytes: u32,
+    /// Arrival time at the server.
+    pub arrival: f64,
+    /// Time transmission began.
+    pub start: f64,
+    /// Time transmission finished (departure time).
+    pub end: f64,
+}
+
+impl ServiceRecord {
+    /// Queueing delay: departure minus arrival (the paper's Fig. 4–7
+    /// metric).
+    pub fn delay(&self) -> f64 {
+        self.end - self.arrival
+    }
+}
+
+/// Aggregate statistics for one flow.
+#[derive(Debug, Clone, Default)]
+pub struct FlowStats {
+    /// Packets transmitted.
+    pub packets: u64,
+    /// Bytes transmitted.
+    pub bytes: u64,
+    /// Packets dropped at the buffer.
+    pub drops: u64,
+    /// Sum of per-packet delays (seconds).
+    pub delay_sum: f64,
+    /// Maximum per-packet delay.
+    pub delay_max: f64,
+    /// Departure time of the last packet.
+    pub last_departure: f64,
+}
+
+impl FlowStats {
+    /// Mean per-packet delay.
+    pub fn mean_delay(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.delay_sum / self.packets as f64
+        }
+    }
+}
+
+/// Collected simulation statistics.
+///
+/// Aggregates are always maintained; full per-packet [`ServiceRecord`]s are
+/// kept only for flows registered with [`SimStats::trace_flow`] (traces for
+/// a long run over every flow would dominate memory).
+#[derive(Debug, Default)]
+pub struct SimStats {
+    flows: HashMap<u32, FlowStats>,
+    traced: HashMap<u32, Vec<ServiceRecord>>,
+    /// Total bytes transmitted on the link.
+    pub total_bytes: u64,
+    /// Total packets transmitted on the link.
+    pub total_packets: u64,
+    /// Completion time of the last transmission.
+    pub last_departure: f64,
+}
+
+impl SimStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables per-packet trace capture for `flow`.
+    pub fn trace_flow(&mut self, flow: u32) {
+        self.traced.entry(flow).or_default();
+    }
+
+    /// Records a completed transmission.
+    pub fn record_service(&mut self, rec: ServiceRecord) {
+        let f = self.flows.entry(rec.flow).or_default();
+        f.packets += 1;
+        f.bytes += u64::from(rec.len_bytes);
+        let d = rec.delay();
+        f.delay_sum += d;
+        if d > f.delay_max {
+            f.delay_max = d;
+        }
+        f.last_departure = rec.end;
+        self.total_bytes += u64::from(rec.len_bytes);
+        self.total_packets += 1;
+        self.last_departure = rec.end;
+        if let Some(tr) = self.traced.get_mut(&rec.flow) {
+            tr.push(rec);
+        }
+    }
+
+    /// Records a buffer drop for `flow`.
+    pub fn record_drop(&mut self, flow: u32) {
+        self.flows.entry(flow).or_default().drops += 1;
+    }
+
+    /// Aggregates for `flow` (zeroes if it never sent).
+    pub fn flow(&self, flow: u32) -> FlowStats {
+        self.flows.get(&flow).cloned().unwrap_or_default()
+    }
+
+    /// The captured trace for a flow registered via
+    /// [`SimStats::trace_flow`].
+    pub fn trace(&self, flow: u32) -> &[ServiceRecord] {
+        self.traced.get(&flow).map_or(&[], |v| v.as_slice())
+    }
+
+    /// All flows seen, sorted by id.
+    pub fn flows(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.flows.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// The paper's §5.2 bandwidth measurement: throughput is accumulated in
+/// fixed windows (50 ms in the paper) and smoothed with an exponential
+/// average across windows.
+#[derive(Debug, Clone)]
+pub struct BandwidthEstimator {
+    window: f64,
+    alpha: f64,
+    origin: f64,
+    /// Bytes accumulated in the currently open window.
+    acc_bytes: f64,
+    /// Index of the currently open window.
+    cur_window: u64,
+    ema_bps: f64,
+    /// `(window end time, smoothed bits/s)` samples.
+    samples: Vec<(f64, f64)>,
+}
+
+impl BandwidthEstimator {
+    /// Creates an estimator with the given window length (the paper uses
+    /// 50 ms) and smoothing factor `alpha` (weight of the newest window).
+    pub fn new(origin: f64, window: f64, alpha: f64) -> Self {
+        assert!(window > 0.0 && (0.0..=1.0).contains(&alpha));
+        BandwidthEstimator {
+            window,
+            alpha,
+            origin,
+            acc_bytes: 0.0,
+            cur_window: 0,
+            ema_bps: 0.0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Accounts `bytes` delivered at time `t` (must be non-decreasing).
+    pub fn add(&mut self, t: f64, bytes: u64) {
+        self.roll_to(t);
+        self.acc_bytes += bytes as f64;
+    }
+
+    /// Closes every window ending at or before `t`.
+    fn roll_to(&mut self, t: f64) {
+        let target = ((t - self.origin) / self.window).floor().max(0.0) as u64;
+        while self.cur_window < target {
+            let inst = self.acc_bytes * 8.0 / self.window;
+            self.ema_bps = self.alpha * inst + (1.0 - self.alpha) * self.ema_bps;
+            self.cur_window += 1;
+            self.samples
+                .push((self.origin + self.cur_window as f64 * self.window, self.ema_bps));
+            self.acc_bytes = 0.0;
+        }
+    }
+
+    /// Flushes windows up to `t` and returns the sample series
+    /// `(window end, smoothed bits/s)`.
+    pub fn finish(mut self, t: f64) -> Vec<(f64, f64)> {
+        self.roll_to(t);
+        self.samples
+    }
+
+    /// The samples collected so far.
+    pub fn samples(&self) -> &[(f64, f64)] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_and_traces() {
+        let mut s = SimStats::new();
+        s.trace_flow(7);
+        s.record_service(ServiceRecord {
+            id: 1,
+            flow: 7,
+            len_bytes: 100,
+            arrival: 0.0,
+            start: 0.5,
+            end: 1.0,
+        });
+        s.record_service(ServiceRecord {
+            id: 2,
+            flow: 8,
+            len_bytes: 200,
+            arrival: 0.0,
+            start: 1.0,
+            end: 3.0,
+        });
+        s.record_drop(8);
+        assert_eq!(s.flow(7).packets, 1);
+        assert_eq!(s.flow(7).delay_max, 1.0);
+        assert_eq!(s.flow(8).drops, 1);
+        assert_eq!(s.flow(8).delay_max, 3.0);
+        assert_eq!(s.trace(7).len(), 1);
+        assert_eq!(s.trace(8).len(), 0); // not traced
+        assert_eq!(s.total_bytes, 300);
+        assert_eq!(s.flows(), vec![7, 8]);
+    }
+
+    #[test]
+    fn bandwidth_windows_smooth() {
+        // 1-second windows, alpha 0.5; 1000 bytes in each of the first two
+        // windows, then nothing.
+        let mut b = BandwidthEstimator::new(0.0, 1.0, 0.5);
+        b.add(0.2, 500);
+        b.add(0.7, 500);
+        b.add(1.5, 1000);
+        let samples = b.finish(4.0);
+        // Window 1 inst = 8000 bps -> ema 4000; window 2 inst 8000 ->
+        // ema 6000; windows 3,4 inst 0 -> 3000, 1500.
+        assert_eq!(samples.len(), 4);
+        assert!((samples[0].1 - 4000.0).abs() < 1e-9);
+        assert!((samples[1].1 - 6000.0).abs() < 1e-9);
+        assert!((samples[2].1 - 3000.0).abs() < 1e-9);
+        assert!((samples[3].1 - 1500.0).abs() < 1e-9);
+        assert!((samples[3].0 - 4.0).abs() < 1e-12);
+    }
+}

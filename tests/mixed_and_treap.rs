@@ -1,0 +1,111 @@
+//! Heterogeneous trees (per-node policies via `MixedScheduler`) and the
+//! treap-backed WF²Q+ variant: both must compose cleanly with the
+//! hierarchy, and the two eligible-set backends must produce *identical*
+//! schedules.
+
+use hpfq::core::eligible::treap::TreapEligibleSet;
+use hpfq::core::wf2q_plus::Wf2qPlus;
+use hpfq::core::{Hierarchy, MixedScheduler, Packet, SchedulerKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// WF²Q+ over the dual heap and over the treap must schedule identically
+/// (they implement the same policy; only the data structure differs).
+#[test]
+fn treap_and_dual_heap_schedules_are_identical() {
+    fn schedule<E: hpfq::core::EligibleSet + 'static>(
+        make: impl Fn(f64) -> Wf2qPlus<E> + 'static,
+    ) -> Vec<u64> {
+        let mut h = Hierarchy::new_with(1e6, make);
+        let root = h.root();
+        let class = h.add_internal(root, 0.6).unwrap();
+        let l1 = h.add_leaf(class, 0.5).unwrap();
+        let l2 = h.add_leaf(class, 0.5).unwrap();
+        let l3 = h.add_leaf(root, 0.4).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut id = 0u64;
+        let mut out = Vec::new();
+        for _round in 0..50 {
+            // Random enqueues...
+            for &leaf in &[l1, l2, l3] {
+                if rng.gen_bool(0.7) {
+                    for _ in 0..rng.gen_range(1..4) {
+                        id += 1;
+                        h.enqueue(leaf, Packet::new(id, 0, rng.gen_range(100..1500), 0.0));
+                    }
+                }
+            }
+            // ...then a few dequeues.
+            for _ in 0..rng.gen_range(1..6) {
+                if let Some(p) = h.dequeue() {
+                    out.push(p.id);
+                }
+            }
+        }
+        while let Some(p) = h.dequeue() {
+            out.push(p.id);
+        }
+        out
+    }
+
+    let a = schedule(Wf2qPlus::new);
+    let b = schedule(|r| Wf2qPlus::with_set(r, TreapEligibleSet::new()));
+    assert_eq!(a, b, "eligible-set backends must not change the schedule");
+    assert!(a.len() > 100);
+}
+
+/// A heterogeneous tree: WF²Q+ at the link, FIFO inside a best-effort
+/// class, DRR inside another. The link-level isolation must hold even
+/// though the inner policies provide none.
+#[test]
+fn mixed_policy_tree_isolates_at_the_link_level() {
+    let mut h: Hierarchy<MixedScheduler> =
+        Hierarchy::new_with(1e6, |r| SchedulerKind::Wf2qPlus.build(r));
+    let root = h.root();
+    // Guaranteed class under WF²Q+.
+    let guaranteed = h.add_leaf(root, 0.5).unwrap();
+    // Best-effort class whose children are served FIFO.
+    let be = h
+        .add_internal_with(root, 0.3, SchedulerKind::Fifo.build(0.3 * 1e6))
+        .unwrap();
+    let be1 = h.add_leaf(be, 0.5).unwrap();
+    let be2 = h.add_leaf(be, 0.5).unwrap();
+    // Bulk class whose children are served DRR.
+    let bulk = h
+        .add_internal_with(root, 0.2, SchedulerKind::Drr.build(0.2 * 1e6))
+        .unwrap();
+    let bulk1 = h.add_leaf(bulk, 0.9).unwrap();
+    let bulk2 = h.add_leaf(bulk, 0.1).unwrap();
+
+    // Everyone floods with 500 packets of 1000 bits.
+    let mut id = 0;
+    for (flow, leaf) in [
+        (0u32, guaranteed),
+        (1, be1),
+        (2, be2),
+        (3, bulk1),
+        (4, bulk2),
+    ] {
+        for _ in 0..500 {
+            id += 1;
+            h.enqueue(leaf, Packet::new(id, flow, 125, 0.0));
+        }
+    }
+    // Serve 1000 packets; count per class.
+    let mut counts = [0usize; 5];
+    for _ in 0..1000 {
+        let p = h.dequeue().unwrap();
+        counts[p.flow as usize] += 1;
+    }
+    let g = counts[0] as f64;
+    let be_total = (counts[1] + counts[2]) as f64;
+    let bulk_total = (counts[3] + counts[4]) as f64;
+    assert!((g / 1000.0 - 0.5).abs() < 0.02, "{counts:?}");
+    assert!((be_total / 1000.0 - 0.3).abs() < 0.02, "{counts:?}");
+    assert!((bulk_total / 1000.0 - 0.2).abs() < 0.02, "{counts:?}");
+    // DRR honors its weights within the class.
+    assert!(
+        counts[3] > counts[4] * 5,
+        "DRR 0.9/0.1 split not visible: {counts:?}"
+    );
+}

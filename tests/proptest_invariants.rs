@@ -1,0 +1,314 @@
+//! Property-based tests (proptest): the paper's invariants must hold for
+//! *arbitrary* admissible workloads, not just the curated scenarios.
+
+use hpfq::analysis::{empirical_bwfi, service_curve_from_records, wf2q_plus_bwfi};
+use hpfq::core::eligible::{
+    dual_heap::DualHeapEligibleSet, treap::TreapEligibleSet, BruteForceEligibleSet, EligibleSet,
+};
+use hpfq::core::{Hierarchy, SessionId, Wf2qPlus};
+use hpfq::fluid::{Arrival, FluidNodeId, FluidSim, FluidTree};
+use hpfq::sim::{Simulation, SourceConfig, TraceSource};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Eligible sets: both O(log N) structures behave exactly like the O(N)
+// reference under arbitrary operation sequences.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum SetOp {
+    /// Insert session (id % live capacity) with (start offset, duration).
+    Insert(usize, f64, f64),
+    /// Advance the threshold by the offset and pop.
+    Pop(f64),
+    /// Query the eligibility threshold.
+    Threshold,
+    /// Remove a (possibly absent) session.
+    Remove(usize),
+}
+
+fn set_op() -> impl Strategy<Value = SetOp> {
+    prop_oneof![
+        (0..32usize, 0.0..10.0f64, 0.001..10.0f64)
+            .prop_map(|(id, s, d)| SetOp::Insert(id, s, d)),
+        (0.0..3.0f64).prop_map(SetOp::Pop),
+        Just(SetOp::Threshold),
+        (0..32usize).prop_map(SetOp::Remove),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn eligible_sets_agree(ops in proptest::collection::vec(set_op(), 1..400)) {
+        let mut dual = DualHeapEligibleSet::new();
+        let mut treap = TreapEligibleSet::new();
+        let mut oracle = BruteForceEligibleSet::default();
+        let mut present = [false; 32];
+        let mut thr = 0.0_f64;
+        for op in ops {
+            match op {
+                SetOp::Insert(id, s, d) => {
+                    if !present[id] {
+                        let start = thr + s;
+                        let finish = start + d;
+                        dual.insert(SessionId(id), start, finish);
+                        treap.insert(SessionId(id), start, finish);
+                        oracle.insert(SessionId(id), start, finish);
+                        present[id] = true;
+                    }
+                }
+                SetOp::Pop(adv) => {
+                    thr += adv;
+                    let a = dual.pop_min_finish(thr);
+                    let b = treap.pop_min_finish(thr);
+                    let c = oracle.pop_min_finish(thr);
+                    prop_assert_eq!(a, c);
+                    prop_assert_eq!(b, c);
+                    if let Some(id) = c {
+                        present[id.0] = false;
+                    }
+                }
+                SetOp::Threshold => {
+                    let a = dual.eligibility_threshold(thr);
+                    let b = treap.eligibility_threshold(thr);
+                    let c = oracle.eligibility_threshold(thr);
+                    prop_assert_eq!(a, c);
+                    prop_assert_eq!(b, c);
+                }
+                SetOp::Remove(id) => {
+                    dual.remove(SessionId(id));
+                    treap.remove(SessionId(id));
+                    oracle.remove(SessionId(id));
+                    present[id] = false;
+                }
+            }
+            prop_assert_eq!(dual.len(), oracle.len());
+            prop_assert_eq!(treap.len(), oracle.len());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Standalone WF²Q+: Theorem 4's B-WFI holds for every session under random
+// bursty workloads.
+// ---------------------------------------------------------------------------
+
+/// A session workload: weight and burst spec (start, packets) pairs.
+#[derive(Debug, Clone)]
+struct FlowSpec {
+    weight: f64,
+    bursts: Vec<(f64, u8)>,
+}
+
+fn flow_spec() -> impl Strategy<Value = FlowSpec> {
+    (
+        0.2..4.0f64,
+        proptest::collection::vec((0.0..2.0f64, 1..25u8), 1..4),
+    )
+        .prop_map(|(weight, bursts)| FlowSpec { weight, bursts })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn wf2q_plus_bwfi_theorem_holds(specs in proptest::collection::vec(flow_spec(), 2..6)) {
+        const LINK: f64 = 1e6;
+        const PKT: u32 = 250; // 2000 bits
+        let total_w: f64 = specs.iter().map(|s| s.weight).sum();
+
+        let mut h = Hierarchy::new_with(LINK, Wf2qPlus::new);
+        let root = h.root();
+        let leaves: Vec<_> = specs
+            .iter()
+            .map(|s| h.add_leaf(root, s.weight / total_w).unwrap())
+            .collect();
+        let mut sim = Simulation::new(h);
+        let mut arrivals_per_flow: Vec<Vec<(f64, f64)>> = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let flow = i as u32;
+            sim.stats.trace_flow(flow);
+            let mut entries: Vec<(f64, u32)> = Vec::new();
+            for &(t0, n) in &spec.bursts {
+                for k in 0..n {
+                    entries.push((t0 + f64::from(k) * 1e-5, PKT));
+                }
+            }
+            entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            arrivals_per_flow.push(
+                entries.iter().map(|&(t, l)| (t, f64::from(l) * 8.0)).collect(),
+            );
+            sim.add_source(
+                flow,
+                TraceSource::new(flow, entries),
+                SourceConfig::open_loop(leaves[i]),
+            );
+        }
+        sim.run(10_000.0);
+
+        // Server curve = union of all service records.
+        let all: Vec<_> = (0..specs.len() as u32)
+            .flat_map(|f| sim.stats.trace(f).iter().copied())
+            .collect();
+        let w_server = service_curve_from_records(all.iter());
+        for (i, spec) in specs.iter().enumerate() {
+            let flow = i as u32;
+            let w_i = service_curve_from_records(sim.stats.trace(flow).iter());
+            let share = spec.weight / total_w;
+            let measured = empirical_bwfi(&arrivals_per_flow[i], &w_i, &w_server, share);
+            // All packets are equal-length, so Theorem 4 gives alpha =
+            // L_max exactly; allow a small epsilon for curve sampling.
+            let theory = wf2q_plus_bwfi(2000.0, 2000.0, share * LINK, LINK);
+            prop_assert!(
+                measured <= theory + 1.0,
+                "flow {i}: measured B-WFI {measured} bits > theory {theory}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fluid system invariants under random hierarchies and arrivals.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct FluidCase {
+    /// Leaf weights per class (outer = classes).
+    classes: Vec<Vec<f64>>,
+    /// Arrival spec: (class idx, leaf idx, time, packets).
+    bursts: Vec<(usize, usize, f64, u8)>,
+}
+
+fn fluid_case() -> impl Strategy<Value = FluidCase> {
+    (
+        proptest::collection::vec(
+            proptest::collection::vec(0.2..3.0f64, 1..4),
+            1..4,
+        ),
+        proptest::collection::vec(
+            (0..4usize, 0..4usize, 0.0..3.0f64, 1..20u8),
+            1..12,
+        ),
+    )
+        .prop_map(|(classes, bursts)| FluidCase { classes, bursts })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fluid_conservation(case in fluid_case()) {
+        let mut tree = FluidTree::new();
+        let mut leaves: Vec<Vec<FluidNodeId>> = Vec::new();
+        let class_total: f64 = case.classes.len() as f64;
+        for weights in &case.classes {
+            let c = tree.add_internal(tree.root(), 1.0 / class_total).unwrap();
+            let wt: f64 = weights.iter().sum();
+            leaves.push(
+                weights
+                    .iter()
+                    .map(|&w| tree.add_leaf(c, w / wt).unwrap())
+                    .collect(),
+            );
+        }
+        let mut arr = Vec::new();
+        let mut id = 0u64;
+        let mut arrived_per_leaf = std::collections::HashMap::new();
+        for &(ci, li, t, n) in &case.bursts {
+            let ci = ci % leaves.len();
+            let li = li % leaves[ci].len();
+            for _ in 0..n {
+                id += 1;
+                arr.push(Arrival { time: t, leaf: leaves[ci][li], bits: 100.0, id });
+                *arrived_per_leaf.entry(leaves[ci][li]).or_insert(0.0) += 100.0;
+            }
+        }
+        arr.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap());
+        let res = FluidSim::run(&tree, 1000.0, &arr);
+
+        // Every packet departs exactly once.
+        prop_assert_eq!(res.departures.len(), arr.len());
+        // Per-leaf service equals arrivals (system drains).
+        for (leaf, &arrived) in &arrived_per_leaf {
+            let served = res.service[leaf.0].total();
+            prop_assert!((served - arrived).abs() < 1e-6);
+        }
+        // Service curves are monotone and the root's slope never exceeds
+        // the link rate.
+        for curve in &res.service {
+            let pts = curve.points();
+            for w in pts.windows(2) {
+                prop_assert!(w[1].1 >= w[0].1 - 1e-9);
+            }
+        }
+        let root_pts = res.service[0].points();
+        for w in root_pts.windows(2) {
+            let dt = w[1].0 - w[0].0;
+            if dt > 1e-12 {
+                let rate = (w[1].1 - w[0].1) / dt;
+                prop_assert!(rate <= 1000.0 + 1e-6, "root served above capacity");
+            }
+        }
+        // Departures are time-ordered and at times where the leaf curve
+        // has served at least the packet's share.
+        for w in res.departures.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1 - 1e-9);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random hierarchy + random trace through the packet system: conservation
+// and per-flow FIFO, with the root reference-time hint active.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn hierarchy_conserves_packets(
+        weights in proptest::collection::vec(0.2..2.0f64, 2..5),
+        bursts in proptest::collection::vec((0..5usize, 0.0..1.0f64, 1..15u8), 1..10),
+    ) {
+        let total: f64 = weights.iter().sum();
+        let mut h = Hierarchy::new_with(1e6, Wf2qPlus::new);
+        let root = h.root();
+        let leaves: Vec<_> = weights
+            .iter()
+            .map(|&w| h.add_leaf(root, w / total).unwrap())
+            .collect();
+        let mut sim = Simulation::new(h);
+        let mut per_flow: Vec<Vec<(f64, u32)>> = vec![Vec::new(); leaves.len()];
+        for &(li, t, n) in &bursts {
+            let li = li % leaves.len();
+            for k in 0..n {
+                per_flow[li].push((t + f64::from(k) * 1e-6, 125));
+            }
+        }
+        let mut expected = 0usize;
+        for (i, entries) in per_flow.iter_mut().enumerate() {
+            entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            expected += entries.len();
+            let flow = i as u32;
+            sim.stats.trace_flow(flow);
+            sim.add_source(
+                flow,
+                TraceSource::new(flow, entries.clone()),
+                SourceConfig::open_loop(leaves[i]),
+            );
+        }
+        sim.run(1e6);
+        let mut got = 0usize;
+        for flow in 0..leaves.len() as u32 {
+            let tr = sim.stats.trace(flow);
+            got += tr.len();
+            for w in tr.windows(2) {
+                prop_assert!(w[1].id > w[0].id, "per-flow FIFO violated");
+                prop_assert!(w[1].start >= w[0].end - 1e-9);
+            }
+        }
+        prop_assert_eq!(got, expected);
+    }
+}
