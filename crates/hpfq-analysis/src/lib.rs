@@ -13,6 +13,10 @@
 //!   service records, delay series/percentiles, and per-interval
 //!   bandwidth.
 //!
+//! [`trace`] bridges the two worlds to `hpfq-obs`: it rebuilds
+//! [`hpfq_sim::ServiceRecord`]s from a parsed JSONL event trace, so every
+//! measurement here can be re-run offline from a trace file.
+//!
 //! [`report`] provides the small CSV writer used by every experiment
 //! binary in `hpfq-bench`.
 
@@ -23,6 +27,7 @@ pub mod bounds;
 pub mod measures;
 pub mod report;
 pub mod sbi;
+pub mod trace;
 pub mod wfi;
 
 pub use bounds::{
@@ -31,4 +36,5 @@ pub use bounds::{
 pub use measures::{delay_series, percentile, service_curve_from_records};
 pub use report::CsvWriter;
 pub use sbi::{empirical_sbi, lemma1_delay_bound, t_wfi_from_b_wfi};
+pub use trace::{flow_records_from_trace, service_records_from_trace, TraceAnomalies};
 pub use wfi::empirical_bwfi;

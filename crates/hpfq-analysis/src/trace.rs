@@ -1,0 +1,140 @@
+//! Rebuilding [`ServiceRecord`]s from a JSONL trace.
+//!
+//! The live simulator records services directly into `SimStats`; this
+//! module recovers the same records from a persisted event trace
+//! ([`hpfq_obs::jsonl`]), so every measurement in [`crate::measures`],
+//! [`crate::wfi`], and [`crate::sbi`] can be re-run offline from a trace
+//! file — the figures no longer require re-simulating.
+//!
+//! A service is a `tx_start`/`tx_end` pair for the same packet id; the
+//! events arrive in time order, and the link transmits one packet at a
+//! time, so the pairing is a single pass with one slot of pending state.
+
+use hpfq_obs::TraceEvent;
+use hpfq_sim::ServiceRecord;
+
+/// Per-trace pairing diagnostics from [`service_records_from_trace`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceAnomalies {
+    /// `tx_end` events with no preceding `tx_start` for that packet.
+    pub unmatched_ends: usize,
+    /// `tx_start` events never completed (at most 1 in a truncated trace).
+    pub unmatched_starts: usize,
+}
+
+/// Reconstructs the transmitted-packet service records from a parsed
+/// trace, in departure order, together with pairing diagnostics.
+///
+/// Only `tx_start`/`tx_end` events matter; all others are skipped. A
+/// healthy complete trace yields zero [`TraceAnomalies`]; a trace cut off
+/// mid-transmission leaves exactly one unmatched start.
+pub fn service_records_from_trace(events: &[TraceEvent]) -> (Vec<ServiceRecord>, TraceAnomalies) {
+    let mut records = Vec::new();
+    let mut anomalies = TraceAnomalies::default();
+    // (packet id, start time) of the in-flight transmission, if any.
+    let mut in_flight: Option<(u64, f64)> = None;
+    for ev in events {
+        match ev {
+            TraceEvent::TxStart(e) => {
+                if in_flight.is_some() {
+                    anomalies.unmatched_starts += 1;
+                }
+                in_flight = Some((e.pkt.id, e.time));
+            }
+            TraceEvent::TxComplete(e) => match in_flight.take() {
+                Some((id, start)) if id == e.pkt.id => records.push(ServiceRecord {
+                    id: e.pkt.id,
+                    flow: e.pkt.flow,
+                    len_bytes: e.pkt.len_bytes,
+                    arrival: e.pkt.arrival,
+                    start,
+                    end: e.time,
+                }),
+                other => {
+                    anomalies.unmatched_ends += 1;
+                    if let Some((_, _)) = other {
+                        anomalies.unmatched_starts += 1;
+                    }
+                }
+            },
+            _ => {}
+        }
+    }
+    if in_flight.is_some() {
+        anomalies.unmatched_starts += 1;
+    }
+    (records, anomalies)
+}
+
+/// [`service_records_from_trace`] filtered to one flow.
+pub fn flow_records_from_trace(events: &[TraceEvent], flow: u32) -> Vec<ServiceRecord> {
+    let (records, _) = service_records_from_trace(events);
+    records.into_iter().filter(|r| r.flow == flow).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpfq_obs::{PacketInfo, TxEvent};
+
+    fn pkt(id: u64, flow: u32) -> PacketInfo {
+        PacketInfo {
+            id,
+            flow,
+            len_bytes: 1000,
+            arrival: 0.25,
+        }
+    }
+
+    fn start(t: f64, id: u64, flow: u32) -> TraceEvent {
+        TraceEvent::TxStart(TxEvent {
+            time: t,
+            leaf: 1,
+            pkt: pkt(id, flow),
+        })
+    }
+
+    fn end(t: f64, id: u64, flow: u32) -> TraceEvent {
+        TraceEvent::TxComplete(TxEvent {
+            time: t,
+            leaf: 1,
+            pkt: pkt(id, flow),
+        })
+    }
+
+    #[test]
+    fn pairs_in_order() {
+        let events = [
+            start(0.0, 1, 0),
+            end(1.0, 1, 0),
+            start(1.0, 2, 1),
+            end(2.0, 2, 1),
+        ];
+        let (recs, anomalies) = service_records_from_trace(&events);
+        assert_eq!(anomalies, TraceAnomalies::default());
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, 1);
+        assert_eq!(recs[0].start, 0.0);
+        assert_eq!(recs[0].end, 1.0);
+        assert_eq!(recs[0].arrival, 0.25);
+        assert_eq!(recs[1].flow, 1);
+        assert_eq!(flow_records_from_trace(&events, 1).len(), 1);
+    }
+
+    #[test]
+    fn truncated_trace_reports_one_unmatched_start() {
+        let events = [start(0.0, 1, 0), end(1.0, 1, 0), start(1.0, 2, 0)];
+        let (recs, anomalies) = service_records_from_trace(&events);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(anomalies.unmatched_starts, 1);
+        assert_eq!(anomalies.unmatched_ends, 0);
+    }
+
+    #[test]
+    fn orphan_end_is_counted_not_recorded() {
+        let events = [end(1.0, 9, 0)];
+        let (recs, anomalies) = service_records_from_trace(&events);
+        assert!(recs.is_empty());
+        assert_eq!(anomalies.unmatched_ends, 1);
+    }
+}

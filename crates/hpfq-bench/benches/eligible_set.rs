@@ -7,7 +7,7 @@
 //! iteration pops the minimum-finish eligible session at an advancing
 //! threshold and reinserts it with later tags.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpfq_bench::microbench::{report, time_op};
 use hpfq_core::eligible::{
     dual_heap::DualHeapEligibleSet, treap::TreapEligibleSet, BruteForceEligibleSet, EligibleSet,
 };
@@ -37,31 +37,15 @@ impl<E: EligibleSet> Harness<E> {
     }
 }
 
-fn bench_sets(c: &mut Criterion) {
-    let mut g = c.benchmark_group("eligible_set");
-    for &n in &[16usize, 64, 256, 1024, 4096] {
-        g.throughput(Throughput::Elements(1));
-        g.bench_with_input(BenchmarkId::new("dual_heap", n), &n, |b, &n| {
-            let mut h = Harness::new(DualHeapEligibleSet::new(), n);
-            b.iter(|| h.step());
-        });
-        g.bench_with_input(BenchmarkId::new("treap", n), &n, |b, &n| {
-            let mut h = Harness::new(TreapEligibleSet::new(), n);
-            b.iter(|| h.step());
-        });
+fn main() {
+    for n in [16usize, 64, 256, 1024, 4096] {
+        let mut h = Harness::new(DualHeapEligibleSet::new(), n);
+        report("eligible_set", "dual_heap", n, time_op(|| h.step()));
+        let mut h = Harness::new(TreapEligibleSet::new(), n);
+        report("eligible_set", "treap", n, time_op(|| h.step()));
         if n <= 1024 {
-            g.bench_with_input(BenchmarkId::new("brute_force", n), &n, |b, &n| {
-                let mut h = Harness::new(BruteForceEligibleSet::default(), n);
-                b.iter(|| h.step());
-            });
+            let mut h = Harness::new(BruteForceEligibleSet::default(), n);
+            report("eligible_set", "brute_force", n, time_op(|| h.step()));
         }
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_sets
-}
-criterion_main!(benches);

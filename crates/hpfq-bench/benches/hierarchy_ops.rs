@@ -6,13 +6,20 @@
 //! Trees hold ~256 leaves throughout: depth 1 ⇒ 256 leaves under the
 //! root; depth 2 ⇒ 16 classes × 16 leaves; depth 4 ⇒ fanout 4; depth 8 ⇒
 //! fanout 2.
+//!
+//! A second section measures the observer hooks on the same workload:
+//! `NoopObserver` (the default — `Observer::ENABLED == false` compiles
+//! every emission away) against `CountingObserver` (cheapest enabled
+//! sink). The noop build is the zero-cost baseline; the printed delta is
+//! the full price of *enabled* instrumentation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpfq_bench::microbench::{report, time_op};
 use hpfq_core::{Hierarchy, NodeId, Packet, Wf2qPlus};
+use hpfq_obs::{CountingObserver, NoopObserver, Observer};
 
 /// Builds a uniform tree of the given depth/fanout and returns its leaves.
-fn build(depth: u32, fanout: usize) -> (Hierarchy<Wf2qPlus>, Vec<NodeId>) {
-    let mut h = Hierarchy::new_with(1e9, Wf2qPlus::new);
+fn build<O: Observer>(depth: u32, fanout: usize, obs: O) -> (Hierarchy<Wf2qPlus, O>, Vec<NodeId>) {
+    let mut h = Hierarchy::new_with_observer(1e9, Wf2qPlus::new, obs);
     let mut parents = vec![h.root()];
     for _ in 1..depth {
         let mut next = Vec::new();
@@ -32,41 +39,52 @@ fn build(depth: u32, fanout: usize) -> (Hierarchy<Wf2qPlus>, Vec<NodeId>) {
     (h, leaves)
 }
 
-fn bench_depth(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hwf2qplus_depth");
-    for &(depth, fanout) in &[(1u32, 256usize), (2, 16), (4, 4), (8, 2)] {
-        let (mut h, leaves) = build(depth, fanout);
-        assert_eq!(leaves.len(), 256);
-        // Keep every leaf two packets deep; each iteration transmits one
-        // packet and replenishes the drained leaf.
-        let mut id = 0u64;
-        for &leaf in &leaves {
-            for _ in 0..2 {
-                id += 1;
-                h.enqueue(leaf, Packet::new(id, leaf.0 as u32, 1500, 0.0));
-            }
+/// Keeps every leaf two packets deep; each iteration transmits one packet
+/// and replenishes the drained leaf. Returns the median ns per dispatch.
+fn bench_tree<O: Observer>(depth: u32, fanout: usize, obs: O) -> f64 {
+    let (mut h, leaves) = build(depth, fanout, obs);
+    assert_eq!(leaves.len(), 256);
+    let mut id = 0u64;
+    for &leaf in &leaves {
+        for _ in 0..2 {
+            id += 1;
+            h.enqueue(leaf, Packet::new(id, leaf.0 as u32, 1500, 0.0));
         }
-        g.throughput(Throughput::Elements(1));
-        g.bench_with_input(
-            BenchmarkId::new("dispatch", format!("depth{depth}x{fanout}")),
-            &depth,
-            |b, _| {
-                b.iter(|| {
-                    let pkt = h.dequeue().expect("backlogged");
-                    id += 1;
-                    h.enqueue(NodeId(pkt.flow as usize), Packet::new(id, pkt.flow, 1500, 0.0));
-                    pkt.id
-                })
-            },
-        );
-        while h.dequeue().is_some() {}
     }
-    g.finish();
+    let ns = time_op(|| {
+        let pkt = h.dequeue().expect("backlogged");
+        id += 1;
+        h.enqueue(
+            NodeId(pkt.flow as usize),
+            Packet::new(id, pkt.flow, 1500, 0.0),
+        );
+        pkt.id
+    });
+    while h.dequeue().is_some() {}
+    ns
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_depth
+fn main() {
+    const SHAPES: [(u32, usize); 4] = [(1, 256), (2, 16), (4, 4), (8, 2)];
+
+    println!("== hwf2qplus_depth: dispatch cost vs tree depth (256 leaves) ==");
+    for (depth, fanout) in SHAPES {
+        let ns = bench_tree(depth, fanout, NoopObserver);
+        report("dispatch", &format!("depth{depth}x{fanout}"), 256, ns);
+    }
+
+    println!("\n== observer overhead on the same workload ==");
+    for (depth, fanout) in SHAPES {
+        let noop = bench_tree(depth, fanout, NoopObserver);
+        let counting = bench_tree(depth, fanout, CountingObserver::default());
+        let label = format!("depth{depth}x{fanout}");
+        report("noop", &label, 256, noop);
+        report("counting", &label, 256, counting);
+        println!(
+            "{:<24} {:>6}  {:>+9.2} %  (enabled-sink cost over noop)",
+            format!("overhead/{label}"),
+            256,
+            (counting - noop) / noop * 100.0
+        );
+    }
 }
-criterion_main!(benches);

@@ -11,11 +11,16 @@
 //! * `churn` — each session goes idle after its packet and is immediately
 //!   re-backlogged. Every re-backlog stamps a new tag and the GPS clock
 //!   crosses many fluid departures per advance — the O(N) path.
+//!
+//! These loops drive the bare [`NodeScheduler`] API, which carries no
+//! observer hooks at all — the instrumented paths are measured in
+//! `hierarchy_ops`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpfq_bench::microbench::{report, time_op};
 use hpfq_core::{MixedScheduler, NodeScheduler, SchedulerKind, SessionId};
 
 const PKT_BITS: f64 = 12_000.0;
+const SIZES: [usize; 5] = [16, 64, 256, 1024, 4096];
 
 const KINDS: [SchedulerKind; 5] = [
     SchedulerKind::Wf2qPlus,
@@ -37,56 +42,41 @@ fn drain(s: &mut MixedScheduler) {
     }
 }
 
-fn bench_steady(c: &mut Criterion) {
-    let mut g = c.benchmark_group("steady_dispatch");
-    for &n in &[16usize, 64, 256, 1024, 4096] {
-        g.throughput(Throughput::Elements(1));
+fn main() {
+    println!("== steady_dispatch: all sessions continuously backlogged ==");
+    for n in SIZES {
         for kind in KINDS {
             let (mut s, ids) = build(kind, n);
             for &id in &ids {
                 s.backlog(id, PKT_BITS, None);
             }
-            g.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
-                b.iter(|| {
-                    let id = s.select_next().expect("backlogged");
-                    s.requeue(id, Some(PKT_BITS));
-                    id
-                })
+            let ns = time_op(|| {
+                let id = s.select_next().expect("backlogged");
+                s.requeue(id, Some(PKT_BITS));
+                id
             });
+            report("steady", kind.name(), n, ns);
             drain(&mut s);
         }
     }
-    g.finish();
-}
 
-fn bench_churn(c: &mut Criterion) {
-    let mut g = c.benchmark_group("churn_dispatch");
-    for &n in &[16usize, 64, 256, 1024, 4096] {
-        g.throughput(Throughput::Elements(1));
+    println!("\n== churn_dispatch: idle/re-backlog every packet (GPS O(N) path) ==");
+    for n in SIZES {
         for kind in KINDS {
             let (mut s, ids) = build(kind, n);
             for &id in &ids {
                 s.backlog(id, PKT_BITS, None);
             }
-            g.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
-                b.iter(|| {
-                    let id = s.select_next().expect("backlogged");
-                    // Session drains, then immediately re-arrives: a fresh
-                    // tag stamp (and GPS-set re-entry) per iteration.
-                    s.requeue(id, None);
-                    s.backlog(id, PKT_BITS, None);
-                    id
-                })
+            let ns = time_op(|| {
+                let id = s.select_next().expect("backlogged");
+                // Session drains, then immediately re-arrives: a fresh
+                // tag stamp (and GPS-set re-entry) per iteration.
+                s.requeue(id, None);
+                s.backlog(id, PKT_BITS, None);
+                id
             });
+            report("churn", kind.name(), n, ns);
             drain(&mut s);
         }
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_steady, bench_churn
-}
-criterion_main!(benches);

@@ -6,9 +6,7 @@
 use hpfq_analysis::{corollary2_bound, CsvWriter};
 use hpfq_bench::experiments::results_dir;
 use hpfq_core::{Hierarchy, NodeId, Wf2qPlus};
-use hpfq_sim::{CbrSource, GreedyLbSource, Simulation, SourceConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hpfq_sim::{CbrSource, GreedyLbSource, Simulation, SmallRng, SourceConfig};
 
 const PKT: u32 = 1000; // bytes; L_max = 8000 bits
 const LINK: f64 = 1e6;
@@ -19,7 +17,7 @@ struct Trial {
     measured: f64,
 }
 
-fn run_trial(rng: &mut StdRng, depth: usize) -> Trial {
+fn run_trial(rng: &mut SmallRng, depth: usize) -> Trial {
     let mut h = Hierarchy::new_with(LINK, Wf2qPlus::new);
     let mut parent = h.root();
     let mut rates_path_rev = Vec::new(); // root-side first, leaf last
@@ -28,7 +26,7 @@ fn run_trial(rng: &mut StdRng, depth: usize) -> Trial {
     // cross-traffic leaf taking the remaining share.
     let mut cross_leaves: Vec<(NodeId, f64)> = Vec::new();
     for _ in 0..depth {
-        let phi_class: f64 = rng.gen_range(0.4..0.7);
+        let phi_class = rng.gen_range_f64(0.4, 0.7);
         let class = h.add_internal(parent, phi_class).unwrap();
         let cross = h.add_leaf(parent, 1.0 - phi_class).unwrap();
         cross_leaves.push((cross, h.rate(cross)));
@@ -36,7 +34,7 @@ fn run_trial(rng: &mut StdRng, depth: usize) -> Trial {
         parent = class;
     }
     // Measured leaf plus one sibling saturator.
-    let phi_leaf: f64 = rng.gen_range(0.3..0.6);
+    let phi_leaf = rng.gen_range_f64(0.3, 0.6);
     let leaf = h.add_leaf(parent, phi_leaf).unwrap();
     let sib = h.add_leaf(parent, 1.0 - phi_leaf).unwrap();
     cross_leaves.push((sib, h.rate(sib)));
@@ -46,7 +44,7 @@ fn run_trial(rng: &mut StdRng, depth: usize) -> Trial {
     let mut rates_path = rates_path_rev.clone();
     rates_path.reverse(); // leaf-first, as corollary2_bound expects
 
-    let sigma_pkts = rng.gen_range(2..8) as u32;
+    let sigma_pkts = rng.gen_range_u32(2, 8);
     let sigma_bits = f64::from(sigma_pkts * PKT) * 8.0;
 
     let mut sim = Simulation::new(h);
@@ -81,7 +79,7 @@ fn run_trial(rng: &mut StdRng, depth: usize) -> Trial {
 }
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = SmallRng::seed_from_u64(7);
     println!("Corollary 2: measured max delay vs bound, H-WF2Q+, random hierarchies");
     println!(
         "{:>6} {:>6} {:>12} {:>12} {:>8}",

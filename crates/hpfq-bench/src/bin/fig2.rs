@@ -49,10 +49,20 @@ fn main() {
     }
     let mut arr = Vec::new();
     for k in 0..11 {
-        arr.push(Arrival { time: 0.0, leaf: s0, bits: 1.0, id: k });
+        arr.push(Arrival {
+            time: 0.0,
+            leaf: s0,
+            bits: 1.0,
+            id: k,
+        });
     }
     for (j, &l) in small.iter().enumerate() {
-        arr.push(Arrival { time: 0.0, leaf: l, bits: 1.0, id: 100 + j as u64 });
+        arr.push(Arrival {
+            time: 0.0,
+            leaf: l,
+            bits: 1.0,
+            id: 100 + j as u64,
+        });
     }
     let gps = FluidSim::run(&tree, 1.0, &arr);
 
@@ -66,7 +76,11 @@ fn main() {
     let dir = results_dir("fig2");
     let mut w = CsvWriter::create(dir.join("service_order.csv"), &["algo", "slot", "session"])
         .expect("csv");
-    for kind in [SchedulerKind::Wfq, SchedulerKind::Wf2q, SchedulerKind::Wf2qPlus] {
+    for kind in [
+        SchedulerKind::Wfq,
+        SchedulerKind::Wf2q,
+        SchedulerKind::Wf2qPlus,
+    ] {
         let order = packet_order(kind);
         println!("{:<6} serves sessions in slots 0..20:", kind.name());
         println!("  {:?}", order);
@@ -78,7 +92,8 @@ fn main() {
         }
         println!("  longest session-1 run: {burst} packets\n");
         for (slot, &s) in order.iter().enumerate() {
-            w.labeled_row(kind.name(), &[slot as f64, s as f64]).unwrap();
+            w.labeled_row(kind.name(), &[slot as f64, s as f64])
+                .unwrap();
         }
     }
     w.finish().unwrap();

@@ -64,7 +64,10 @@ fn main() {
     }
 
     println!("Fig 5 — RT-1 service lag close-up; series in results/fig5/");
-    println!("{:<8} {:>10} {:>10} {:>16}", "algo", "win_start", "win_end", "max_lag_packets");
+    println!(
+        "{:<8} {:>10} {:>10} {:>16}",
+        "algo", "win_start", "win_end", "max_lag_packets"
+    );
     for (algo, t0, t1, lag) in summary {
         println!("{algo:<8} {t0:>10.3} {t1:>10.3} {lag:>16}");
     }

@@ -24,8 +24,8 @@ fn main() {
     let dir = results_dir("fig9");
 
     // (a) measured bandwidth, 50 ms windows, exponential smoothing.
-    let mut w = CsvWriter::create(dir.join("measured_bw.csv"), &["flow", "t_s", "bw_bps"])
-        .expect("csv");
+    let mut w =
+        CsvWriter::create(dir.join("measured_bw.csv"), &["flow", "t_s", "bw_bps"]).expect("csv");
     for &flow in &MEASURED {
         let mut est = BandwidthEstimator::new(0.0, 0.050, 0.3);
         for rec in f.sim.stats.trace(flow) {
@@ -39,9 +39,11 @@ fn main() {
 
     // (b) ideal H-GPS allocation per schedule interval in [4.5, 8.5].
     let timeline = ideal_timeline(&f, 4.5, 8.5);
-    let mut w =
-        CsvWriter::create(dir.join("ideal_bw.csv"), &["flow", "t_start", "t_end", "bw_bps"])
-            .expect("csv");
+    let mut w = CsvWriter::create(
+        dir.join("ideal_bw.csv"),
+        &["flow", "t_start", "t_end", "bw_bps"],
+    )
+    .expect("csv");
     for (s, e, alloc) in &timeline {
         for &flow in &MEASURED {
             // tcp_fluid is ordered TCP-1..TCP-11.

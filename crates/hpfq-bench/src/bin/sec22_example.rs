@@ -18,12 +18,27 @@ fn arrivals(
 ) -> Vec<Arrival> {
     let mut arr = Vec::new();
     for k in 0..40 {
-        arr.push(Arrival { time: 0.0, leaf: a2, bits: 1.0, id: 200 + k });
-        arr.push(Arrival { time: 0.0, leaf: b, bits: 1.0, id: 300 + k });
+        arr.push(Arrival {
+            time: 0.0,
+            leaf: a2,
+            bits: 1.0,
+            id: 200 + k,
+        });
+        arr.push(Arrival {
+            time: 0.0,
+            leaf: b,
+            bits: 1.0,
+            id: 300 + k,
+        });
     }
     if let Some(a1) = a1 {
         for k in 0..60 {
-            arr.push(Arrival { time: 1.0, leaf: a1, bits: 1.0, id: 400 + k });
+            arr.push(Arrival {
+                time: 1.0,
+                leaf: a1,
+                bits: 1.0,
+                id: 400 + k,
+            });
         }
     }
     arr.sort_by(|x, y| x.time.partial_cmp(&y.time).unwrap());
@@ -41,10 +56,16 @@ fn main() {
     let with_a1 = FluidSim::run(&tree, 1.0, &arrivals(a2, b, Some(a1)));
 
     println!("H-GPS fluid finish times (link rate 1, unit packets)");
-    println!("{:<12} {:>18} {:>18}", "packet", "no A1 arrivals", "A1 floods at t=1");
+    println!(
+        "{:<12} {:>18} {:>18}",
+        "packet", "no A1 arrivals", "A1 floods at t=1"
+    );
     let dir = results_dir("sec22_example");
-    let mut w = CsvWriter::create(dir.join("finish_times.csv"), &["packet", "no_a1", "with_a1"])
-        .expect("csv");
+    let mut w = CsvWriter::create(
+        dir.join("finish_times.csv"),
+        &["packet", "no_a1", "with_a1"],
+    )
+    .expect("csv");
     for k in 0..5u64 {
         let f0 = no_a1.finish_of(200 + k).unwrap();
         let f1 = with_a1.finish_of(200 + k).unwrap();
@@ -68,8 +89,16 @@ fn main() {
     println!();
     println!(
         "order of (A2 #2, B #2): without A1 {} ; with A1 {}",
-        if a2_2_before < b_2_before { "A2 first" } else { "B first" },
-        if a2_2_after < b_2_after { "A2 first" } else { "B first" },
+        if a2_2_before < b_2_before {
+            "A2 first"
+        } else {
+            "B first"
+        },
+        if a2_2_after < b_2_after {
+            "A2 first"
+        } else {
+            "B first"
+        },
     );
     assert!(a2_2_before < b_2_before && a2_2_after > b_2_after);
     println!("=> relative packet order in H-GPS depends on future arrivals (Property 1 fails)");

@@ -38,12 +38,20 @@ fn measured_wfi_packets(kind: SchedulerKind, n: usize) -> f64 {
     let mut big_trace = vec![(0.0, PKT); n + 1];
     big_trace.extend(vec![(round2, PKT); n + 1]);
     arrivals_per_flow.push(big_trace.iter().map(|&(t, _)| (t, pkt_bits)).collect());
-    sim.add_source(0, TraceSource::new(0, big_trace), SourceConfig::open_loop(big));
+    sim.add_source(
+        0,
+        TraceSource::new(0, big_trace),
+        SourceConfig::open_loop(big),
+    );
     for (i, &leaf) in small.iter().enumerate() {
         let flow = (i + 1) as u32;
         let entries = vec![(0.0, PKT), (round2, PKT)];
         arrivals_per_flow.push(entries.iter().map(|&(t, _)| (t, pkt_bits)).collect());
-        sim.add_source(flow, TraceSource::new(flow, entries), SourceConfig::open_loop(leaf));
+        sim.add_source(
+            flow,
+            TraceSource::new(flow, entries),
+            SourceConfig::open_loop(leaf),
+        );
     }
     sim.run(1e6);
 

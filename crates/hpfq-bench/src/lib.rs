@@ -16,10 +16,12 @@
 //! | `delay_bound_table` | Corollary-2 bound vs measured max delay |
 //!
 //! Each binary prints a summary to stdout and writes CSV series under
-//! `results/<name>/`. Criterion micro-benchmarks (`benches/`) cover the
-//! O(log N) complexity claims and the eligible-set ablation.
+//! `results/<name>/`. Micro-benchmarks (`benches/`, driven by the
+//! dependency-free [`microbench`] harness) cover the O(log N) complexity
+//! claims, the eligible-set ablation, and the observer overhead.
 
 pub mod experiments;
+pub mod microbench;
 pub mod scenarios;
 
 pub use scenarios::{fig3, fig8};

@@ -1,0 +1,69 @@
+//! A minimal, dependency-free micro-benchmark harness for the `benches/`
+//! targets (`harness = false`).
+//!
+//! Methodology: the batch size is auto-calibrated until one batch runs
+//! ≥ 2 ms (the calibration loop doubles as warm-up), then seven batches
+//! are timed and the **median** ns/op reported — robust to a stray
+//! scheduler preemption without criterion's full bootstrap machinery.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Number of timed batches per measurement; the median is reported.
+const BATCHES: usize = 7;
+/// Minimum wall-clock per batch during calibration.
+const MIN_BATCH_SECS: f64 = 2e-3;
+/// Calibration stops growing the batch beyond this many iterations.
+const MAX_BATCH: u64 = 1 << 22;
+
+/// Measures `op` (a steady-state operation safe to repeat indefinitely)
+/// and returns the median time per call in nanoseconds.
+pub fn time_op<T>(mut op: impl FnMut() -> T) -> f64 {
+    let mut batch: u64 = 16;
+    loop {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(op());
+        }
+        if t.elapsed().as_secs_f64() >= MIN_BATCH_SECS || batch >= MAX_BATCH {
+            break;
+        }
+        batch *= 4;
+    }
+    let mut samples: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(op());
+            }
+            t.elapsed().as_secs_f64() * 1e9 / batch as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are never NaN"));
+    samples[samples.len() / 2]
+}
+
+/// Prints one aligned result row: `group/name  size  ns/op`.
+pub fn report(group: &str, name: &str, size: usize, ns_per_op: f64) {
+    println!(
+        "{:<24} {:>6}  {:>10.1} ns/op",
+        format!("{group}/{name}"),
+        size,
+        ns_per_op
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut x = 0u64;
+        let ns = time_op(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        });
+        assert!(ns > 0.0 && ns < 1e6, "implausible ns/op {ns}");
+    }
+}

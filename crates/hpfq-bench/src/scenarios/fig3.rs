@@ -25,6 +25,7 @@
 //! continuously busy as in the paper.
 
 use hpfq_core::{Hierarchy, MixedScheduler, NodeId, SchedulerKind};
+use hpfq_obs::{NoopObserver, Observer};
 use hpfq_sim::{
     CbrSource, PacketTrainSource, PeriodicOnOffSource, PoissonSource, Simulation, SourceConfig,
 };
@@ -54,10 +55,11 @@ pub enum Scenario {
 }
 
 /// The built scenario: a ready-to-run simulation plus the ids needed by
-/// the experiments.
-pub struct Fig3 {
+/// the experiments. Generic over the attached [`Observer`] so experiments
+/// can trace or invariant-check the full run at will.
+pub struct Fig3<O: Observer = NoopObserver> {
     /// The simulation (sources attached, RT-1 traced).
-    pub sim: Simulation<MixedScheduler>,
+    pub sim: Simulation<MixedScheduler, O>,
     /// Leaf node of the measured real-time session.
     pub rt1_leaf: NodeId,
     /// Guaranteed rate of RT-1 (9 Mbit/s).
@@ -70,8 +72,18 @@ pub struct Fig3 {
 /// Builds the Fig. 3 scenario under the given node-scheduler policy.
 /// `seed` perturbs the Poisson sources only.
 pub fn build(kind: SchedulerKind, scenario: Scenario, seed: u64) -> Fig3 {
-    let mut h: Hierarchy<MixedScheduler> =
-        Hierarchy::new_with(LINK_BPS, move |rate| kind.build(rate));
+    build_with_observer(kind, scenario, seed, NoopObserver)
+}
+
+/// [`build`] with an event sink attached to the hierarchy.
+pub fn build_with_observer<O: Observer>(
+    kind: SchedulerKind,
+    scenario: Scenario,
+    seed: u64,
+    obs: O,
+) -> Fig3<O> {
+    let mut h: Hierarchy<MixedScheduler, O> =
+        Hierarchy::new_with_observer(LINK_BPS, move |rate| kind.build(rate), obs);
     let root = h.root();
 
     // --- topology -------------------------------------------------------
@@ -151,8 +163,9 @@ pub fn build(kind: SchedulerKind, scenario: Scenario, seed: u64) -> Fig3 {
         for (i, &leaf) in cs_leaves.iter().enumerate() {
             let n = (i + 1) as u32;
             let guaranteed = if i < 5 { 2.25e6 } else { 22.5e6 * inner_rest };
-            let burst =
-                ((guaranteed * 0.193) / (f64::from(PKT_BYTES) * 8.0)).round().max(1.0) as u32;
+            let burst = ((guaranteed * 0.193) / (f64::from(PKT_BYTES) * 8.0))
+                .round()
+                .max(1.0) as u32;
             // Staggered starts, as produced by the paper's upstream
             // multiplexer: "so that they do not have simultaneous
             // arrivals".

@@ -213,10 +213,7 @@ mod tests {
         assert_eq!(f.tcp_leaves.len(), 11);
         assert_eq!(f.on_fluid.len(), 4);
         // Hierarchy and fluid tree agree structurally.
-        assert_eq!(
-            f.sim.server().node_count(),
-            f.fluid.node_count()
-        );
+        assert_eq!(f.sim.server().node_count(), f.fluid.node_count());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //!   the query in a single descent with no migration.
 //!
 //! Both are exercised against [`BruteForceEligibleSet`] in unit and property
-//! tests, and against each other in the `eligible_set` criterion ablation.
+//! tests, and against each other in the `eligible_set` bench ablation.
 
 pub mod dual_heap;
 pub mod treap;
@@ -117,7 +117,7 @@ impl EligibleSet for BruteForceEligibleSet {
         for (i, &(id, start, finish)) in self.members.iter().enumerate() {
             if start <= thr {
                 let key = FinishKey { finish, start, id };
-                if best.as_ref().map_or(true, |(_, b)| key.better_than(b)) {
+                if best.as_ref().is_none_or(|(_, b)| key.better_than(b)) {
                     best = Some((i, key));
                 }
             }

@@ -87,7 +87,10 @@ impl TreapEligibleSet {
 
     fn pull(&mut self, n: usize) {
         let mut best = self.arena[n].own_key();
-        for child in [self.arena[n].left, self.arena[n].right].into_iter().flatten() {
+        for child in [self.arena[n].left, self.arena[n].right]
+            .into_iter()
+            .flatten()
+        {
             let ck = self.arena[child].min_fk;
             if ck.better_than(&best) {
                 best = ck;
@@ -195,7 +198,7 @@ impl TreapEligibleSet {
     fn query_best(&self, thr: f64) -> Option<FinishKey> {
         let mut best: Option<FinishKey> = None;
         let consider = |k: FinishKey, best: &mut Option<FinishKey>| {
-            if best.as_ref().map_or(true, |b| k.better_than(b)) {
+            if best.as_ref().is_none_or(|b| k.better_than(b)) {
                 *best = Some(k);
             }
         };
@@ -234,10 +237,7 @@ impl EligibleSet for TreapEligibleSet {
         if id.0 >= self.slots.len() {
             self.slots.resize(id.0 + 1, None);
         }
-        assert!(
-            self.slots[id.0].is_none(),
-            "session {id:?} inserted twice"
-        );
+        assert!(self.slots[id.0].is_none(), "session {id:?} inserted twice");
         self.slots[id.0] = Some((start, finish));
         let n = self.alloc(id, start, finish);
         self.root = Some(self.insert_at(self.root, n));

@@ -29,7 +29,10 @@ impl fmt::Display for HpfqError {
         match self {
             HpfqError::InvalidShare(s) => write!(f, "invalid service share {s}"),
             HpfqError::ShareOverflow { node, sum } => {
-                write!(f, "children of node {node} have shares summing to {sum} > 1")
+                write!(
+                    f,
+                    "children of node {node} have shares summing to {sum} > 1"
+                )
             }
             HpfqError::UnknownNode(n) => write!(f, "unknown node id {n}"),
             HpfqError::NotALeaf(n) => write!(f, "node {n} is not a leaf"),

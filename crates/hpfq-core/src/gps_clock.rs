@@ -16,16 +16,23 @@
 //!
 //! ## Scope of the emulation
 //!
-//! The scheduler sees one head packet per logical queue (paper §4.2), so the
-//! clock tracks, per session, the virtual finish tag of the *latest stamped*
-//! packet. Because a continuously backlogged session stamps its next head
-//! with `S = F_prev` (eq. 28), the emulated fluid backlog is contiguous and
-//! the session leaves the GPS-backlogged set only when `V` passes its last
-//! stamped finish tag. If `V` overtakes the head of a still-backlogged
-//! session before the packet system re-stamps it, the session drops out of
-//! the slope sum until re-stamped — a bounded, head-visibility artifact that
-//! does not affect any of the paper's closed-form examples (verified in
-//! `tests/fig2_service_order.rs`).
+//! The clock tracks, per session, the virtual finish tag of the latest
+//! virtual work it knows about — its emulated fluid backlog horizon. Two
+//! feeds maintain it:
+//!
+//! * [`GpsClock::on_stamp`] after every head stamping (eq. 28 keeps the
+//!   emulated backlog contiguous, so the session leaves the GPS-backlogged
+//!   set only when `V` passes its last stamped finish tag);
+//! * [`GpsClock::extend_backlog`] when the driver announces a packet
+//!   arriving *behind* the head (`NodeScheduler::arrival_hint`), which the
+//!   hierarchy issues for every queued arrival.
+//!
+//! With arrival announcements the emulation is exact: a session
+//! contributes to the slope sum until its whole queue has departed in GPS.
+//! Driven head-only (no announcements), `V` can overtake a still-backlogged
+//! session's head before the packet system re-stamps it, dropping the
+//! session from the slope sum early — a bounded head-visibility artifact
+//! that inflates `dV/dT`.
 //!
 //! While the GPS-backlogged set is empty but the packet system is still
 //! draining, `V` advances at the minimum slope 1, preserving the paper's
@@ -149,8 +156,15 @@ impl GpsClock {
 
     /// Marks `session` GPS-backlogged through virtual time `finish` (the tag
     /// of its newly stamped head). Must be called after every stamping.
+    ///
+    /// A stamp already covered by the emulated backlog (because
+    /// [`GpsClock::extend_backlog`] announced the packet at its arrival) is
+    /// a no-op: the backlog horizon only ever extends.
     pub fn on_stamp(&mut self, session: usize, finish: f64) {
         let s = &mut self.sessions[session];
+        if s.active && finish <= s.last_finish {
+            return;
+        }
         debug_assert!(finish >= s.last_finish - 1e-9 || !s.active);
         s.last_finish = finish;
         if !s.active {
@@ -159,6 +173,32 @@ impl GpsClock {
             self.active_count += 1;
         }
         self.departures.push(Departure { finish, session });
+    }
+
+    /// Announces a packet needing `delta_v` of virtual service time
+    /// (`L / (φ_i · r)`) arriving *behind* `session`'s current backlog.
+    ///
+    /// Extends the session's emulated fluid backlog so it keeps
+    /// contributing to the slope sum until the *whole* queue — not just the
+    /// stamped head — has departed in GPS. Without this the session would
+    /// drop out of `B_GPS` as soon as `V` passed its head's finish tag,
+    /// inflating `dV/dT` (the head-visibility artifact described in the
+    /// module docs). Returns the packet's virtual start `max(V, tail)` —
+    /// its exact GPS start under eq. (28) — for the caller to use when the
+    /// packet later becomes the head.
+    pub fn extend_backlog(&mut self, session: usize, delta_v: f64) -> f64 {
+        debug_assert!(delta_v.is_finite() && delta_v > 0.0);
+        let s = &mut self.sessions[session];
+        let base = self.v.max(s.last_finish);
+        let finish = base + delta_v;
+        s.last_finish = finish;
+        if !s.active {
+            s.active = true;
+            self.active_phi += s.phi;
+            self.active_count += 1;
+        }
+        self.departures.push(Departure { finish, session });
+        base
     }
 
     /// Resets the clock at a busy-period boundary.
@@ -242,8 +282,8 @@ mod tests {
         let a = c.add_session(0.5);
         let _b = c.add_session(0.5);
         c.on_stamp(a, 1.0); // only session a backlogged
-        // Slope 1/0.5 = 2 until V reaches 1.0 (costs 0.5 ref-seconds),
-        // then empty-set slope 1 for the remaining 0.5: V = 1.5.
+                            // Slope 1/0.5 = 2 until V reaches 1.0 (costs 0.5 ref-seconds),
+                            // then empty-set slope 1 for the remaining 0.5: V = 1.5.
         assert!((c.advance_to(1.0) - 1.5).abs() < 1e-12);
     }
 
@@ -253,7 +293,7 @@ mod tests {
         let a = c.add_session(0.25);
         c.on_stamp(a, 1.0);
         c.on_stamp(a, 2.0); // head consumed, next head stamped: backlog extends
-        // Slope 1/0.25 = 4; V reaches 2.0 after 0.5 ref-seconds, then slope 1.
+                            // Slope 1/0.25 = 4; V reaches 2.0 after 0.5 ref-seconds, then slope 1.
         assert!((c.advance_to(0.25) - 1.0).abs() < 1e-12);
         assert_eq!(c.active_sessions(), 1);
         assert!((c.advance_to(0.5) - 2.0).abs() < 1e-12);

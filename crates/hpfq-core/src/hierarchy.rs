@@ -29,7 +29,10 @@
 //!
 //! Arrivals during a transmission bubble up until they meet a node already
 //! offering a packet — in particular they never disturb the in-flight path,
-//! exactly as in the paper.
+//! exactly as in the paper. Ancestors beyond that point still learn of the
+//! arrival through [`NodeScheduler::arrival_hint`], which the GPS-emulating
+//! policies (WFQ, WF²Q) use to keep their per-session fluid backlogs — and
+//! hence their virtual-time slopes — exact rather than head-limited.
 //!
 //! ## Reference time
 //!
@@ -40,9 +43,23 @@
 
 use std::collections::VecDeque;
 
+use hpfq_obs::{
+    BacklogEvent, BusyResetEvent, DispatchEvent, EnqueueEvent, NoopObserver, Observer, PacketInfo,
+    TxEvent,
+};
+
 use crate::error::HpfqError;
 use crate::packet::Packet;
 use crate::scheduler::{NodeScheduler, SessionId};
+
+fn pkt_info(p: &Packet) -> PacketInfo {
+    PacketInfo {
+        id: p.id,
+        flow: p.flow,
+        len_bytes: p.len_bytes,
+        arrival: p.arrival,
+    }
+}
 
 /// Identifies a node in a [`Hierarchy`]. The root is
 /// [`Hierarchy::root`]; ids are dense indices assigned in creation order.
@@ -92,16 +109,25 @@ struct Node<S> {
 
 /// An H-PFQ server: a tree of one-level schedulers. See the
 /// [module documentation](self) for the driving protocol.
-pub struct Hierarchy<S: NodeScheduler> {
+///
+/// The second type parameter is an [`Observer`] receiving every scheduling
+/// event; it defaults to [`NoopObserver`], under which all instrumentation
+/// compiles away.
+pub struct Hierarchy<S: NodeScheduler, O: Observer = NoopObserver> {
     nodes: Vec<Node<S>>,
     factory: Box<dyn Fn(f64) -> S>,
     transmitting: bool,
     /// Real time at which the current busy period began (eq. 32: the
     /// root's reference time is real elapsed busy time).
     busy_start: f64,
+    /// Event sink.
+    obs: O,
+    /// Best-known real time, advanced by arrivals and the `*_at` driving
+    /// calls; stamps events from code paths that have no exact clock.
+    last_time: f64,
 }
 
-impl<S: NodeScheduler> std::fmt::Debug for Hierarchy<S> {
+impl<S: NodeScheduler, O: Observer> std::fmt::Debug for Hierarchy<S, O> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Hierarchy")
             .field("nodes", &self.nodes.len())
@@ -114,6 +140,13 @@ impl<S: NodeScheduler> Hierarchy<S> {
     /// Creates a hierarchy whose root (the physical link) runs at
     /// `rate_bps`, building node schedulers with `factory`.
     pub fn new_with(rate_bps: f64, factory: impl Fn(f64) -> S + 'static) -> Self {
+        Hierarchy::new_with_observer(rate_bps, factory, NoopObserver)
+    }
+}
+
+impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
+    /// Like [`Hierarchy::new_with`], with an explicit event sink attached.
+    pub fn new_with_observer(rate_bps: f64, factory: impl Fn(f64) -> S + 'static, obs: O) -> Self {
         assert!(
             rate_bps.is_finite() && rate_bps > 0.0,
             "invalid link rate {rate_bps}"
@@ -137,7 +170,25 @@ impl<S: NodeScheduler> Hierarchy<S> {
             factory,
             transmitting: false,
             busy_start: 0.0,
+            obs,
+            last_time: 0.0,
         }
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.obs
+    }
+
+    /// The attached observer, mutably (e.g. to flush or read counters).
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.obs
+    }
+
+    /// Consumes the hierarchy and returns the observer (e.g. to recover a
+    /// trace writer's buffer).
+    pub fn into_observer(self) -> O {
+        self.obs
     }
 
     /// The root node (the physical link).
@@ -247,18 +298,53 @@ impl<S: NodeScheduler> Hierarchy<S> {
         if self.is_idle() {
             self.busy_start = pkt.arrival;
         }
+        self.last_time = self.last_time.max(pkt.arrival);
         let root_ref = (pkt.arrival - self.busy_start).max(0.0);
         self.nodes[l].fifo_bytes += u64::from(pkt.len_bytes);
         self.nodes[l].fifo.push_back(pkt);
-        if self.nodes[l].head.is_some() {
-            return; // leaf already offers a packet; nothing changes upstream
+        if O::ENABLED {
+            self.obs.on_enqueue(&EnqueueEvent {
+                time: pkt.arrival,
+                leaf: l,
+                pkt: pkt_info(&pkt),
+                queue_depth: self.nodes[l].fifo.len(),
+                queue_bytes: self.nodes[l].fifo_bytes,
+            });
         }
         let bits = pkt.bits();
+        if self.nodes[l].head.is_some() {
+            // The leaf already offers a packet, so no head changes upstream
+            // — but the arrival still joins the emulated GPS backlog of
+            // every ancestor (GPS-exact policies track it; others ignore
+            // the hint).
+            self.hint_up(l, bits, root_ref);
+            return;
+        }
         self.nodes[l].head = Some(Head { leaf: l, bits });
+        if O::ENABLED {
+            self.obs.on_node_backlog(&BacklogEvent {
+                time: pkt.arrival,
+                node: l,
+                active: true,
+            });
+        }
         let (p, slot) = self.nodes[l].parent.expect("leaf has a parent");
         let hint = if p == 0 { Some(root_ref) } else { None };
         self.sched_mut(p).backlog(slot, bits, hint);
-        self.bubble_up(p, root_ref);
+        self.bubble_up(p, bits, root_ref);
+    }
+
+    /// Announces an arrival of `bits` bits inside `from`'s subtree to every
+    /// ancestor scheduler whose session for the path child was *already*
+    /// backlogged (and therefore received no `backlog()` call). Keeps the
+    /// GPS-emulating policies' per-session fluid backlogs exact.
+    fn hint_up(&mut self, from: usize, bits: f64, root_ref: f64) {
+        let mut n = from;
+        while let Some((p, slot)) = self.nodes[n].parent {
+            let rn = if p == 0 { Some(root_ref) } else { None };
+            self.sched_mut(p).arrival_hint(slot, bits, rn);
+            n = p;
+        }
     }
 
     /// Whether no packet is queued anywhere and the link is idle.
@@ -274,25 +360,76 @@ impl<S: NodeScheduler> Hierarchy<S> {
     }
 
     /// RESTART-NODE chain for newly backlogged subtrees: every ancestor not
-    /// yet offering a packet selects one and offers it upward.
-    fn bubble_up(&mut self, from: usize, root_ref: f64) {
+    /// yet offering a packet selects one and offers it upward. Ancestors
+    /// above the first node that already offered a packet are told about
+    /// the arrival via [`NodeScheduler::arrival_hint`] instead.
+    fn bubble_up(&mut self, from: usize, bits: f64, root_ref: f64) {
         let mut n = from;
         while self.nodes[n].head.is_none() {
+            let v_before = self.sched_mut(n).virtual_time();
             let slot = self
                 .sched_mut(n)
                 .select_next()
                 .expect("bubble_up reached a node with no backlogged child");
+            if O::ENABLED {
+                self.emit_dispatch(n, slot, v_before);
+            }
             let child = self.nodes[n].children[slot.0];
-            let head = self.nodes[child].head.expect("selected child offers a head");
+            let head = self.nodes[child]
+                .head
+                .expect("selected child offers a head");
             self.nodes[n].head = Some(head);
             self.nodes[n].active_child = Some(child);
+            if O::ENABLED {
+                let t = self.last_time;
+                self.obs.on_node_backlog(&BacklogEvent {
+                    time: t,
+                    node: n,
+                    active: true,
+                });
+            }
             let Some((p, pslot)) = self.nodes[n].parent else {
-                break; // root now offers a packet; the link may start it
+                return; // root now offers a packet; the link may start it
             };
             let hint = if p == 0 { Some(root_ref) } else { None };
             self.sched_mut(p).backlog(pslot, head.bits, hint);
             n = p;
         }
+        // `n` was already offering a packet before this arrival: the bits
+        // still extend the emulated GPS backlog of every remaining
+        // ancestor.
+        self.hint_up(n, bits, root_ref);
+    }
+
+    /// Builds and emits the [`DispatchEvent`] for node `n` having just
+    /// selected `slot` (tags are read *after* the selection, while the
+    /// winner is still the stamped head; `v_before` was captured before).
+    fn emit_dispatch(&mut self, n: usize, slot: SessionId, v_before: f64) {
+        let child = self.nodes[n].children[slot.0];
+        let head_bits = self.nodes[child]
+            .head
+            .expect("selected child offers a head")
+            .bits;
+        let sched = self.nodes[n]
+            .sched
+            .as_ref()
+            .expect("internal node has a scheduler");
+        let (start_tag, finish_tag) = sched.tags(slot);
+        let e = DispatchEvent {
+            time: self.last_time,
+            node: n,
+            session: slot.0,
+            child,
+            start_tag,
+            finish_tag,
+            phi: sched.phi(slot),
+            v_before,
+            v_after: sched.virtual_time(),
+            head_bits,
+            node_rate: sched.rate_bps(),
+            policy: sched.name(),
+        };
+        self.obs.on_dispatch(&e);
     }
 
     /// Whether the root currently offers a packet the link could transmit.
@@ -314,10 +451,30 @@ impl<S: NodeScheduler> Hierarchy<S> {
     /// # Panics
     /// If a transmission is already in progress.
     pub fn start_transmission(&mut self) -> Option<Packet> {
+        let t = self.last_time;
+        self.start_transmission_at(t)
+    }
+
+    /// [`Hierarchy::start_transmission`] with the exact real start time, so
+    /// emitted [`TxEvent`]s carry it (drivers with a clock — the simulator —
+    /// use this form).
+    pub fn start_transmission_at(&mut self, now: f64) -> Option<Packet> {
         assert!(!self.transmitting, "transmission already in progress");
         let head = self.nodes[0].head?;
         self.transmitting = true;
-        Some(*self.nodes[head.leaf].fifo.front().expect("head refers to a queued packet"))
+        self.last_time = self.last_time.max(now);
+        let pkt = *self.nodes[head.leaf]
+            .fifo
+            .front()
+            .expect("head refers to a queued packet");
+        if O::ENABLED {
+            self.obs.on_tx_start(&TxEvent {
+                time: now,
+                leaf: head.leaf,
+                pkt: pkt_info(&pkt),
+            });
+        }
+        Some(pkt)
     }
 
     /// RESET-PATH + RESTART-NODE chain at the end of a transmission: pops
@@ -328,8 +485,16 @@ impl<S: NodeScheduler> Hierarchy<S> {
     /// # Panics
     /// If no transmission is in progress.
     pub fn complete_transmission(&mut self) -> Packet {
+        let t = self.last_time;
+        self.complete_transmission_at(t)
+    }
+
+    /// [`Hierarchy::complete_transmission`] with the exact real completion
+    /// time for the emitted [`TxEvent`].
+    pub fn complete_transmission_at(&mut self, now: f64) -> Packet {
         assert!(self.transmitting, "no transmission in progress");
         self.transmitting = false;
+        self.last_time = self.last_time.max(now);
 
         // Collect the in-flight path root → leaf and clear its heads.
         let mut path = vec![0usize];
@@ -351,6 +516,13 @@ impl<S: NodeScheduler> Hierarchy<S> {
             .pop_front()
             .expect("transmitted packet was queued");
         self.nodes[leaf].fifo_bytes -= u64::from(pkt.len_bytes);
+        if O::ENABLED {
+            self.obs.on_tx_complete(&TxEvent {
+                time: now,
+                leaf,
+                pkt: pkt_info(&pkt),
+            });
+        }
         let (lp, lslot) = self.nodes[leaf].parent.expect("leaf has a parent");
         match self.nodes[leaf].fifo.front() {
             Some(next) => {
@@ -358,15 +530,21 @@ impl<S: NodeScheduler> Hierarchy<S> {
                 self.nodes[leaf].head = Some(Head { leaf, bits });
                 self.sched_mut(lp).requeue(lslot, Some(bits));
             }
-            None => self.sched_mut(lp).requeue(lslot, None),
+            None => {
+                self.requeue_empty(leaf, lp, lslot);
+            }
         }
 
         // RESTART-NODE bottom-up along the path (excluding the leaf).
         for i in (0..path.len() - 1).rev() {
             let n = path[i];
+            let v_before = self.sched_mut(n).virtual_time();
             let selected = self.sched_mut(n).select_next();
             match selected {
                 Some(slot) => {
+                    if O::ENABLED {
+                        self.emit_dispatch(n, slot, v_before);
+                    }
                     let child = self.nodes[n].children[slot.0];
                     let head = self.nodes[child]
                         .head
@@ -379,12 +557,44 @@ impl<S: NodeScheduler> Hierarchy<S> {
                 }
                 None => {
                     if let Some((p, pslot)) = self.nodes[n].parent {
-                        self.sched_mut(p).requeue(pslot, None);
+                        self.requeue_empty(n, p, pslot);
+                    } else if O::ENABLED {
+                        // The root itself drained: its busy period ended
+                        // when its own scheduler emptied (detected inside
+                        // select_next/requeue); report the server going
+                        // idle.
+                        self.obs.on_node_backlog(&BacklogEvent {
+                            time: now,
+                            node: 0,
+                            active: false,
+                        });
                     }
                 }
             }
         }
         pkt
+    }
+
+    /// Reports `node` idle to its parent (`requeue(slot, None)`), emitting
+    /// the backlog transition and — if the parent's scheduler thereby
+    /// drained and reset its virtual clock — the busy-period reset.
+    fn requeue_empty(&mut self, node: usize, parent: usize, slot: SessionId) {
+        let t = self.last_time;
+        if O::ENABLED {
+            self.obs.on_node_backlog(&BacklogEvent {
+                time: t,
+                node,
+                active: false,
+            });
+        }
+        let sched = self.sched_mut(parent);
+        sched.requeue(slot, None);
+        if O::ENABLED && sched.backlogged() == 0 {
+            self.obs.on_busy_reset(&BusyResetEvent {
+                time: t,
+                node: parent,
+            });
+        }
     }
 
     /// Convenience for order-only tests and simple examples:
@@ -571,7 +781,11 @@ mod tests {
         let mut last_a = None;
         let mut last_b = None;
         while let Some(p) = h.dequeue() {
-            let last = if p.flow == 0 { &mut last_a } else { &mut last_b };
+            let last = if p.flow == 0 {
+                &mut last_a
+            } else {
+                &mut last_b
+            };
             if let Some(prev) = *last {
                 assert!(p.id > prev, "per-flow FIFO violated");
             }
@@ -629,10 +843,7 @@ mod tests {
             h.add_leaf(root, 0.4),
             Err(HpfqError::ShareOverflow { .. })
         ));
-        assert!(matches!(
-            h.add_leaf(a, 0.1),
-            Err(HpfqError::NotInternal(_))
-        ));
+        assert!(matches!(h.add_leaf(a, 0.1), Err(HpfqError::NotInternal(_))));
         assert!(h.add_leaf(root, 0.3).is_ok());
     }
 

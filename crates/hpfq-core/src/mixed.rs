@@ -133,6 +133,10 @@ impl NodeScheduler for MixedScheduler {
         dispatch!(self, s => s.backlog(id, head_bits, ref_now))
     }
 
+    fn arrival_hint(&mut self, id: SessionId, bits: f64, ref_now: Option<f64>) {
+        dispatch!(self, s => s.arrival_hint(id, bits, ref_now))
+    }
+
     fn select_next(&mut self) -> Option<SessionId> {
         dispatch!(self, s => s.select_next())
     }

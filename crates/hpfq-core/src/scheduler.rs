@@ -70,6 +70,19 @@ pub trait NodeScheduler {
     /// in the paper.
     fn backlog(&mut self, id: SessionId, head_bits: f64, ref_now: Option<f64>);
 
+    /// Announces a packet of `bits` bits arriving to an *already
+    /// backlogged* session — it joins the session's queue behind the head
+    /// and will be offered later through [`NodeScheduler::requeue`].
+    ///
+    /// `ref_now` follows the same convention as [`NodeScheduler::backlog`].
+    /// Policies that emulate the reference GPS fluid system (WFQ, WF²Q) use
+    /// the announcement to keep the emulated per-session backlog — and
+    /// hence the virtual-time slope and eq. (28) stamps — exact instead of
+    /// head-limited; self-clocked policies ignore it (the default).
+    fn arrival_hint(&mut self, id: SessionId, bits: f64, ref_now: Option<f64>) {
+        let _ = (id, bits, ref_now);
+    }
+
     /// Picks the next session to serve per the policy and accounts its head
     /// packet as dispatched. Returns `None` iff no session is backlogged.
     ///

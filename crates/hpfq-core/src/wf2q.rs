@@ -7,6 +7,8 @@
 //! Theorem 3 but inherits [`GpsClock`]'s O(N) worst-case virtual-time cost —
 //! the complexity that WF²Q+ ([`crate::Wf2qPlus`]) removes.
 
+use std::collections::VecDeque;
+
 use crate::eligible::{dual_heap::DualHeapEligibleSet, EligibleSet};
 use crate::gps_clock::GpsClock;
 use crate::scheduler::{NodeScheduler, SessionId, SessionState};
@@ -18,6 +20,10 @@ pub struct Wf2q {
     sessions: Vec<SessionState>,
     clock: GpsClock,
     set: DualHeapEligibleSet,
+    /// Per-session virtual start tags of queued-behind-the-head packets
+    /// announced via `arrival_hint`, in arrival order (exact eq. (28)
+    /// bases, consumed as those packets become heads).
+    pending: Vec<VecDeque<f64>>,
     t: f64,
     in_service: Option<SessionId>,
     backlogged: usize,
@@ -41,6 +47,7 @@ impl Wf2q {
             sessions: Vec::new(),
             clock: GpsClock::new(),
             set: DualHeapEligibleSet::new(),
+            pending: Vec::new(),
             t: 0.0,
             in_service: None,
             backlogged: 0,
@@ -69,6 +76,10 @@ impl Wf2q {
         self.t = 0.0;
         self.clock.reset();
         self.set.clear();
+        for p in &mut self.pending {
+            debug_assert!(p.is_empty(), "pending stamps at busy-period end");
+            p.clear();
+        }
         for s in &mut self.sessions {
             s.reset();
         }
@@ -82,6 +93,7 @@ impl NodeScheduler for Wf2q {
 
     fn add_session(&mut self, phi: f64) -> SessionId {
         self.sessions.push(SessionState::new(phi, self.rate));
+        self.pending.push(VecDeque::new());
         let gps_id = self.clock.add_session(phi);
         debug_assert_eq!(gps_id, self.sessions.len() - 1);
         SessionId(self.sessions.len() - 1)
@@ -94,10 +106,19 @@ impl NodeScheduler for Wf2q {
         let v = self.clock.advance_to(ref_now.unwrap_or(self.t));
         let s = &mut self.sessions[id.0];
         debug_assert!(!s.backlogged, "backlog() on a backlogged session");
+        debug_assert!(self.pending[id.0].is_empty());
         s.stamp_new_backlog(v, head_bits);
         self.clock.on_stamp(id.0, s.finish);
         self.set.insert(id, s.start, s.finish);
         self.backlogged += 1;
+    }
+
+    fn arrival_hint(&mut self, id: SessionId, bits: f64, ref_now: Option<f64>) {
+        let _ = self.clock.advance_to(ref_now.unwrap_or(self.t));
+        let s = &self.sessions[id.0];
+        debug_assert!(s.backlogged, "arrival_hint() on an idle session");
+        let base = self.clock.extend_backlog(id.0, bits * s.inv_rate);
+        self.pending[id.0].push_back(base);
     }
 
     fn select_next(&mut self) -> Option<SessionId> {
@@ -119,10 +140,7 @@ impl NodeScheduler for Wf2q {
                 // Head-only emulation artifact; fall back to the WF²Q+
                 // threshold to stay work-conserving.
                 self.fallback_dispatches += 1;
-                let thr = self
-                    .set
-                    .eligibility_threshold(v)
-                    .expect("set is non-empty");
+                let thr = self.set.eligibility_threshold(v).expect("set is non-empty");
                 self.set
                     .pop_min_finish(thr)
                     .expect("threshold admits a session")
@@ -139,8 +157,19 @@ impl NodeScheduler for Wf2q {
         self.in_service = None;
         match next_head_bits {
             Some(bits) => {
+                // Use the exact eq. (28) base recorded when this packet's
+                // arrival was announced, falling back to the continuation
+                // rule S = F for un-announced drivers.
+                let base = self.pending[id.0].pop_front();
                 let s = &mut self.sessions[id.0];
-                s.stamp_continuation(bits);
+                match base {
+                    Some(b) => {
+                        s.start = s.finish.max(b);
+                        s.finish = s.start + bits * s.inv_rate;
+                        s.head_bits = bits;
+                    }
+                    None => s.stamp_continuation(bits),
+                }
                 self.clock.on_stamp(id.0, s.finish);
                 self.set.insert(id, s.start, s.finish);
             }

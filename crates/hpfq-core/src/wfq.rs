@@ -11,6 +11,8 @@
 //! Virtual time comes from the exact GPS emulation in [`GpsClock`] — O(N)
 //! worst case per advance, as the paper notes.
 
+use std::collections::VecDeque;
+
 use crate::gps_clock::GpsClock;
 use crate::scheduler::{NodeScheduler, SessionId, SessionState};
 use crate::tag_heap::TagHeap;
@@ -23,6 +25,11 @@ pub struct Wfq {
     clock: GpsClock,
     /// Backlogged sessions keyed by finish tag (ties by session index).
     heap: TagHeap,
+    /// Per-session virtual start tags of queued-behind-the-head packets
+    /// announced via `arrival_hint`, in arrival order: each is the exact
+    /// `max(F_prev, V(a_k))` of eq. (28), consumed when the packet becomes
+    /// the head.
+    pending: Vec<VecDeque<f64>>,
     /// Reference time, advanced by `L/r` per dispatch.
     t: f64,
     in_service: Option<SessionId>,
@@ -41,6 +48,7 @@ impl Wfq {
             sessions: Vec::new(),
             clock: GpsClock::new(),
             heap: TagHeap::new(),
+            pending: Vec::new(),
             t: 0.0,
             in_service: None,
             backlogged: 0,
@@ -62,6 +70,10 @@ impl Wfq {
         self.t = 0.0;
         self.clock.reset();
         self.heap.clear();
+        for p in &mut self.pending {
+            debug_assert!(p.is_empty(), "pending stamps at busy-period end");
+            p.clear();
+        }
         for s in &mut self.sessions {
             s.reset();
         }
@@ -75,6 +87,7 @@ impl NodeScheduler for Wfq {
 
     fn add_session(&mut self, phi: f64) -> SessionId {
         self.sessions.push(SessionState::new(phi, self.rate));
+        self.pending.push(VecDeque::new());
         let gps_id = self.clock.add_session(phi);
         debug_assert_eq!(gps_id, self.sessions.len() - 1);
         SessionId(self.sessions.len() - 1)
@@ -84,6 +97,7 @@ impl NodeScheduler for Wfq {
         let v = self.clock.advance_to(ref_now.unwrap_or(self.t));
         let s = &mut self.sessions[id.0];
         debug_assert!(!s.backlogged, "backlog() on a backlogged session");
+        debug_assert!(self.pending[id.0].is_empty());
         s.stamp_new_backlog(v, head_bits);
         self.clock.on_stamp(id.0, s.finish);
         // Finish-tag ties are broken by session index (secondary tag held
@@ -92,6 +106,14 @@ impl NodeScheduler for Wfq {
         // (also finish 20).
         self.heap.push(id, s.finish, 0.0);
         self.backlogged += 1;
+    }
+
+    fn arrival_hint(&mut self, id: SessionId, bits: f64, ref_now: Option<f64>) {
+        let _ = self.clock.advance_to(ref_now.unwrap_or(self.t));
+        let s = &self.sessions[id.0];
+        debug_assert!(s.backlogged, "arrival_hint() on an idle session");
+        let base = self.clock.extend_backlog(id.0, bits * s.inv_rate);
+        self.pending[id.0].push_back(base);
     }
 
     fn select_next(&mut self) -> Option<SessionId> {
@@ -108,8 +130,19 @@ impl NodeScheduler for Wfq {
         self.in_service = None;
         match next_head_bits {
             Some(bits) => {
+                // If the next head was announced at its arrival, its exact
+                // eq. (28) start base `max(F_prev, V(a_k))` was recorded
+                // then; otherwise fall back to the continuation rule S = F.
+                let base = self.pending[id.0].pop_front();
                 let s = &mut self.sessions[id.0];
-                s.stamp_continuation(bits);
+                match base {
+                    Some(b) => {
+                        s.start = s.finish.max(b);
+                        s.finish = s.start + bits * s.inv_rate;
+                        s.head_bits = bits;
+                    }
+                    None => s.stamp_continuation(bits),
+                }
                 self.clock.on_stamp(id.0, s.finish);
                 self.heap.push(id, s.finish, 0.0);
             }

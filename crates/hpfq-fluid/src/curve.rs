@@ -39,9 +39,10 @@ impl ServiceCurve {
 
     /// `W(t)`: cumulative bits served by time `t`.
     pub fn value_at(&self, t: f64) -> f64 {
-        match self.points.binary_search_by(|&(pt, _)| {
-            pt.partial_cmp(&t).expect("curve times must not be NaN")
-        }) {
+        match self
+            .points
+            .binary_search_by(|&(pt, _)| pt.partial_cmp(&t).expect("curve times must not be NaN"))
+        {
             Ok(i) => self.points[i].1,
             Err(0) => 0.0,
             Err(i) if i == self.points.len() => self.points[i - 1].1,
@@ -79,9 +80,7 @@ impl ServiceCurve {
         if w <= 0.0 {
             return Some(self.points.first().map_or(0.0, |&(t, _)| t));
         }
-        let i = self
-            .points
-            .partition_point(|&(_, pw)| pw < w - 1e-12);
+        let i = self.points.partition_point(|&(_, pw)| pw < w - 1e-12);
         if i == self.points.len() {
             return None;
         }

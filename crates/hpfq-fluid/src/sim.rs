@@ -115,10 +115,7 @@ impl FluidSim {
                 idx += 1;
             }
 
-            let any_backlog = leaves
-                .iter()
-                .flatten()
-                .any(|l| l.backlog > 1e-12);
+            let any_backlog = leaves.iter().flatten().any(|l| l.backlog > 1e-12);
             if !any_backlog {
                 if idx >= arrivals.len() {
                     break; // drained and no more work
@@ -195,12 +192,7 @@ impl FluidSim {
 /// Top-down rate distribution: every node with a backlogged descendant
 /// shares its parent's allocation in proportion to φ among backlogged
 /// siblings; idle subtrees get zero (their share is redistributed).
-fn compute_rates(
-    tree: &FluidTree,
-    leaves: &[Option<LeafState>],
-    rate_bps: f64,
-    rates: &mut [f64],
-) {
+fn compute_rates(tree: &FluidTree, leaves: &[Option<LeafState>], rate_bps: f64, rates: &mut [f64]) {
     let n = tree.node_count();
     // A node is "active" if some descendant leaf is backlogged.
     let mut active = vec![false; n];
@@ -210,10 +202,7 @@ fn compute_rates(
             active[i] = leaves[i].as_ref().is_some_and(|l| l.backlog > 1e-12);
         } else {
             // Children have larger indices, already computed.
-            active[i] = tree
-                .children(id)
-                .iter()
-                .any(|c| active[c.0]);
+            active[i] = tree.children(id).iter().any(|c| active[c.0]);
         }
     }
     for r in rates.iter_mut() {
@@ -377,8 +366,18 @@ mod tests {
         let mut tree = FluidTree::new();
         let a = tree.add_leaf(tree.root(), 1.0).unwrap();
         let arr = vec![
-            Arrival { time: 0.0, leaf: a, bits: 2.0, id: 1 },
-            Arrival { time: 10.0, leaf: a, bits: 2.0, id: 2 },
+            Arrival {
+                time: 0.0,
+                leaf: a,
+                bits: 2.0,
+                id: 1,
+            },
+            Arrival {
+                time: 10.0,
+                leaf: a,
+                bits: 2.0,
+                id: 2,
+            },
         ];
         let res = FluidSim::run(&tree, 1.0, &arr);
         assert!((res.finish_of(1).unwrap() - 2.0).abs() < 1e-12);

@@ -56,7 +56,12 @@ impl FluidTree {
         FluidNodeId(0)
     }
 
-    fn add(&mut self, parent: FluidNodeId, phi: f64, is_leaf: bool) -> Result<FluidNodeId, HpfqError> {
+    fn add(
+        &mut self,
+        parent: FluidNodeId,
+        phi: f64,
+        is_leaf: bool,
+    ) -> Result<FluidNodeId, HpfqError> {
         if !(phi.is_finite() && phi > 0.0 && phi <= 1.0) {
             return Err(HpfqError::InvalidShare(phi));
         }
@@ -89,7 +94,11 @@ impl FluidTree {
 
     /// Adds an internal node (link-sharing class) with share `phi` of its
     /// parent.
-    pub fn add_internal(&mut self, parent: FluidNodeId, phi: f64) -> Result<FluidNodeId, HpfqError> {
+    pub fn add_internal(
+        &mut self,
+        parent: FluidNodeId,
+        phi: f64,
+    ) -> Result<FluidNodeId, HpfqError> {
         self.add(parent, phi, false)
     }
 
@@ -120,7 +129,12 @@ impl FluidTree {
 
     /// Children of `n`, in insertion order.
     pub fn children(&self, n: FluidNodeId) -> Vec<FluidNodeId> {
-        self.nodes[n.0].children.iter().copied().map(FluidNodeId).collect()
+        self.nodes[n.0]
+            .children
+            .iter()
+            .copied()
+            .map(FluidNodeId)
+            .collect()
     }
 
     /// All leaves, in creation order.

@@ -1,0 +1,459 @@
+//! Online invariant checking.
+//!
+//! [`InvariantObserver`] watches the live event stream and verifies the
+//! properties the paper's correctness argument rests on:
+//!
+//! * **Tag ordering** — every dispatched head satisfies `S ≤ F`
+//!   (eqs. 28–29 always add a positive `L/φ` to form `F`).
+//! * **Virtual-time monotonicity** — a node's virtual time never decreases
+//!   within a busy period (eq. 27 takes a max, then adds `L/r`); the state
+//!   is cleared when a [`BusyResetEvent`] legitimately rewinds the clock.
+//! * **SEFF eligibility** — for WF²Q+ nodes, the dispatched session was
+//!   eligible: its start tag does not exceed the system virtual time used
+//!   for the selection (recovered as `v_after − L/r` from eq. 27).
+//! * **Work conservation** — the link never sits idle while packets are
+//!   queued: whenever a transmission completes with backlog remaining (or a
+//!   packet arrives at an idle server), the next `tx_start` carries the
+//!   same timestamp.
+//!
+//! Violations are recorded (bounded, first [`InvariantObserver::MAX_STORED`]
+//! kept) rather than panicked on, so a checker can ride along in benches and
+//! long soak runs; tests assert [`InvariantObserver::is_clean`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::event::{BacklogEvent, BusyResetEvent, DispatchEvent, DropEvent, EnqueueEvent, TxEvent};
+use crate::Observer;
+
+/// Which invariant a [`Violation`] breaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvariantKind {
+    /// A dispatched head had `S > F`.
+    TagOrder,
+    /// A node's virtual time decreased without a busy-period reset.
+    VirtualTimeMonotone,
+    /// A WF²Q+ node dispatched an ineligible session (`S > V`).
+    SeffEligibility,
+    /// The link idled while packets were queued.
+    WorkConservation,
+}
+
+impl fmt::Display for InvariantKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InvariantKind::TagOrder => "tag-order (S <= F)",
+            InvariantKind::VirtualTimeMonotone => "virtual-time monotonicity",
+            InvariantKind::SeffEligibility => "SEFF eligibility (S <= V)",
+            InvariantKind::WorkConservation => "work conservation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded invariant breach.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Which invariant failed.
+    pub kind: InvariantKind,
+    /// Event time at which it was detected.
+    pub time: f64,
+    /// Node the breach is attributed to (the dispatching node, or the root
+    /// for work-conservation breaches).
+    pub node: usize,
+    /// Human-readable detail with the offending numbers.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[t={:.9}] node {}: {} violated: {}",
+            self.time, self.node, self.kind, self.detail
+        )
+    }
+}
+
+/// Per-node state the checker carries between events.
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeState {
+    /// Last virtual time observed on this node, if any this busy period.
+    last_v: Option<f64>,
+}
+
+/// An [`Observer`] that checks scheduler invariants online.
+///
+/// Tolerances: comparisons use a relative-ish epsilon
+/// ([`InvariantObserver::EPS`]) scaled by the magnitudes involved, since
+/// the tags are accumulated `f64` sums.
+#[derive(Debug, Clone, Default)]
+pub struct InvariantObserver {
+    nodes: HashMap<usize, NodeState>,
+    violations: Vec<Violation>,
+    /// Total breaches seen, including ones beyond the storage bound.
+    pub total_violations: u64,
+    /// Events inspected.
+    pub events_checked: u64,
+    // Work-conservation bookkeeping (root link view).
+    queued: i64,
+    link_busy: bool,
+    /// When set, a `tx_start` at exactly this time is owed; any later
+    /// event arriving first is an idle-while-backlogged breach.
+    pending_start: Option<f64>,
+}
+
+impl InvariantObserver {
+    /// Absolute floor of the comparison tolerance.
+    pub const EPS: f64 = 1e-6;
+    /// At most this many [`Violation`]s are stored (all are counted).
+    pub const MAX_STORED: usize = 100;
+
+    /// A fresh checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` iff no invariant has been breached.
+    pub fn is_clean(&self) -> bool {
+        self.total_violations == 0
+    }
+
+    /// The stored violations (first [`Self::MAX_STORED`]).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// One-line summary, e.g. for test failure messages.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            format!("clean: {} events checked", self.events_checked)
+        } else {
+            let first = self
+                .violations
+                .first()
+                .map(|v| v.to_string())
+                .unwrap_or_default();
+            format!(
+                "{} violations in {} events; first: {}",
+                self.total_violations, self.events_checked, first
+            )
+        }
+    }
+
+    fn tol(a: f64, b: f64) -> f64 {
+        Self::EPS * (1.0 + a.abs().max(b.abs()))
+    }
+
+    fn push(&mut self, kind: InvariantKind, time: f64, node: usize, detail: String) {
+        self.total_violations += 1;
+        if self.violations.len() < Self::MAX_STORED {
+            self.violations.push(Violation {
+                kind,
+                time,
+                node,
+                detail,
+            });
+        }
+    }
+
+    /// Any event at time `t` that is not the owed `tx_start` exposes an
+    /// idle gap if it happens strictly later than the owed start.
+    fn check_pending_start(&mut self, t: f64) {
+        if let Some(due) = self.pending_start {
+            if t > due + Self::tol(t, due) {
+                self.push(
+                    InvariantKind::WorkConservation,
+                    t,
+                    0,
+                    format!(
+                        "link idle with {} queued packet(s): tx_start owed at t={due}, \
+                         next event at t={t}",
+                        self.queued
+                    ),
+                );
+                // Re-arm at the later time so one gap yields one violation.
+                self.pending_start = Some(t);
+            }
+        }
+    }
+}
+
+impl Observer for InvariantObserver {
+    fn on_enqueue(&mut self, e: &EnqueueEvent) {
+        self.events_checked += 1;
+        self.check_pending_start(e.time);
+        self.queued += 1;
+        if !self.link_busy && self.pending_start.is_none() {
+            // Packet arrived at an idle server: service must start now.
+            self.pending_start = Some(e.time);
+        }
+    }
+
+    fn on_drop(&mut self, e: &DropEvent) {
+        self.events_checked += 1;
+        self.check_pending_start(e.time);
+    }
+
+    fn on_dispatch(&mut self, e: &DispatchEvent) {
+        self.events_checked += 1;
+
+        // S <= F on the dispatched head.
+        if e.start_tag > e.finish_tag + Self::tol(e.start_tag, e.finish_tag) {
+            self.push(
+                InvariantKind::TagOrder,
+                e.time,
+                e.node,
+                format!("S={} > F={}", e.start_tag, e.finish_tag),
+            );
+        }
+
+        // V never decreases across the selection or between selections
+        // within a busy period.
+        if e.v_after < e.v_before - Self::tol(e.v_after, e.v_before) {
+            self.push(
+                InvariantKind::VirtualTimeMonotone,
+                e.time,
+                e.node,
+                format!(
+                    "V stepped back across dispatch: {} -> {}",
+                    e.v_before, e.v_after
+                ),
+            );
+        }
+        let st = self.nodes.entry(e.node).or_default();
+        if let Some(prev) = st.last_v {
+            if e.v_before < prev - Self::tol(e.v_before, prev) {
+                let detail = format!(
+                    "V decreased between dispatches without busy reset: {} -> {}",
+                    prev, e.v_before
+                );
+                self.push(InvariantKind::VirtualTimeMonotone, e.time, e.node, detail);
+            }
+        }
+        self.nodes.entry(e.node).or_default().last_v = Some(e.v_after);
+
+        // SEFF: for WF²Q+, eq. 27 sets v_after = max(V, Smin) + L/r where
+        // Smin is the eligibility threshold actually used, so the system
+        // virtual time the winner was measured against is v_after - L/r,
+        // and an eligible winner has S <= that threshold.
+        if e.policy == "wf2q+" && e.node_rate > 0.0 {
+            let thr = e.v_after - e.head_bits / e.node_rate;
+            if e.start_tag > thr + Self::tol(e.start_tag, thr) {
+                self.push(
+                    InvariantKind::SeffEligibility,
+                    e.time,
+                    e.node,
+                    format!("ineligible dispatch: S={} > V={thr}", e.start_tag),
+                );
+            }
+        }
+    }
+
+    fn on_tx_start(&mut self, e: &TxEvent) {
+        self.events_checked += 1;
+        if let Some(due) = self.pending_start {
+            if e.time > due + Self::tol(e.time, due) {
+                self.push(
+                    InvariantKind::WorkConservation,
+                    e.time,
+                    0,
+                    format!("tx_start late: owed at t={due}, started at t={}", e.time),
+                );
+            }
+        }
+        self.pending_start = None;
+        self.link_busy = true;
+    }
+
+    fn on_tx_complete(&mut self, e: &TxEvent) {
+        self.events_checked += 1;
+        self.link_busy = false;
+        self.queued -= 1;
+        if self.queued < 0 {
+            // More completions than enqueues: count it once and clamp.
+            self.queued = 0;
+            self.push(
+                InvariantKind::WorkConservation,
+                e.time,
+                0,
+                "tx_complete without matching enqueue".to_string(),
+            );
+        }
+        self.pending_start = if self.queued > 0 { Some(e.time) } else { None };
+    }
+
+    fn on_node_backlog(&mut self, e: &BacklogEvent) {
+        self.events_checked += 1;
+        self.check_pending_start(e.time);
+    }
+
+    fn on_busy_reset(&mut self, e: &BusyResetEvent) {
+        self.events_checked += 1;
+        // Eq. 4: V is defined per busy period — the rewind is legitimate.
+        self.nodes.entry(e.node).or_default().last_v = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PacketInfo;
+
+    fn dispatch(v_before: f64, v_after: f64, s: f64, f: f64) -> DispatchEvent {
+        DispatchEvent {
+            time: 0.0,
+            node: 0,
+            session: 0,
+            child: 1,
+            start_tag: s,
+            finish_tag: f,
+            phi: 0.5,
+            v_before,
+            v_after,
+            head_bits: 8000.0,
+            node_rate: 8000.0,
+            policy: "wf2q+",
+        }
+    }
+
+    #[test]
+    fn clean_dispatch_passes() {
+        let mut inv = InvariantObserver::new();
+        // v_after = max(V, Smin) + L/r = 0 + 1; S=0 eligible, F=2 > S.
+        inv.on_dispatch(&dispatch(0.0, 1.0, 0.0, 2.0));
+        assert!(inv.is_clean(), "{}", inv.summary());
+    }
+
+    #[test]
+    fn tag_order_violation_is_caught() {
+        let mut inv = InvariantObserver::new();
+        inv.on_dispatch(&dispatch(0.0, 1.0, 3.0, 2.0));
+        assert!(!inv.is_clean());
+        assert!(inv
+            .violations()
+            .iter()
+            .any(|v| v.kind == InvariantKind::TagOrder));
+    }
+
+    #[test]
+    fn seff_ineligible_dispatch_is_caught() {
+        let mut inv = InvariantObserver::new();
+        // Threshold recovered as v_after - L/r = 1.0; S = 5.0 is not
+        // eligible at V = 1.0.
+        inv.on_dispatch(&dispatch(0.0, 2.0, 5.0, 6.0));
+        assert!(inv
+            .violations()
+            .iter()
+            .any(|v| v.kind == InvariantKind::SeffEligibility));
+    }
+
+    #[test]
+    fn v_rewind_without_reset_is_caught_and_reset_clears_it() {
+        let mut inv = InvariantObserver::new();
+        inv.on_dispatch(&dispatch(0.0, 5.0, 0.0, 1.0));
+        // Rewind with no busy reset: violation.
+        inv.on_dispatch(&dispatch(1.0, 2.0, 1.0, 2.0));
+        assert_eq!(inv.total_violations, 1);
+        assert_eq!(inv.violations()[0].kind, InvariantKind::VirtualTimeMonotone);
+
+        let mut inv2 = InvariantObserver::new();
+        inv2.on_dispatch(&dispatch(0.0, 5.0, 0.0, 1.0));
+        inv2.on_busy_reset(&BusyResetEvent { time: 1.0, node: 0 });
+        // Same rewind is fine after a reset.
+        inv2.on_dispatch(&dispatch(0.0, 1.0, 0.0, 2.0));
+        assert!(inv2.is_clean(), "{}", inv2.summary());
+    }
+
+    #[test]
+    fn idle_link_with_backlog_is_caught() {
+        let pkt = PacketInfo {
+            id: 1,
+            flow: 0,
+            len_bytes: 125,
+            arrival: 0.0,
+        };
+        let mut inv = InvariantObserver::new();
+        inv.on_enqueue(&EnqueueEvent {
+            time: 0.0,
+            leaf: 1,
+            pkt,
+            queue_depth: 1,
+            queue_bytes: 125,
+        });
+        inv.on_tx_start(&TxEvent {
+            time: 0.0,
+            leaf: 1,
+            pkt,
+        });
+        inv.on_enqueue(&EnqueueEvent {
+            time: 0.5,
+            leaf: 1,
+            pkt: PacketInfo { id: 2, ..pkt },
+            queue_depth: 2,
+            queue_bytes: 250,
+        });
+        inv.on_tx_complete(&TxEvent {
+            time: 1.0,
+            leaf: 1,
+            pkt,
+        });
+        assert!(inv.is_clean(), "{}", inv.summary());
+        // Backlog remains (packet 2), but the next start only comes at
+        // t = 2.0: the link idled for a second.
+        inv.on_tx_start(&TxEvent {
+            time: 2.0,
+            leaf: 1,
+            pkt: PacketInfo { id: 2, ..pkt },
+        });
+        assert!(!inv.is_clean());
+        assert!(inv
+            .violations()
+            .iter()
+            .any(|v| v.kind == InvariantKind::WorkConservation));
+    }
+
+    #[test]
+    fn back_to_back_service_is_clean() {
+        let pkt = PacketInfo {
+            id: 1,
+            flow: 0,
+            len_bytes: 125,
+            arrival: 0.0,
+        };
+        let mut inv = InvariantObserver::new();
+        for id in 0..3u64 {
+            inv.on_enqueue(&EnqueueEvent {
+                time: 0.0,
+                leaf: 1,
+                pkt: PacketInfo { id, ..pkt },
+                queue_depth: id as usize + 1,
+                queue_bytes: 125 * (id + 1),
+            });
+        }
+        for id in 0..3u64 {
+            let t0 = id as f64;
+            inv.on_tx_start(&TxEvent {
+                time: t0,
+                leaf: 1,
+                pkt: PacketInfo { id, ..pkt },
+            });
+            inv.on_tx_complete(&TxEvent {
+                time: t0 + 1.0,
+                leaf: 1,
+                pkt: PacketInfo { id, ..pkt },
+            });
+        }
+        assert!(inv.is_clean(), "{}", inv.summary());
+    }
+
+    #[test]
+    fn violation_storage_is_bounded() {
+        let mut inv = InvariantObserver::new();
+        for _ in 0..(InvariantObserver::MAX_STORED + 50) {
+            inv.on_dispatch(&dispatch(0.0, 1.0, 3.0, 2.0));
+        }
+        assert_eq!(inv.violations().len(), InvariantObserver::MAX_STORED);
+        assert!(inv.total_violations > InvariantObserver::MAX_STORED as u64);
+    }
+}

@@ -1,0 +1,365 @@
+//! JSONL trace sink and reader.
+//!
+//! [`JsonlObserver`] writes one flat JSON object per event per line using
+//! only `std::io` — no serialization dependency. Floats are printed with
+//! Rust's shortest-round-trip `Display`, so a parsed trace reproduces the
+//! emitted values bit-exactly. [`parse_line`] inverts the format;
+//! `hpfq-analysis` builds service records (and from them empirical WFI and
+//! service curves) out of parsed traces.
+//!
+//! Format, one event kind per `"ev"` tag:
+//!
+//! ```text
+//! {"ev":"enqueue","t":0.2,"leaf":3,"id":7,"flow":1,"len":8192,"arr":0.2,"depth":2,"qbytes":16384}
+//! {"ev":"dispatch","t":0.2,"node":0,"sess":1,"child":2,"s":0.1,"f":0.3,"phi":0.5,"v0":0.1,"v1":0.2,"bits":65536,"rate":45000000,"policy":"wf2q+"}
+//! {"ev":"tx_start","t":0.2,"leaf":3,"id":7,"flow":1,"len":8192,"arr":0.2}
+//! {"ev":"tx_end","t":0.21,"leaf":3,"id":7,"flow":1,"len":8192,"arr":0.2}
+//! {"ev":"backlog","t":0.2,"node":3,"active":true}
+//! {"ev":"busy_reset","t":0.4,"node":0}
+//! {"ev":"drop","t":0.2,"leaf":3,"id":8,"flow":1,"len":8192,"arr":0.2,"qbytes":65536}
+//! ```
+
+use std::io::Write;
+
+use crate::event::{
+    intern_policy, BacklogEvent, BusyResetEvent, DispatchEvent, DropEvent, EnqueueEvent,
+    PacketInfo, TraceEvent, TxEvent,
+};
+use crate::Observer;
+
+/// An [`Observer`] that appends every event to `w` as JSONL.
+///
+/// Wrap the writer in a [`std::io::BufWriter`] for file sinks; call
+/// [`JsonlObserver::into_inner`] (or drop the observer) when done. Write
+/// errors are counted, not propagated — the scheduling hot path cannot
+/// fail.
+#[derive(Debug)]
+pub struct JsonlObserver<W: Write> {
+    w: W,
+    /// Number of write errors swallowed (0 on a healthy sink).
+    pub write_errors: u64,
+}
+
+impl<W: Write> JsonlObserver<W> {
+    /// Creates a JSONL sink over `w`.
+    pub fn new(w: W) -> Self {
+        JsonlObserver { w, write_errors: 0 }
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.w.flush();
+        self.w
+    }
+
+    fn emit(&mut self, line: std::fmt::Arguments<'_>) {
+        if self.w.write_fmt(line).is_err() {
+            self.write_errors += 1;
+        }
+    }
+}
+
+impl<W: Write> Observer for JsonlObserver<W> {
+    fn on_enqueue(&mut self, e: &EnqueueEvent) {
+        self.emit(format_args!(
+            "{{\"ev\":\"enqueue\",\"t\":{},\"leaf\":{},\"id\":{},\"flow\":{},\"len\":{},\"arr\":{},\"depth\":{},\"qbytes\":{}}}\n",
+            e.time, e.leaf, e.pkt.id, e.pkt.flow, e.pkt.len_bytes, e.pkt.arrival,
+            e.queue_depth, e.queue_bytes,
+        ));
+    }
+
+    fn on_drop(&mut self, e: &DropEvent) {
+        self.emit(format_args!(
+            "{{\"ev\":\"drop\",\"t\":{},\"leaf\":{},\"id\":{},\"flow\":{},\"len\":{},\"arr\":{},\"qbytes\":{}}}\n",
+            e.time, e.leaf, e.pkt.id, e.pkt.flow, e.pkt.len_bytes, e.pkt.arrival, e.queue_bytes,
+        ));
+    }
+
+    fn on_dispatch(&mut self, e: &DispatchEvent) {
+        self.emit(format_args!(
+            "{{\"ev\":\"dispatch\",\"t\":{},\"node\":{},\"sess\":{},\"child\":{},\"s\":{},\"f\":{},\"phi\":{},\"v0\":{},\"v1\":{},\"bits\":{},\"rate\":{},\"policy\":\"{}\"}}\n",
+            e.time, e.node, e.session, e.child, e.start_tag, e.finish_tag, e.phi,
+            e.v_before, e.v_after, e.head_bits, e.node_rate, e.policy,
+        ));
+    }
+
+    fn on_tx_start(&mut self, e: &TxEvent) {
+        self.emit(format_args!(
+            "{{\"ev\":\"tx_start\",\"t\":{},\"leaf\":{},\"id\":{},\"flow\":{},\"len\":{},\"arr\":{}}}\n",
+            e.time, e.leaf, e.pkt.id, e.pkt.flow, e.pkt.len_bytes, e.pkt.arrival,
+        ));
+    }
+
+    fn on_tx_complete(&mut self, e: &TxEvent) {
+        self.emit(format_args!(
+            "{{\"ev\":\"tx_end\",\"t\":{},\"leaf\":{},\"id\":{},\"flow\":{},\"len\":{},\"arr\":{}}}\n",
+            e.time, e.leaf, e.pkt.id, e.pkt.flow, e.pkt.len_bytes, e.pkt.arrival,
+        ));
+    }
+
+    fn on_node_backlog(&mut self, e: &BacklogEvent) {
+        self.emit(format_args!(
+            "{{\"ev\":\"backlog\",\"t\":{},\"node\":{},\"active\":{}}}\n",
+            e.time, e.node, e.active,
+        ));
+    }
+
+    fn on_busy_reset(&mut self, e: &BusyResetEvent) {
+        self.emit(format_args!(
+            "{{\"ev\":\"busy_reset\",\"t\":{},\"node\":{}}}\n",
+            e.time, e.node,
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// A parsed `"key":value` pair list from one flat JSON object. The format
+/// above never nests objects and its only strings are bare identifiers, so
+/// a small scanner suffices.
+struct Fields<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Fields<'a> {
+    fn parse(line: &'a str) -> Option<Self> {
+        let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+        let mut pairs = Vec::new();
+        let mut rest = body;
+        while !rest.is_empty() {
+            rest = rest.strip_prefix('"')?;
+            let kend = rest.find('"')?;
+            let key = &rest[..kend];
+            rest = rest[kend + 1..].strip_prefix(':')?;
+            let val;
+            if let Some(r) = rest.strip_prefix('"') {
+                let vend = r.find('"')?;
+                val = &r[..vend];
+                rest = &r[vend + 1..];
+            } else {
+                let vend = rest.find(',').unwrap_or(rest.len());
+                val = &rest[..vend];
+                rest = &rest[vend..];
+            }
+            pairs.push((key, val));
+            if let Some(r) = rest.strip_prefix(',') {
+                rest = r;
+            } else if !rest.is_empty() {
+                return None;
+            }
+        }
+        Some(Fields { pairs })
+    }
+
+    fn str(&self, key: &str) -> Option<&'a str> {
+        self.pairs.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    fn f64(&self, key: &str) -> Option<f64> {
+        self.str(key)?.parse().ok()
+    }
+
+    fn usize(&self, key: &str) -> Option<usize> {
+        self.str(key)?.parse().ok()
+    }
+
+    fn u64(&self, key: &str) -> Option<u64> {
+        self.str(key)?.parse().ok()
+    }
+
+    fn u32(&self, key: &str) -> Option<u32> {
+        self.str(key)?.parse().ok()
+    }
+
+    fn pkt(&self) -> Option<PacketInfo> {
+        Some(PacketInfo {
+            id: self.u64("id")?,
+            flow: self.u32("flow")?,
+            len_bytes: self.u32("len")?,
+            arrival: self.f64("arr")?,
+        })
+    }
+}
+
+/// Parses one JSONL trace line back into a [`TraceEvent`]. Returns `None`
+/// for malformed lines (callers typically skip them, counting).
+pub fn parse_line(line: &str) -> Option<TraceEvent> {
+    let f = Fields::parse(line)?;
+    let time = f.f64("t")?;
+    match f.str("ev")? {
+        "enqueue" => Some(TraceEvent::Enqueue(EnqueueEvent {
+            time,
+            leaf: f.usize("leaf")?,
+            pkt: f.pkt()?,
+            queue_depth: f.usize("depth")?,
+            queue_bytes: f.u64("qbytes")?,
+        })),
+        "drop" => Some(TraceEvent::Drop(DropEvent {
+            time,
+            leaf: f.usize("leaf")?,
+            pkt: f.pkt()?,
+            queue_bytes: f.u64("qbytes")?,
+        })),
+        "dispatch" => Some(TraceEvent::Dispatch(DispatchEvent {
+            time,
+            node: f.usize("node")?,
+            session: f.usize("sess")?,
+            child: f.usize("child")?,
+            start_tag: f.f64("s")?,
+            finish_tag: f.f64("f")?,
+            phi: f.f64("phi")?,
+            v_before: f.f64("v0")?,
+            v_after: f.f64("v1")?,
+            head_bits: f.f64("bits")?,
+            node_rate: f.f64("rate")?,
+            policy: intern_policy(f.str("policy")?),
+        })),
+        "tx_start" => Some(TraceEvent::TxStart(TxEvent {
+            time,
+            leaf: f.usize("leaf")?,
+            pkt: f.pkt()?,
+        })),
+        "tx_end" => Some(TraceEvent::TxComplete(TxEvent {
+            time,
+            leaf: f.usize("leaf")?,
+            pkt: f.pkt()?,
+        })),
+        "backlog" => Some(TraceEvent::Backlog(BacklogEvent {
+            time,
+            node: f.usize("node")?,
+            active: f.str("active")? == "true",
+        })),
+        "busy_reset" => Some(TraceEvent::BusyReset(BusyResetEvent {
+            time,
+            node: f.usize("node")?,
+        })),
+        _ => None,
+    }
+}
+
+/// Parses a whole trace, skipping malformed lines; returns the events and
+/// the number of lines skipped.
+pub fn parse_trace(text: &str) -> (Vec<TraceEvent>, usize) {
+    let mut events = Vec::new();
+    let mut skipped = 0;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Some(ev) => events.push(ev),
+            None => skipped += 1,
+        }
+    }
+    (events, skipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Observer;
+
+    fn roundtrip(emit: impl FnOnce(&mut JsonlObserver<Vec<u8>>)) -> TraceEvent {
+        let mut obs = JsonlObserver::new(Vec::new());
+        emit(&mut obs);
+        assert_eq!(obs.write_errors, 0);
+        let buf = obs.into_inner();
+        let text = String::from_utf8(buf).unwrap();
+        let (evs, skipped) = parse_trace(&text);
+        assert_eq!(skipped, 0, "unparseable: {text}");
+        assert_eq!(evs.len(), 1);
+        evs[0]
+    }
+
+    fn pkt() -> PacketInfo {
+        PacketInfo {
+            id: 0xFFFF_FFFF_FFFF,
+            flow: 42,
+            len_bytes: 8192,
+            arrival: 0.612_345_678_901_234_5,
+        }
+    }
+
+    #[test]
+    fn every_event_kind_round_trips_exactly() {
+        let e = EnqueueEvent {
+            time: 1e-9,
+            leaf: 3,
+            pkt: pkt(),
+            queue_depth: 17,
+            queue_bytes: 139_264,
+        };
+        assert_eq!(roundtrip(|o| o.on_enqueue(&e)), TraceEvent::Enqueue(e));
+
+        let d = DropEvent {
+            time: 2.5,
+            leaf: 9,
+            pkt: pkt(),
+            queue_bytes: 65_536,
+        };
+        assert_eq!(roundtrip(|o| o.on_drop(&d)), TraceEvent::Drop(d));
+
+        let dis = DispatchEvent {
+            time: 0.125,
+            node: 1,
+            session: 2,
+            child: 5,
+            start_tag: 0.001_953_125,
+            finish_tag: 0.013_671_875,
+            phi: 0.49382716049382713,
+            v_before: 0.0,
+            v_after: 0.001_456_355_555_555_6,
+            head_bits: 65_536.0,
+            node_rate: 11.111e6,
+            policy: "wf2q+",
+        };
+        assert_eq!(
+            roundtrip(|o| o.on_dispatch(&dis)),
+            TraceEvent::Dispatch(dis)
+        );
+
+        let tx = TxEvent {
+            time: 3.0,
+            leaf: 4,
+            pkt: pkt(),
+        };
+        assert_eq!(roundtrip(|o| o.on_tx_start(&tx)), TraceEvent::TxStart(tx));
+        assert_eq!(
+            roundtrip(|o| o.on_tx_complete(&tx)),
+            TraceEvent::TxComplete(tx)
+        );
+
+        let b = BacklogEvent {
+            time: 0.25,
+            node: 7,
+            active: true,
+        };
+        assert_eq!(roundtrip(|o| o.on_node_backlog(&b)), TraceEvent::Backlog(b));
+
+        let r = BusyResetEvent {
+            time: 9.75,
+            node: 0,
+        };
+        assert_eq!(roundtrip(|o| o.on_busy_reset(&r)), TraceEvent::BusyReset(r));
+    }
+
+    #[test]
+    fn malformed_lines_are_counted_not_fatal() {
+        let (evs, skipped) = parse_trace(
+            "{\"ev\":\"busy_reset\",\"t\":1,\"node\":0}\nnot json\n{\"ev\":\"??\",\"t\":1}\n",
+        );
+        assert_eq!(evs.len(), 1);
+        assert_eq!(skipped, 2);
+    }
+
+    #[test]
+    fn unknown_policy_interned_as_placeholder() {
+        let line = "{\"ev\":\"dispatch\",\"t\":0,\"node\":0,\"sess\":0,\"child\":1,\"s\":0,\"f\":1,\"phi\":0.5,\"v0\":0,\"v1\":0.5,\"bits\":8,\"rate\":16,\"policy\":\"custom\"}";
+        match parse_line(line) {
+            Some(TraceEvent::Dispatch(d)) => assert_eq!(d.policy, "?"),
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+}

@@ -21,10 +21,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod rng;
 pub mod simulation;
 pub mod source;
 pub mod stats;
 
+pub use rng::SmallRng;
 pub use simulation::{Simulation, SourceConfig, SourceId};
 pub use source::{
     CbrSource, GreedyLbSource, PacketTrainSource, PeriodicOnOffSource, PoissonSource,

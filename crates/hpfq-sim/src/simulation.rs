@@ -18,6 +18,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use hpfq_core::{Hierarchy, NodeId, NodeScheduler, Packet};
+use hpfq_obs::{DropEvent, NoopObserver, Observer, PacketInfo};
 
 use crate::source::{Source, SourceOutput};
 use crate::stats::{ServiceRecord, SimStats};
@@ -79,12 +80,20 @@ impl PartialOrd for Key {
 
 /// A single-link simulation. Build the [`Hierarchy`] first, attach sources,
 /// then [`Simulation::run`].
-pub struct Simulation<S: NodeScheduler> {
-    server: Hierarchy<S>,
+///
+/// The hierarchy's [`Observer`] (second type parameter, default
+/// [`NoopObserver`]) sees every scheduling event; the simulator adds the
+/// events only it can know: exact transmission times and buffer drops.
+pub struct Simulation<S: NodeScheduler, O: Observer = NoopObserver> {
+    server: Hierarchy<S, O>,
     rate: f64,
     now: f64,
     queue: BinaryHeap<Reverse<(Key, usize)>>,
+    /// Event arena. Fired slots are pushed onto `free` and reused, so
+    /// memory is bounded by the maximum number of *outstanding* events,
+    /// not the total ever scheduled.
     events: Vec<Option<Event>>,
+    free: Vec<usize>,
     seq: u64,
     sources: Vec<(Box<dyn Source>, SourceConfig)>,
     /// Transmission start time of the in-flight packet.
@@ -95,9 +104,9 @@ pub struct Simulation<S: NodeScheduler> {
     flow_owner: std::collections::HashMap<u32, usize>,
 }
 
-impl<S: NodeScheduler> Simulation<S> {
+impl<S: NodeScheduler, O: Observer> Simulation<S, O> {
     /// Wraps a fully built hierarchy into a simulation.
-    pub fn new(server: Hierarchy<S>) -> Self {
+    pub fn new(server: Hierarchy<S, O>) -> Self {
         let rate = server.link_rate();
         Simulation {
             server,
@@ -105,6 +114,7 @@ impl<S: NodeScheduler> Simulation<S> {
             now: 0.0,
             queue: BinaryHeap::new(),
             events: Vec::new(),
+            free: Vec::new(),
             seq: 0,
             sources: Vec::new(),
             tx_start: 0.0,
@@ -114,8 +124,35 @@ impl<S: NodeScheduler> Simulation<S> {
     }
 
     /// Read access to the hierarchy (e.g. for queue inspection).
-    pub fn server(&self) -> &Hierarchy<S> {
+    pub fn server(&self) -> &Hierarchy<S, O> {
         &self.server
+    }
+
+    /// The hierarchy's observer (e.g. to read counters or recover a trace
+    /// buffer after the run).
+    pub fn observer(&self) -> &O {
+        self.server.observer()
+    }
+
+    /// The hierarchy's observer, mutably.
+    pub fn observer_mut(&mut self) -> &mut O {
+        self.server.observer_mut()
+    }
+
+    /// Consumes the simulation, returning the observer.
+    pub fn into_observer(self) -> O {
+        self.server.into_observer()
+    }
+
+    /// Outstanding (scheduled, unfired) events — exposed for capacity
+    /// diagnostics and the arena-reuse tests.
+    pub fn outstanding_events(&self) -> usize {
+        self.events.len() - self.free.len()
+    }
+
+    /// Size of the event arena (high-water mark of outstanding events).
+    pub fn event_arena_len(&self) -> usize {
+        self.events.len()
     }
 
     /// Current simulation time.
@@ -145,9 +182,19 @@ impl<S: NodeScheduler> Simulation<S> {
     fn schedule(&mut self, t: f64, ev: Event) {
         debug_assert!(t >= self.now - 1e-9, "scheduling into the past");
         self.seq += 1;
-        let slot = self.events.len();
-        self.events.push(Some(ev));
-        self.queue.push(Reverse((Key(t.max(self.now), self.seq), slot)));
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.events[slot].is_none(), "free slot still occupied");
+                self.events[slot] = Some(ev);
+                slot
+            }
+            None => {
+                self.events.push(Some(ev));
+                self.events.len() - 1
+            }
+        };
+        self.queue
+            .push(Reverse((Key(t.max(self.now), self.seq), slot)));
     }
 
     fn apply_output(&mut self, src_idx: usize, out: SourceOutput) {
@@ -157,9 +204,24 @@ impl<S: NodeScheduler> Simulation<S> {
         for mut pkt in out.packets {
             let cfg = self.sources[src_idx].1;
             pkt.arrival = self.now;
+            self.stats.record_arrival(&pkt);
             if let Some(limit) = cfg.buffer_bytes {
                 if self.server.leaf_queue_bytes(cfg.leaf) + u64::from(pkt.len_bytes) > limit {
-                    self.stats.record_drop(pkt.flow);
+                    self.stats.record_drop(&pkt);
+                    if O::ENABLED {
+                        let ev = DropEvent {
+                            time: self.now,
+                            leaf: cfg.leaf.index(),
+                            pkt: PacketInfo {
+                                id: pkt.id,
+                                flow: pkt.flow,
+                                len_bytes: pkt.len_bytes,
+                                arrival: pkt.arrival,
+                            },
+                            queue_bytes: self.server.leaf_queue_bytes(cfg.leaf),
+                        };
+                        self.server.observer_mut().on_drop(&ev);
+                    }
                     continue;
                 }
             }
@@ -170,9 +232,10 @@ impl<S: NodeScheduler> Simulation<S> {
 
     fn try_start(&mut self) {
         if !self.server.is_transmitting() && self.server.has_pending() {
+            let now = self.now;
             let pkt = self
                 .server
-                .start_transmission()
+                .start_transmission_at(now)
                 .expect("has_pending guaranteed a packet");
             self.tx_start = self.now;
             self.schedule(self.now + pkt.tx_time(self.rate), Event::TxComplete);
@@ -195,13 +258,14 @@ impl<S: NodeScheduler> Simulation<S> {
             let Reverse((Key(t, _), slot)) = self.queue.pop().expect("peeked");
             self.now = t;
             let ev = self.events[slot].take().expect("event fired once");
+            self.free.push(slot);
             match ev {
                 Event::Wake(i) => {
                     let out = self.sources[i].0.on_wake(t);
                     self.apply_output(i, out);
                 }
                 Event::TxComplete => {
-                    let pkt = self.server.complete_transmission();
+                    let pkt = self.server.complete_transmission_at(t);
                     self.stats.record_service(ServiceRecord {
                         id: pkt.id,
                         flow: pkt.flow,
@@ -326,6 +390,39 @@ mod tests {
         let f = sim.stats.flow(0);
         assert_eq!(f.packets, 3);
         assert_eq!(f.drops, 7);
+    }
+
+    /// The event arena reuses fired slots: a long run with a bounded number
+    /// of concurrently outstanding events must not grow memory linearly
+    /// with the packet count.
+    #[test]
+    fn event_arena_stays_bounded() {
+        let mut h = server(8_000.0);
+        let root = h.root();
+        let a = h.add_leaf(root, 0.5).unwrap();
+        let b = h.add_leaf(root, 0.5).unwrap();
+        let mut sim = Simulation::new(h);
+        sim.add_source(
+            0,
+            CbrSource::new(0, 500, 6000.0, 0.0, 1e9),
+            SourceConfig::open_loop(a),
+        );
+        sim.add_source(
+            1,
+            CbrSource::new(1, 500, 6000.0, 0.0, 1e9),
+            SourceConfig::open_loop(b),
+        );
+        sim.run(500.0);
+        // ~1500 packets served; per live source there is at most one wake,
+        // one in-flight TxComplete, and one pending Deliver at a time.
+        assert!(sim.stats.total_packets > 900, "{}", sim.stats.total_packets);
+        assert!(
+            sim.event_arena_len() <= 16,
+            "event arena grew to {} slots for {} packets",
+            sim.event_arena_len(),
+            sim.stats.total_packets
+        );
+        assert!(sim.outstanding_events() <= sim.event_arena_len());
     }
 
     /// Work conservation: link is never idle while traffic is queued —

@@ -10,9 +10,8 @@
 //! Sources never see the clock except through callback timestamps, and all
 //! randomness is seeded, so simulations are reproducible.
 
+use crate::rng::SmallRng;
 use hpfq_core::Packet;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// What a source callback hands back to the simulator.
 #[derive(Debug, Default)]
@@ -229,7 +228,10 @@ impl ScheduledOnOffSource {
     pub fn new(flow: u32, len_bytes: u32, rate_bps: f64, schedule: Vec<(f64, f64)>) -> Self {
         assert!(rate_bps > 0.0);
         for w in schedule.windows(2) {
-            assert!(w[0].1 <= w[1].0, "schedule intervals must be sorted/disjoint");
+            assert!(
+                w[0].1 <= w[1].0,
+                "schedule intervals must be sorted/disjoint"
+            );
         }
         ScheduledOnOffSource {
             flow,
@@ -304,7 +306,7 @@ pub struct PoissonSource {
     mean_interval: f64,
     start_time: f64,
     stop_time: f64,
-    rng: StdRng,
+    rng: SmallRng,
     seq: u64,
 }
 
@@ -325,14 +327,14 @@ impl PoissonSource {
             mean_interval: f64::from(len_bytes) * 8.0 / rate_bps,
             start_time,
             stop_time,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SmallRng::seed_from_u64(seed),
             seq: 0,
         }
     }
 
     fn exp_sample(&mut self) -> f64 {
         // Inverse-transform sampling; 1-u avoids ln(0).
-        let u: f64 = self.rng.gen::<f64>();
+        let u = self.rng.gen_f64();
         -(1.0 - u).ln() * self.mean_interval
     }
 }
@@ -430,8 +432,7 @@ impl Source for PacketTrainSource {
             }
         } else {
             self.in_burst = 0;
-            let elapsed_bursts =
-                ((now - self.start_time) / self.period).floor() + 1.0;
+            let elapsed_bursts = ((now - self.start_time) / self.period).floor() + 1.0;
             self.start_time + elapsed_bursts * self.period
         };
         SourceOutput {
@@ -563,8 +564,12 @@ impl Source for TraceSource {
             if t <= now + 1e-12 {
                 self.entries.pop();
                 self.seq += 1;
-                out.packets
-                    .push(Packet::new(pkt_id(self.flow, self.seq), self.flow, len, now));
+                out.packets.push(Packet::new(
+                    pkt_id(self.flow, self.seq),
+                    self.flow,
+                    len,
+                    now,
+                ));
             } else {
                 out.wakes.push(t);
                 break;
@@ -629,8 +634,7 @@ mod tests {
         // 25 ms on / 75 ms off starting at 200 ms, peak 3.2 Mbit/s with
         // 1000-byte packets => 8000 bits / 3.2e6 = 2.5 ms per packet =>
         // 10 packets per burst.
-        let mut s =
-            PeriodicOnOffSource::new(2, 1000, 3.2e6, 0.025, 0.1, 0.2, 10.0);
+        let mut s = PeriodicOnOffSource::new(2, 1000, 3.2e6, 0.025, 0.1, 0.2, 10.0);
         let pkts = drain(&mut s, 0.4999);
         // Bursts at 200 and 300 and 400 ms: 3 bursts of 10.
         assert_eq!(pkts.len(), 30);
@@ -645,12 +649,7 @@ mod tests {
 
     #[test]
     fn scheduled_onoff_respects_schedule() {
-        let mut s = ScheduledOnOffSource::new(
-            3,
-            1000,
-            8000.0,
-            vec![(1.0, 3.0), (5.0, 6.0)],
-        );
+        let mut s = ScheduledOnOffSource::new(3, 1000, 8000.0, vec![(1.0, 3.0), (5.0, 6.0)]);
         let pkts = drain(&mut s, 10.0);
         for &(t, _) in &pkts {
             assert!(

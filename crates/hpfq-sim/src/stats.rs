@@ -4,6 +4,8 @@
 
 use std::collections::HashMap;
 
+use hpfq_core::Packet;
+
 /// One transmitted packet, as recorded by the simulator.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceRecord {
@@ -38,6 +40,12 @@ pub struct FlowStats {
     pub bytes: u64,
     /// Packets dropped at the buffer.
     pub drops: u64,
+    /// Bytes dropped at the buffer.
+    pub drop_bytes: u64,
+    /// Packets offered by the source (accepted + dropped).
+    pub offered_packets: u64,
+    /// Bytes offered by the source (accepted + dropped).
+    pub offered_bytes: u64,
     /// Sum of per-packet delays (seconds).
     pub delay_sum: f64,
     /// Maximum per-packet delay.
@@ -53,6 +61,15 @@ impl FlowStats {
             0.0
         } else {
             self.delay_sum / self.packets as f64
+        }
+    }
+
+    /// Fraction of offered packets that were dropped.
+    pub fn loss_rate(&self) -> f64 {
+        if self.offered_packets == 0 {
+            0.0
+        } else {
+            self.drops as f64 / self.offered_packets as f64
         }
     }
 }
@@ -104,9 +121,18 @@ impl SimStats {
         }
     }
 
-    /// Records a buffer drop for `flow`.
-    pub fn record_drop(&mut self, flow: u32) {
-        self.flows.entry(flow).or_default().drops += 1;
+    /// Records a packet offered by its source (before any buffer check).
+    pub fn record_arrival(&mut self, pkt: &Packet) {
+        let f = self.flows.entry(pkt.flow).or_default();
+        f.offered_packets += 1;
+        f.offered_bytes += u64::from(pkt.len_bytes);
+    }
+
+    /// Records a buffer drop of `pkt`, including its size.
+    pub fn record_drop(&mut self, pkt: &Packet) {
+        let f = self.flows.entry(pkt.flow).or_default();
+        f.drops += 1;
+        f.drop_bytes += u64::from(pkt.len_bytes);
     }
 
     /// Aggregates for `flow` (zeroes if it never sent).
@@ -174,8 +200,10 @@ impl BandwidthEstimator {
             let inst = self.acc_bytes * 8.0 / self.window;
             self.ema_bps = self.alpha * inst + (1.0 - self.alpha) * self.ema_bps;
             self.cur_window += 1;
-            self.samples
-                .push((self.origin + self.cur_window as f64 * self.window, self.ema_bps));
+            self.samples.push((
+                self.origin + self.cur_window as f64 * self.window,
+                self.ema_bps,
+            ));
             self.acc_bytes = 0.0;
         }
     }
@@ -217,10 +245,16 @@ mod tests {
             start: 1.0,
             end: 3.0,
         });
-        s.record_drop(8);
+        let dropped = Packet::new(3, 8, 300, 3.5);
+        s.record_arrival(&dropped);
+        s.record_drop(&dropped);
         assert_eq!(s.flow(7).packets, 1);
         assert_eq!(s.flow(7).delay_max, 1.0);
         assert_eq!(s.flow(8).drops, 1);
+        assert_eq!(s.flow(8).drop_bytes, 300);
+        assert_eq!(s.flow(8).offered_bytes, 300);
+        assert_eq!(s.flow(8).loss_rate(), 1.0);
+        assert_eq!(s.flow(7).loss_rate(), 0.0);
         assert_eq!(s.flow(8).delay_max, 3.0);
         assert_eq!(s.trace(7).len(), 1);
         assert_eq!(s.trace(8).len(), 0); // not traced

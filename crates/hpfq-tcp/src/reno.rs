@@ -51,6 +51,10 @@ fn seg_id(flow: u32, seq: u64) -> u64 {
     (u64::from(flow) << 40) | (seq & SEQ_MASK)
 }
 
+/// Shared `(time, cwnd-in-segments)` sample buffer returned by
+/// [`TcpSource::cwnd_trace_handle`].
+pub type CwndTrace = Rc<RefCell<Vec<(f64, f64)>>>;
+
 /// A greedy (always has data) TCP Reno connection.
 #[derive(Debug)]
 pub struct TcpSource {
@@ -90,7 +94,7 @@ pub struct TcpSource {
     pending_acks: VecDeque<(f64, u64)>,
 
     /// Optional externally readable `(time, cwnd)` trace.
-    cwnd_trace: Option<Rc<RefCell<Vec<(f64, f64)>>>>,
+    cwnd_trace: Option<CwndTrace>,
 
     /// Diagnostics.
     retransmits: u64,
@@ -128,7 +132,7 @@ impl TcpSource {
     /// Returns a handle that will accumulate `(time, cwnd-in-segments)`
     /// samples as the connection runs; call before moving the source into
     /// the simulation.
-    pub fn cwnd_trace_handle(&mut self) -> Rc<RefCell<Vec<(f64, f64)>>> {
+    pub fn cwnd_trace_handle(&mut self) -> CwndTrace {
         let h = Rc::new(RefCell::new(Vec::new()));
         self.cwnd_trace = Some(Rc::clone(&h));
         h
@@ -153,8 +157,7 @@ impl TcpSource {
     /// allows, arming the RTO timer.
     fn pump(&mut self, now: f64, out: &mut SourceOutput) {
         if let Some(seq) = self.rtx_pending.take() {
-            out.packets
-                .push(self.make_segment(seq, now));
+            out.packets.push(self.make_segment(seq, now));
             self.retransmits += 1;
         }
         if now < self.cfg.stop_time {
@@ -171,10 +174,7 @@ impl TcpSource {
         // Arm/refresh the soft RTO timer while data is in flight.
         if self.snd_una < self.next_seq {
             let deadline = now + self.rto;
-            if self
-                .rto_deadline
-                .map_or(true, |d| d <= now + 1e-12)
-            {
+            if self.rto_deadline.is_none_or(|d| d <= now + 1e-12) {
                 self.rto_deadline = Some(deadline);
                 out.wakes.push(deadline);
             } else {
@@ -459,7 +459,7 @@ mod tests {
         let seq_of = |p: &Packet| p.id & ((1 << 40) - 1);
         // Open the connection; cwnd=1 → one segment (seq 0).
         let out = tcp.start();
-        let mut out = tcp.on_wake(out.wakes[0]);
+        let out = tcp.on_wake(out.wakes[0]);
         assert_eq!(out.packets.len(), 1);
         assert_eq!(seq_of(&out.packets[0]), 0);
         // Grow the window a little: deliver and ACK segments in order.
@@ -478,7 +478,11 @@ mod tests {
             }
             in_flight = next_flight;
         }
-        assert!(in_flight.len() >= 4, "window should have opened: {}", in_flight.len());
+        assert!(
+            in_flight.len() >= 4,
+            "window should have opened: {}",
+            in_flight.len()
+        );
         // Lose the first in-flight segment; deliver the next three.
         let lost = in_flight[0];
         let lost_seq = seq_of(&lost);

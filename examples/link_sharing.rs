@@ -38,8 +38,16 @@ fn main() {
     // A1's real-time class sends hard at 30 Mbit/s (above its 18 Mbit/s
     // guarantee); best-effort floods too. Agencies 2..6 are active at
     // their shares; 7..11 are idle until t=2 s.
-    sim.add_source(0, CbrSource::new(0, PKT, 30e6, 0.0, 10.0), SourceConfig::open_loop(a1_rt));
-    sim.add_source(1, CbrSource::new(1, PKT, 20e6, 0.0, 10.0), SourceConfig::open_loop(a1_be));
+    sim.add_source(
+        0,
+        CbrSource::new(0, PKT, 30e6, 0.0, 10.0),
+        SourceConfig::open_loop(a1_rt),
+    );
+    sim.add_source(
+        1,
+        CbrSource::new(1, PKT, 20e6, 0.0, 10.0),
+        SourceConfig::open_loop(a1_be),
+    );
     for (i, &leaf) in others.iter().enumerate() {
         let flow = 2 + i as u32;
         let start = if i < 5 { 0.0 } else { 2.0 };
@@ -55,14 +63,21 @@ fn main() {
         hpfq::analysis::measures::bandwidth_over(sim.stats.trace(flow), t0, t1) / 1e6
     };
     println!("Fig. 1 link sharing under H-WF2Q+ (45 Mbit/s link), Mbit/s:\n");
-    println!("{:<22} {:>14} {:>14}", "class", "t in [1,2)s", "t in [3,4)s");
     println!(
-        "{:<22} {:>14.2} {:>14.2}",
-        "A1 real-time (>=18)", bw(0, 1.0, 2.0), bw(0, 3.0, 4.0)
+        "{:<22} {:>14} {:>14}",
+        "class", "t in [1,2)s", "t in [3,4)s"
     );
     println!(
         "{:<22} {:>14.2} {:>14.2}",
-        "A1 best-effort (>=4.5)", bw(1, 1.0, 2.0), bw(1, 3.0, 4.0)
+        "A1 real-time (>=18)",
+        bw(0, 1.0, 2.0),
+        bw(0, 3.0, 4.0)
+    );
+    println!(
+        "{:<22} {:>14.2} {:>14.2}",
+        "A1 best-effort (>=4.5)",
+        bw(1, 1.0, 2.0),
+        bw(1, 3.0, 4.0)
     );
     let active_early: f64 = (2..7).map(|f| bw(f, 1.0, 2.0)).sum();
     let active_late: f64 = (2..12).map(|f| bw(f, 3.0, 4.0)).sum();

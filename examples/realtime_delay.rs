@@ -78,12 +78,26 @@ fn run(kind: SchedulerKind) -> (f64, f64, Vec<f64>) {
 
 fn main() {
     println!("real-time packet delay, same workload, two hierarchies:\n");
-    println!("{:<8} {:>12} {:>12} {:>18}", "algo", "mean_ms", "max_ms", "corollary2_ms");
-    for kind in [SchedulerKind::Wfq, SchedulerKind::Scfq, SchedulerKind::Wf2qPlus] {
+    println!(
+        "{:<8} {:>12} {:>12} {:>18}",
+        "algo", "mean_ms", "max_ms", "corollary2_ms"
+    );
+    for kind in [
+        SchedulerKind::Wfq,
+        SchedulerKind::Scfq,
+        SchedulerKind::Wf2qPlus,
+    ] {
         let (max, bound, delays) = run(kind);
         let mean = delays.iter().sum::<f64>() / delays.len() as f64;
-        let within = if max <= bound { "(within bound)" } else { "(EXCEEDS bound)" };
-        println!("{:<8} {mean:>12.2} {max:>12.2} {bound:>12.2} {within}", kind.name());
+        let within = if max <= bound {
+            "(within bound)"
+        } else {
+            "(EXCEEDS bound)"
+        };
+        println!(
+            "{:<8} {mean:>12.2} {max:>12.2} {bound:>12.2} {within}",
+            kind.name()
+        );
     }
     println!("\nonly a small-WFI scheduler (WF2Q+) carries the paper's per-node");
     println!("guarantees into a hierarchy; H-WFQ's worst case degrades with the");

@@ -2,7 +2,7 @@
 # Regenerates every paper artifact (figures + worked examples) into
 # results/, then runs the micro-benchmarks. See EXPERIMENTS.md for the
 # expected shapes. Total runtime: a few minutes for the experiments plus
-# ~15 minutes for criterion.
+# a few more for the micro-benchmarks.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -12,6 +12,9 @@
 //! * [`tcp`] — a Reno-style TCP model for the link-sharing experiments.
 //! * [`analysis`] — theoretical bounds (WFI / SBI / delay) and empirical
 //!   metrics extracted from simulation traces.
+//! * [`obs`] — observability: typed scheduler events behind a zero-cost
+//!   [`obs::Observer`] hook, JSONL trace emission/parsing, a metrics
+//!   registry, and an online invariant checker.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory; the `examples/` directory contains runnable scenarios and
@@ -20,6 +23,7 @@
 pub use hpfq_analysis as analysis;
 pub use hpfq_core as core;
 pub use hpfq_fluid as fluid;
+pub use hpfq_obs as obs;
 pub use hpfq_sim as sim;
 pub use hpfq_tcp as tcp;
 

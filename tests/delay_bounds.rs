@@ -48,7 +48,10 @@ fn theorem4_standalone_bound() {
         // The bound is tight-ish: the worst observed delay should come
         // within 40% of it under this adversarial load.
         let worst = trace.iter().map(|r| r.delay()).fold(0.0, f64::max);
-        assert!(worst > 0.6 * bound, "phi={phi}: worst {worst} vs bound {bound}");
+        assert!(
+            worst > 0.6 * bound,
+            "phi={phi}: worst {worst} vs bound {bound}"
+        );
     }
 }
 
@@ -143,7 +146,11 @@ fn wfq_exceeds_the_wf2q_plus_bound_in_a_hierarchy() {
             );
         }
         sim.run(30.0);
-        sim.stats.trace(0).iter().map(|r| r.delay()).fold(0.0, f64::max)
+        sim.stats
+            .trace(0)
+            .iter()
+            .map(|r| r.delay())
+            .fold(0.0, f64::max)
     };
     let rt_rate = 0.25 * rate;
     let bound = corollary2_bound(LMAX, LMAX, &[rt_rate, 0.5 * rate]);

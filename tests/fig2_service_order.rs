@@ -5,11 +5,14 @@
 
 use hpfq::core::{Hierarchy, Packet, SchedulerKind};
 use hpfq::fluid::{Arrival, FluidSim, FluidTree};
+use hpfq::obs::InvariantObserver;
 
 /// Runs the Fig. 2 workload through a depth-1 hierarchy and returns the
-/// session index of each transmitted packet.
+/// session index of each transmitted packet. An [`InvariantObserver`]
+/// rides along; any breach of the tag/virtual-time/SEFF invariants fails
+/// the calling test.
 fn order(kind: SchedulerKind) -> Vec<u32> {
-    let mut h = Hierarchy::new_with(1.0, move |r| kind.build(r));
+    let mut h = Hierarchy::new_with_observer(1.0, move |r| kind.build(r), InvariantObserver::new());
     let root = h.root();
     let big = h.add_leaf(root, 0.5).unwrap();
     let mut small = Vec::new();
@@ -29,6 +32,8 @@ fn order(kind: SchedulerKind) -> Vec<u32> {
     while let Some(p) = h.dequeue() {
         out.push(p.flow);
     }
+    let inv = h.observer();
+    assert!(inv.is_clean(), "{}: {}", kind.name(), inv.summary());
     out
 }
 
@@ -41,10 +46,20 @@ fn gps_fluid_finish_times_match_the_paper() {
         small.push(tree.add_leaf(tree.root(), 0.05).unwrap());
     }
     let mut arr: Vec<Arrival> = (0..11)
-        .map(|k| Arrival { time: 0.0, leaf: big, bits: 1.0, id: k })
+        .map(|k| Arrival {
+            time: 0.0,
+            leaf: big,
+            bits: 1.0,
+            id: k,
+        })
         .collect();
     for (j, &l) in small.iter().enumerate() {
-        arr.push(Arrival { time: 0.0, leaf: l, bits: 1.0, id: 100 + j as u64 });
+        arr.push(Arrival {
+            time: 0.0,
+            leaf: l,
+            bits: 1.0,
+            id: 100 + j as u64,
+        });
     }
     let gps = FluidSim::run(&tree, 1.0, &arr);
     // Paper §3.1: finish time 2k for p1^k (k=1..10), 21 for p1^11, 20 for

@@ -8,8 +8,7 @@ use hpfq::core::{Hierarchy, NodeId, Wf2qPlus};
 use hpfq::fluid::{Arrival, FluidNodeId, FluidSim, FluidTree};
 use hpfq::sim::{Simulation, SourceConfig, TraceSource};
 use hpfq_analysis::service_curve_from_records;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hpfq_sim::SmallRng;
 
 const LINK: f64 = 1e6;
 const PKT: u32 = 500; // 4000 bits
@@ -22,18 +21,20 @@ struct Mirror {
 
 /// Builds mirrored 2-level trees: `classes` internal nodes, each with
 /// `per_class` leaves, shares perturbed by `rng`.
-fn build(classes: usize, per_class: usize, rng: &mut StdRng) -> Mirror {
+fn build(classes: usize, per_class: usize, rng: &mut SmallRng) -> Mirror {
     let mut h = Hierarchy::new_with(LINK, Wf2qPlus::new);
     let mut fluid = FluidTree::new();
     let mut leaves = Vec::new();
     // Random class shares summing to 1.
-    let raw: Vec<f64> = (0..classes).map(|_| rng.gen_range(0.5..2.0)).collect();
+    let raw: Vec<f64> = (0..classes).map(|_| rng.gen_range_f64(0.5, 2.0)).collect();
     let total: f64 = raw.iter().sum();
     for &w in &raw {
         let phi = w / total;
         let c = h.add_internal(h.root(), phi).unwrap();
         let fc = fluid.add_internal(fluid.root(), phi).unwrap();
-        let raw_l: Vec<f64> = (0..per_class).map(|_| rng.gen_range(0.5..2.0)).collect();
+        let raw_l: Vec<f64> = (0..per_class)
+            .map(|_| rng.gen_range_f64(0.5, 2.0))
+            .collect();
         let total_l: f64 = raw_l.iter().sum();
         for &wl in &raw_l {
             let phil = wl / total_l;
@@ -48,7 +49,7 @@ fn build(classes: usize, per_class: usize, rng: &mut StdRng) -> Mirror {
 
 #[test]
 fn packet_service_tracks_fluid_service() {
-    let mut rng = StdRng::seed_from_u64(2024);
+    let mut rng = SmallRng::seed_from_u64(2024);
     for trial in 0..5 {
         let mirror = build(3, 3, &mut rng);
         let nleaves = mirror.leaves.len();
@@ -56,10 +57,10 @@ fn packet_service_tracks_fluid_service() {
         // Random bursty arrivals: each leaf gets bursts at random times.
         let mut arrivals_per_leaf: Vec<Vec<f64>> = vec![Vec::new(); nleaves];
         for arr in &mut arrivals_per_leaf {
-            let bursts = rng.gen_range(1..5);
+            let bursts = rng.gen_range_u32(1, 5);
             for _ in 0..bursts {
-                let t0 = rng.gen_range(0.0..2.0);
-                let n = rng.gen_range(1..20);
+                let t0 = rng.gen_range_f64(0.0, 2.0);
+                let n = rng.gen_range_u32(1, 20);
                 for k in 0..n {
                     arr.push(t0 + k as f64 * 1e-4);
                 }
@@ -141,14 +142,20 @@ fn sibling_shares_respected_under_flooding() {
         sim.stats.trace_flow(flow);
     }
     let deep: Vec<(f64, u32)> = (0..2000).map(|_| (0.0, PKT)).collect();
-    sim.add_source(0, TraceSource::new(0, deep.clone()), SourceConfig::open_loop(a1));
-    sim.add_source(1, TraceSource::new(1, deep.clone()), SourceConfig::open_loop(a2));
+    sim.add_source(
+        0,
+        TraceSource::new(0, deep.clone()),
+        SourceConfig::open_loop(a1),
+    );
+    sim.add_source(
+        1,
+        TraceSource::new(1, deep.clone()),
+        SourceConfig::open_loop(a2),
+    );
     sim.add_source(2, TraceSource::new(2, deep), SourceConfig::open_loop(b));
     sim.run(4.0);
 
-    let bw = |flow: u32| {
-        hpfq_analysis::measures::bandwidth_over(sim.stats.trace(flow), 0.5, 3.5)
-    };
+    let bw = |flow: u32| hpfq_analysis::measures::bandwidth_over(sim.stats.trace(flow), 0.5, 3.5);
     assert!((bw(0) / LINK - 0.35).abs() < 0.01, "a1 {}", bw(0));
     assert!((bw(1) / LINK - 0.15).abs() < 0.01, "a2 {}", bw(1));
     assert!((bw(2) / LINK - 0.50).abs() < 0.01, "b {}", bw(2));

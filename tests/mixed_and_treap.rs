@@ -6,8 +6,7 @@
 use hpfq::core::eligible::treap::TreapEligibleSet;
 use hpfq::core::wf2q_plus::Wf2qPlus;
 use hpfq::core::{Hierarchy, MixedScheduler, Packet, SchedulerKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hpfq::sim::SmallRng;
 
 /// WF²Q+ over the dual heap and over the treap must schedule identically
 /// (they implement the same policy; only the data structure differs).
@@ -22,21 +21,21 @@ fn treap_and_dual_heap_schedules_are_identical() {
         let l1 = h.add_leaf(class, 0.5).unwrap();
         let l2 = h.add_leaf(class, 0.5).unwrap();
         let l3 = h.add_leaf(root, 0.4).unwrap();
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = SmallRng::seed_from_u64(99);
         let mut id = 0u64;
         let mut out = Vec::new();
         for _round in 0..50 {
             // Random enqueues...
             for &leaf in &[l1, l2, l3] {
                 if rng.gen_bool(0.7) {
-                    for _ in 0..rng.gen_range(1..4) {
+                    for _ in 0..rng.gen_range_u32(1, 4) {
                         id += 1;
-                        h.enqueue(leaf, Packet::new(id, 0, rng.gen_range(100..1500), 0.0));
+                        h.enqueue(leaf, Packet::new(id, 0, rng.gen_range_u32(100, 1500), 0.0));
                     }
                 }
             }
             // ...then a few dequeues.
-            for _ in 0..rng.gen_range(1..6) {
+            for _ in 0..rng.gen_range_u32(1, 6) {
                 if let Some(p) = h.dequeue() {
                     out.push(p.id);
                 }

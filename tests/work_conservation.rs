@@ -4,6 +4,7 @@
 //! per-flow FIFO order.
 
 use hpfq::core::{Hierarchy, MixedScheduler, NodeId, SchedulerKind};
+use hpfq::obs::InvariantObserver;
 use hpfq::sim::{CbrSource, Simulation, SourceConfig, TraceSource};
 use std::collections::HashMap;
 
@@ -12,11 +13,12 @@ fn two_level(kind: SchedulerKind) -> (Hierarchy<MixedScheduler>, Vec<NodeId>) {
     let root = h.root();
     let a = h.add_internal(root, 0.6).unwrap();
     let b = h.add_internal(root, 0.4).unwrap();
-    let mut leaves = Vec::new();
-    leaves.push(h.add_leaf(a, 0.5).unwrap());
-    leaves.push(h.add_leaf(a, 0.5).unwrap());
-    leaves.push(h.add_leaf(b, 0.25).unwrap());
-    leaves.push(h.add_leaf(b, 0.75).unwrap());
+    let leaves = vec![
+        h.add_leaf(a, 0.5).unwrap(),
+        h.add_leaf(a, 0.5).unwrap(),
+        h.add_leaf(b, 0.25).unwrap(),
+        h.add_leaf(b, 0.75).unwrap(),
+    ];
     (h, leaves)
 }
 
@@ -90,14 +92,30 @@ fn every_packet_transmitted_exactly_once_and_in_flow_order() {
             }
         }
         assert_eq!(total, expected, "{}: packet count mismatch", kind.name());
-        assert!(seen.values().all(|&c| c == 1), "{}: duplicate ids", kind.name());
+        assert!(
+            seen.values().all(|&c| c == 1),
+            "{}: duplicate ids",
+            kind.name()
+        );
     }
 }
 
 /// The link serializes transmissions: service intervals never overlap.
+/// The same run is watched by an [`InvariantObserver`], whose online
+/// work-conservation check complements the throughput test above.
 #[test]
 fn transmissions_do_not_overlap() {
-    let (h, leaves) = two_level(SchedulerKind::Wf2qPlus);
+    let kind = SchedulerKind::Wf2qPlus;
+    let mut h = Hierarchy::new_with_observer(1e6, move |r| kind.build(r), InvariantObserver::new());
+    let root = h.root();
+    let a = h.add_internal(root, 0.6).unwrap();
+    let b = h.add_internal(root, 0.4).unwrap();
+    let leaves = [
+        h.add_leaf(a, 0.5).unwrap(),
+        h.add_leaf(a, 0.5).unwrap(),
+        h.add_leaf(b, 0.25).unwrap(),
+        h.add_leaf(b, 0.75).unwrap(),
+    ];
     let mut sim = Simulation::new(h);
     for (i, &leaf) in leaves.iter().enumerate() {
         let flow = i as u32;
@@ -114,9 +132,9 @@ fn transmissions_do_not_overlap() {
         .collect();
     intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     for w in intervals.windows(2) {
-        assert!(
-            w[1].0 >= w[0].1 - 1e-9,
-            "overlapping transmissions: {w:?}"
-        );
+        assert!(w[1].0 >= w[0].1 - 1e-9, "overlapping transmissions: {w:?}");
     }
+    let inv = sim.observer();
+    assert!(inv.events_checked > 0);
+    assert!(inv.is_clean(), "{}", inv.summary());
 }
