@@ -23,6 +23,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use hpfq_core::vtime;
+
+/// Near-ulp slack for deduplicating candidate evaluation times assembled
+/// from arrivals and service-curve breakpoints — these differ only by
+/// rounding when the same instant is reached through different sums.
+// lint:allow(L003): canonical crate-local definition used by sbi/wfi
+pub(crate) const TIME_DEDUP_EPS: f64 = 1e-15;
+
+/// Bits-scale threshold below which a session counts as idle when
+/// scanning for backlogged periods. Anchored to the canonical
+/// [`vtime::EPS`], three orders looser, same as the invariant checker.
+pub(crate) const BACKLOG_EPS_BITS: f64 = 1000.0 * vtime::EPS;
+
 pub mod bounds;
 pub mod measures;
 pub mod report;

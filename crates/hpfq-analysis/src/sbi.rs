@@ -9,6 +9,7 @@
 //!   session's B-WFI is therefore always an upper bound on its SBI, and
 //!   Lemma 1 converts an SBI into a delay bound.
 
+use hpfq_core::vtime;
 use hpfq_fluid::ServiceCurve;
 
 /// Converts a B-WFI (bits) into the equivalent standalone T-WFI (seconds)
@@ -51,15 +52,15 @@ pub fn empirical_sbi(
     w_s: &ServiceCurve,
     share: f64,
 ) -> f64 {
-    assert!(share > 0.0 && share <= 1.0 + 1e-12);
+    assert!(share > 0.0 && vtime::approx_le(share, 1.0));
     let mut times: Vec<f64> = arrivals.iter().map(|&(t, _)| t).collect();
     times.extend(w_i.points().iter().map(|&(t, _)| t));
     times.extend(w_s.points().iter().map(|&(t, _)| t));
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-    times.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
+    times.dedup_by(|a, b| (*a - *b).abs() < crate::TIME_DEDUP_EPS);
 
     let arrived_at = |t: f64| -> f64 {
-        let idx = arrivals.partition_point(|&(at, _)| at <= t + 1e-15);
+        let idx = arrivals.partition_point(|&(at, _)| at <= t + crate::TIME_DEDUP_EPS);
         arrivals[..idx].iter().map(|&(_, b)| b).sum()
     };
 
@@ -68,7 +69,7 @@ pub fn empirical_sbi(
     for &t in &times {
         let backlog = arrived_at(t) - w_i.value_at(t);
         let d = share * w_s.value_at(t) - w_i.value_at(t);
-        if backlog > 1e-6 {
+        if backlog > crate::BACKLOG_EPS_BITS {
             let d0 = *period_start_d.get_or_insert(d);
             if d - d0 > best {
                 best = d - d0;

@@ -12,6 +12,7 @@
 //! piecewise linear with breakpoints at the union of both curves'
 //! breakpoints, so evaluating at those points is exact.
 
+use hpfq_core::vtime;
 use hpfq_fluid::ServiceCurve;
 
 /// Computes the empirical B-WFI (bits) for a session given
@@ -29,17 +30,17 @@ pub fn empirical_bwfi(
     w_s: &ServiceCurve,
     share: f64,
 ) -> f64 {
-    assert!(share > 0.0 && share <= 1.0 + 1e-12);
+    assert!(share > 0.0 && vtime::approx_le(share, 1.0));
     // Candidate evaluation times: arrivals and both curves' breakpoints.
     let mut times: Vec<f64> = arrivals.iter().map(|&(t, _)| t).collect();
     times.extend(w_i.points().iter().map(|&(t, _)| t));
     times.extend(w_s.points().iter().map(|&(t, _)| t));
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-    times.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
+    times.dedup_by(|a, b| (*a - *b).abs() < crate::TIME_DEDUP_EPS);
 
     let arrived_at = |t: f64| -> f64 {
         // Cumulative arrivals in [0, t] (inclusive).
-        let idx = arrivals.partition_point(|&(at, _)| at <= t + 1e-15);
+        let idx = arrivals.partition_point(|&(at, _)| at <= t + crate::TIME_DEDUP_EPS);
         arrivals[..idx].iter().map(|&(_, b)| b).sum()
     };
 
@@ -48,7 +49,7 @@ pub fn empirical_bwfi(
     for &t in &times {
         let backlog = arrived_at(t) - w_i.value_at(t);
         let d = share * w_s.value_at(t) - w_i.value_at(t);
-        if backlog > 1e-6 {
+        if backlog > crate::BACKLOG_EPS_BITS {
             // Backlogged (with a bits-scale epsilon): extend the period.
             let m = run_min.get_or_insert(d);
             if d - *m > best {

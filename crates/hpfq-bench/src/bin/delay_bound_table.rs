@@ -5,7 +5,7 @@
 
 use hpfq_analysis::{corollary2_bound, CsvWriter};
 use hpfq_bench::experiments::results_dir;
-use hpfq_core::{Hierarchy, NodeId, Wf2qPlus};
+use hpfq_core::{vtime, Hierarchy, NodeId, Wf2qPlus};
 use hpfq_sim::{CbrSource, GreedyLbSource, Simulation, SmallRng, SourceConfig};
 
 const PKT: u32 = 1000; // bytes; L_max = 8000 bits
@@ -98,7 +98,7 @@ fn main() {
             trial_no += 1;
             let t = run_trial(&mut rng, depth);
             let ratio = t.measured / t.bound;
-            if t.measured > t.bound + 1e-9 {
+            if vtime::strictly_after(t.measured, t.bound) {
                 violations += 1;
             }
             println!(

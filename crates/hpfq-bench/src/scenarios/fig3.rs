@@ -165,6 +165,7 @@ pub fn build_with_observer<O: Observer>(
             let guaranteed = if i < 5 { 2.25e6 } else { 22.5e6 * inner_rest };
             let burst = ((guaranteed * 0.193) / (f64::from(PKT_BYTES) * 8.0))
                 .round()
+                // lint:allow(L005): rate·0.193/pkt_bits ≤ ~5.5e3, rounded and clamped ≥ 1 — fits u32
                 .max(1.0) as u32;
             // Staggered starts, as produced by the paper's upstream
             // multiplexer: "so that they do not have simultaneous

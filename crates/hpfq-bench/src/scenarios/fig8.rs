@@ -24,7 +24,7 @@
 //! exponentially averaged) and compares with the ideal H-GPS allocation
 //! from [`hpfq_fluid::ideal_shares`] per schedule interval.
 
-use hpfq_core::{Hierarchy, MixedScheduler, NodeId, SchedulerKind};
+use hpfq_core::{vtime, Hierarchy, MixedScheduler, NodeId, SchedulerKind};
 use hpfq_fluid::{FluidNodeId, FluidTree};
 use hpfq_sim::{ScheduledOnOffSource, Simulation, SourceConfig};
 use hpfq_tcp::{TcpConfig, TcpSource};
@@ -183,7 +183,7 @@ pub fn ideal_timeline(f: &Fig8, t0: f64, t1: f64) -> Vec<(f64, f64, Vec<f64>)> {
         }
     }
     cuts.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    cuts.dedup_by(|a, b| vtime::approx_eq(*a, *b));
 
     let mut out = Vec::new();
     for w in cuts.windows(2) {

@@ -9,6 +9,7 @@
 use std::collections::VecDeque;
 
 use crate::scheduler::{NodeScheduler, SessionId};
+use crate::vtime;
 
 #[derive(Debug, Clone)]
 struct DrrSession {
@@ -116,8 +117,8 @@ impl NodeScheduler for Drr {
                 s.deficit += s.quantum;
                 s.turn_credited = true;
             }
-            // Tiny epsilon absorbs float drift from repeated credits.
-            if s.head_bits <= s.deficit + 1e-9 {
+            // Tolerance absorbs float drift from repeated credits.
+            if vtime::approx_le(s.head_bits, s.deficit) {
                 s.deficit -= s.head_bits;
                 self.t += s.head_bits / self.rate;
                 self.in_service = Some(id);
@@ -140,7 +141,7 @@ impl NodeScheduler for Drr {
                 s.head_bits = bits;
                 // The front session keeps its turn while the deficit covers
                 // the next head; otherwise its turn ends.
-                if bits > s.deficit + 1e-9 {
+                if vtime::strictly_after(bits, s.deficit) {
                     s.turn_credited = false;
                     self.ring.rotate_left(1);
                 }

@@ -17,6 +17,7 @@ use std::collections::BinaryHeap;
 
 use super::EligibleSet;
 use crate::scheduler::SessionId;
+use crate::vtime;
 
 /// Heap entry; ordering is inverted so `BinaryHeap` (a max-heap) acts as a
 /// min-heap on `(key, tiebreak, id)`.
@@ -36,6 +37,7 @@ impl Ord for Entry {
         let lhs = (other.key, other.tiebreak, other.id.0);
         let rhs = (self.key, self.tiebreak, self.id.0);
         lhs.partial_cmp(&rhs)
+            // lint:allow(L002): insert() asserts finite tags — total order
             .expect("tags must not be NaN (asserted on insert)")
     }
 }
@@ -89,11 +91,15 @@ impl DualHeapEligibleSet {
                 self.pending.pop();
                 continue;
             }
-            if top.key > thr {
+            // Exact: the threshold derives from the same tag arithmetic, and
+            // blurring it would migrate sessions early and reorder dispatch.
+            if vtime::exactly_lt(thr, top.key) {
                 break;
             }
             self.pending.pop();
             let Slot::Pending { start, finish } = self.slots[top.id.0] else {
+                // lint:allow(L002): generation match implies the slot state;
+                // remove() bumps the generation when it clears a slot
                 unreachable!("current-generation pending entry must be Pending");
             };
             debug_assert_eq!(start, top.key);
@@ -136,7 +142,7 @@ impl DualHeapEligibleSet {
 impl EligibleSet for DualHeapEligibleSet {
     fn insert(&mut self, id: SessionId, start: f64, finish: f64) {
         assert!(
-            start.is_finite() && finish.is_finite() && start <= finish,
+            start.is_finite() && finish.is_finite() && vtime::exactly_le(start, finish),
             "bad tags ({start}, {finish}) for session {id:?}"
         );
         self.ensure(id);
@@ -177,6 +183,8 @@ impl EligibleSet for DualHeapEligibleSet {
         } else {
             let smin = self
                 .pending_min_start()
+                // lint:allow(L002): live > 0 and ready is empty, so pending
+                // holds at least one current-generation entry
                 .expect("live members must be in a heap");
             Some(v.max(smin))
         }

@@ -26,6 +26,7 @@ pub mod dual_heap;
 pub mod treap;
 
 use crate::scheduler::SessionId;
+use crate::vtime;
 
 /// A set of backlogged sessions, each with immutable `(start, finish)`
 /// virtual tags, supporting the SEFF queries.
@@ -81,7 +82,11 @@ pub(crate) struct FinishKey {
 
 impl FinishKey {
     pub(crate) fn better_than(&self, other: &FinishKey) -> bool {
-        (self.finish, self.id.0) < (other.finish, other.id.0)
+        // Exact comparison and exact stamp equality: the id tie-break only
+        // fires on *identical* finish tags (paper Fig. 2 determinism), and
+        // a tolerance here would reorder dispatch.
+        vtime::exactly_lt(self.finish, other.finish)
+            || (vtime::same_stamp(self.finish, other.finish) && self.id.0 < other.id.0)
     }
 }
 
@@ -93,7 +98,7 @@ pub struct BruteForceEligibleSet {
 
 impl EligibleSet for BruteForceEligibleSet {
     fn insert(&mut self, id: SessionId, start: f64, finish: f64) {
-        debug_assert!(start.is_finite() && finish.is_finite() && start <= finish);
+        debug_assert!(start.is_finite() && finish.is_finite() && vtime::exactly_le(start, finish));
         debug_assert!(!self.members.iter().any(|&(m, _, _)| m == id));
         self.members.push((id, start, finish));
     }
@@ -115,7 +120,7 @@ impl EligibleSet for BruteForceEligibleSet {
     fn pop_min_finish(&mut self, thr: f64) -> Option<SessionId> {
         let mut best: Option<(usize, FinishKey)> = None;
         for (i, &(id, start, finish)) in self.members.iter().enumerate() {
-            if start <= thr {
+            if vtime::exactly_le(start, thr) {
                 let key = FinishKey { finish, start, id };
                 if best.as_ref().is_none_or(|(_, b)| key.better_than(b)) {
                     best = Some((i, key));

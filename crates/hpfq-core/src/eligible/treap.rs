@@ -9,6 +9,7 @@
 
 use super::{EligibleSet, FinishKey};
 use crate::scheduler::SessionId;
+use crate::vtime;
 
 type Link = Option<usize>;
 
@@ -175,6 +176,7 @@ impl TreapEligibleSet {
     }
 
     fn delete_at(&mut self, root: Link, key: (f64, usize)) -> Link {
+        // lint:allow(L002): callers pass keys recorded in slots at insert
         let r = root.expect("key to delete must be present");
         let rk = self.key(r);
         if key == rk {
@@ -205,7 +207,8 @@ impl TreapEligibleSet {
         let mut cur = self.root;
         while let Some(n) = cur {
             let node = &self.arena[n];
-            if node.start <= thr {
+            // Exact threshold test — see DualHeapEligibleSet::migrate.
+            if vtime::exactly_le(node.start, thr) {
                 // The node itself and its whole left subtree are eligible.
                 consider(node.own_key(), &mut best);
                 if let Some(l) = node.left {
@@ -231,7 +234,7 @@ impl TreapEligibleSet {
 impl EligibleSet for TreapEligibleSet {
     fn insert(&mut self, id: SessionId, start: f64, finish: f64) {
         assert!(
-            start.is_finite() && finish.is_finite() && start <= finish,
+            start.is_finite() && finish.is_finite() && vtime::exactly_le(start, finish),
             "bad tags ({start}, {finish}) for session {id:?}"
         );
         if id.0 >= self.slots.len() {

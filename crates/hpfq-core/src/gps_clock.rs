@@ -41,6 +41,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::vtime;
+
 /// A fluid-departure heap entry (min-heap by finish tag).
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Departure {
@@ -54,6 +56,7 @@ impl Ord for Departure {
     fn cmp(&self, other: &Self) -> Ordering {
         (other.finish, other.session)
             .partial_cmp(&(self.finish, self.session))
+            // lint:allow(L002): tags are sums of finite phi-scaled lengths
             .expect("finish tags must not be NaN")
     }
 }
@@ -162,10 +165,12 @@ impl GpsClock {
     /// a no-op: the backlog horizon only ever extends.
     pub fn on_stamp(&mut self, session: usize, finish: f64) {
         let s = &mut self.sessions[session];
-        if s.active && finish <= s.last_finish {
+        // Exact: the horizon only extends on a strictly later stamp, and
+        // both values come from the same per-session tag arithmetic.
+        if s.active && vtime::exactly_le(finish, s.last_finish) {
             return;
         }
-        debug_assert!(finish >= s.last_finish - 1e-9 || !s.active);
+        debug_assert!(vtime::approx_ge(finish, s.last_finish) || !s.active);
         s.last_finish = finish;
         if !s.active {
             s.active = true;
@@ -245,7 +250,7 @@ impl GpsClock {
     fn peek_departure(&mut self) -> Option<Departure> {
         while let Some(&top) = self.departures.peek() {
             let s = &self.sessions[top.session];
-            if s.active && s.last_finish == top.finish {
+            if s.active && vtime::same_stamp(s.last_finish, top.finish) {
                 return Some(top);
             }
             self.departures.pop();

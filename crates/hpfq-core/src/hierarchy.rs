@@ -51,6 +51,7 @@ use hpfq_obs::{
 use crate::error::HpfqError;
 use crate::packet::Packet;
 use crate::scheduler::{NodeScheduler, SessionId};
+use crate::vtime;
 
 fn pkt_info(p: &Packet) -> PacketInfo {
     PacketInfo {
@@ -213,7 +214,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
             return Err(HpfqError::NotInternal(parent.0));
         }
         let sum = p.child_phi_sum + phi;
-        if sum > 1.0 + 1e-9 {
+        if vtime::strictly_after(sum, 1.0) {
             return Err(HpfqError::ShareOverflow {
                 node: parent.0,
                 sum,
@@ -228,6 +229,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
         let slot = self.nodes[parent.0]
             .sched
             .as_mut()
+            // lint:allow(L002): construct() only creates children under internal nodes
             .expect("internal node has a scheduler")
             .add_session(phi);
         debug_assert_eq!(slot.0, self.nodes[parent.0].children.len());
@@ -328,6 +330,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
                 active: true,
             });
         }
+        // lint:allow(L002): enqueue targets a leaf, and every leaf has a parent
         let (p, slot) = self.nodes[l].parent.expect("leaf has a parent");
         let hint = if p == 0 { Some(root_ref) } else { None };
         self.sched_mut(p).backlog(slot, bits, hint);
@@ -354,6 +357,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
             && self.nodes[0]
                 .sched
                 .as_ref()
+                // lint:allow(L002): node 0 is the root, which is always internal
                 .expect("root has a scheduler")
                 .backlogged()
                 == 0
@@ -370,6 +374,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
             let slot = self
                 .sched_mut(n)
                 .select_next()
+                // lint:allow(L002): loop invariant: a descendant of n just became backlogged
                 .expect("bubble_up reached a node with no backlogged child");
             if O::ENABLED {
                 self.emit_dispatch(n, slot, v_before);
@@ -377,6 +382,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
             let child = self.nodes[n].children[slot.0];
             let head = self.nodes[child]
                 .head
+                // lint:allow(L002): select_next returned this child, so it offers a head
                 .expect("selected child offers a head");
             self.nodes[n].head = Some(head);
             self.nodes[n].active_child = Some(child);
@@ -408,11 +414,13 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
         let child = self.nodes[n].children[slot.0];
         let head_bits = self.nodes[child]
             .head
+            // lint:allow(L002): emit_dispatch runs right after this child was selected
             .expect("selected child offers a head")
             .bits;
         let sched = self.nodes[n]
             .sched
             .as_ref()
+            // lint:allow(L002): only internal nodes dispatch, and they have schedulers
             .expect("internal node has a scheduler");
         let (start_tag, finish_tag) = sched.tags(slot);
         let e = DispatchEvent {
@@ -429,6 +437,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
             node_rate: sched.rate_bps(),
             policy: sched.name(),
         };
+        // lint:allow(L006): every emit_dispatch call site is behind an O::ENABLED gate
         self.obs.on_dispatch(&e);
     }
 
@@ -466,6 +475,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
         let pkt = *self.nodes[head.leaf]
             .fifo
             .front()
+            // lint:allow(L002): nodes[0].head is Some, so a packet is queued at that leaf
             .expect("head refers to a queued packet");
         if O::ENABLED {
             self.obs.on_tx_start(&TxEvent {
@@ -514,6 +524,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
         let pkt = self.nodes[leaf]
             .fifo
             .pop_front()
+            // lint:allow(L002): the transmitted head was queued at this leaf
             .expect("transmitted packet was queued");
         self.nodes[leaf].fifo_bytes -= u64::from(pkt.len_bytes);
         if O::ENABLED {
@@ -523,6 +534,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
                 pkt: pkt_info(&pkt),
             });
         }
+        // lint:allow(L002): every leaf has a parent
         let (lp, lslot) = self.nodes[leaf].parent.expect("leaf has a parent");
         match self.nodes[leaf].fifo.front() {
             Some(next) => {
@@ -548,6 +560,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
                     let child = self.nodes[n].children[slot.0];
                     let head = self.nodes[child]
                         .head
+                        // lint:allow(L002): select_next returned this child, so it offers a head
                         .expect("selected child offers a head");
                     self.nodes[n].head = Some(head);
                     self.nodes[n].active_child = Some(child);
@@ -608,6 +621,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
         self.nodes[n]
             .sched
             .as_mut()
+            // lint:allow(L002): sched_mut is only called for internal nodes
             .expect("internal node has a scheduler")
     }
 
@@ -655,6 +669,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
         self.nodes[node.0]
             .sched
             .as_ref()
+            // lint:allow(L002): documented caller contract: node is internal
             .expect("internal node")
             .virtual_time()
     }

@@ -30,6 +30,11 @@
 //! eq. 32).
 
 #![forbid(unsafe_code)]
+// Unsafe audit (PR 2): zero `unsafe` blocks exist anywhere in the
+// workspace and `forbid(unsafe_code)` keeps it that way; the lint below
+// is belt-and-braces so that if the forbid is ever relaxed, any unsafe
+// fn body still requires explicit `unsafe {}` blocks.
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod drr;
@@ -47,6 +52,13 @@ mod tag_heap;
 pub mod wf2q;
 pub mod wf2q_plus;
 pub mod wfq;
+
+/// Canonical virtual-time comparison helpers (single `EPS`, tolerance-aware
+/// and exact comparisons). Implemented in `hpfq-obs` — the root of the
+/// dependency graph, so the observers can share the same tolerance — and
+/// re-exported here as this crate's approved comparison module (`hpfq-lint`
+/// rules L001/L003 enforce its use).
+pub use hpfq_obs::vtime;
 
 pub use drr::Drr;
 pub use eligible::{dual_heap::DualHeapEligibleSet, treap::TreapEligibleSet, EligibleSet};

@@ -27,6 +27,7 @@ impl Ord for Entry {
         // Inverted for min-heap behaviour on (primary, secondary, id).
         (other.primary, other.secondary, other.id.0)
             .partial_cmp(&(self.primary, self.secondary, self.id.0))
+            // lint:allow(L002): callers only push finite tags
             .expect("tags must not be NaN")
     }
 }

@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 use crate::eligible::{dual_heap::DualHeapEligibleSet, EligibleSet};
 use crate::gps_clock::GpsClock;
 use crate::scheduler::{NodeScheduler, SessionId, SessionState};
+use crate::vtime;
 
 /// The WF²Q scheduler (SEFF over the exact GPS virtual time).
 #[derive(Debug, Clone)]
@@ -127,22 +128,24 @@ impl NodeScheduler for Wf2q {
             return None;
         }
         // SEFF at the exact GPS virtual time of the dispatch instant. The
-        // relative epsilon absorbs drift from the piecewise slope
+        // one-tolerance nudge absorbs drift from the piecewise slope
         // integration (e.g. Σφ of ten 0.05-shares summing to 1+2ulp, which
         // would otherwise leave V one ulp short of a start tag it has
         // mathematically reached); it is ~9 orders of magnitude below
         // packet granularity.
         let v = self.clock.advance_to(self.t);
-        let v = v + 1e-9 * v.abs().max(1.0);
+        let v = vtime::nudge_up(v);
         let id = match self.set.pop_min_finish(v) {
             Some(id) => id,
             None => {
                 // Head-only emulation artifact; fall back to the WF²Q+
                 // threshold to stay work-conserving.
                 self.fallback_dispatches += 1;
+                // lint:allow(L002): is_empty() returned false above
                 let thr = self.set.eligibility_threshold(v).expect("set is non-empty");
                 self.set
                     .pop_min_finish(thr)
+                    // lint:allow(L002): thr = max(V, Smin) admits the Smin session
                     .expect("threshold admits a session")
             }
         };

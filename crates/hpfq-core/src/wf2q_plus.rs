@@ -110,6 +110,7 @@ impl<E: EligibleSet> NodeScheduler for Wf2qPlus<E> {
         let id = self
             .set
             .pop_min_finish(thr)
+            // lint:allow(L002): thr = max(V, Smin) >= Smin admits that session
             .expect("max(V, Smin) always admits at least one session");
         let l = self.sessions[id.0].head_bits;
         // RESTART-NODE lines 12–13.

@@ -26,11 +26,11 @@ impl ServiceCurve {
     pub fn push(&mut self, t: f64, w: f64) {
         if let Some(&(pt, pw)) = self.points.last() {
             assert!(
-                t >= pt - 1e-12 && w >= pw - 1e-9,
+                t >= pt - crate::eps::TIGHT && w >= pw - crate::eps::LOOSE,
                 "breakpoints must be non-decreasing: ({t}, {w}) after ({pt}, {pw})"
             );
             // Collapse zero-width duplicates to keep the vector tidy.
-            if (t - pt).abs() < 1e-15 && (w - pw).abs() < 1e-12 {
+            if (t - pt).abs() < crate::eps::ULP && (w - pw).abs() < crate::eps::TIGHT {
                 return;
             }
         }
@@ -80,7 +80,9 @@ impl ServiceCurve {
         if w <= 0.0 {
             return Some(self.points.first().map_or(0.0, |&(t, _)| t));
         }
-        let i = self.points.partition_point(|&(_, pw)| pw < w - 1e-12);
+        let i = self
+            .points
+            .partition_point(|&(_, pw)| pw < w - crate::eps::TIGHT);
         if i == self.points.len() {
             return None;
         }
@@ -133,7 +135,7 @@ impl ArrivalCurve {
         debug_assert!(bits > 0.0);
         if let Some(last) = self.steps.last_mut() {
             assert!(t >= last.0, "arrivals must be time-ordered");
-            if (t - last.0).abs() < 1e-15 {
+            if (t - last.0).abs() < crate::eps::ULP {
                 last.1 += bits;
                 return;
             }

@@ -17,6 +17,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod eps;
+
 pub mod curve;
 pub mod shares;
 pub mod sim;

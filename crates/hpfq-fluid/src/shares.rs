@@ -56,13 +56,13 @@ pub fn ideal_shares(tree: &FluidTree, rate_bps: f64, demands: &[f64]) -> Vec<f64
         // Progressive filling: saturate children whose fair share exceeds
         // their demand, redistribute the surplus, repeat. Terminates in at
         // most |children| rounds.
-        while !unsat.is_empty() && capacity > 1e-12 {
+        while !unsat.is_empty() && capacity > crate::eps::TIGHT {
             let phi_sum: f64 = unsat.iter().map(|c| tree.phi(*c)).sum();
             debug_assert!(phi_sum > 0.0);
             let mut saturated = Vec::new();
             for &c in &unsat {
                 let fair = capacity * tree.phi(c) / phi_sum;
-                if agg[c.0] <= fair * (1.0 + 1e-12) {
+                if agg[c.0] <= fair * (1.0 + crate::eps::TIGHT) {
                     alloc[c.0] = agg[c.0];
                     saturated.push(c);
                 }

@@ -103,7 +103,7 @@ impl FluidSim {
         let mut rates = vec![0.0_f64; n];
         loop {
             // Apply all arrivals due at the current instant.
-            while idx < arrivals.len() && arrivals[idx].time <= t + 1e-15 {
+            while idx < arrivals.len() && arrivals[idx].time <= t + crate::eps::ULP {
                 let a = &arrivals[idx];
                 let leaf = leaves[a.leaf.0]
                     .as_mut()
@@ -115,7 +115,10 @@ impl FluidSim {
                 idx += 1;
             }
 
-            let any_backlog = leaves.iter().flatten().any(|l| l.backlog > 1e-12);
+            let any_backlog = leaves
+                .iter()
+                .flatten()
+                .any(|l| l.backlog > crate::eps::TIGHT);
             if !any_backlog {
                 if idx >= arrivals.len() {
                     break; // drained and no more work
@@ -139,7 +142,7 @@ impl FluidSim {
             }
             for (i, l) in leaves.iter().enumerate() {
                 if let Some(l) = l {
-                    if l.backlog > 1e-12 {
+                    if l.backlog > crate::eps::TIGHT {
                         debug_assert!(rates[i] > 0.0, "backlogged leaf with zero rate");
                         dt = dt.min(l.backlog / rates[i]);
                     }
@@ -150,19 +153,19 @@ impl FluidSim {
             // Advance the segment: serve fluid, record departures.
             for (i, slot) in leaves.iter_mut().enumerate() {
                 let Some(l) = slot else { continue };
-                if l.backlog <= 1e-12 || rates[i] <= 0.0 {
+                if l.backlog <= crate::eps::TIGHT || rates[i] <= 0.0 {
                     continue;
                 }
                 let served_now = (rates[i] * dt).min(l.backlog);
                 let served_before = l.served;
                 l.served += served_now;
                 l.backlog = (l.backlog - served_now).max(0.0);
-                if l.backlog < 1e-9 {
+                if l.backlog < crate::eps::LOOSE {
                     l.backlog = 0.0;
                 }
                 // Packets whose end offset falls inside this segment finish.
                 while let Some(&(end_off, id)) = l.fifo.front() {
-                    if end_off <= l.served + 1e-9 {
+                    if end_off <= l.served + crate::eps::LOOSE {
                         let t_fin = t + (end_off - served_before) / rates[i];
                         departures.push((id, t_fin.min(t + dt)));
                         l.fifo.pop_front();
@@ -199,7 +202,9 @@ fn compute_rates(tree: &FluidTree, leaves: &[Option<LeafState>], rate_bps: f64, 
     for i in (0..n).rev() {
         let id = FluidNodeId(i);
         if tree.is_leaf(id) {
-            active[i] = leaves[i].as_ref().is_some_and(|l| l.backlog > 1e-12);
+            active[i] = leaves[i]
+                .as_ref()
+                .is_some_and(|l| l.backlog > crate::eps::TIGHT);
         } else {
             // Children have larger indices, already computed.
             active[i] = tree.children(id).iter().any(|c| active[c.0]);

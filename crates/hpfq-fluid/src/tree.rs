@@ -1,7 +1,7 @@
 //! The share tree describing an H-GPS hierarchy (paper §2.2): each node
 //! carries a share `φ` of its parent; leaves hold the fluid packet queues.
 
-use hpfq_core::HpfqError;
+use hpfq_core::{vtime, HpfqError};
 
 /// Identifies a node of a [`FluidTree`]; the root is index 0.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -73,7 +73,7 @@ impl FluidTree {
             return Err(HpfqError::NotInternal(parent.0));
         }
         let sum = p.child_phi_sum + phi;
-        if sum > 1.0 + 1e-9 {
+        if vtime::strictly_after(sum, 1.0) {
             return Err(HpfqError::ShareOverflow {
                 node: parent.0,
                 sum,

@@ -1,0 +1,488 @@
+//! A small hand-rolled Rust tokenizer — enough syntax awareness for the
+//! lint rules without pulling in `syn` (the workspace builds offline with
+//! zero external dependencies).
+//!
+//! The lexer understands identifiers, numeric literals (with float
+//! detection), string/char/lifetime literals (including raw strings, so
+//! rule patterns never fire inside literal text), nested block comments,
+//! and multi-character operators (so `<<` is never mistaken for two `<`).
+//! Line comments are captured separately for `lint:allow` directive
+//! parsing.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal; `is_float` is carried on the token.
+    Number,
+    /// String literal (normal, raw, or byte).
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Punctuation / operator (possibly multi-character, e.g. `<=`, `::`).
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Literal text of the token.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Whether whitespace (or a comment) directly precedes this token —
+    /// used to tell comparison `<`/`>` from generics in rustfmt'd code.
+    pub spaced_before: bool,
+    /// For [`TokKind::Number`]: whether the literal is a float.
+    pub is_float: bool,
+}
+
+/// A captured `//` comment (text excludes the `//`).
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    /// 1-based source line the comment appears on.
+    pub line: u32,
+    /// Comment text after `//`.
+    pub text: String,
+}
+
+/// Tokenizer output: the token stream plus captured line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Line comments in source order.
+    pub comments: Vec<LineComment>,
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const MULTI_PUNCT: [&str; 22] = [
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src`. Unterminated literals are tolerated (the remainder of
+/// the file is consumed as the literal): a linter must not panic on the
+/// code it inspects.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut spaced = true; // start of file counts as spaced
+
+    macro_rules! push_tok {
+        ($kind:expr, $text:expr, $line:expr, $is_float:expr) => {
+            out.tokens.push(Tok {
+                kind: $kind,
+                text: $text,
+                line: $line,
+                spaced_before: spaced,
+                is_float: $is_float,
+            });
+            spaced = false;
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            spaced = true;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && b[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(LineComment {
+                line,
+                text: b[start..j].iter().collect(),
+            });
+            i = j;
+            spaced = true;
+            continue;
+        }
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if b[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            i = j;
+            spaced = true;
+            continue;
+        }
+        // Raw strings and raw identifiers: r"..."  r#"..."#  r#ident  br"".
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let (hash_from, is_byte_prefix) = if c == 'b' && b[i + 1] == 'r' {
+                (i + 2, true)
+            } else if c == 'r' {
+                (i + 1, false)
+            } else {
+                (usize::MAX, false)
+            };
+            if hash_from != usize::MAX {
+                let mut h = hash_from;
+                while h < n && b[h] == '#' {
+                    h += 1;
+                }
+                if h < n && b[h] == '"' {
+                    let hashes = h - hash_from;
+                    let start_line = line;
+                    let mut j = h + 1;
+                    'raw: while j < n {
+                        if b[j] == '\n' {
+                            line += 1;
+                        } else if b[j] == '"' {
+                            let mut k = 0;
+                            while k < hashes && j + 1 + k < n && b[j + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    push_tok!(
+                        TokKind::Str,
+                        b[i..j.min(n)].iter().collect(),
+                        start_line,
+                        false
+                    );
+                    i = j;
+                    continue;
+                }
+                // r#ident (raw identifier), only for the non-byte prefix.
+                if !is_byte_prefix
+                    && hash_from < n
+                    && b[hash_from] == '#'
+                    && hash_from + 1 < n
+                    && is_ident_start(b[hash_from + 1])
+                {
+                    let mut j = hash_from + 1;
+                    while j < n && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    push_tok!(
+                        TokKind::Ident,
+                        b[hash_from + 1..j].iter().collect(),
+                        line,
+                        false
+                    );
+                    i = j;
+                    continue;
+                }
+            }
+        }
+        // Byte string b"..." / byte char b'..'.
+        if c == 'b' && i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '\'') {
+            let quote = b[i + 1];
+            let start_line = line;
+            let mut j = i + 2;
+            while j < n {
+                if b[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if b[j] == '\n' {
+                    line += 1;
+                }
+                if b[j] == quote {
+                    j += 1;
+                    break;
+                }
+                j += 1;
+            }
+            let kind = if quote == '"' {
+                TokKind::Str
+            } else {
+                TokKind::Char
+            };
+            push_tok!(kind, b[i..j.min(n)].iter().collect(), start_line, false);
+            i = j;
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let start_line = line;
+            let mut j = i + 1;
+            while j < n {
+                if b[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if b[j] == '\n' {
+                    line += 1;
+                }
+                if b[j] == '"' {
+                    j += 1;
+                    break;
+                }
+                j += 1;
+            }
+            push_tok!(
+                TokKind::Str,
+                b[i..j.min(n)].iter().collect(),
+                start_line,
+                false
+            );
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // Escaped char, or exactly one char followed by closing quote.
+            let is_char = if i + 1 < n && b[i + 1] == '\\' {
+                true
+            } else {
+                i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\''
+            };
+            if is_char {
+                let mut j = i + 1;
+                if j < n && b[j] == '\\' {
+                    j += 2;
+                    // \u{...}
+                    while j < n && b[j] != '\'' {
+                        j += 1;
+                    }
+                } else {
+                    j += 1;
+                }
+                if j < n && b[j] == '\'' {
+                    j += 1;
+                }
+                push_tok!(TokKind::Char, b[i..j.min(n)].iter().collect(), line, false);
+                i = j;
+            } else {
+                let mut j = i + 1;
+                while j < n && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                push_tok!(TokKind::Lifetime, b[i..j].iter().collect(), line, false);
+                i = j;
+            }
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut j = i;
+            let mut is_float = false;
+            let hex = c == '0' && i + 1 < n && (b[i + 1] == 'x' || b[i + 1] == 'X');
+            let bin_oct = c == '0' && i + 1 < n && matches!(b[i + 1], 'b' | 'o');
+            if hex || bin_oct {
+                j = i + 2;
+                while j < n && (b[j].is_ascii_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+            } else {
+                while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+                    j += 1;
+                }
+                // Fractional part — but not `..` (range) and not `0.method()`.
+                if j + 1 < n && b[j] == '.' && b[j + 1].is_ascii_digit() {
+                    is_float = true;
+                    j += 1;
+                    while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+                        j += 1;
+                    }
+                } else if j < n
+                    && b[j] == '.'
+                    && (j + 1 >= n || (b[j + 1] != '.' && !is_ident_start(b[j + 1])))
+                {
+                    // Trailing-dot float like `1.`.
+                    is_float = true;
+                    j += 1;
+                }
+                // Exponent.
+                if j < n && (b[j] == 'e' || b[j] == 'E') {
+                    let mut k = j + 1;
+                    if k < n && (b[k] == '+' || b[k] == '-') {
+                        k += 1;
+                    }
+                    if k < n && b[k].is_ascii_digit() {
+                        is_float = true;
+                        j = k;
+                        while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+                            j += 1;
+                        }
+                    }
+                }
+                // Type suffix (f64, u32, ...).
+                if j < n && is_ident_start(b[j]) {
+                    let sfx_start = j;
+                    while j < n && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    let sfx: String = b[sfx_start..j].iter().collect();
+                    if sfx.starts_with('f') {
+                        is_float = true;
+                    }
+                }
+            }
+            push_tok!(TokKind::Number, b[i..j].iter().collect(), line, is_float);
+            i = j;
+            continue;
+        }
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let mut j = i;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            push_tok!(TokKind::Ident, b[i..j].iter().collect(), line, false);
+            i = j;
+            continue;
+        }
+        // Multi-char punctuation (maximal munch).
+        let mut matched = false;
+        for op in MULTI_PUNCT {
+            let oc: Vec<char> = op.chars().collect();
+            if i + oc.len() <= n && b[i..i + oc.len()] == oc[..] {
+                push_tok!(TokKind::Punct, op.to_string(), line, false);
+                i += oc.len();
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        push_tok!(TokKind::Punct, c.to_string(), line, false);
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn floats_and_ints_are_distinguished() {
+        let l = lex("let x = 1e-9; let y = 42; let z = 3.5f64; let r = 0..10;");
+        let nums: Vec<(&str, bool)> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(|t| (t.text.as_str(), t.is_float))
+            .collect();
+        assert_eq!(
+            nums,
+            vec![
+                ("1e-9", true),
+                ("42", false),
+                ("3.5f64", true),
+                ("0", false),
+                ("10", false)
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let l = lex(r#"let s = "a < b 1e-12 unwrap()"; x"#);
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+        // No Number/comparison tokens leak out of the literal.
+        assert!(!l.tokens.iter().any(|t| t.kind == TokKind::Number));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let l = lex(r##"fn f<'a>(s: &'a str) { let r = r#"x "quoted" y"#; }"##);
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let l = lex("let a = 1;\n// lint:allow(L001): reason\nlet b = 2;");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].line, 2);
+        assert!(l.comments[0].text.contains("lint:allow"));
+    }
+
+    #[test]
+    fn shift_is_not_two_comparisons() {
+        let k = kinds("a << b; c <= d; e < f");
+        assert!(k.contains(&(TokKind::Punct, "<<".into())));
+        assert!(k.contains(&(TokKind::Punct, "<=".into())));
+        assert!(k.contains(&(TokKind::Punct, "<".into())));
+    }
+
+    #[test]
+    fn spacing_is_tracked_for_angle_brackets() {
+        let l = lex("Vec<u8> ; a < b");
+        let lt: Vec<&Tok> = l.tokens.iter().filter(|t| t.text == "<").collect();
+        assert_eq!(lt.len(), 2);
+        assert!(!lt[0].spaced_before, "generic < is unspaced");
+        assert!(lt[1].spaced_before, "comparison < is spaced");
+    }
+
+    #[test]
+    fn char_literals_are_not_lifetimes() {
+        let l = lex(r"let c = 'x'; let nl = '\n'; fn g<'b>() {}");
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            2
+        );
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            1
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! # hpfq-lint — a dependency-free static-analysis pass for virtual-time
+//! # correctness
+//!
+//! The schedulers in this workspace are `f64` tag machines: one raw `<`
+//! where a tolerance-aware comparison was needed (or vice versa) silently
+//! changes dispatch order, and one `HashMap` iteration silently breaks
+//! run-to-run determinism. `rustc` and `clippy` cannot see these
+//! domain-level rules, so this crate enforces them:
+//!
+//! | rule | checks |
+//! |------|--------|
+//! | L001 | raw f64 comparisons on virtual-time identifiers outside `vtime` |
+//! | L002 | `unwrap`/`expect`/panic macros in hot-path crates |
+//! | L003 | hard-coded tolerance literals outside the canonical `vtime::EPS` |
+//! | L004 | `HashMap` (non-deterministic iteration) in simulation state |
+//! | L005 | `as` float→integer casts in byte/length accounting |
+//! | L006 | observer hook calls not gated behind `O::ENABLED` |
+//!
+//! Analysis is a hand-rolled tokenizer ([`lexer`]) plus token-level rules
+//! ([`rules`]) — no `syn`, no external dependencies, so the pass runs in
+//! the offline CI image. Intentional exceptions are allowlisted in place:
+//!
+//! ```text
+//! // lint:allow(L002): head exists — is_empty() checked on the line above
+//! let pkt = self.queue.pop().expect("non-empty");
+//! ```
+//!
+//! The directive covers its own line and the next code line (comment
+//! continuation lines in between are fine), requires a `: reason`, and
+//! accepts a comma-separated rule list. Run with
+//! `cargo run -p hpfq-lint -- --workspace` (`--deny` for a non-zero exit
+//! on violations, `--json` for the machine-readable report).
+//!
+//! ## Scan scope
+//!
+//! `--workspace` scans `src/` and `crates/*/src/` under the root —
+//! production code only. `tests/`, `benches/`, and `examples/` are out of
+//! scope by design: the disciplines the rules enforce (no panics, gated
+//! observers, canonical tolerances) are hot-path properties, and test code
+//! legitimately uses `unwrap`, ad-hoc tolerances, and fixture literals.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use engine::{FileCtx, Finding};
+pub use rules::{check_file, Rule, RULES};
+
+use std::path::{Path, PathBuf};
+
+/// Lints one source string, as if read from `rel_path` (used for crate
+/// resolution and in diagnostics).
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let krate = report::crate_of(rel_path);
+    let ctx = FileCtx::new(rel_path.to_string(), krate, src);
+    let mut findings = check_file(&ctx);
+    // A bare `lint:allow` without a reason is itself a violation: the
+    // reason is the audit trail.
+    for s in &ctx.suppressions {
+        if !s.has_reason {
+            findings.push(Finding {
+                rule: "L000",
+                file: rel_path.to_string(),
+                line: s.line,
+                message: format!(
+                    "lint:allow({}) without a `: reason` — every allowlist entry must say why",
+                    s.rules.join(", ")
+                ),
+                suppressed: false,
+            });
+        }
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Lints one file on disk; `root` anchors the relative path used in
+/// diagnostics.
+pub fn lint_file(root: &Path, path: &Path) -> std::io::Result<Vec<Finding>> {
+    let src = std::fs::read_to_string(path)?;
+    let rel = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/");
+    Ok(lint_source(&rel, &src))
+}
+
+/// Collects the production `.rs` files of the workspace rooted at `root`:
+/// `src/**` plus `crates/*/src/**`, sorted for deterministic output.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for m in members {
+            let src = m.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace under `root`. Findings are ordered by file
+/// path, then line.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut all = Vec::new();
+    for f in workspace_files(root)? {
+        all.extend(lint_file(root, &f)?);
+    }
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_allow_is_reported_as_l000() {
+        let f = lint_source(
+            "crates/hpfq-sim/src/x.rs",
+            "// lint:allow(L004)\nlet m = 1;",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "L000");
+    }
+
+    #[test]
+    fn lint_source_resolves_crate_scoping() {
+        // L002 applies in hpfq-core but not hpfq-obs.
+        let src = "fn f() { x.unwrap(); }";
+        assert_eq!(lint_source("crates/hpfq-core/src/x.rs", src).len(), 1);
+        assert!(lint_source("crates/hpfq-obs/src/x.rs", src).is_empty());
+    }
+}

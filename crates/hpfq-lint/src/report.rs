@@ -1,0 +1,169 @@
+//! Diagnostic rendering: human-readable text and machine-readable JSON.
+//!
+//! The JSON writer is hand-rolled (the crate is dependency-free); the
+//! output shape is stable and consumed by `results/lint_baseline.json`:
+//!
+//! ```json
+//! {
+//!   "findings": [{"rule": "L001", "file": "...", "line": 42,
+//!                 "message": "...", "suppressed": false}],
+//!   "counts": {"L001": {"hpfq-core": 3}},
+//!   "suppressed_counts": {"L002": {"hpfq-core": 21}},
+//!   "total_unsuppressed": 3
+//! }
+//! ```
+
+use crate::engine::Finding;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-rule, per-crate counts (BTreeMap for stable output order).
+pub type Counts = BTreeMap<String, BTreeMap<String, usize>>;
+
+/// Extracts the crate name from a scan-root-relative path
+/// (`crates/<name>/…`, else the workspace root package).
+pub fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            return name.to_string();
+        }
+    }
+    "hpfq".to_string()
+}
+
+/// Aggregates findings into per-rule, per-crate counts.
+/// `suppressed` selects which population to count.
+pub fn count(findings: &[Finding], suppressed: bool) -> Counts {
+    let mut out = Counts::new();
+    for f in findings.iter().filter(|f| f.suppressed == suppressed) {
+        *out.entry(f.rule.to_string())
+            .or_default()
+            .entry(crate_of(&f.file))
+            .or_default() += 1;
+    }
+    out
+}
+
+/// Renders findings as human-readable diagnostics, one per line, with a
+/// summary footer.
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut s = String::new();
+    for f in findings {
+        let tag = if f.suppressed { " (allowed)" } else { "" };
+        let _ = writeln!(
+            s,
+            "{}:{}: [{}]{} {}",
+            f.file, f.line, f.rule, tag, f.message
+        );
+    }
+    let live = findings.iter().filter(|f| !f.suppressed).count();
+    let allowed = findings.len() - live;
+    let _ = writeln!(s, "hpfq-lint: {live} violation(s), {allowed} allowlisted");
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_counts(counts: &Counts) -> String {
+    let mut s = String::from("{");
+    for (ri, (rule, per_crate)) in counts.iter().enumerate() {
+        if ri > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "\"{}\": {{", json_escape(rule));
+        for (ci, (krate, n)) in per_crate.iter().enumerate() {
+            if ci > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "\"{}\": {}", json_escape(krate), n);
+        }
+        s.push('}');
+    }
+    s.push('}');
+    s
+}
+
+/// Renders the full report as a JSON document.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut s = String::from("{\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \
+             \"suppressed\": {}}}",
+            json_escape(f.rule),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message),
+            f.suppressed
+        );
+        s.push_str(if i + 1 < findings.len() { ",\n" } else { "\n" });
+    }
+    let live = findings.iter().filter(|f| !f.suppressed).count();
+    let _ = write!(
+        s,
+        "  ],\n  \"counts\": {},\n  \"suppressed_counts\": {},\n  \"total_unsuppressed\": {}\n}}\n",
+        render_counts(&count(findings, false)),
+        render_counts(&count(findings, true)),
+        live
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &'static str, file: &str, suppressed: bool) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line: 7,
+            message: "msg with \"quotes\"".into(),
+            suppressed,
+        }
+    }
+
+    #[test]
+    fn crate_of_resolves_paths() {
+        assert_eq!(crate_of("crates/hpfq-core/src/wf2q.rs"), "hpfq-core");
+        assert_eq!(crate_of("src/main.rs"), "hpfq");
+    }
+
+    #[test]
+    fn counts_split_by_suppression() {
+        let fs = vec![
+            f("L001", "crates/hpfq-core/src/a.rs", false),
+            f("L001", "crates/hpfq-core/src/b.rs", false),
+            f("L001", "crates/hpfq-sim/src/c.rs", true),
+        ];
+        let live = count(&fs, false);
+        assert_eq!(live["L001"]["hpfq-core"], 2);
+        assert!(!live["L001"].contains_key("hpfq-sim"));
+        assert_eq!(count(&fs, true)["L001"]["hpfq-sim"], 1);
+    }
+
+    #[test]
+    fn json_is_escaped_and_totalled() {
+        let out = render_json(&[f("L001", "crates/hpfq-core/src/a.rs", false)]);
+        assert!(out.contains("msg with \\\"quotes\\\""));
+        assert!(out.contains("\"total_unsuppressed\": 1"));
+    }
+}

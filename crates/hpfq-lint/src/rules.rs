@@ -1,0 +1,550 @@
+//! The six lint rules (L001–L006).
+//!
+//! Each rule is a pure function over a [`FileCtx`]; [`check_file`] runs
+//! them all. The rules are deliberately token-level — precise enough for
+//! this workspace's rustfmt'd code, with `lint:allow` as the escape hatch
+//! for the rare intentional exception.
+
+use crate::engine::{FileCtx, Finding};
+use crate::lexer::{Tok, TokKind};
+
+/// Static description of one rule, for `--list-rules` and docs.
+pub struct Rule {
+    /// Rule ID (`L001`…`L006`).
+    pub id: &'static str,
+    /// Short name.
+    pub name: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// The rule catalog.
+pub const RULES: [Rule; 6] = [
+    Rule {
+        id: "L001",
+        name: "raw-vtime-comparison",
+        summary: "raw f64 comparison operator on a virtual-time-typed identifier outside the \
+                  approved vtime helper module",
+    },
+    Rule {
+        id: "L002",
+        name: "hot-path-panic",
+        summary: "unwrap()/expect()/panic-family macro in non-test code of the hot-path crates \
+                  (hpfq-core, hpfq-sim)",
+    },
+    Rule {
+        id: "L003",
+        name: "hardcoded-tolerance",
+        summary: "hard-coded float tolerance literal (0 < |x| <= 1e-6) outside the canonical \
+                  vtime::EPS definition",
+    },
+    Rule {
+        id: "L004",
+        name: "nondeterministic-hashmap",
+        summary: "HashMap with the default (randomly seeded) hasher — iteration order is \
+                  non-deterministic; use BTreeMap in simulation state",
+    },
+    Rule {
+        id: "L005",
+        name: "float-as-int-cast",
+        summary: "`as` cast of a float expression to an integer type in byte/length accounting \
+                  (saturating, truncating, silently lossy)",
+    },
+    Rule {
+        id: "L006",
+        name: "ungated-observer-call",
+        summary: "observer hook call not inside an `O::ENABLED`-gated block in hot-path crates",
+    },
+];
+
+/// Identifiers that carry virtual-time / tag semantics in this workspace.
+fn is_vtime_ident(name: &str) -> bool {
+    matches!(
+        name,
+        "vtime" | "start" | "finish" | "last_finish" | "smin" | "thr" | "v" | "last_v"
+    ) || name.starts_with("v_")
+        || name.ends_with("_tag")
+        || name.contains("vtime")
+}
+
+/// Crates whose per-packet paths rules L002/L006 police.
+fn is_hot_crate(krate: &str) -> bool {
+    matches!(krate, "hpfq-core" | "hpfq-sim")
+}
+
+/// Whether this file is the approved vtime helper module (or its
+/// re-export site), exempt from L001/L003.
+fn is_vtime_module(path: &str) -> bool {
+    path.contains("vtime")
+}
+
+/// Runs every rule on one file.
+pub fn check_file(ctx: &FileCtx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    l001_raw_vtime_comparison(ctx, &mut out);
+    l002_hot_path_panic(ctx, &mut out);
+    l003_hardcoded_tolerance(ctx, &mut out);
+    l004_nondeterministic_hashmap(ctx, &mut out);
+    l005_float_as_int_cast(ctx, &mut out);
+    l006_ungated_observer_call(ctx, &mut out);
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Keywords that terminate an operand walk — without this, a scan from a
+/// match-guard `==` would stroll through `if` into the pattern and
+/// collect binding names that are not operands.
+fn is_stop_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "else"
+            | "match"
+            | "while"
+            | "for"
+            | "loop"
+            | "return"
+            | "let"
+            | "in"
+            | "fn"
+            | "pub"
+            | "use"
+            | "mod"
+            | "impl"
+            | "where"
+            | "move"
+            | "break"
+            | "continue"
+            | "as"
+            | "struct"
+            | "enum"
+            | "const"
+            | "static"
+            | "trait"
+            | "type"
+            | "ref"
+            | "mut"
+            | "dyn"
+    )
+}
+
+/// Collects the identifiers of the operand expression adjacent to a
+/// comparison operator at token `i`, walking in `dir` (-1 = left,
+/// +1 = right). Bracket groups are traversed (collecting the idents
+/// inside); arithmetic (`+ - * /`), field access, and paths continue the
+/// walk; keywords and anything else stop it.
+fn operand_idents(tokens: &[Tok], i: usize, dir: isize) -> Vec<String> {
+    let mut idents = Vec::new();
+    let mut j = i as isize + dir;
+    let n = tokens.len() as isize;
+    while j >= 0 && j < n {
+        let t = &tokens[j as usize];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Ident, name) if is_stop_keyword(name) => break,
+            (TokKind::Ident, name) => idents.push(name.to_string()),
+            (TokKind::Number, _) => {}
+            (TokKind::Punct, "." | "::" | "+" | "-" | "*" | "/" | "!") => {}
+            (TokKind::Punct, ")" | "]") if dir < 0 => {
+                // Jump backwards over the matched group, collecting idents.
+                let close = t.text.as_str();
+                let open = if close == ")" { "(" } else { "[" };
+                let mut depth = 0;
+                while j >= 0 {
+                    let u = &tokens[j as usize];
+                    if u.kind == TokKind::Punct && u.text == close {
+                        depth += 1;
+                    } else if u.kind == TokKind::Punct && u.text == open {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if u.kind == TokKind::Ident {
+                        idents.push(u.text.clone());
+                    }
+                    j -= 1;
+                }
+            }
+            (TokKind::Punct, "(" | "[") if dir > 0 => {
+                let open = t.text.as_str();
+                let close = if open == "(" { ")" } else { "]" };
+                let mut depth = 0;
+                while j < n {
+                    let u = &tokens[j as usize];
+                    if u.kind == TokKind::Punct && u.text == open {
+                        depth += 1;
+                    } else if u.kind == TokKind::Punct && u.text == close {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if u.kind == TokKind::Ident {
+                        idents.push(u.text.clone());
+                    }
+                    j += 1;
+                }
+            }
+            _ => break,
+        }
+        j += dir;
+    }
+    idents
+}
+
+/// L001 — raw comparison operators on virtual-time-typed identifiers.
+fn l001_raw_vtime_comparison(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if is_vtime_module(&ctx.path) {
+        return;
+    }
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if ctx.is_test[i] || t.kind != TokKind::Punct {
+            continue;
+        }
+        let op = t.text.as_str();
+        let is_cmp = match op {
+            "==" | "!=" | "<=" | ">=" => true,
+            // Bare < / > double as generics brackets; rustfmt spaces
+            // comparisons on both sides and generics on neither.
+            "<" | ">" => {
+                t.spaced_before && ctx.tokens.get(i + 1).is_some_and(|next| next.spaced_before)
+            }
+            _ => false,
+        };
+        if !is_cmp {
+            continue;
+        }
+        let mut names = operand_idents(&ctx.tokens, i, -1);
+        names.extend(operand_idents(&ctx.tokens, i, 1));
+        if let Some(name) = names.iter().find(|n| is_vtime_ident(n)) {
+            out.push(ctx.finding(
+                "L001",
+                t.line,
+                format!(
+                    "raw `{op}` on virtual-time identifier `{name}`; use a `vtime::` helper \
+                     (approx_le/strictly_before/… for drift-tolerant order, \
+                     exactly_le/same_stamp for order-critical paths)"
+                ),
+            ));
+        }
+    }
+}
+
+/// L002 — panics in hot-path code.
+fn l002_hot_path_panic(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !is_hot_crate(&ctx.krate) {
+        return;
+    }
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if ctx.is_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let name = t.text.as_str();
+        let prev = i.checked_sub(1).map(|p| ctx.tokens[p].text.as_str());
+        let next = ctx.tokens.get(i + 1).map(|n| n.text.as_str());
+        let flagged = match name {
+            "unwrap" | "expect" => prev == Some(".") && next == Some("("),
+            "panic" | "unreachable" | "todo" | "unimplemented" => next == Some("!"),
+            _ => false,
+        };
+        if flagged {
+            out.push(ctx.finding(
+                "L002",
+                t.line,
+                format!(
+                    "`{name}` in hot-path code; return a typed `HpfqError`, or allowlist with a \
+                     reason if the invariant is locally provable"
+                ),
+            ));
+        }
+    }
+}
+
+/// L003 — hard-coded tolerance literals.
+fn l003_hardcoded_tolerance(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if is_vtime_module(&ctx.path) {
+        return;
+    }
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if ctx.is_test[i] || t.kind != TokKind::Number || !t.is_float {
+            continue;
+        }
+        let cleaned: String = t.text.chars().filter(|&c| c != '_').collect();
+        let cleaned = cleaned
+            .strip_suffix("f64")
+            .or_else(|| cleaned.strip_suffix("f32"))
+            .unwrap_or(&cleaned);
+        let Ok(val) = cleaned.parse::<f64>() else {
+            continue;
+        };
+        // lint:allow(L003): this literal IS the rule's detection threshold
+        if val > 0.0 && val <= 1e-6 {
+            out.push(ctx.finding(
+                "L003",
+                t.line,
+                format!(
+                    "hard-coded tolerance literal `{}`; derive from the canonical `vtime::EPS` \
+                     (or use a tolerance-aware `vtime::` comparison)",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// L004 — HashMap with the default hasher.
+fn l004_nondeterministic_hashmap(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if ctx.is_test[i] || t.kind != TokKind::Ident || t.text != "HashMap" {
+            continue;
+        }
+        out.push(ctx.finding(
+            "L004",
+            t.line,
+            "HashMap's default hasher is randomly seeded, so iteration order varies run-to-run; \
+             use BTreeMap for reproducible simulation state"
+                .to_string(),
+        ));
+    }
+}
+
+/// Integer types a float must not be silently `as`-cast into.
+fn is_int_type(name: &str) -> bool {
+    matches!(
+        name,
+        "u8" | "u16"
+            | "u32"
+            | "u64"
+            | "u128"
+            | "usize"
+            | "i8"
+            | "i16"
+            | "i32"
+            | "i64"
+            | "i128"
+            | "isize"
+    )
+}
+
+/// Idents that mark the casted expression as floating-point.
+fn is_float_marker(name: &str) -> bool {
+    matches!(
+        name,
+        "floor" | "ceil" | "round" | "trunc" | "sqrt" | "powi" | "powf" | "f64" | "f32"
+    )
+}
+
+/// L005 — `as` float→integer casts.
+fn l005_float_as_int_cast(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if ctx.is_test[i] || t.kind != TokKind::Ident || t.text != "as" {
+            continue;
+        }
+        let Some(ty) = ctx.tokens.get(i + 1) else {
+            continue;
+        };
+        if ty.kind != TokKind::Ident || !is_int_type(&ty.text) {
+            continue;
+        }
+        // Walk the postfix expression to the left of `as`, looking for
+        // float evidence: a float literal or a float-producing method/type.
+        let mut j = i as isize - 1;
+        let mut is_float_expr = false;
+        while j >= 0 {
+            let u = &ctx.tokens[j as usize];
+            match (u.kind, u.text.as_str()) {
+                (TokKind::Ident, name) => {
+                    if is_float_marker(name) {
+                        is_float_expr = true;
+                    }
+                }
+                (TokKind::Number, _) => {
+                    if u.is_float {
+                        is_float_expr = true;
+                    }
+                }
+                (TokKind::Punct, "." | "::") => {}
+                (TokKind::Punct, ")" | "]") => {
+                    let close = u.text.clone();
+                    let open = if close == ")" { "(" } else { "[" };
+                    let mut depth = 0;
+                    while j >= 0 {
+                        let w = &ctx.tokens[j as usize];
+                        if w.kind == TokKind::Punct && w.text == close {
+                            depth += 1;
+                        } else if w.kind == TokKind::Punct && w.text == open {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        } else if (w.kind == TokKind::Ident && is_float_marker(&w.text))
+                            || (w.kind == TokKind::Number && w.is_float)
+                        {
+                            is_float_expr = true;
+                        }
+                        j -= 1;
+                    }
+                }
+                _ => break,
+            }
+            j -= 1;
+        }
+        if is_float_expr {
+            out.push(ctx.finding(
+                "L005",
+                t.line,
+                format!(
+                    "float expression cast `as {}` truncates/saturates silently; prove the range \
+                     and allowlist with a reason, or restructure the accounting in integers",
+                    ty.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Observer hook names whose call sites must be `O::ENABLED`-gated.
+fn is_observer_hook(name: &str) -> bool {
+    matches!(
+        name,
+        "on_enqueue"
+            | "on_drop"
+            | "on_dispatch"
+            | "on_tx_start"
+            | "on_tx_complete"
+            | "on_node_backlog"
+            | "on_busy_reset"
+    )
+}
+
+/// L006 — ungated observer hook calls.
+fn l006_ungated_observer_call(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !is_hot_crate(&ctx.krate) {
+        return;
+    }
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if ctx.is_test[i] || ctx.gated[i] || t.kind != TokKind::Ident || !is_observer_hook(&t.text)
+        {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| ctx.tokens[p].text.as_str());
+        let next = ctx.tokens.get(i + 1).map(|n| n.text.as_str());
+        if prev == Some(".") && next == Some("(") {
+            out.push(ctx.finding(
+                "L006",
+                t.line,
+                format!(
+                    "observer call `.{}(…)` outside an `if O::ENABLED` gate; with NoopObserver \
+                     the event construction should be dead code, not merely an inlined-empty call",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::FileCtx;
+
+    fn findings(krate: &str, path: &str, src: &str) -> Vec<(String, u32)> {
+        let ctx = FileCtx::new(path.into(), krate.into(), src);
+        check_file(&ctx)
+            .into_iter()
+            .filter(|f| !f.suppressed)
+            .map(|f| (f.rule.to_string(), f.line))
+            .collect()
+    }
+
+    #[test]
+    fn l001_flags_raw_comparison_but_not_generics() {
+        let f = findings(
+            "hpfq-core",
+            "x.rs",
+            "fn f(start: f64, v: f64) -> bool { start <= v }\nfn g(x: Vec<u8>) -> usize { x.len() }",
+        );
+        assert_eq!(f, vec![("L001".into(), 1)]);
+    }
+
+    #[test]
+    fn l001_exempt_in_vtime_module_and_tests() {
+        assert!(findings(
+            "hpfq-obs",
+            "crates/hpfq-obs/src/vtime.rs",
+            "fn f(v: f64) -> bool { v <= 1.0 }"
+        )
+        .is_empty());
+        assert!(findings(
+            "hpfq-core",
+            "x.rs",
+            "#[cfg(test)]\nmod t { fn f(v: f64) -> bool { v <= 1.0 } }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn l001_match_guard_does_not_leak_pattern_bindings() {
+        // The scan from `==` must stop at `if`, not collect `start` from
+        // the pattern.
+        let f = findings(
+            "hpfq-core",
+            "x.rs",
+            "fn f(x: Option<(u64, f64)>, want: u64) -> bool {\n    matches!(x, Some((id, start)) if id == want)\n}",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn l002_only_in_hot_crates() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); unreachable!() }";
+        assert_eq!(
+            findings("hpfq-core", "x.rs", src),
+            vec![("L002".into(), 1), ("L002".into(), 1), ("L002".into(), 1)]
+        );
+        assert!(findings("hpfq-obs", "x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l003_flags_small_floats_only() {
+        let f = findings(
+            "hpfq-sim",
+            "x.rs",
+            "let a = 1e-9; let b = 0.5; let c = 1e-12;",
+        );
+        assert_eq!(f, vec![("L003".into(), 1), ("L003".into(), 1)]);
+    }
+
+    #[test]
+    fn l004_flags_hashmap() {
+        let f = findings(
+            "hpfq-sim",
+            "x.rs",
+            "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }",
+        );
+        assert_eq!(f, vec![("L004".into(), 1), ("L004".into(), 2)]);
+    }
+
+    #[test]
+    fn l005_requires_float_evidence() {
+        let f = findings(
+            "hpfq-sim",
+            "x.rs",
+            "fn f(t: f64) -> u64 { (t / 2.0).floor() as u64 }\nfn g(n: usize) -> u32 { n as u32 }",
+        );
+        assert_eq!(f, vec![("L005".into(), 1)]);
+    }
+
+    #[test]
+    fn l006_gated_calls_pass() {
+        let src = "fn f() { if O::ENABLED { obs.on_dispatch(&e); } obs.on_drop(&d); }";
+        let f = findings("hpfq-core", "x.rs", src);
+        assert_eq!(f, vec![("L006".into(), 1)]);
+    }
+
+    #[test]
+    fn lint_allow_suppresses_with_reason() {
+        let src = "// lint:allow(L004): bounded test-only map\nuse std::collections::HashMap;";
+        let ctx = FileCtx::new("x.rs".into(), "hpfq-sim".into(), src);
+        let all = check_file(&ctx);
+        assert_eq!(all.len(), 1);
+        assert!(all[0].suppressed);
+    }
+}

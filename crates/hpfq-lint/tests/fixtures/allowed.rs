@@ -1,0 +1,21 @@
+// Fixture for lint:allow suppression semantics.
+// Every violation here is allowlisted with a reason; the report must mark
+// them suppressed and `--deny` must not fail on them.
+
+pub fn stamped(finish: f64, recorded: f64) -> bool {
+    // lint:allow(L001): identity test on a stored stamp, not an ordering
+    finish == recorded
+}
+
+pub fn head(q: &[u32]) -> u32 {
+    // lint:allow(L002): non-empty checked by the caller's busy invariant
+    *q.first().expect("busy node has a head")
+}
+
+pub fn cache_bucket(t: f64) -> u64 {
+    // lint:allow(L005): floor of a non-negative time is in u64 range
+    t.floor() as u64
+}
+
+// lint:allow(L004): single-threaded debug cache whose order is never iterated
+pub type DebugCache = std::collections::HashMap<u32, u32>;

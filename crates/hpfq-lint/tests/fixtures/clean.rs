@@ -1,0 +1,31 @@
+// Negative fixture: idiomatic hot-path code that every rule must pass.
+
+use std::collections::BTreeMap;
+
+pub struct Node {
+    pub children: BTreeMap<u32, f64>,
+}
+
+pub fn pick(node: &Node, start: f64, vtime: f64) -> Option<u32> {
+    // Comparisons go through the approved helpers.
+    if !vtime::approx_le(start, vtime) {
+        return None;
+    }
+    node.children.keys().next().copied()
+}
+
+pub fn head_len(queue: &[u32]) -> Result<u32, &'static str> {
+    // Errors are typed, not panicked.
+    queue.first().copied().ok_or("empty queue")
+}
+
+pub fn emit<O: Observer>(obs: &mut O, now: f64) {
+    if O::ENABLED {
+        obs.on_tx_start(&TxEvent::new(now));
+    }
+}
+
+pub fn scale(len_bytes: u32) -> f64 {
+    // Int-to-float is lossless for u32: clean.
+    f64::from(len_bytes) * 8.0
+}

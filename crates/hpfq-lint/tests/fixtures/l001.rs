@@ -1,0 +1,32 @@
+// Fixture for rule L001 (raw-vtime-comparison).
+// Violations on lines 8, 13, 18; clean code elsewhere.
+
+pub fn seff_pick(start: f64, vtime: f64) -> bool {
+    // A generics bracket must NOT fire (unspaced `<`).
+    let _lens: Vec<u32> = Vec::new();
+    // Raw `<=` on `start`: VIOLATION.
+    start <= vtime
+}
+
+pub fn tag_check(finish_tag: f64, last_finish: f64) -> bool {
+    // Raw `==` on a `_tag`-suffixed identifier: VIOLATION.
+    finish_tag == last_finish
+}
+
+pub fn spaced_lt(v_before: f64, v_after: f64) -> bool {
+    // Raw spaced `<` on `v_`-prefixed identifiers: VIOLATION.
+    v_before < v_after
+}
+
+pub fn unrelated(count: usize, limit: usize) -> bool {
+    // Non-vtime identifiers: clean.
+    count < limit
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt.
+    fn exempt(start: f64, finish: f64) -> bool {
+        start <= finish
+    }
+}

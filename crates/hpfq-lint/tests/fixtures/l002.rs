@@ -1,0 +1,23 @@
+// Fixture for rule L002 (hot-path-panic).
+// Violations on lines 7, 9, 11; test code exempt.
+
+pub fn hot_path(q: &mut Vec<u32>, opt: Option<u32>) -> u32 {
+    let head = q.pop();
+    // Bare unwrap in hot path: VIOLATION.
+    let a = head.unwrap();
+    // expect in hot path: VIOLATION.
+    let b = opt.expect("caller guarantees Some");
+    if a == 0 {
+        unreachable!("a was checked non-zero") // VIOLATION.
+    }
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,22 @@
+// Fixture for rule L003 (hardcoded-tolerance).
+// Violations on lines 6, 8; ordinary float literals are clean.
+
+pub fn drifted(a: f64, b: f64) -> bool {
+    // Hard-coded 1e-9 tolerance: VIOLATION.
+    let close = (a - b).abs() < 1e-9;
+    // Hard-coded 1e-12 tolerance (with suffix): VIOLATION.
+    let tight = (a - b).abs() < 1e-12f64;
+    close || tight
+}
+
+pub fn ordinary_floats(x: f64) -> f64 {
+    // Magnitudes above 1e-6 are not tolerances: clean.
+    x * 0.5 + 1.0 - 1e-3
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn fixture_tolerance(a: f64) -> bool {
+        a < 1e-9 // test code is exempt
+    }
+}

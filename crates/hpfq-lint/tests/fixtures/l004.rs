@@ -1,0 +1,10 @@
+// Fixture for rule L004 (nondeterministic-hashmap).
+// Violations on lines 5, 9; BTreeMap is clean.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap; // VIOLATION.
+
+pub struct SimState {
+    pub deterministic: BTreeMap<u32, u64>,
+    pub racy: HashMap<u32, u64>, // VIOLATION.
+}

@@ -1,0 +1,15 @@
+// Fixture for rule L005 (float-as-int-cast).
+// Violations on lines 6, 8; integer-to-integer casts are clean.
+
+pub fn bucketize(t: f64, window: f64, len_bits: f64) -> (u64, u32) {
+    // floor()ed float cast to u64: VIOLATION.
+    let bucket = (t / window).floor() as u64;
+    // Float division cast straight to u32: VIOLATION.
+    let len_bytes = (len_bits / 8.0) as u32;
+    (bucket, len_bytes)
+}
+
+pub fn int_casts(n: usize, m: u64) -> (u32, usize) {
+    // Integer-to-integer: clean.
+    (n as u32, m as usize)
+}

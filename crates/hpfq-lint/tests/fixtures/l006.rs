@@ -1,0 +1,15 @@
+// Fixture for rule L006 (ungated-observer-call).
+// Violation on line 14; the gated call is clean.
+
+pub fn dispatch<O: Observer>(obs: &mut O, now: f64) {
+    if O::ENABLED {
+        let e = DispatchEvent::new(now);
+        // Gated: clean.
+        obs.on_dispatch(&e);
+    }
+}
+
+pub fn drop_packet<O: Observer>(obs: &mut O, now: f64) {
+    let e = DropEvent::new(now);
+    obs.on_drop(&e); // VIOLATION: not behind O::ENABLED.
+}

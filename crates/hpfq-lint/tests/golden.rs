@@ -1,0 +1,84 @@
+//! Golden tests: each rule is proven live against a fixture with known
+//! violation lines, a clean fixture passes every rule, and `lint:allow`
+//! suppression is honoured end-to-end.
+//!
+//! Fixtures live in `tests/fixtures/` (not compiled — they reference
+//! undeclared items on purpose) and are linted as if they sat in a
+//! hot-path crate so the crate-scoped rules apply.
+
+use hpfq_lint::lint_source;
+
+/// Lints a fixture as if it were hot-path code in `hpfq-core`.
+fn lint_fixture(name: &str) -> Vec<hpfq_lint::Finding> {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    lint_source(&format!("crates/hpfq-core/src/{name}"), &src)
+}
+
+/// Asserts the fixture produces exactly `expected` unsuppressed
+/// `(rule, line)` findings, in order.
+fn assert_findings(name: &str, expected: &[(&str, u32)]) {
+    let got: Vec<(String, u32)> = lint_fixture(name)
+        .into_iter()
+        .filter(|f| !f.suppressed)
+        .map(|f| (f.rule.to_string(), f.line))
+        .collect();
+    let want: Vec<(String, u32)> = expected.iter().map(|(r, l)| (r.to_string(), *l)).collect();
+    assert_eq!(got, want, "fixture {name}");
+}
+
+#[test]
+fn l001_raw_vtime_comparisons() {
+    assert_findings("l001.rs", &[("L001", 8), ("L001", 13), ("L001", 18)]);
+}
+
+#[test]
+fn l002_hot_path_panics() {
+    assert_findings("l002.rs", &[("L002", 7), ("L002", 9), ("L002", 11)]);
+}
+
+#[test]
+fn l003_hardcoded_tolerances() {
+    assert_findings("l003.rs", &[("L003", 6), ("L003", 8)]);
+}
+
+#[test]
+fn l004_hashmaps() {
+    assert_findings("l004.rs", &[("L004", 5), ("L004", 9)]);
+}
+
+#[test]
+fn l005_float_int_casts() {
+    assert_findings("l005.rs", &[("L005", 6), ("L005", 8)]);
+}
+
+#[test]
+fn l006_ungated_observer_call() {
+    assert_findings("l006.rs", &[("L006", 14)]);
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    assert_findings("clean.rs", &[]);
+}
+
+#[test]
+fn allowed_fixture_is_fully_suppressed() {
+    let findings = lint_fixture("allowed.rs");
+    // The violations ARE detected…
+    let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, vec!["L001", "L002", "L005", "L004"]);
+    // …but every one is suppressed, each by a reasoned directive.
+    assert!(findings.iter().all(|f| f.suppressed), "{findings:?}");
+    // And none of them is an L000 (missing reason).
+    assert!(findings.iter().all(|f| f.rule != "L000"));
+}
+
+#[test]
+fn hot_crate_scoping_is_enforced() {
+    // The same panic-heavy fixture is clean when linted as a non-hot crate.
+    let path = format!("{}/tests/fixtures/l002.rs", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(path).unwrap();
+    let f = lint_source("crates/hpfq-obs/src/l002.rs", &src);
+    assert!(f.is_empty(), "{f:?}");
+}

@@ -20,10 +20,11 @@
 //! kept) rather than panicked on, so a checker can ride along in benches and
 //! long soak runs; tests assert [`InvariantObserver::is_clean`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::event::{BacklogEvent, BusyResetEvent, DispatchEvent, DropEvent, EnqueueEvent, TxEvent};
+use crate::vtime;
 use crate::Observer;
 
 /// Which invariant a [`Violation`] breaches.
@@ -89,7 +90,7 @@ struct NodeState {
 /// the tags are accumulated `f64` sums.
 #[derive(Debug, Clone, Default)]
 pub struct InvariantObserver {
-    nodes: HashMap<usize, NodeState>,
+    nodes: BTreeMap<usize, NodeState>,
     violations: Vec<Violation>,
     /// Total breaches seen, including ones beyond the storage bound.
     pub total_violations: u64,
@@ -104,8 +105,10 @@ pub struct InvariantObserver {
 }
 
 impl InvariantObserver {
-    /// Absolute floor of the comparison tolerance.
-    pub const EPS: f64 = 1e-6;
+    /// Comparison tolerance at magnitude 1 — three orders looser than the
+    /// schedulers' own [`vtime::EPS`], since a checker must not cry wolf
+    /// on drift the arithmetic it watches legitimately accumulates.
+    pub const EPS: f64 = 1000.0 * vtime::EPS;
     /// At most this many [`Violation`]s are stored (all are counted).
     pub const MAX_STORED: usize = 100;
 
@@ -141,10 +144,6 @@ impl InvariantObserver {
         }
     }
 
-    fn tol(a: f64, b: f64) -> f64 {
-        Self::EPS * (1.0 + a.abs().max(b.abs()))
-    }
-
     fn push(&mut self, kind: InvariantKind, time: f64, node: usize, detail: String) {
         self.total_violations += 1;
         if self.violations.len() < Self::MAX_STORED {
@@ -161,7 +160,7 @@ impl InvariantObserver {
     /// idle gap if it happens strictly later than the owed start.
     fn check_pending_start(&mut self, t: f64) {
         if let Some(due) = self.pending_start {
-            if t > due + Self::tol(t, due) {
+            if vtime::exceeds_by(t, due, Self::EPS) {
                 self.push(
                     InvariantKind::WorkConservation,
                     t,
@@ -199,7 +198,7 @@ impl Observer for InvariantObserver {
         self.events_checked += 1;
 
         // S <= F on the dispatched head.
-        if e.start_tag > e.finish_tag + Self::tol(e.start_tag, e.finish_tag) {
+        if vtime::exceeds_by(e.start_tag, e.finish_tag, Self::EPS) {
             self.push(
                 InvariantKind::TagOrder,
                 e.time,
@@ -210,7 +209,7 @@ impl Observer for InvariantObserver {
 
         // V never decreases across the selection or between selections
         // within a busy period.
-        if e.v_after < e.v_before - Self::tol(e.v_after, e.v_before) {
+        if vtime::exceeds_by(e.v_before, e.v_after, Self::EPS) {
             self.push(
                 InvariantKind::VirtualTimeMonotone,
                 e.time,
@@ -223,7 +222,7 @@ impl Observer for InvariantObserver {
         }
         let st = self.nodes.entry(e.node).or_default();
         if let Some(prev) = st.last_v {
-            if e.v_before < prev - Self::tol(e.v_before, prev) {
+            if vtime::exceeds_by(prev, e.v_before, Self::EPS) {
                 let detail = format!(
                     "V decreased between dispatches without busy reset: {} -> {}",
                     prev, e.v_before
@@ -239,7 +238,7 @@ impl Observer for InvariantObserver {
         // and an eligible winner has S <= that threshold.
         if e.policy == "wf2q+" && e.node_rate > 0.0 {
             let thr = e.v_after - e.head_bits / e.node_rate;
-            if e.start_tag > thr + Self::tol(e.start_tag, thr) {
+            if vtime::exceeds_by(e.start_tag, thr, Self::EPS) {
                 self.push(
                     InvariantKind::SeffEligibility,
                     e.time,
@@ -253,7 +252,7 @@ impl Observer for InvariantObserver {
     fn on_tx_start(&mut self, e: &TxEvent) {
         self.events_checked += 1;
         if let Some(due) = self.pending_start {
-            if e.time > due + Self::tol(e.time, due) {
+            if vtime::exceeds_by(e.time, due, Self::EPS) {
                 self.push(
                     InvariantKind::WorkConservation,
                     e.time,

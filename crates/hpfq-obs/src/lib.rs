@@ -19,17 +19,28 @@
 //!   scheduler invariants (virtual-time monotonicity, `S ≤ F`, SEFF
 //!   eligibility, work conservation), turning observability into a
 //!   standing correctness harness.
+//! * [`vtime`] — the canonical virtual-time comparison helpers (single
+//!   [`vtime::EPS`], tolerance-aware and exact comparisons). It lives here,
+//!   at the root of the dependency graph, and is re-exported as
+//!   `hpfq_core::vtime`; the `hpfq-lint` static-analysis pass enforces that
+//!   all virtual-time comparisons and tolerance constants go through it.
 //!
 //! Two observers can be combined by tupling: `(A, B)` implements
 //! [`Observer`] by forwarding every event to both.
 
 #![forbid(unsafe_code)]
+// Unsafe audit (PR 2): zero `unsafe` blocks exist anywhere in the
+// workspace and `forbid(unsafe_code)` keeps it that way; the lint below
+// is belt-and-braces so that if the forbid is ever relaxed, any unsafe
+// fn body still requires explicit `unsafe {}` blocks.
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod event;
 pub mod invariant;
 pub mod jsonl;
 pub mod metrics;
+pub mod vtime;
 
 pub use event::{
     BacklogEvent, BusyResetEvent, DispatchEvent, DropEvent, EnqueueEvent, PacketInfo, TraceEvent,

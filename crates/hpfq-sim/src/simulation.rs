@@ -17,7 +17,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use hpfq_core::{Hierarchy, NodeId, NodeScheduler, Packet};
+use hpfq_core::{vtime, Hierarchy, NodeId, NodeScheduler, Packet};
 use hpfq_obs::{DropEvent, NoopObserver, Observer, PacketInfo};
 
 use crate::source::{Source, SourceOutput};
@@ -68,6 +68,7 @@ impl Ord for Key {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.0, self.1)
             .partial_cmp(&(other.0, other.1))
+            // lint:allow(L002): schedule() only accepts finite times
             .expect("event times must not be NaN")
     }
 }
@@ -101,7 +102,7 @@ pub struct Simulation<S: NodeScheduler, O: Observer = NoopObserver> {
     /// Statistics collector.
     pub stats: SimStats,
     /// Maps a flow id to the source that owns it (for delivery routing).
-    flow_owner: std::collections::HashMap<u32, usize>,
+    flow_owner: std::collections::BTreeMap<u32, usize>,
 }
 
 impl<S: NodeScheduler, O: Observer> Simulation<S, O> {
@@ -119,7 +120,7 @@ impl<S: NodeScheduler, O: Observer> Simulation<S, O> {
             sources: Vec::new(),
             tx_start: 0.0,
             stats: SimStats::new(),
-            flow_owner: std::collections::HashMap::new(),
+            flow_owner: std::collections::BTreeMap::new(),
         }
     }
 
@@ -180,7 +181,7 @@ impl<S: NodeScheduler, O: Observer> Simulation<S, O> {
     }
 
     fn schedule(&mut self, t: f64, ev: Event) {
-        debug_assert!(t >= self.now - 1e-9, "scheduling into the past");
+        debug_assert!(vtime::approx_ge(t, self.now), "scheduling into the past");
         self.seq += 1;
         let slot = match self.free.pop() {
             Some(slot) => {
@@ -236,6 +237,7 @@ impl<S: NodeScheduler, O: Observer> Simulation<S, O> {
             let pkt = self
                 .server
                 .start_transmission_at(now)
+                // lint:allow(L002): has_pending() was checked just above
                 .expect("has_pending guaranteed a packet");
             self.tx_start = self.now;
             self.schedule(self.now + pkt.tx_time(self.rate), Event::TxComplete);
@@ -255,8 +257,10 @@ impl<S: NodeScheduler, O: Observer> Simulation<S, O> {
             if t > horizon {
                 break;
             }
+            // lint:allow(L002): peek() just returned this entry
             let Reverse((Key(t, _), slot)) = self.queue.pop().expect("peeked");
             self.now = t;
+            // lint:allow(L002): each queue entry owns its slot until fired
             let ev = self.events[slot].take().expect("event fired once");
             self.free.push(slot);
             match ev {

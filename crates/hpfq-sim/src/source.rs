@@ -11,7 +11,7 @@
 //! randomness is seeded, so simulations are reproducible.
 
 use crate::rng::SmallRng;
-use hpfq_core::Packet;
+use hpfq_core::{vtime, Packet};
 
 /// What a source callback hands back to the simulator.
 #[derive(Debug, Default)]
@@ -174,13 +174,13 @@ impl Source for PeriodicOnOffSource {
         }
         // Within the on phase (half-open: a packet slot must *begin*
         // strictly inside it)?
-        if self.phase(now) < self.on_duration - 1e-12 {
+        if vtime::strictly_before(self.phase(now), self.on_duration) {
             self.seq += 1;
             let pkt = Packet::new(pkt_id(self.flow, self.seq), self.flow, self.len_bytes, now);
             let next = now + self.interval;
             // If the next slot falls in the off phase, jump to the next
             // period start.
-            let wake = if self.phase(next) < self.on_duration - 1e-12 && next > now {
+            let wake = if vtime::strictly_before(self.phase(next), self.on_duration) && next > now {
                 next
             } else {
                 let k = ((next - self.start_time) / self.period).floor() + 1.0;
@@ -247,7 +247,7 @@ impl ScheduledOnOffSource {
         self.schedule
             .iter()
             .copied()
-            .find(|&(s, e)| t >= s - 1e-12 && t < e - 1e-12)
+            .find(|&(s, e)| vtime::approx_ge(t, s) && vtime::strictly_before(t, e))
     }
 
     /// Start of the first interval after `t`.
@@ -255,7 +255,7 @@ impl ScheduledOnOffSource {
         self.schedule
             .iter()
             .map(|&(s, _)| s)
-            .find(|&s| s > t + 1e-12)
+            .find(|&s| vtime::strictly_after(s, t))
     }
 }
 
@@ -272,7 +272,7 @@ impl Source for ScheduledOnOffSource {
             self.seq += 1;
             let pkt = Packet::new(pkt_id(self.flow, self.seq), self.flow, self.len_bytes, now);
             let next = now + self.interval;
-            let wake = if next < end - 1e-12 {
+            let wake = if vtime::strictly_before(next, end) {
                 Some(next)
             } else {
                 self.next_start_after(now)
@@ -561,7 +561,7 @@ impl Source for TraceSource {
     fn on_wake(&mut self, now: f64) -> SourceOutput {
         let mut out = SourceOutput::none();
         while let Some(&(t, len)) = self.entries.last() {
-            if t <= now + 1e-12 {
+            if vtime::approx_le(t, now) {
                 self.entries.pop();
                 self.seq += 1;
                 out.packets.push(Packet::new(

@@ -2,7 +2,7 @@
 //! aggregates, and the windowed exponential bandwidth average of paper
 //! §5.2.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hpfq_core::Packet;
 
@@ -81,8 +81,8 @@ impl FlowStats {
 /// a long run over every flow would dominate memory).
 #[derive(Debug, Default)]
 pub struct SimStats {
-    flows: HashMap<u32, FlowStats>,
-    traced: HashMap<u32, Vec<ServiceRecord>>,
+    flows: BTreeMap<u32, FlowStats>,
+    traced: BTreeMap<u32, Vec<ServiceRecord>>,
     /// Total bytes transmitted on the link.
     pub total_bytes: u64,
     /// Total packets transmitted on the link.
@@ -146,11 +146,9 @@ impl SimStats {
         self.traced.get(&flow).map_or(&[], |v| v.as_slice())
     }
 
-    /// All flows seen, sorted by id.
+    /// All flows seen, sorted by id (BTreeMap iteration order).
     pub fn flows(&self) -> Vec<u32> {
-        let mut v: Vec<u32> = self.flows.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.flows.keys().copied().collect()
     }
 }
 
@@ -195,6 +193,8 @@ impl BandwidthEstimator {
 
     /// Closes every window ending at or before `t`.
     fn roll_to(&mut self, t: f64) {
+        // lint:allow(L005): floor().max(0.0) is a non-negative window
+        // count, far below u64::MAX for any simulated horizon
         let target = ((t - self.origin) / self.window).floor().max(0.0) as u64;
         while self.cur_window < target {
             let inst = self.acc_bytes * 8.0 / self.window;

@@ -11,7 +11,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeSet, VecDeque};
 use std::rc::Rc;
 
-use hpfq_core::Packet;
+use hpfq_core::{vtime, Packet};
 use hpfq_sim::{Source, SourceOutput};
 
 /// Configuration for a [`TcpSource`].
@@ -174,7 +174,7 @@ impl TcpSource {
         // Arm/refresh the soft RTO timer while data is in flight.
         if self.snd_una < self.next_seq {
             let deadline = now + self.rto;
-            if self.rto_deadline.is_none_or(|d| d <= now + 1e-12) {
+            if self.rto_deadline.is_none_or(|d| vtime::approx_le(d, now)) {
                 self.rto_deadline = Some(deadline);
                 out.wakes.push(deadline);
             } else {
@@ -286,7 +286,7 @@ impl Source for TcpSource {
         // 1. Deliver any ACKs whose return-path delay has elapsed.
         let mut acked = false;
         while let Some(&(t, ack)) = self.pending_acks.front() {
-            if t <= now + 1e-12 {
+            if vtime::approx_le(t, now) {
                 self.pending_acks.pop_front();
                 self.process_ack(now, ack, &mut out);
                 acked = true;
@@ -297,9 +297,9 @@ impl Source for TcpSource {
         // 2. Retransmission timeout (soft timer).
         if !acked {
             if let Some(deadline) = self.rto_deadline {
-                if now >= deadline - 1e-12 && self.snd_una < self.next_seq {
+                if vtime::approx_ge(now, deadline) && self.snd_una < self.next_seq {
                     self.on_timeout(now, &mut out);
-                } else if now >= deadline - 1e-12 {
+                } else if vtime::approx_ge(now, deadline) {
                     self.rto_deadline = None;
                 } else {
                     // Deadline was pushed forward; re-arm.
