@@ -211,6 +211,7 @@ mod tests {
         assert!((f.rt1_rate - 9e6).abs() < 1.0);
         assert_eq!(f.rt1_rates_path.len(), 3);
         assert!((f.rt1_rates_path[1] - 11.111e6).abs() < 1e4);
+        f.sim.verify_conservation().unwrap();
     }
 
     #[test]
@@ -219,5 +220,6 @@ mod tests {
         f.sim.run(1.0);
         assert_eq!(f.sim.stats.flow(FLOW_CS_BASE + 1).packets, 0);
         assert!(f.sim.stats.flow(FLOW_PS_BASE + 1).packets > 0);
+        f.sim.verify_conservation().unwrap();
     }
 }

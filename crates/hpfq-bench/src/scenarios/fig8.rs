@@ -237,5 +237,6 @@ mod tests {
         f.sim.run(0.5);
         let total: u64 = (1..=11).map(|fl| f.sim.stats.flow(fl).bytes).sum();
         assert!(total > 50_000, "TCPs should ramp up: {total} bytes");
+        f.sim.verify_conservation().unwrap();
     }
 }

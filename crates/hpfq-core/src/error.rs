@@ -22,6 +22,23 @@ pub enum HpfqError {
     NotInternal(usize),
     /// A rate was not a finite positive number.
     InvalidRate(f64),
+    /// A packet failed admission validation (zero/oversized length or a
+    /// non-finite timestamp). Carries the packet's claimed identity so the
+    /// degradation layer can attribute the strike to a flow.
+    InvalidPacket {
+        /// Claimed packet id.
+        id: u64,
+        /// Claimed flow id.
+        flow: u32,
+        /// Which field was malformed.
+        reason: &'static str,
+    },
+    /// An operation targeted a leaf that has been removed (or is draining
+    /// toward removal) — e.g. an enqueue on a quarantined flow's leaf.
+    NodeDetached(usize),
+    /// A structural mutation (leaf removal) was attempted on a node that
+    /// still has attached children.
+    HasChildren(usize),
 }
 
 impl fmt::Display for HpfqError {
@@ -38,6 +55,11 @@ impl fmt::Display for HpfqError {
             HpfqError::NotALeaf(n) => write!(f, "node {n} is not a leaf"),
             HpfqError::NotInternal(n) => write!(f, "node {n} is not an internal node"),
             HpfqError::InvalidRate(r) => write!(f, "invalid rate {r}"),
+            HpfqError::InvalidPacket { id, flow, reason } => {
+                write!(f, "invalid packet id={id} flow={flow}: {reason}")
+            }
+            HpfqError::NodeDetached(n) => write!(f, "node {n} has been removed from the tree"),
+            HpfqError::HasChildren(n) => write!(f, "node {n} still has attached children"),
         }
     }
 }

@@ -106,6 +106,13 @@ struct Node<S> {
     /// Queued bytes in `fifo`, for buffer management by the caller.
     fifo_bytes: u64,
     is_leaf: bool,
+    /// The node has been removed from the tree: its share is returned to
+    /// the parent's pool and it accepts no further traffic. The slot stays
+    /// allocated (node ids are dense and stable).
+    detached: bool,
+    /// Removal was requested while the node still offered a head packet:
+    /// the head finishes service normally, then the detach completes.
+    draining: bool,
 }
 
 /// An H-PFQ server: a tree of one-level schedulers. See the
@@ -118,9 +125,20 @@ pub struct Hierarchy<S: NodeScheduler, O: Observer = NoopObserver> {
     nodes: Vec<Node<S>>,
     factory: Box<dyn Fn(f64) -> S>,
     transmitting: bool,
-    /// Real time at which the current busy period began (eq. 32: the
-    /// root's reference time is real elapsed busy time).
+    /// Warped time at which the current busy period began (eq. 32: the
+    /// root's reference time is elapsed busy time *on the warped clock* —
+    /// see `warp_base`).
     busy_start: f64,
+    /// The root's reference clock assumes the busy link serves at its
+    /// nominal rate, so when the physical link degrades (an outage, a
+    /// rate fluctuation) real time outruns the tag arithmetic and the
+    /// GPS-exact policies' `V` desynchronizes. The warped clock fixes the
+    /// unit: it advances at `warp_factor` (= actual/nominal rate) per real
+    /// second, so one warped second is always one nominal-rate-second of
+    /// link work. `warp_base`/`warp_time` anchor the current segment.
+    warp_base: f64,
+    warp_time: f64,
+    warp_factor: f64,
     /// Event sink.
     obs: O,
     /// Best-known real time, advanced by arrivals and the `*_at` driving
@@ -165,15 +183,45 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
             fifo: VecDeque::new(),
             fifo_bytes: 0,
             is_leaf: false,
+            detached: false,
+            draining: false,
         };
         Hierarchy {
             nodes: vec![root],
             factory,
             transmitting: false,
             busy_start: 0.0,
+            warp_base: 0.0,
+            warp_time: 0.0,
+            warp_factor: 1.0,
             obs,
             last_time: 0.0,
         }
+    }
+
+    /// Maps real time onto the warped reference clock (nominal-rate link
+    /// seconds). Identity while the link runs at its nominal rate.
+    fn warped(&self, t: f64) -> f64 {
+        self.warp_base + (t - self.warp_time).max(0.0) * self.warp_factor
+    }
+
+    /// Resynchronizes the root's reference clock to a changed physical
+    /// link speed: from `now` on, the link delivers `factor` × its nominal
+    /// rate (`0.0` = a full outage, during which the reference clock — and
+    /// with it the GPS-exact policies' virtual time — freezes).
+    ///
+    /// Drivers that vary the service rate (fault injection, shaped links)
+    /// must call this at every change; otherwise the GPS emulation of
+    /// [`crate::Wfq`]/[`crate::Wf2q`] measures elapsed *real* time against
+    /// work-based tags and its virtual time loses monotonicity.
+    pub fn set_link_rate_factor(&mut self, now: f64, factor: f64) -> Result<(), HpfqError> {
+        if !(factor.is_finite() && factor >= 0.0) {
+            return Err(HpfqError::InvalidRate(factor * self.nodes[0].rate));
+        }
+        self.warp_base = self.warped(now);
+        self.warp_time = now;
+        self.warp_factor = factor;
+        Ok(())
     }
 
     /// The attached observer.
@@ -213,6 +261,9 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
         if p.is_leaf {
             return Err(HpfqError::NotInternal(parent.0));
         }
+        if p.detached || p.draining {
+            return Err(HpfqError::NodeDetached(parent.0));
+        }
         let sum = p.child_phi_sum + phi;
         if vtime::strictly_after(sum, 1.0) {
             return Err(HpfqError::ShareOverflow {
@@ -247,6 +298,8 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
             fifo: VecDeque::new(),
             fifo_bytes: 0,
             is_leaf,
+            detached: false,
+            draining: false,
         });
         NodeId(idx)
     }
@@ -280,6 +333,98 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
         Ok(self.push_node(parent, phi, None, true))
     }
 
+    /// Removes a leaf mid-run (flow churn / quarantine), returning the
+    /// packets purged from its queue.
+    ///
+    /// This is exactly the dynamic-session scenario WF²Q+'s virtual-time
+    /// function was designed for (eqs. 27–29): an idle session exerts no
+    /// pull on `V`, so once the leaf stops offering packets its share is
+    /// redistributed among the remaining backlogged siblings by work
+    /// conservation, with no clock surgery.
+    ///
+    /// Semantics: every packet *behind* the leaf's currently offered head
+    /// is purged immediately and returned for accounting. If the leaf is
+    /// offering a head (possibly in flight on the link), that one packet
+    /// finishes service normally — retracting a stamped head from ancestor
+    /// schedulers mid-selection would corrupt their GPS bookkeeping — and
+    /// the detach completes at its RESET-PATH. An idle leaf detaches
+    /// immediately. Either way the leaf rejects new traffic from this call
+    /// onward, and its `phi` returns to the parent's allocatable pool at
+    /// finalization.
+    pub fn remove_leaf(&mut self, leaf: NodeId) -> Result<Vec<Packet>, HpfqError> {
+        let l = leaf.0;
+        let node = self.nodes.get(l).ok_or(HpfqError::UnknownNode(l))?;
+        if !node.is_leaf {
+            return Err(HpfqError::NotALeaf(l));
+        }
+        if node.detached || node.draining {
+            return Err(HpfqError::NodeDetached(l));
+        }
+        let offering = self.nodes[l].head.is_some();
+        let keep = usize::from(offering);
+        let mut purged = Vec::new();
+        while self.nodes[l].fifo.len() > keep {
+            if let Some(p) = self.nodes[l].fifo.pop_back() {
+                self.nodes[l].fifo_bytes -= u64::from(p.len_bytes);
+                purged.push(p);
+            }
+        }
+        purged.reverse(); // back-to-front pops -> arrival order
+        if offering {
+            self.nodes[l].draining = true;
+        } else {
+            debug_assert_eq!(self.nodes[l].fifo.len(), 0);
+            self.detach_finalize(l);
+        }
+        Ok(purged)
+    }
+
+    /// Removes an interior class whose children have all been removed. The
+    /// class's share returns to its parent's allocatable pool.
+    pub fn remove_internal(&mut self, node: NodeId) -> Result<(), HpfqError> {
+        let n = node.0;
+        let nd = self.nodes.get(n).ok_or(HpfqError::UnknownNode(n))?;
+        if nd.is_leaf {
+            return Err(HpfqError::NotInternal(n));
+        }
+        if nd.parent.is_none() {
+            // The root is the physical link; it cannot be removed.
+            return Err(HpfqError::UnknownNode(n));
+        }
+        if nd.detached {
+            return Err(HpfqError::NodeDetached(n));
+        }
+        let live_child = self.nodes[n]
+            .children
+            .iter()
+            .any(|&c| !self.nodes[c].detached);
+        if live_child || self.nodes[n].head.is_some() {
+            return Err(HpfqError::HasChildren(n));
+        }
+        self.detach_finalize(n);
+        Ok(())
+    }
+
+    /// Completes a detach: returns the node's share to the parent pool and
+    /// marks the slot removed. The underlying scheduler session simply
+    /// stays idle forever — an idle session is invisible to every policy's
+    /// selection and virtual clock.
+    fn detach_finalize(&mut self, n: usize) {
+        self.nodes[n].draining = false;
+        self.nodes[n].detached = true;
+        if let Some((p, _)) = self.nodes[n].parent {
+            let phi = self.nodes[n].phi;
+            // Clamp: repeated add/remove cycles must never drive the pool
+            // accounting negative through f64 rounding.
+            self.nodes[p].child_phi_sum = (self.nodes[p].child_phi_sum - phi).max(0.0);
+        }
+    }
+
+    /// Whether `node` has been removed (or is draining toward removal).
+    pub fn is_detached(&self, node: NodeId) -> bool {
+        self.nodes[node.0].detached || self.nodes[node.0].draining
+    }
+
     /// ARRIVE: appends `pkt` to leaf `leaf`'s queue and propagates logical
     /// heads up the tree.
     ///
@@ -293,15 +438,35 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
     /// paper's pseudocode.
     ///
     /// # Panics
-    /// If `leaf` is not a leaf node.
+    /// If `leaf` is not a valid, attached leaf node or `pkt` is malformed.
+    /// Fallible callers (anything fed by untrusted sources) should use
+    /// [`Hierarchy::try_enqueue`] instead.
     pub fn enqueue(&mut self, leaf: NodeId, pkt: Packet) {
+        if let Err(e) = self.try_enqueue(leaf, pkt) {
+            // lint:allow(L002): documented contract of the infallible API;
+            // the graceful path is try_enqueue
+            panic!("enqueue: {e}");
+        }
+    }
+
+    /// Fallible ARRIVE: validates the packet and the target leaf, then
+    /// enqueues. On `Err` the hierarchy is unchanged — this is the
+    /// graceful-degradation entry point for untrusted traffic.
+    pub fn try_enqueue(&mut self, leaf: NodeId, pkt: Packet) -> Result<(), HpfqError> {
         let l = leaf.0;
-        assert!(self.nodes[l].is_leaf, "enqueue on non-leaf node {l}");
+        let node = self.nodes.get(l).ok_or(HpfqError::UnknownNode(l))?;
+        if !node.is_leaf {
+            return Err(HpfqError::NotALeaf(l));
+        }
+        if node.detached || node.draining {
+            return Err(HpfqError::NodeDetached(l));
+        }
+        pkt.validate()?;
         if self.is_idle() {
-            self.busy_start = pkt.arrival;
+            self.busy_start = self.warped(pkt.arrival);
         }
         self.last_time = self.last_time.max(pkt.arrival);
-        let root_ref = (pkt.arrival - self.busy_start).max(0.0);
+        let root_ref = (self.warped(pkt.arrival) - self.busy_start).max(0.0);
         self.nodes[l].fifo_bytes += u64::from(pkt.len_bytes);
         self.nodes[l].fifo.push_back(pkt);
         if O::ENABLED {
@@ -320,7 +485,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
             // every ancestor (GPS-exact policies track it; others ignore
             // the hint).
             self.hint_up(l, bits, root_ref);
-            return;
+            return Ok(());
         }
         self.nodes[l].head = Some(Head { leaf: l, bits });
         if O::ENABLED {
@@ -335,6 +500,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
         let hint = if p == 0 { Some(root_ref) } else { None };
         self.sched_mut(p).backlog(slot, bits, hint);
         self.bubble_up(p, bits, root_ref);
+        Ok(())
     }
 
     /// Announces an arrival of `bits` bits inside `from`'s subtree to every
@@ -544,6 +710,11 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
             }
             None => {
                 self.requeue_empty(leaf, lp, lslot);
+                if self.nodes[leaf].draining {
+                    // A remove_leaf() was deferred while this head finished
+                    // service; the queue is now empty, so complete it.
+                    self.detach_finalize(leaf);
+                }
             }
         }
 
@@ -686,12 +857,30 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
         out
     }
 
-    /// All leaf node ids, in creation order.
+    /// All leaf node ids, in creation order (including removed ones; see
+    /// [`Hierarchy::active_leaves`]).
     pub fn leaves(&self) -> Vec<NodeId> {
         (0..self.nodes.len())
             .filter(|&i| self.nodes[i].is_leaf)
             .map(NodeId)
             .collect()
+    }
+
+    /// Leaf node ids still attached to the tree, in creation order.
+    pub fn active_leaves(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| {
+                self.nodes[i].is_leaf && !self.nodes[i].detached && !self.nodes[i].draining
+            })
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Sum of the shares currently allocated to `node`'s attached children
+    /// — the quantity validated against 1.0 when adding a child. Exposed
+    /// so churn harnesses can assert it never overflows or goes negative.
+    pub fn allocated_share(&self, node: NodeId) -> f64 {
+        self.nodes[node.0].child_phi_sum
     }
 }
 
@@ -860,6 +1049,242 @@ mod tests {
         ));
         assert!(matches!(h.add_leaf(a, 0.1), Err(HpfqError::NotInternal(_))));
         assert!(h.add_leaf(root, 0.3).is_ok());
+    }
+
+    #[test]
+    fn try_enqueue_rejects_malformed_and_detached() {
+        let mut h = wf2qp(1000.0);
+        let root = h.root();
+        let a = h.add_leaf(root, 0.5).unwrap();
+        let mut bad = pkt(1, 0);
+        bad.len_bytes = 0;
+        assert!(matches!(
+            h.try_enqueue(a, bad),
+            Err(HpfqError::InvalidPacket { .. })
+        ));
+        assert!(matches!(
+            h.try_enqueue(NodeId(99), pkt(1, 0)),
+            Err(HpfqError::UnknownNode(99))
+        ));
+        assert!(matches!(
+            h.try_enqueue(root, pkt(1, 0)),
+            Err(HpfqError::NotALeaf(0))
+        ));
+        h.remove_leaf(a).unwrap();
+        assert!(matches!(
+            h.try_enqueue(a, pkt(1, 0)),
+            Err(HpfqError::NodeDetached(_))
+        ));
+        // The rejected enqueues left the tree untouched.
+        assert!(h.is_idle());
+    }
+
+    #[test]
+    fn remove_idle_leaf_frees_its_share() {
+        let mut h = wf2qp(1000.0);
+        let root = h.root();
+        let a = h.add_leaf(root, 0.7).unwrap();
+        let _b = h.add_leaf(root, 0.3).unwrap();
+        assert!(matches!(
+            h.add_leaf(root, 0.5),
+            Err(HpfqError::ShareOverflow { .. })
+        ));
+        assert!(h.remove_leaf(a).unwrap().is_empty());
+        assert!(h.is_detached(a));
+        assert!((h.allocated_share(root) - 0.3).abs() < 1e-12);
+        // The freed share is allocatable again.
+        let c = h.add_leaf(root, 0.6).unwrap();
+        assert!(!h.is_detached(c));
+        assert_eq!(h.active_leaves().len(), 2);
+        assert_eq!(h.leaves().len(), 3);
+    }
+
+    #[test]
+    fn remove_backlogged_leaf_drains_head_then_detaches() {
+        let mut h = wf2qp(1000.0);
+        let root = h.root();
+        let a = h.add_leaf(root, 0.5).unwrap();
+        let b = h.add_leaf(root, 0.5).unwrap();
+        for i in 0..3 {
+            h.enqueue(a, pkt(i, 0));
+            h.enqueue(b, pkt(100 + i, 1));
+        }
+        // a offers its head; removal purges the two packets behind it.
+        let purged = h.remove_leaf(a).unwrap();
+        assert_eq!(purged.len(), 2);
+        assert_eq!(purged[0].id, 1, "purged in arrival order");
+        assert!(h.is_detached(a));
+        // Double removal is an error, as is re-enqueueing.
+        assert!(matches!(h.remove_leaf(a), Err(HpfqError::NodeDetached(_))));
+        // The in-queue head still goes out; everything else served is b's.
+        let mut served = Vec::new();
+        while let Some(p) = h.dequeue() {
+            served.push(p.flow);
+        }
+        assert_eq!(served.iter().filter(|&&f| f == 0).count(), 1);
+        assert_eq!(served.iter().filter(|&&f| f == 1).count(), 3);
+        // Detach finalized once the head was served: share freed.
+        assert!((h.allocated_share(root) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remove_leaf_mid_transmission_lets_the_flight_finish() {
+        let mut h = wf2qp(1000.0);
+        let root = h.root();
+        let a = h.add_leaf(root, 0.5).unwrap();
+        let b = h.add_leaf(root, 0.5).unwrap();
+        h.enqueue(a, pkt(1, 0));
+        h.enqueue(a, pkt(2, 0));
+        h.enqueue(b, pkt(3, 1));
+        let started = h.start_transmission().unwrap();
+        assert_eq!(started.flow, 0);
+        let purged = h.remove_leaf(a).unwrap();
+        assert_eq!(purged.len(), 1); // pkt 2; pkt 1 is in flight
+        let done = h.complete_transmission();
+        assert_eq!(done.id, 1);
+        assert!(h.is_detached(a));
+        assert_eq!(h.dequeue().unwrap().id, 3);
+        assert!(h.dequeue().is_none());
+        assert!((h.allocated_share(root) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remove_internal_requires_empty_subtree() {
+        let mut h = wf2qp(1000.0);
+        let root = h.root();
+        let cls = h.add_internal(root, 0.8).unwrap();
+        let l1 = h.add_leaf(cls, 0.5).unwrap();
+        assert!(matches!(
+            h.remove_internal(cls),
+            Err(HpfqError::HasChildren(_))
+        ));
+        h.remove_leaf(l1).unwrap();
+        h.remove_internal(cls).unwrap();
+        assert!(h.is_detached(cls));
+        assert_eq!(h.allocated_share(root), 0.0);
+        assert!(matches!(
+            h.add_leaf(cls, 0.1),
+            Err(HpfqError::NodeDetached(_))
+        ));
+        assert!(matches!(
+            h.remove_internal(root),
+            Err(HpfqError::UnknownNode(0))
+        ));
+        // Full share is allocatable again.
+        h.add_leaf(root, 1.0).unwrap();
+    }
+
+    #[test]
+    fn churn_add_remove_mid_run_keeps_serving() {
+        let mut h = wf2qp(1000.0);
+        let root = h.root();
+        let a = h.add_leaf(root, 0.5).unwrap();
+        let b = h.add_leaf(root, 0.5).unwrap();
+        for i in 0..4 {
+            h.enqueue(a, pkt(i, 0));
+            h.enqueue(b, pkt(10 + i, 1));
+        }
+        let mut v_last = 0.0;
+        for _ in 0..2 {
+            h.dequeue().unwrap();
+            let v = h.node_virtual_time(root);
+            assert!(v >= v_last);
+            v_last = v;
+        }
+        // Churn: b leaves, c joins with its share, mid-busy-period. The
+        // draining head holds b's share until it is served, so dequeue
+        // until the allocation frees up.
+        h.remove_leaf(b).unwrap();
+        let mut served = 0;
+        while h.allocated_share(root) > 0.5 + 1e-12 {
+            assert!(h.dequeue().is_some(), "drain must complete");
+            served += 1;
+            v_last = h.node_virtual_time(root);
+        }
+        let c = h.add_leaf(root, 0.5).unwrap();
+        for i in 0..4 {
+            h.enqueue(c, pkt(20 + i, 2));
+        }
+        while let Some(_p) = h.dequeue() {
+            let v = h.node_virtual_time(root);
+            assert!(
+                v >= v_last || h.is_idle(),
+                "virtual time went backwards mid-busy-period"
+            );
+            v_last = v;
+            served += 1;
+        }
+        // 2 already served; remaining: 2 of a's, b's drained head (<=1 of
+        // its 2 remaining), c's 4.
+        assert!(served >= 7, "served {served}");
+        assert!(h.is_detached(b));
+        assert!(!h.is_detached(c));
+    }
+
+    /// A degraded link (here: half the nominal rate) must not corrupt the
+    /// GPS-exact policies' virtual time. Without the reference-clock
+    /// resync, real elapsed busy time outruns the work-based tag
+    /// arithmetic, `V_GPS` sweeps past every stamped finish tag at the
+    /// minimum slope, and the next re-stamp pulls it *backwards* — a
+    /// monotonicity violation the invariant checker flags.
+    #[test]
+    fn degraded_link_resync_keeps_gps_virtual_time_monotone() {
+        use crate::wfq::Wfq;
+        use hpfq_obs::InvariantObserver;
+
+        let mut h: Hierarchy<Wfq, InvariantObserver> =
+            Hierarchy::new_with_observer(8000.0, Wfq::new, InvariantObserver::new());
+        let root = h.root();
+        let a = h.add_leaf(root, 0.5).unwrap();
+        let b = h.add_leaf(root, 0.5).unwrap();
+        // The physical link now delivers half the nominal rate: a 1000-bit
+        // packet takes 0.25 s instead of 0.125 s.
+        h.set_link_rate_factor(0.0, 0.5).unwrap();
+
+        let mut id = 0u64;
+        let mut t_arr = 0.0;
+        let mut now = 0.0;
+        for _ in 0..100 {
+            // Mild overload at the degraded rate: one packet per leaf every
+            // 0.4 s against 4 served per second. Arrivals land in event
+            // order: those due during a service slot are enqueued before
+            // the slot completes.
+            while t_arr <= now + 1e-12 {
+                h.try_enqueue(a, Packet::new(id, 0, 125, t_arr)).unwrap();
+                h.try_enqueue(b, Packet::new(id + 1, 1, 125, t_arr))
+                    .unwrap();
+                id += 2;
+                t_arr += 0.4;
+            }
+            assert!(h.start_transmission_at(now).is_some());
+            let end = now + 0.25;
+            while t_arr < end - 1e-12 {
+                h.try_enqueue(a, Packet::new(id, 0, 125, t_arr)).unwrap();
+                h.try_enqueue(b, Packet::new(id + 1, 1, 125, t_arr))
+                    .unwrap();
+                id += 2;
+                t_arr += 0.4;
+            }
+            now = end;
+            h.complete_transmission_at(now);
+        }
+        assert!(h.observer().is_clean(), "{}", h.observer().summary());
+    }
+
+    #[test]
+    fn rate_factor_rejects_non_finite_and_negative() {
+        let mut h = wf2qp(1000.0);
+        assert!(matches!(
+            h.set_link_rate_factor(0.0, f64::NAN),
+            Err(HpfqError::InvalidRate(_))
+        ));
+        assert!(matches!(
+            h.set_link_rate_factor(0.0, -0.5),
+            Err(HpfqError::InvalidRate(_))
+        ));
+        // An outage (factor 0) and a restore are both valid.
+        h.set_link_rate_factor(1.0, 0.0).unwrap();
+        h.set_link_rate_factor(2.0, 1.0).unwrap();
     }
 
     #[test]

@@ -125,6 +125,106 @@ pub struct BusyResetEvent {
     pub node: usize,
 }
 
+/// The family of an injected or detected fault (see [`FaultEvent`]).
+///
+/// The first six are *injected* by a chaos harness; the last three are
+/// *detected* by the degradation layer reacting to traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The link rate changed (value = new rate in bits/s).
+    LinkRate,
+    /// The link went down (outage start; value = 0).
+    LinkDown,
+    /// The link came back up (outage end; value = restored rate).
+    LinkUp,
+    /// A packet was dropped by fault injection (value = length in bytes).
+    PacketDrop,
+    /// A packet was corrupted in flight to the server (value = original
+    /// length in bytes).
+    PacketCorrupt,
+    /// A timer was perturbed by clock jitter (value = applied offset, s).
+    ClockJitter,
+    /// A flow/leaf was added mid-run (churn; value = its share).
+    FlowAdd,
+    /// A flow/leaf was removed mid-run (churn; value = its share).
+    FlowRemove,
+    /// A packet failed admission validation (value = claimed length).
+    InvalidPacket,
+}
+
+impl FaultKind {
+    /// Stable wire name for traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::LinkRate => "link_rate",
+            FaultKind::LinkDown => "link_down",
+            FaultKind::LinkUp => "link_up",
+            FaultKind::PacketDrop => "pkt_drop",
+            FaultKind::PacketCorrupt => "pkt_corrupt",
+            FaultKind::ClockJitter => "clock_jitter",
+            FaultKind::FlowAdd => "flow_add",
+            FaultKind::FlowRemove => "flow_remove",
+            FaultKind::InvalidPacket => "invalid_pkt",
+        }
+    }
+
+    /// Inverse of [`FaultKind::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "link_rate" => FaultKind::LinkRate,
+            "link_down" => FaultKind::LinkDown,
+            "link_up" => FaultKind::LinkUp,
+            "pkt_drop" => FaultKind::PacketDrop,
+            "pkt_corrupt" => FaultKind::PacketCorrupt,
+            "clock_jitter" => FaultKind::ClockJitter,
+            "flow_add" => FaultKind::FlowAdd,
+            "flow_remove" => FaultKind::FlowRemove,
+            "invalid_pkt" => FaultKind::InvalidPacket,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A fault was injected into, or detected by, the system under test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Time of the fault.
+    pub time: f64,
+    /// Fault family.
+    pub kind: FaultKind,
+    /// Node the fault applies to (0 = the link/root when not node-local).
+    pub node: usize,
+    /// Flow the fault applies to (0 when not flow-local).
+    pub flow: u32,
+    /// Kind-specific magnitude (see [`FaultKind`] variant docs).
+    pub value: f64,
+}
+
+/// The degradation layer isolated a flow: its leaf was removed from the
+/// tree, queued packets were purged, and its share returned to the parent
+/// pool (redistributed by work conservation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuarantineEvent {
+    /// Time of the quarantine decision.
+    pub time: f64,
+    /// The quarantined flow's leaf node index.
+    pub leaf: usize,
+    /// The quarantined flow.
+    pub flow: u32,
+    /// Strikes accumulated when the ladder tripped.
+    pub strikes: u32,
+    /// Packets purged from the leaf's queue.
+    pub purged_packets: u64,
+    /// Bytes purged from the leaf's queue.
+    pub purged_bytes: u64,
+}
+
 /// A union of every event — the form traces are parsed back into (see
 /// [`crate::jsonl`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -144,6 +244,10 @@ pub enum TraceEvent {
     Backlog(BacklogEvent),
     /// See [`BusyResetEvent`].
     BusyReset(BusyResetEvent),
+    /// See [`FaultEvent`].
+    Fault(FaultEvent),
+    /// See [`QuarantineEvent`].
+    Quarantine(QuarantineEvent),
 }
 
 /// Maps a policy name read from a trace back to a `'static` string so a

@@ -17,13 +17,15 @@
 //! {"ev":"backlog","t":0.2,"node":3,"active":true}
 //! {"ev":"busy_reset","t":0.4,"node":0}
 //! {"ev":"drop","t":0.2,"leaf":3,"id":8,"flow":1,"len":8192,"arr":0.2,"qbytes":65536}
+//! {"ev":"fault","t":0.5,"kind":"link_rate","node":0,"flow":0,"value":22500000}
+//! {"ev":"quarantine","t":0.7,"leaf":4,"flow":9,"strikes":3,"purged":12,"pbytes":98304}
 //! ```
 
 use std::io::Write;
 
 use crate::event::{
     intern_policy, BacklogEvent, BusyResetEvent, DispatchEvent, DropEvent, EnqueueEvent,
-    PacketInfo, TraceEvent, TxEvent,
+    FaultEvent, FaultKind, PacketInfo, QuarantineEvent, TraceEvent, TxEvent,
 };
 use crate::Observer;
 
@@ -108,6 +110,24 @@ impl<W: Write> Observer for JsonlObserver<W> {
         self.emit(format_args!(
             "{{\"ev\":\"busy_reset\",\"t\":{},\"node\":{}}}\n",
             e.time, e.node,
+        ));
+    }
+
+    fn on_fault(&mut self, e: &FaultEvent) {
+        self.emit(format_args!(
+            "{{\"ev\":\"fault\",\"t\":{},\"kind\":\"{}\",\"node\":{},\"flow\":{},\"value\":{}}}\n",
+            e.time,
+            e.kind.as_str(),
+            e.node,
+            e.flow,
+            e.value,
+        ));
+    }
+
+    fn on_quarantine(&mut self, e: &QuarantineEvent) {
+        self.emit(format_args!(
+            "{{\"ev\":\"quarantine\",\"t\":{},\"leaf\":{},\"flow\":{},\"strikes\":{},\"purged\":{},\"pbytes\":{}}}\n",
+            e.time, e.leaf, e.flow, e.strikes, e.purged_packets, e.purged_bytes,
         ));
     }
 }
@@ -235,6 +255,21 @@ pub fn parse_line(line: &str) -> Option<TraceEvent> {
             time,
             node: f.usize("node")?,
         })),
+        "fault" => Some(TraceEvent::Fault(FaultEvent {
+            time,
+            kind: FaultKind::parse(f.str("kind")?)?,
+            node: f.usize("node")?,
+            flow: f.u32("flow")?,
+            value: f.f64("value")?,
+        })),
+        "quarantine" => Some(TraceEvent::Quarantine(QuarantineEvent {
+            time,
+            leaf: f.usize("leaf")?,
+            flow: f.u32("flow")?,
+            strikes: f.u32("strikes")?,
+            purged_packets: f.u64("purged")?,
+            purged_bytes: f.u64("pbytes")?,
+        })),
         _ => None,
     }
 }
@@ -343,6 +378,55 @@ mod tests {
             node: 0,
         };
         assert_eq!(roundtrip(|o| o.on_busy_reset(&r)), TraceEvent::BusyReset(r));
+
+        let flt = FaultEvent {
+            time: 0.333_333_333_333_333_3,
+            kind: FaultKind::PacketCorrupt,
+            node: 2,
+            flow: 11,
+            value: 1500.0,
+        };
+        assert_eq!(roundtrip(|o| o.on_fault(&flt)), TraceEvent::Fault(flt));
+
+        let q = QuarantineEvent {
+            time: 7.5,
+            leaf: 4,
+            flow: 9,
+            strikes: 3,
+            purged_packets: 12,
+            purged_bytes: 98_304,
+        };
+        assert_eq!(
+            roundtrip(|o| o.on_quarantine(&q)),
+            TraceEvent::Quarantine(q)
+        );
+    }
+
+    #[test]
+    fn every_fault_kind_round_trips_through_wire_name() {
+        use FaultKind::*;
+        for kind in [
+            LinkRate,
+            LinkDown,
+            LinkUp,
+            PacketDrop,
+            PacketCorrupt,
+            ClockJitter,
+            FlowAdd,
+            FlowRemove,
+            InvalidPacket,
+        ] {
+            assert_eq!(FaultKind::parse(kind.as_str()), Some(kind));
+            let e = FaultEvent {
+                time: 1.0,
+                kind,
+                node: 0,
+                flow: 0,
+                value: 0.0,
+            };
+            assert_eq!(roundtrip(|o| o.on_fault(&e)), TraceEvent::Fault(e));
+        }
+        assert_eq!(FaultKind::parse("bogus"), None);
     }
 
     #[test]

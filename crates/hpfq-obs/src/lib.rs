@@ -36,15 +36,17 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+pub mod escalation;
 pub mod event;
 pub mod invariant;
 pub mod jsonl;
 pub mod metrics;
 pub mod vtime;
 
+pub use escalation::{EscalationLevel, EscalationPolicy, EscalationState};
 pub use event::{
-    BacklogEvent, BusyResetEvent, DispatchEvent, DropEvent, EnqueueEvent, PacketInfo, TraceEvent,
-    TxEvent,
+    BacklogEvent, BusyResetEvent, DispatchEvent, DropEvent, EnqueueEvent, FaultEvent, FaultKind,
+    PacketInfo, QuarantineEvent, TraceEvent, TxEvent,
 };
 pub use invariant::{InvariantKind, InvariantObserver, Violation};
 pub use jsonl::JsonlObserver;
@@ -90,6 +92,14 @@ pub trait Observer {
     /// A node scheduler reset its virtual clock (busy period ended).
     #[inline]
     fn on_busy_reset(&mut self, _e: &BusyResetEvent) {}
+
+    /// A fault was injected into, or detected by, the system under test.
+    #[inline]
+    fn on_fault(&mut self, _e: &FaultEvent) {}
+
+    /// The degradation layer quarantined a flow.
+    #[inline]
+    fn on_quarantine(&mut self, _e: &QuarantineEvent) {}
 }
 
 /// The do-nothing observer: with it, every hook call compiles away.
@@ -117,6 +127,10 @@ pub struct CountingObserver {
     pub backlog_changes: u64,
     /// Busy-period resets seen.
     pub busy_resets: u64,
+    /// Faults (injected or detected) seen.
+    pub faults: u64,
+    /// Flow quarantines seen.
+    pub quarantines: u64,
 }
 
 impl Observer for CountingObserver {
@@ -147,6 +161,14 @@ impl Observer for CountingObserver {
     #[inline]
     fn on_busy_reset(&mut self, _e: &BusyResetEvent) {
         self.busy_resets += 1;
+    }
+    #[inline]
+    fn on_fault(&mut self, _e: &FaultEvent) {
+        self.faults += 1;
+    }
+    #[inline]
+    fn on_quarantine(&mut self, _e: &QuarantineEvent) {
+        self.quarantines += 1;
     }
 }
 
@@ -189,6 +211,16 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
         self.0.on_busy_reset(e);
         self.1.on_busy_reset(e);
     }
+    #[inline]
+    fn on_fault(&mut self, e: &FaultEvent) {
+        self.0.on_fault(e);
+        self.1.on_fault(e);
+    }
+    #[inline]
+    fn on_quarantine(&mut self, e: &QuarantineEvent) {
+        self.0.on_quarantine(e);
+        self.1.on_quarantine(e);
+    }
 }
 
 /// Dispatches a [`TraceEvent`] (e.g. parsed from a JSONL trace) to the
@@ -203,6 +235,8 @@ pub fn replay<O: Observer>(obs: &mut O, ev: &TraceEvent) {
         TraceEvent::TxComplete(e) => obs.on_tx_complete(e),
         TraceEvent::Backlog(e) => obs.on_node_backlog(e),
         TraceEvent::BusyReset(e) => obs.on_busy_reset(e),
+        TraceEvent::Fault(e) => obs.on_fault(e),
+        TraceEvent::Quarantine(e) => obs.on_quarantine(e),
     }
 }
 

@@ -27,7 +27,9 @@ pub mod source;
 pub mod stats;
 
 pub use rng::SmallRng;
-pub use simulation::{Simulation, SourceConfig, SourceId};
+pub use simulation::{
+    FaultInjector, NoFaults, PacketVerdict, SimCommand, Simulation, SourceConfig, SourceId,
+};
 pub use source::{
     CbrSource, GreedyLbSource, PacketTrainSource, PeriodicOnOffSource, PoissonSource,
     ScheduledOnOffSource, Source, SourceOutput, TraceSource,

@@ -13,12 +13,29 @@
 //!   conservation).
 //! * `Deliver(source, pkt)` — the packet reached its destination;
 //!   closed-loop sources (TCP) use this for ACK clocking.
+//! * `Command(idx)` — a pre-scheduled [`SimCommand`] fires: the link rate
+//!   changes (possibly to 0 — an outage), or a flow joins or leaves the
+//!   hierarchy mid-run (churn).
+//!
+//! # Faults and degradation
+//!
+//! A [`FaultInjector`] installed with [`Simulation::set_fault_injector`]
+//! sees every packet at admission (it may drop or corrupt it) and every
+//! source timer (it may jitter it). Corrupted and otherwise malformed
+//! packets are caught by [`Packet::validate`] at admission and become
+//! *strikes* against their flow under the simulation's
+//! [`EscalationPolicy`]: warn (drop the packet and continue), quarantine
+//! (remove the flow's leaf, purge its queue, redistribute its share), or
+//! halt (stop the run cleanly). Nothing in this path panics.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use hpfq_core::{vtime, Hierarchy, NodeId, NodeScheduler, Packet};
-use hpfq_obs::{DropEvent, NoopObserver, Observer, PacketInfo};
+use hpfq_core::{vtime, Hierarchy, HpfqError, NodeId, NodeScheduler, Packet};
+use hpfq_obs::{
+    DropEvent, EscalationLevel, EscalationPolicy, EscalationState, FaultEvent, FaultKind,
+    NoopObserver, Observer, PacketInfo, QuarantineEvent,
+};
 
 use crate::source::{Source, SourceOutput};
 use crate::stats::{ServiceRecord, SimStats};
@@ -51,11 +68,98 @@ impl SourceConfig {
     }
 }
 
+/// A control-plane action scheduled against the simulation clock with
+/// [`Simulation::schedule_command`]. Commands model operator actions and
+/// environmental faults; they are part of the event schedule, so runs stay
+/// deterministic.
+pub enum SimCommand {
+    /// Change the link rate to `bps` (bits/s). `0.0` models an outage: the
+    /// in-flight packet is suspended and resumes — with its already-sent
+    /// bits credited — when a later `SetLinkRate` restores service.
+    SetLinkRate(f64),
+    /// Attach a new leaf under `parent` with share `phi` and start `source`
+    /// feeding it (flow churn: join).
+    AddFlow {
+        /// Parent node for the new leaf.
+        parent: NodeId,
+        /// Guaranteed share of the new leaf.
+        phi: f64,
+        /// Flow id the source stamps on its packets.
+        flow: u32,
+        /// The traffic source; its `start()` runs at the command's time.
+        source: Box<dyn Source>,
+        /// Drop-tail buffer for the new leaf (`None` = unbounded).
+        buffer_bytes: Option<u64>,
+        /// One-way delivery delay for the new source.
+        delivery_delay: f64,
+    },
+    /// Detach `flow`'s leaf (flow churn: leave). Queued packets behind the
+    /// in-service head are purged and accounted; the head, if one is being
+    /// offered, finishes service first and the share is freed then.
+    RemoveFlow(u32),
+}
+
+impl std::fmt::Debug for SimCommand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimCommand::SetLinkRate(r) => write!(f, "SetLinkRate({r})"),
+            SimCommand::AddFlow {
+                parent, phi, flow, ..
+            } => write!(f, "AddFlow{{parent:{parent:?},phi:{phi},flow:{flow}}}"),
+            SimCommand::RemoveFlow(flow) => write!(f, "RemoveFlow({flow})"),
+        }
+    }
+}
+
+/// What a [`FaultInjector`] decided about one packet at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketVerdict {
+    /// Deliver the packet to the scheduler unchanged.
+    Pass,
+    /// Silently lose the packet (modeling loss upstream of the server).
+    Drop,
+    /// The injector mutated the packet's fields in place; the admission
+    /// path revalidates it (a corrupted-invalid packet then strikes its
+    /// flow under the escalation policy).
+    Corrupted,
+}
+
+/// A deterministic fault source consulted on the simulator's hot paths.
+///
+/// Implementations must be pure functions of their own seeded state so the
+/// same injector over the same workload reproduces the same faults; for
+/// scheduler-differential experiments the per-flow decision streams should
+/// depend only on each flow's own packet/wake order (which open-loop
+/// sources make scheduler-independent).
+pub trait FaultInjector {
+    /// Inspect — and possibly mutate — a packet at admission.
+    fn on_packet(&mut self, _now: f64, _pkt: &mut Packet) -> PacketVerdict {
+        PacketVerdict::Pass
+    }
+
+    /// Perturb a wake time requested by `flow`'s source. Returning `wake`
+    /// unchanged means no jitter; returned times earlier than `now` are
+    /// clamped to `now` by the scheduler.
+    fn jitter(&mut self, _now: f64, _flow: u32, wake: f64) -> f64 {
+        wake
+    }
+}
+
+/// The no-fault injector (used when none is installed).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {}
+
 #[derive(Debug)]
 enum Event {
     Wake(usize),
-    TxComplete,
+    /// Link transmission completion, tagged with the transmission epoch at
+    /// scheduling time. Link-rate changes bump the epoch and reschedule;
+    /// a fired event whose epoch is stale is ignored.
+    TxComplete(u64),
     Deliver(usize, Packet),
+    Command(SimCommand),
 }
 
 /// Min-heap key: time, then sequence for FIFO tie-breaking.
@@ -66,10 +170,9 @@ impl Eq for Key {}
 
 impl Ord for Key {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.0, self.1)
-            .partial_cmp(&(other.0, other.1))
-            // lint:allow(L002): schedule() only accepts finite times
-            .expect("event times must not be NaN")
+        // total_cmp never panics; schedule() only accepts finite times, so
+        // the NaN ordering arm is unreachable anyway.
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
     }
 }
 
@@ -77,6 +180,20 @@ impl PartialOrd for Key {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
+}
+
+/// One attached source and its runtime state.
+struct SourceSlot {
+    src: Box<dyn Source>,
+    cfg: SourceConfig,
+    /// Flow id registered for the source at attach time.
+    flow: u32,
+    /// `false` once the flow has been removed (churn) or quarantined:
+    /// its timers and deliveries are discarded from then on.
+    live: bool,
+    /// Whether `start()` has run (sources start exactly once even across
+    /// segmented [`Simulation::run`] calls).
+    started: bool,
 }
 
 /// A single-link simulation. Build the [`Hierarchy`] first, attach sources,
@@ -96,13 +213,29 @@ pub struct Simulation<S: NodeScheduler, O: Observer = NoopObserver> {
     events: Vec<Option<Event>>,
     free: Vec<usize>,
     seq: u64,
-    sources: Vec<(Box<dyn Source>, SourceConfig)>,
+    sources: Vec<SourceSlot>,
     /// Transmission start time of the in-flight packet.
     tx_start: f64,
+    /// Transmission epoch: bumped whenever the pending `TxComplete` is
+    /// invalidated by a link-rate change.
+    tx_epoch: u64,
+    /// Bits of the in-flight packet not yet on the wire, as of
+    /// `tx_updated`.
+    tx_remaining_bits: f64,
+    /// Time `tx_remaining_bits` was last brought up to date.
+    tx_updated: f64,
     /// Statistics collector.
     pub stats: SimStats,
     /// Maps a flow id to the source that owns it (for delivery routing).
     flow_owner: std::collections::BTreeMap<u32, usize>,
+    injector: Option<Box<dyn FaultInjector>>,
+    policy: EscalationPolicy,
+    escalation: EscalationState,
+    halted: bool,
+    /// Commands that could not be applied (e.g. adding a flow whose share
+    /// would overflow its parent): `(time, error)` pairs. The run
+    /// continues — a rejected command is degraded service, not a crash.
+    pub command_errors: Vec<(f64, HpfqError)>,
 }
 
 impl<S: NodeScheduler, O: Observer> Simulation<S, O> {
@@ -119,9 +252,46 @@ impl<S: NodeScheduler, O: Observer> Simulation<S, O> {
             seq: 0,
             sources: Vec::new(),
             tx_start: 0.0,
+            tx_epoch: 0,
+            tx_remaining_bits: 0.0,
+            tx_updated: 0.0,
             stats: SimStats::new(),
             flow_owner: std::collections::BTreeMap::new(),
+            injector: None,
+            policy: EscalationPolicy::warn_only(),
+            escalation: EscalationState::new(),
+            halted: false,
+            command_errors: Vec::new(),
         }
+    }
+
+    /// Installs a fault injector consulted at packet admission and timer
+    /// scheduling. Replaces any previous injector.
+    pub fn set_fault_injector(&mut self, inj: impl FaultInjector + 'static) {
+        self.injector = Some(Box::new(inj));
+    }
+
+    /// Sets the degradation ladder for misbehaving flows. The default is
+    /// [`EscalationPolicy::warn_only`]: invalid packets are dropped and
+    /// recorded but flows are never quarantined.
+    pub fn set_escalation_policy(&mut self, policy: EscalationPolicy) {
+        self.policy = policy;
+    }
+
+    /// The escalation ladder's current state (strikes, quarantine roster).
+    pub fn escalation(&self) -> &EscalationState {
+        &self.escalation
+    }
+
+    /// Whether the escalation ladder halted the run ([`Simulation::run`]
+    /// returns early once this is set).
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The link's current service rate in bits/s (0 during an outage).
+    pub fn link_rate(&self) -> f64 {
+        self.rate
     }
 
     /// Read access to the hierarchy (e.g. for queue inspection).
@@ -175,9 +345,21 @@ impl<S: NodeScheduler, O: Observer> Simulation<S, O> {
             "source must be attached to a leaf"
         );
         let idx = self.sources.len();
-        self.sources.push((Box::new(source), cfg));
+        self.sources.push(SourceSlot {
+            src: Box::new(source),
+            cfg,
+            flow,
+            live: true,
+            started: false,
+        });
         self.flow_owner.insert(flow, idx);
         SourceId(idx)
+    }
+
+    /// Schedules a control-plane [`SimCommand`] to fire at time `t` (times
+    /// in the past fire immediately once the run reaches them).
+    pub fn schedule_command(&mut self, t: f64, cmd: SimCommand) {
+        self.schedule(t, Event::Command(cmd));
     }
 
     fn schedule(&mut self, t: f64, ev: Event) {
@@ -198,14 +380,78 @@ impl<S: NodeScheduler, O: Observer> Simulation<S, O> {
             .push(Reverse((Key(t.max(self.now), self.seq), slot)));
     }
 
+    fn emit_fault(&mut self, kind: FaultKind, node: usize, flow: u32, value: f64) {
+        if O::ENABLED {
+            let ev = FaultEvent {
+                time: self.now,
+                kind,
+                node,
+                flow,
+                value,
+            };
+            self.server.observer_mut().on_fault(&ev);
+        }
+    }
+
     fn apply_output(&mut self, src_idx: usize, out: SourceOutput) {
+        let flow = self.sources[src_idx].flow;
         for w in out.wakes {
-            self.schedule(w, Event::Wake(src_idx));
+            let mut wake = w;
+            if let Some(inj) = self.injector.as_mut() {
+                wake = inj.jitter(self.now, flow, w);
+                if wake != w {
+                    self.emit_fault(FaultKind::ClockJitter, 0, flow, wake - w);
+                }
+            }
+            self.schedule(wake.max(self.now), Event::Wake(src_idx));
         }
         for mut pkt in out.packets {
-            let cfg = self.sources[src_idx].1;
+            let cfg = self.sources[src_idx].cfg;
             pkt.arrival = self.now;
+            let verdict = self
+                .injector
+                .as_mut()
+                .map_or(PacketVerdict::Pass, |inj| inj.on_packet(self.now, &mut pkt));
+            // "Offered" is what reaches the server's input port — recorded
+            // after corruption so the byte ledger matches what was seen.
             self.stats.record_arrival(&pkt);
+            match verdict {
+                PacketVerdict::Pass => {}
+                PacketVerdict::Drop => {
+                    self.stats.record_fault_drop(&pkt);
+                    self.emit_fault(
+                        FaultKind::PacketDrop,
+                        cfg.leaf.index(),
+                        pkt.flow,
+                        f64::from(pkt.len_bytes),
+                    );
+                    continue;
+                }
+                PacketVerdict::Corrupted => {
+                    self.emit_fault(
+                        FaultKind::PacketCorrupt,
+                        cfg.leaf.index(),
+                        pkt.flow,
+                        f64::from(pkt.len_bytes),
+                    );
+                }
+            }
+            // Degradation layer: malformed packets never reach the
+            // scheduler maths — they are dropped here and strike the flow.
+            if pkt.validate().is_err() {
+                self.stats.record_fault_drop(&pkt);
+                self.emit_fault(
+                    FaultKind::InvalidPacket,
+                    cfg.leaf.index(),
+                    pkt.flow,
+                    f64::from(pkt.len_bytes),
+                );
+                self.strike(pkt.flow);
+                if self.halted {
+                    return;
+                }
+                continue;
+            }
             if let Some(limit) = cfg.buffer_bytes {
                 if self.server.leaf_queue_bytes(cfg.leaf) + u64::from(pkt.len_bytes) > limit {
                     self.stats.record_drop(&pkt);
@@ -226,49 +472,256 @@ impl<S: NodeScheduler, O: Observer> Simulation<S, O> {
                     continue;
                 }
             }
-            self.server.enqueue(cfg.leaf, pkt);
+            match self.server.try_enqueue(cfg.leaf, pkt) {
+                Ok(()) => self.stats.record_accept(&pkt),
+                // The leaf vanished between emission and admission (e.g.
+                // quarantined while this packet was being generated):
+                // account the packet as fault-dropped and move on.
+                Err(_) => {
+                    self.stats.record_fault_drop(&pkt);
+                    self.emit_fault(
+                        FaultKind::PacketDrop,
+                        cfg.leaf.index(),
+                        pkt.flow,
+                        f64::from(pkt.len_bytes),
+                    );
+                }
+            }
         }
         self.try_start();
     }
 
     fn try_start(&mut self) {
-        if !self.server.is_transmitting() && self.server.has_pending() {
+        if self.rate > 0.0
+            && !self.halted
+            && !self.server.is_transmitting()
+            && self.server.has_pending()
+        {
             let now = self.now;
-            let pkt = self
-                .server
-                .start_transmission_at(now)
-                // lint:allow(L002): has_pending() was checked just above
-                .expect("has_pending guaranteed a packet");
+            // has_pending() was checked just above, so this is always
+            // Some; degrade to a no-op rather than asserting.
+            let Some(pkt) = self.server.start_transmission_at(now) else {
+                return;
+            };
             self.tx_start = self.now;
-            self.schedule(self.now + pkt.tx_time(self.rate), Event::TxComplete);
+            self.tx_remaining_bits = pkt.bits();
+            self.tx_updated = self.now;
+            self.schedule(
+                self.now + pkt.tx_time(self.rate),
+                Event::TxComplete(self.tx_epoch),
+            );
+        }
+    }
+
+    /// Changes the link's service rate at the current instant. A rate of 0
+    /// suspends service (outage); the in-flight packet, if any, keeps the
+    /// bits it already transmitted and its completion is rescheduled when
+    /// a later call restores a positive rate.
+    fn set_link_rate(&mut self, new_rate: f64) {
+        if !(new_rate.is_finite() && new_rate >= 0.0) {
+            self.command_errors
+                .push((self.now, HpfqError::InvalidRate(new_rate)));
+            return;
+        }
+        if self.server.is_transmitting() {
+            // Credit bits sent under the old rate, then reschedule the
+            // remainder under the new one.
+            let sent = (self.now - self.tx_updated) * self.rate;
+            self.tx_remaining_bits = (self.tx_remaining_bits - sent).max(0.0);
+            self.tx_updated = self.now;
+            self.tx_epoch += 1;
+            if new_rate > 0.0 {
+                self.schedule(
+                    self.now + self.tx_remaining_bits / new_rate,
+                    Event::TxComplete(self.tx_epoch),
+                );
+            }
+        }
+        self.rate = new_rate;
+        // Resync the hierarchy's reference clock: the GPS-exact policies
+        // measure elapsed busy time in nominal-rate link seconds, so a
+        // degraded link must slow (or, in an outage, freeze) that clock.
+        let factor = new_rate / self.server.link_rate();
+        if let Err(e) = self.server.set_link_rate_factor(self.now, factor) {
+            self.command_errors.push((self.now, e));
+        }
+        if !self.server.is_transmitting() {
+            self.try_start();
+        }
+    }
+
+    /// Records one incident against `flow` and applies the escalation
+    /// ladder's response: warn (no-op beyond the strike count), quarantine
+    /// (the flow's leaf is removed and its queue purged), or halt (the run
+    /// stops at the current event). Returns the level applied.
+    ///
+    /// Invalid packets strike automatically at admission; harnesses call
+    /// this directly to escalate externally detected misbehaviour (e.g. an
+    /// invariant-check violation attributed to a flow).
+    pub fn strike(&mut self, flow: u32) -> EscalationLevel {
+        let level = self.escalation.strike(&self.policy, flow);
+        match level {
+            EscalationLevel::Warn => {}
+            EscalationLevel::Quarantine => self.quarantine(flow),
+            EscalationLevel::Halt => {
+                // Halt still isolates the offending flow so a post-mortem
+                // inspection sees a consistent tree.
+                self.quarantine(flow);
+                self.halted = true;
+            }
+        }
+        level
+    }
+
+    /// Removes `flow`'s leaf from the hierarchy, purging and accounting
+    /// its queued packets, and stops its source.
+    fn quarantine(&mut self, flow: u32) {
+        let Some(&idx) = self.flow_owner.get(&flow) else {
+            return;
+        };
+        if !self.sources[idx].live {
+            return;
+        }
+        let leaf = self.sources[idx].cfg.leaf;
+        match self.server.remove_leaf(leaf) {
+            Ok(purged) => {
+                self.sources[idx].live = false;
+                let mut purged_packets = 0u64;
+                let mut purged_bytes = 0u64;
+                for p in &purged {
+                    self.stats.record_purge(p);
+                    purged_packets += 1;
+                    purged_bytes += u64::from(p.len_bytes);
+                }
+                if O::ENABLED {
+                    let ev = QuarantineEvent {
+                        time: self.now,
+                        leaf: leaf.index(),
+                        flow,
+                        strikes: self.escalation.strikes(flow),
+                        purged_packets,
+                        purged_bytes,
+                    };
+                    self.server.observer_mut().on_quarantine(&ev);
+                }
+            }
+            Err(e) => self.command_errors.push((self.now, e)),
+        }
+    }
+
+    fn apply_command(&mut self, cmd: SimCommand) {
+        match cmd {
+            SimCommand::SetLinkRate(bps) => {
+                let kind = if bps == 0.0 {
+                    FaultKind::LinkDown
+                } else if self.rate == 0.0 {
+                    FaultKind::LinkUp
+                } else {
+                    FaultKind::LinkRate
+                };
+                self.emit_fault(kind, 0, 0, bps);
+                self.set_link_rate(bps);
+            }
+            SimCommand::AddFlow {
+                parent,
+                phi,
+                flow,
+                source,
+                buffer_bytes,
+                delivery_delay,
+            } => match self.server.add_leaf(parent, phi) {
+                Ok(leaf) => {
+                    let idx = self.sources.len();
+                    self.sources.push(SourceSlot {
+                        src: source,
+                        cfg: SourceConfig {
+                            leaf,
+                            buffer_bytes,
+                            delivery_delay,
+                        },
+                        flow,
+                        live: true,
+                        started: true,
+                    });
+                    self.flow_owner.insert(flow, idx);
+                    self.emit_fault(FaultKind::FlowAdd, leaf.index(), flow, phi);
+                    let out = self.sources[idx].src.start();
+                    debug_assert!(out.packets.is_empty(), "start() must not emit packets");
+                    self.apply_output(idx, out);
+                }
+                Err(e) => self.command_errors.push((self.now, e)),
+            },
+            SimCommand::RemoveFlow(flow) => {
+                let Some(&idx) = self.flow_owner.get(&flow) else {
+                    self.command_errors
+                        .push((self.now, HpfqError::UnknownNode(usize::MAX)));
+                    return;
+                };
+                if !self.sources[idx].live {
+                    return;
+                }
+                let leaf = self.sources[idx].cfg.leaf;
+                let phi = self.server.phi(leaf);
+                match self.server.remove_leaf(leaf) {
+                    Ok(purged) => {
+                        self.sources[idx].live = false;
+                        for p in &purged {
+                            self.stats.record_purge(p);
+                        }
+                        self.emit_fault(FaultKind::FlowRemove, leaf.index(), flow, phi);
+                    }
+                    Err(e) => self.command_errors.push((self.now, e)),
+                }
+            }
         }
     }
 
     /// Runs the simulation until `horizon` seconds (events strictly after
-    /// the horizon are left unprocessed) or until no events remain.
+    /// the horizon are left unprocessed), until no events remain, or until
+    /// the escalation ladder halts the run. May be called repeatedly with
+    /// growing horizons to run in segments; sources are started once.
     pub fn run(&mut self, horizon: f64) {
-        // Start every source.
+        // Start any sources not yet started (first call, or sources
+        // attached between run segments).
         for i in 0..self.sources.len() {
-            let out = self.sources[i].0.start();
-            debug_assert!(out.packets.is_empty(), "start() must not emit packets");
-            self.apply_output(i, out);
+            if !self.sources[i].started {
+                self.sources[i].started = true;
+                let out = self.sources[i].src.start();
+                debug_assert!(out.packets.is_empty(), "start() must not emit packets");
+                self.apply_output(i, out);
+            }
         }
-        while let Some(&Reverse((Key(t, _), _))) = self.queue.peek() {
+        while !self.halted {
+            let Some(&Reverse((Key(t, _), _))) = self.queue.peek() else {
+                break;
+            };
             if t > horizon {
                 break;
             }
-            // lint:allow(L002): peek() just returned this entry
-            let Reverse((Key(t, _), slot)) = self.queue.pop().expect("peeked");
+            let Some(Reverse((Key(t, _), slot))) = self.queue.pop() else {
+                break;
+            };
             self.now = t;
-            // lint:allow(L002): each queue entry owns its slot until fired
-            let ev = self.events[slot].take().expect("event fired once");
+            // Each queue entry owns its arena slot until fired; a vacated
+            // slot (impossible today, tolerated for robustness) is skipped.
+            let Some(ev) = self.events[slot].take() else {
+                continue;
+            };
             self.free.push(slot);
             match ev {
                 Event::Wake(i) => {
-                    let out = self.sources[i].0.on_wake(t);
+                    if !self.sources[i].live {
+                        continue;
+                    }
+                    let out = self.sources[i].src.on_wake(t);
                     self.apply_output(i, out);
                 }
-                Event::TxComplete => {
+                Event::TxComplete(epoch) => {
+                    if epoch != self.tx_epoch {
+                        // Superseded by a link-rate change; the rescheduled
+                        // completion carries the current epoch.
+                        continue;
+                    }
                     let pkt = self.server.complete_transmission_at(t);
                     self.stats.record_service(ServiceRecord {
                         id: pkt.id,
@@ -279,19 +732,42 @@ impl<S: NodeScheduler, O: Observer> Simulation<S, O> {
                         end: t,
                     });
                     if let Some(&owner) = self.flow_owner.get(&pkt.flow) {
-                        let delay = self.sources[owner].1.delivery_delay;
-                        self.schedule(t + delay, Event::Deliver(owner, pkt));
+                        if self.sources[owner].live {
+                            let delay = self.sources[owner].cfg.delivery_delay;
+                            self.schedule(t + delay, Event::Deliver(owner, pkt));
+                        }
                     }
                     self.try_start();
                 }
                 Event::Deliver(i, pkt) => {
-                    let out = self.sources[i].0.on_delivered(t, &pkt);
+                    if !self.sources[i].live {
+                        continue;
+                    }
+                    let out = self.sources[i].src.on_delivered(t, &pkt);
                     self.apply_output(i, out);
                 }
+                Event::Command(cmd) => self.apply_command(cmd),
             }
         }
-        // Drop any unfired events past the horizon so a subsequent `run`
-        // with a larger horizon continues cleanly.
+        // Unfired events past the horizon stay queued so a subsequent
+        // `run` with a larger horizon continues cleanly.
+    }
+
+    /// Bytes currently queued in the hierarchy (including any in-flight
+    /// packet, which stays in its leaf queue until completion).
+    pub fn queued_bytes(&self) -> u64 {
+        self.server
+            .leaves()
+            .iter()
+            .map(|&l| self.server.leaf_queue_bytes(l))
+            .sum()
+    }
+
+    /// End-to-end byte conservation check: every offered byte is accounted
+    /// for as served, buffer-dropped, fault-dropped, purged, or still
+    /// queued. Returns a description of the imbalance, if any.
+    pub fn verify_conservation(&self) -> Result<(), String> {
+        self.stats.accounting_balanced(self.queued_bytes())
     }
 }
 
@@ -332,6 +808,7 @@ mod tests {
         // is one competing packet.
         assert!(fa.delay_max <= 1.0 + 1e-9, "{}", fa.delay_max);
         assert!(fb.delay_max <= 1.0 + 1e-9);
+        sim.verify_conservation().unwrap();
     }
 
     /// A greedy leaky-bucket flow against a backlogged competitor respects
@@ -370,6 +847,7 @@ mod tests {
             );
         }
         assert!(sim.stats.flow(0).packets > 100);
+        sim.verify_conservation().unwrap();
     }
 
     /// Drop-tail buffers drop exactly the overflow.
@@ -394,6 +872,7 @@ mod tests {
         let f = sim.stats.flow(0);
         assert_eq!(f.packets, 3);
         assert_eq!(f.drops, 7);
+        sim.verify_conservation().unwrap();
     }
 
     /// The event arena reuses fired slots: a long run with a bounded number
@@ -427,6 +906,7 @@ mod tests {
             sim.stats.total_packets
         );
         assert!(sim.outstanding_events() <= sim.event_arena_len());
+        sim.verify_conservation().unwrap();
     }
 
     /// Work conservation: link is never idle while traffic is queued —
@@ -461,5 +941,210 @@ mod tests {
         let ra = sim.stats.flow(0).bytes as f64;
         let rb = sim.stats.flow(1).bytes as f64;
         assert!((ra / rb - 1.0).abs() < 0.02, "{ra} vs {rb}");
+        sim.verify_conservation().unwrap();
+    }
+
+    /// A link outage suspends the in-flight packet and resumes it with its
+    /// already-sent bits credited; every offered packet is still served.
+    #[test]
+    fn outage_suspends_and_resumes_inflight() {
+        let mut h = server(8_000.0);
+        let root = h.root();
+        let a = h.add_leaf(root, 1.0).unwrap();
+        let mut sim = Simulation::new(h);
+        // 1000-byte packets at exactly link rate: one per second, t=0..9.
+        sim.add_source(
+            0,
+            CbrSource::new(0, 1000, 8000.0, 0.0, 10.0),
+            SourceConfig::open_loop(a),
+        );
+        // Outage from 2.5 s to 4.5 s: the packet in service (started at
+        // 2.0) is half-sent; it must finish 0.5 s after recovery.
+        sim.schedule_command(2.5, SimCommand::SetLinkRate(0.0));
+        sim.schedule_command(4.5, SimCommand::SetLinkRate(8000.0));
+        sim.run(30.0);
+        assert_eq!(sim.stats.flow(0).packets, 10);
+        // 10 s of work + 2 s outage.
+        assert!(
+            (sim.stats.last_departure - 12.0).abs() < 1e-9,
+            "{}",
+            sim.stats.last_departure
+        );
+        assert!(sim.command_errors.is_empty(), "{:?}", sim.command_errors);
+        sim.verify_conservation().unwrap();
+    }
+
+    /// A mid-transmission rate change rescales the in-flight packet's
+    /// completion instead of letting the stale completion fire.
+    #[test]
+    fn rate_change_mid_packet_rescales_completion() {
+        let mut h = server(8_000.0);
+        let root = h.root();
+        let a = h.add_leaf(root, 1.0).unwrap();
+        let mut sim = Simulation::new(h);
+        // One isolated packet at t=0 (1 s at 8 kbit/s).
+        sim.add_source(
+            0,
+            CbrSource::new(0, 1000, 8000.0, 0.0, 0.5),
+            SourceConfig::open_loop(a),
+        );
+        // At 0.5 s (half sent) the link halves: remaining 4000 bits at
+        // 4 kbit/s take 1 s more -> completes at 1.5 s.
+        sim.schedule_command(0.5, SimCommand::SetLinkRate(4_000.0));
+        sim.run(10.0);
+        assert_eq!(sim.stats.flow(0).packets, 1);
+        assert!(
+            (sim.stats.last_departure - 1.5).abs() < 1e-9,
+            "{}",
+            sim.stats.last_departure
+        );
+        sim.verify_conservation().unwrap();
+    }
+
+    /// Flow churn via commands: a flow joins mid-run, competes, and leaves
+    /// with its backlog purged and accounted.
+    #[test]
+    fn churn_commands_add_and_remove_flows() {
+        let mut h = server(8_000.0);
+        let root = h.root();
+        let a = h.add_leaf(root, 0.5).unwrap();
+        let mut sim = Simulation::new(h);
+        // Flow 0 saturates the link alone.
+        sim.add_source(
+            0,
+            CbrSource::new(0, 1000, 8000.0, 0.0, 30.0),
+            SourceConfig::open_loop(a),
+        );
+        // Flow 1 joins at t=5 offering its full share, leaves at t=15
+        // while backlogged (it offered 8 kbit/s but was served 4 kbit/s).
+        sim.schedule_command(
+            5.0,
+            SimCommand::AddFlow {
+                parent: root,
+                phi: 0.5,
+                flow: 1,
+                source: Box::new(CbrSource::new(1, 1000, 8000.0, 5.0, 15.0)),
+                buffer_bytes: None,
+                delivery_delay: 0.0,
+            },
+        );
+        sim.schedule_command(15.0, SimCommand::RemoveFlow(1));
+        sim.run(40.0);
+        assert!(sim.command_errors.is_empty(), "{:?}", sim.command_errors);
+        let f1 = sim.stats.flow(1);
+        assert!(f1.packets > 0, "joined flow was never served");
+        assert!(
+            f1.purged_packets > 0,
+            "backlogged leaver should have purged packets: {f1:?}"
+        );
+        // Flow 0 is whole: everything it offered was eventually served.
+        let f0 = sim.stats.flow(0);
+        assert_eq!(f0.offered_packets, f0.packets);
+        sim.verify_conservation().unwrap();
+    }
+
+    /// An injector that corrupts every packet of one flow in flight.
+    struct CorruptFlow(u32);
+
+    impl FaultInjector for CorruptFlow {
+        fn on_packet(&mut self, _now: f64, pkt: &mut Packet) -> PacketVerdict {
+            if pkt.flow == self.0 {
+                pkt.len_bytes = 0;
+                PacketVerdict::Corrupted
+            } else {
+                PacketVerdict::Pass
+            }
+        }
+    }
+
+    /// Corrupted packets strike their flow; at the third strike the flow is
+    /// quarantined while the healthy flow keeps its service. Nothing
+    /// panics and conservation holds throughout.
+    #[test]
+    fn corrupting_flow_is_quarantined_after_three_strikes() {
+        let mut h = server(8_000.0);
+        let root = h.root();
+        let a = h.add_leaf(root, 0.5).unwrap();
+        let b = h.add_leaf(root, 0.5).unwrap();
+        let mut sim = Simulation::new(h);
+        sim.add_source(
+            0,
+            CbrSource::new(0, 1000, 6000.0, 0.0, 20.0),
+            SourceConfig::open_loop(a),
+        );
+        sim.add_source(
+            1,
+            CbrSource::new(1, 1000, 6000.0, 0.0, 20.0),
+            SourceConfig::open_loop(b),
+        );
+        sim.set_fault_injector(CorruptFlow(1));
+        sim.set_escalation_policy(EscalationPolicy::standard());
+        sim.run(30.0);
+        assert!(sim.escalation().is_quarantined(1));
+        assert!(!sim.is_halted());
+        let f1 = sim.stats.flow(1);
+        assert_eq!(f1.packets, 0, "no corrupted packet may be served");
+        assert_eq!(f1.fault_drops, 3, "struck out after three invalid packets");
+        let f0 = sim.stats.flow(0);
+        assert_eq!(f0.offered_packets, f0.packets);
+        sim.verify_conservation().unwrap();
+    }
+
+    /// Under the strict policy a single invalid packet halts the run —
+    /// cleanly, with accounting still balanced.
+    #[test]
+    fn strict_policy_halts_on_first_invalid_packet() {
+        let mut h = server(8_000.0);
+        let root = h.root();
+        let a = h.add_leaf(root, 1.0).unwrap();
+        let mut sim = Simulation::new(h);
+        sim.add_source(
+            0,
+            CbrSource::new(0, 1000, 8000.0, 0.0, 20.0),
+            SourceConfig::open_loop(a),
+        );
+        sim.set_fault_injector(CorruptFlow(0));
+        sim.set_escalation_policy(EscalationPolicy::strict());
+        sim.run(30.0);
+        assert!(sim.is_halted());
+        assert_eq!(sim.stats.flow(0).fault_drops, 1);
+        sim.verify_conservation().unwrap();
+    }
+
+    /// An injector dropping every other packet of every flow.
+    struct DropAlternate(u64);
+
+    impl FaultInjector for DropAlternate {
+        fn on_packet(&mut self, _now: f64, _pkt: &mut Packet) -> PacketVerdict {
+            self.0 += 1;
+            if self.0.is_multiple_of(2) {
+                PacketVerdict::Drop
+            } else {
+                PacketVerdict::Pass
+            }
+        }
+    }
+
+    /// Injected drops are accounted separately from buffer drops and keep
+    /// the books balanced.
+    #[test]
+    fn injected_drops_are_accounted() {
+        let mut h = server(8_000.0);
+        let root = h.root();
+        let a = h.add_leaf(root, 1.0).unwrap();
+        let mut sim = Simulation::new(h);
+        sim.add_source(
+            0,
+            CbrSource::new(0, 1000, 8000.0, 0.0, 10.0),
+            SourceConfig::open_loop(a),
+        );
+        sim.set_fault_injector(DropAlternate(0));
+        sim.run(30.0);
+        let f = sim.stats.flow(0);
+        assert_eq!(f.offered_packets, 10);
+        assert_eq!(f.fault_drops, 5);
+        assert_eq!(f.packets, 5);
+        assert_eq!(f.drops, 0);
+        sim.verify_conservation().unwrap();
     }
 }

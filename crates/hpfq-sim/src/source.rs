@@ -598,11 +598,9 @@ mod tests {
         let mut emitted = Vec::new();
         let mut guard = 0u32;
         while !wakes.is_empty() {
-            let (i, _) = wakes
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.total_cmp(b.1))
-                .unwrap();
+            let Some((i, _)) = wakes.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)) else {
+                break; // unreachable: the loop condition holds wakes non-empty
+            };
             let t = wakes.swap_remove(i);
             if t > horizon {
                 break;

@@ -46,6 +46,20 @@ pub struct FlowStats {
     pub offered_packets: u64,
     /// Bytes offered by the source (accepted + dropped).
     pub offered_bytes: u64,
+    /// Packets accepted into the hierarchy (offered − all drops).
+    pub accepted_packets: u64,
+    /// Bytes accepted into the hierarchy.
+    pub accepted_bytes: u64,
+    /// Packets lost to fault injection or admission validation (distinct
+    /// from buffer `drops`).
+    pub fault_drops: u64,
+    /// Bytes lost to fault injection or admission validation.
+    pub fault_drop_bytes: u64,
+    /// Packets purged from the queue when the flow was removed or
+    /// quarantined (accepted but never served).
+    pub purged_packets: u64,
+    /// Bytes purged on removal/quarantine.
+    pub purged_bytes: u64,
     /// Sum of per-packet delays (seconds).
     pub delay_sum: f64,
     /// Maximum per-packet delay.
@@ -133,6 +147,66 @@ impl SimStats {
         let f = self.flows.entry(pkt.flow).or_default();
         f.drops += 1;
         f.drop_bytes += u64::from(pkt.len_bytes);
+    }
+
+    /// Records a packet accepted into the hierarchy (survived fault
+    /// injection, validation, and the buffer check).
+    pub fn record_accept(&mut self, pkt: &Packet) {
+        let f = self.flows.entry(pkt.flow).or_default();
+        f.accepted_packets += 1;
+        f.accepted_bytes += u64::from(pkt.len_bytes);
+    }
+
+    /// Records a packet lost to fault injection or admission validation.
+    pub fn record_fault_drop(&mut self, pkt: &Packet) {
+        let f = self.flows.entry(pkt.flow).or_default();
+        f.fault_drops += 1;
+        f.fault_drop_bytes += u64::from(pkt.len_bytes);
+    }
+
+    /// Records a packet purged from its queue by flow removal/quarantine.
+    pub fn record_purge(&mut self, pkt: &Packet) {
+        let f = self.flows.entry(pkt.flow).or_default();
+        f.purged_packets += 1;
+        f.purged_bytes += u64::from(pkt.len_bytes);
+    }
+
+    /// Verifies byte/packet conservation across the collector:
+    ///
+    /// * per flow, `offered == accepted + buffer drops + fault drops`
+    ///   (packets and bytes), and
+    /// * in aggregate, `accepted == served + purged + queued_bytes`
+    ///   (bytes; `queued_bytes` is whatever the caller still holds in
+    ///   queues, including an in-flight packet).
+    ///
+    /// Returns a description of the first imbalance found.
+    pub fn accounting_balanced(&self, queued_bytes: u64) -> Result<(), String> {
+        let mut accepted = 0u64;
+        let mut served = 0u64;
+        let mut purged = 0u64;
+        for (flow, f) in &self.flows {
+            if f.offered_packets != f.accepted_packets + f.drops + f.fault_drops {
+                return Err(format!(
+                    "flow {flow}: offered {} pkts != accepted {} + dropped {} + fault-dropped {}",
+                    f.offered_packets, f.accepted_packets, f.drops, f.fault_drops
+                ));
+            }
+            if f.offered_bytes != f.accepted_bytes + f.drop_bytes + f.fault_drop_bytes {
+                return Err(format!(
+                    "flow {flow}: offered {} B != accepted {} + dropped {} + fault-dropped {} B",
+                    f.offered_bytes, f.accepted_bytes, f.drop_bytes, f.fault_drop_bytes
+                ));
+            }
+            accepted += f.accepted_bytes;
+            served += f.bytes;
+            purged += f.purged_bytes;
+        }
+        if accepted != served + purged + queued_bytes {
+            return Err(format!(
+                "accepted {accepted} B != served {served} + purged {purged} + queued {queued_bytes} B"
+            ));
+        }
+        Ok(())
     }
 
     /// Aggregates for `flow` (zeroes if it never sent).
@@ -260,6 +334,37 @@ mod tests {
         assert_eq!(s.trace(8).len(), 0); // not traced
         assert_eq!(s.total_bytes, 300);
         assert_eq!(s.flows(), vec![7, 8]);
+    }
+
+    #[test]
+    fn accounting_balance_detects_leaks() {
+        let mut s = SimStats::new();
+        let p1 = Packet::new(1, 7, 100, 0.0);
+        let p2 = Packet::new(2, 7, 200, 1.0);
+        let p3 = Packet::new(3, 7, 300, 2.0);
+        s.record_arrival(&p1);
+        s.record_arrival(&p2);
+        s.record_arrival(&p3);
+        s.record_accept(&p1);
+        s.record_accept(&p2);
+        s.record_drop(&p3);
+        s.record_service(ServiceRecord {
+            id: 1,
+            flow: 7,
+            len_bytes: 100,
+            arrival: 0.0,
+            start: 0.0,
+            end: 0.5,
+        });
+        // p2 accepted but unserved: balanced only if reported as queued.
+        assert!(s.accounting_balanced(200).is_ok());
+        assert!(s.accounting_balanced(0).is_err());
+        // A purge moves p2 out of the queue but keeps the books straight.
+        s.record_purge(&p2);
+        assert!(s.accounting_balanced(0).is_ok());
+        // An arrival that is neither accepted nor dropped is a leak.
+        s.record_arrival(&Packet::new(4, 7, 400, 3.0));
+        assert!(s.accounting_balanced(0).is_err());
     }
 
     #[test]

@@ -16,9 +16,10 @@ use hpfq::analysis::{empirical_bwfi, service_curve_from_records, wf2q_plus_bwfi}
 use hpfq::core::eligible::{
     dual_heap::DualHeapEligibleSet, treap::TreapEligibleSet, BruteForceEligibleSet, EligibleSet,
 };
-use hpfq::core::{Hierarchy, SessionId, Wf2qPlus};
+use hpfq::core::{Hierarchy, NodeId, NodeScheduler, SessionId, Sfq, Wf2qPlus};
 use hpfq::fluid::{Arrival, FluidNodeId, FluidSim, FluidTree};
-use hpfq::sim::{Simulation, SmallRng, SourceConfig, TraceSource};
+use hpfq::obs::InvariantObserver;
+use hpfq::sim::{CbrSource, SimCommand, Simulation, SmallRng, SourceConfig, TraceSource};
 
 // ---------------------------------------------------------------------------
 // Eligible sets: both O(log N) structures behave exactly like the O(N)
@@ -341,5 +342,127 @@ fn hierarchy_conserves_packets() {
             }
         }
         assert_eq!(got, expected, "case {case}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flow churn: leaves joining and leaving mid-run must keep every node's
+// virtual time monotone and every share non-negative and within its
+// parent's budget — for WF²Q+ and for SFQ (the two policies the chaos
+// soak leans on hardest).
+// ---------------------------------------------------------------------------
+
+/// Drives one randomized churn case against a scheduler family and checks
+/// the share and virtual-time invariants at every churn boundary.
+fn churn_case<S: NodeScheduler>(factory: impl Fn(f64) -> S + 'static, seed: u64) {
+    const LINK: f64 = 1e6;
+    const CHURN_BASE: u32 = 50;
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Static backbone: a class with two permanent leaves plus a root-level
+    // leaf, deliberately leaving 0.2 of the root for churn arrivals.
+    let mut h = Hierarchy::new_with_observer(LINK, factory, InvariantObserver::new());
+    let root = h.root();
+    let class = h.add_internal(root, 0.5).unwrap();
+    let l0 = h.add_leaf(class, 0.6).unwrap();
+    let l1 = h.add_leaf(class, 0.4).unwrap();
+    let l2 = h.add_leaf(root, 0.3).unwrap();
+    let mut sim = Simulation::new(h);
+    for (i, (leaf, rate)) in [(l0, 0.45e6), (l1, 0.30e6), (l2, 0.50e6)]
+        .into_iter()
+        .enumerate()
+    {
+        let flow = i as u32;
+        sim.add_source(
+            flow,
+            CbrSource::new(flow, 500, rate, 0.0, 18.0),
+            SourceConfig::open_loop(leaf),
+        );
+    }
+
+    // Random churn schedule: joins (bounded by the 0.2 spare share) and
+    // leaves of previously joined flows, at random times.
+    let nops = rng.gen_range_usize(2, 9);
+    let mut times: Vec<f64> = (0..nops).map(|_| rng.gen_range_f64(1.0, 15.0)).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut live: Vec<u32> = Vec::new();
+    let mut next_flow = CHURN_BASE;
+    let mut boundaries = Vec::new();
+    for t in times {
+        let join = live.is_empty() || (live.len() < 3 && rng.gen_range_u32(0, 2) == 0);
+        if join {
+            let phi = rng.gen_range_f64(0.01, 0.2 / 3.0);
+            let flow = next_flow;
+            next_flow += 1;
+            live.push(flow);
+            sim.schedule_command(
+                t,
+                SimCommand::AddFlow {
+                    parent: root,
+                    phi,
+                    flow,
+                    source: Box::new(CbrSource::new(flow, 400, phi * LINK * 1.4, t, 18.0)),
+                    buffer_bytes: None,
+                    delivery_delay: 0.0,
+                },
+            );
+        } else {
+            let idx = rng.gen_range_usize(0, live.len());
+            sim.schedule_command(t, SimCommand::RemoveFlow(live.swap_remove(idx)));
+        }
+        boundaries.push(t);
+    }
+    boundaries.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    boundaries.push(20.0);
+
+    // Run in segments so the share checks observe the state right after
+    // each churn command fires, not just the final configuration.
+    for &t in &boundaries {
+        sim.run(t);
+        let h = sim.server();
+        for n in 0..h.node_count() {
+            let node = NodeId(n);
+            if h.is_detached(node) {
+                continue;
+            }
+            assert!(
+                h.phi(node) >= 0.0,
+                "seed {seed}: node {n} share went negative at t={t}"
+            );
+            let alloc = h.allocated_share(node);
+            assert!(
+                (-1e-9..=1.0 + 1e-9).contains(&alloc),
+                "seed {seed}: node {n} allocated share {alloc} out of [0,1] at t={t}"
+            );
+        }
+    }
+
+    assert!(
+        sim.command_errors.is_empty(),
+        "seed {seed}: churn commands failed: {:?}",
+        sim.command_errors
+    );
+    sim.verify_conservation().unwrap_or_else(|e| {
+        panic!("seed {seed}: conservation broken after churn: {e}");
+    });
+    let obs = sim.server().observer();
+    assert!(
+        obs.is_clean(),
+        "seed {seed}: invariant violations under churn: {}",
+        obs.summary()
+    );
+}
+
+#[test]
+fn churn_preserves_invariants_wf2q_plus() {
+    for case in 0..24u64 {
+        churn_case(Wf2qPlus::new, 0xc4a0_0000 + case);
+    }
+}
+
+#[test]
+fn churn_preserves_invariants_sfq() {
+    for case in 0..24u64 {
+        churn_case(Sfq::new, 0xc4a1_0000 + case);
     }
 }
