@@ -14,8 +14,10 @@
 //!   bandwidth.
 //!
 //! [`trace`] bridges the two worlds to `hpfq-obs`: it rebuilds
-//! [`hpfq_sim::ServiceRecord`]s from a parsed JSONL event trace, so every
-//! measurement here can be re-run offline from a trace file.
+//! [`hpfq_sim::ServiceRecord`]s from a parsed JSONL event trace — per
+//! link for multi-hop `Network` runs, with [`trace::PathRecord`] giving
+//! per-hop and end-to-end delay — so every measurement here can be
+//! re-run offline from a trace file.
 //!
 //! [`report`] provides the small CSV writer used by every experiment
 //! binary in `hpfq-bench`.
@@ -49,5 +51,8 @@ pub use bounds::{
 pub use measures::{delay_series, percentile, service_curve_from_records};
 pub use report::CsvWriter;
 pub use sbi::{empirical_sbi, lemma1_delay_bound, t_wfi_from_b_wfi};
-pub use trace::{flow_records_from_trace, service_records_from_trace, TraceAnomalies};
+pub use trace::{
+    flow_records_from_trace, path_records_from_trace, per_link_records_from_trace,
+    service_records_from_trace, PathRecord, TraceAnomalies,
+};
 pub use wfi::empirical_bwfi;

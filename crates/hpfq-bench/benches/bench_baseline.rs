@@ -1,0 +1,131 @@
+//! The committed perf baseline: steady-state enqueue and dispatch cost of
+//! a `Hierarchy` per scheduling policy, at depth 1 and depth 3 (64 leaves
+//! either way, so the numbers isolate tree depth, not leaf count).
+//!
+//! * `dispatch` — one full dequeue (RESET-PATH + RESTART-NODE chain) plus
+//!   the replenishing enqueue that keeps the tree saturated. This is the
+//!   per-packet server cost.
+//! * `enqueue` — one arrival into an already-backlogged leaf (FIFO append
+//!   plus `arrival_hint` to every ancestor). Queues grow during
+//!   measurement; the amortized `VecDeque` growth is part of the real
+//!   arrival cost.
+//!
+//! Output: aligned rows on stdout, plus `--json <path>` for the
+//! machine-readable form committed as `results/bench_baseline.json`.
+//! `--smoke` switches to the fast CI profile (same code, noisier numbers).
+
+use hpfq_bench::microbench::{
+    json_path_from_args, time_op_profile, write_json, BenchRecord, Profile,
+};
+use hpfq_core::{Hierarchy, MixedScheduler, NodeId, Packet, SchedulerKind};
+
+const LEAVES: usize = 64;
+/// `(label, depth, fanout)`: fanout^depth == LEAVES for both shapes.
+const SHAPES: [(&str, u32, usize); 2] = [("depth1", 1, 64), ("depth3", 3, 4)];
+
+/// Builds a uniform `depth`-level tree of `fanout^depth` leaves running
+/// `kind` at every node.
+fn build(
+    kind: SchedulerKind,
+    depth: u32,
+    fanout: usize,
+) -> (Hierarchy<MixedScheduler>, Vec<NodeId>) {
+    let mut bld = Hierarchy::builder(1e9, move |rate| kind.build(rate));
+    let mut parents = vec![bld.root()];
+    for _ in 1..depth {
+        let mut next = Vec::new();
+        for &p in &parents {
+            for _ in 0..fanout {
+                next.push(bld.add_internal(p, 1.0 / fanout as f64).unwrap());
+            }
+        }
+        parents = next;
+    }
+    let mut leaves = Vec::new();
+    for &p in &parents {
+        for _ in 0..fanout {
+            leaves.push(bld.add_leaf(p, 1.0 / fanout as f64).unwrap());
+        }
+    }
+    assert_eq!(leaves.len(), LEAVES);
+    (bld.build(), leaves)
+}
+
+/// Median ns per dispatch: every leaf starts two deep; each op transmits
+/// one packet and replenishes the drained leaf.
+fn bench_dispatch(kind: SchedulerKind, depth: u32, fanout: usize, profile: Profile) -> f64 {
+    let (mut h, leaves) = build(kind, depth, fanout);
+    let mut id = 0u64;
+    for &leaf in &leaves {
+        for _ in 0..2 {
+            id += 1;
+            h.enqueue(leaf, Packet::new(id, leaf.0 as u32, 1500, 0.0));
+        }
+    }
+    let ns = time_op_profile(
+        || {
+            let pkt = h.dequeue().expect("backlogged");
+            id += 1;
+            h.enqueue(
+                NodeId(pkt.flow as usize),
+                Packet::new(id, pkt.flow, 1500, 0.0),
+            );
+            pkt.id
+        },
+        profile,
+    );
+    while h.dequeue().is_some() {}
+    ns
+}
+
+/// Median ns per arrival into a backlogged leaf (round-robin over leaves).
+fn bench_enqueue(kind: SchedulerKind, depth: u32, fanout: usize, profile: Profile) -> f64 {
+    let (mut h, leaves) = build(kind, depth, fanout);
+    let mut id = 0u64;
+    for &leaf in &leaves {
+        id += 1;
+        h.enqueue(leaf, Packet::new(id, leaf.0 as u32, 1500, 0.0));
+    }
+    let mut i = 0usize;
+    let ns = time_op_profile(
+        || {
+            let leaf = leaves[i];
+            i = (i + 1) % leaves.len();
+            id += 1;
+            h.enqueue(leaf, Packet::new(id, leaf.0 as u32, 1500, 0.0));
+            id
+        },
+        profile,
+    );
+    while h.dequeue().is_some() {}
+    ns
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = Profile::from_args(&args);
+    let json = json_path_from_args(&args);
+
+    let mut records = Vec::new();
+    println!(
+        "== bench_baseline ({} profile): {LEAVES} leaves ==",
+        profile.as_str()
+    );
+    for (label, depth, fanout) in SHAPES {
+        for kind in SchedulerKind::ALL {
+            let name = format!("{}/{label}", kind.name());
+            let ns = bench_dispatch(kind, depth, fanout, profile);
+            records.push(BenchRecord::reported("dispatch", &name, LEAVES, ns));
+            let ns = bench_enqueue(kind, depth, fanout, profile);
+            records.push(BenchRecord::reported("enqueue", &name, LEAVES, ns));
+        }
+    }
+
+    if let Some(path) = json {
+        write_json(
+            &path,
+            &[("profile", profile.as_str()), ("leaves", "64")],
+            &records,
+        );
+    }
+}

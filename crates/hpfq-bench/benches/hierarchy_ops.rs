@@ -19,13 +19,13 @@ use hpfq_obs::{CountingObserver, NoopObserver, Observer};
 
 /// Builds a uniform tree of the given depth/fanout and returns its leaves.
 fn build<O: Observer>(depth: u32, fanout: usize, obs: O) -> (Hierarchy<Wf2qPlus, O>, Vec<NodeId>) {
-    let mut h = Hierarchy::new_with_observer(1e9, Wf2qPlus::new, obs);
-    let mut parents = vec![h.root()];
+    let mut bld = Hierarchy::builder_with_observer(1e9, Wf2qPlus::new, obs);
+    let mut parents = vec![bld.root()];
     for _ in 1..depth {
         let mut next = Vec::new();
         for &p in &parents {
             for _ in 0..fanout {
-                next.push(h.add_internal(p, 1.0 / fanout as f64).unwrap());
+                next.push(bld.add_internal(p, 1.0 / fanout as f64).unwrap());
             }
         }
         parents = next;
@@ -33,10 +33,10 @@ fn build<O: Observer>(depth: u32, fanout: usize, obs: O) -> (Hierarchy<Wf2qPlus,
     let mut leaves = Vec::new();
     for &p in &parents {
         for _ in 0..fanout {
-            leaves.push(h.add_leaf(p, 1.0 / fanout as f64).unwrap());
+            leaves.push(bld.add_leaf(p, 1.0 / fanout as f64).unwrap());
         }
     }
-    (h, leaves)
+    (bld.build(), leaves)
 }
 
 /// Keeps every leaf two packets deep; each iteration transmits one packet

@@ -18,8 +18,8 @@ struct Trial {
 }
 
 fn run_trial(rng: &mut SmallRng, depth: usize) -> Trial {
-    let mut h = Hierarchy::new_with(LINK, Wf2qPlus::new);
-    let mut parent = h.root();
+    let mut bld = Hierarchy::builder(LINK, Wf2qPlus::new);
+    let mut parent = bld.root();
     let mut rates_path_rev = Vec::new(); // root-side first, leaf last
 
     // Build a chain of internal nodes; at each level attach one saturating
@@ -27,19 +27,20 @@ fn run_trial(rng: &mut SmallRng, depth: usize) -> Trial {
     let mut cross_leaves: Vec<(NodeId, f64)> = Vec::new();
     for _ in 0..depth {
         let phi_class = rng.gen_range_f64(0.4, 0.7);
-        let class = h.add_internal(parent, phi_class).unwrap();
-        let cross = h.add_leaf(parent, 1.0 - phi_class).unwrap();
-        cross_leaves.push((cross, h.rate(cross)));
-        rates_path_rev.push(h.rate(class));
+        let class = bld.add_internal(parent, phi_class).unwrap();
+        let cross = bld.add_leaf(parent, 1.0 - phi_class).unwrap();
+        cross_leaves.push((cross, bld.rate(cross)));
+        rates_path_rev.push(bld.rate(class));
         parent = class;
     }
     // Measured leaf plus one sibling saturator.
     let phi_leaf = rng.gen_range_f64(0.3, 0.6);
-    let leaf = h.add_leaf(parent, phi_leaf).unwrap();
-    let sib = h.add_leaf(parent, 1.0 - phi_leaf).unwrap();
-    cross_leaves.push((sib, h.rate(sib)));
-    let r_i = h.rate(leaf);
+    let leaf = bld.add_leaf(parent, phi_leaf).unwrap();
+    let sib = bld.add_leaf(parent, 1.0 - phi_leaf).unwrap();
+    cross_leaves.push((sib, bld.rate(sib)));
+    let r_i = bld.rate(leaf);
     rates_path_rev.push(r_i);
+    let h = bld.build();
 
     let mut rates_path = rates_path_rev.clone();
     rates_path.reverse(); // leaf-first, as corollary2_bound expects

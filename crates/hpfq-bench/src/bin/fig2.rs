@@ -14,7 +14,7 @@ use hpfq_fluid::{Arrival, FluidSim, FluidTree};
 /// Builds the 11-session workload on a depth-1 hierarchy and returns the
 /// session index served in each unit slot.
 fn packet_order(kind: SchedulerKind) -> Vec<usize> {
-    let mut h = Hierarchy::new_with(1.0, move |r| kind.build(r));
+    let mut h = Hierarchy::builder(1.0, move |r| kind.build(r)).build();
     let root = h.root();
     let mut leaves = Vec::new();
     leaves.push(h.add_leaf(root, 0.5).unwrap());

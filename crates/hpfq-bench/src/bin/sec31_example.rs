@@ -22,18 +22,18 @@ const FLOW_RT: u32 = 1;
 const FLOW_BE: u32 = 2;
 
 fn rt_delay(kind: SchedulerKind) -> f64 {
-    let mut h: Hierarchy<MixedScheduler> = Hierarchy::new_with(LINK, move |r| kind.build(r));
-    let root = h.root();
-    let a1 = h.add_internal(root, 0.5).unwrap();
-    let rt = h.add_leaf(a1, 0.6).unwrap(); // 30% of the link
-    let be = h.add_leaf(a1, 0.4).unwrap(); // 20% of the link
+    let mut bld = Hierarchy::<MixedScheduler>::builder(LINK, move |r| kind.build(r));
+    let root = bld.root();
+    let a1 = bld.add_internal(root, 0.5).unwrap();
+    let rt = bld.add_leaf(a1, 0.6).unwrap(); // 30% of the link
+    let be = bld.add_leaf(a1, 0.4).unwrap(); // 20% of the link
     let phi_other = 0.5 / N_OTHER as f64; // 0.05% each
     let mut others = Vec::new();
     for _ in 0..N_OTHER {
-        others.push(h.add_leaf(root, phi_other).unwrap());
+        others.push(bld.add_leaf(root, phi_other).unwrap());
     }
 
-    let mut sim = Simulation::new(h);
+    let mut sim = Simulation::new(bld.build());
     sim.stats.trace_flow(FLOW_RT);
 
     // Best-effort burst: 1001 packets at t=0 (the Fig. 2 pattern at the

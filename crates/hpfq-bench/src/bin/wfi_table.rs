@@ -21,7 +21,7 @@ const PKT: u32 = 125; // 1000 bits
 
 fn measured_wfi_packets(kind: SchedulerKind, n: usize) -> f64 {
     let rate = 1000.0; // 1 packet per second
-    let mut h: Hierarchy<MixedScheduler> = Hierarchy::new_with(rate, move |r| kind.build(r));
+    let mut h: Hierarchy<MixedScheduler> = Hierarchy::builder(rate, move |r| kind.build(r)).build();
     let root = h.root();
     let big = h.add_leaf(root, 0.5).unwrap();
     let mut small = Vec::new();

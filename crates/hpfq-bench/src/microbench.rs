@@ -18,19 +18,69 @@ const MAX_BATCH: u64 = 1 << 22;
 
 /// Measures `op` (a steady-state operation safe to repeat indefinitely)
 /// and returns the median time per call in nanoseconds.
-pub fn time_op<T>(mut op: impl FnMut() -> T) -> f64 {
+pub fn time_op<T>(op: impl FnMut() -> T) -> f64 {
+    time_op_profile(op, Profile::Full)
+}
+
+/// Measurement effort: the full profile for committed baselines, the smoke
+/// profile for CI sanity runs (same code path, ~10× faster, noisier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// 7 batches of ≥ 2 ms each (the committed-baseline methodology).
+    Full,
+    /// 3 batches of ≥ 0.2 ms each (CI smoke: checks the harness runs and
+    /// the numbers are plausible, not publication-grade).
+    Smoke,
+}
+
+impl Profile {
+    fn batches(self) -> usize {
+        match self {
+            Profile::Full => BATCHES,
+            Profile::Smoke => 3,
+        }
+    }
+
+    fn min_batch_secs(self) -> f64 {
+        match self {
+            Profile::Full => MIN_BATCH_SECS,
+            Profile::Smoke => 2e-4,
+        }
+    }
+
+    /// Stable wire name for bench JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Profile::Full => "full",
+            Profile::Smoke => "smoke",
+        }
+    }
+
+    /// Parses a bench-binary argument list: `--smoke` selects the smoke
+    /// profile, anything else is left to the caller.
+    pub fn from_args(args: &[String]) -> Self {
+        if args.iter().any(|a| a == "--smoke") {
+            Profile::Smoke
+        } else {
+            Profile::Full
+        }
+    }
+}
+
+/// [`time_op`] with an explicit measurement [`Profile`].
+pub fn time_op_profile<T>(mut op: impl FnMut() -> T, profile: Profile) -> f64 {
     let mut batch: u64 = 16;
     loop {
         let t = Instant::now();
         for _ in 0..batch {
             black_box(op());
         }
-        if t.elapsed().as_secs_f64() >= MIN_BATCH_SECS || batch >= MAX_BATCH {
+        if t.elapsed().as_secs_f64() >= profile.min_batch_secs() || batch >= MAX_BATCH {
             break;
         }
         batch *= 4;
     }
-    let mut samples: Vec<f64> = (0..BATCHES)
+    let mut samples: Vec<f64> = (0..profile.batches())
         .map(|_| {
             let t = Instant::now();
             for _ in 0..batch {
@@ -53,9 +103,124 @@ pub fn report(group: &str, name: &str, size: usize, ns_per_op: f64) {
     );
 }
 
+/// One measured data point, for machine-readable bench reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Metric family (e.g. `"dispatch"`, `"enqueue"`).
+    pub group: String,
+    /// Specific configuration (e.g. `"wf2q+/depth3"`).
+    pub name: String,
+    /// Problem size the point was measured at (e.g. leaf count).
+    pub size: usize,
+    /// Median nanoseconds per operation.
+    pub ns_per_op: f64,
+}
+
+impl BenchRecord {
+    /// Records a data point and echoes it through [`report`] so console
+    /// output and JSON stay in sync.
+    pub fn reported(group: &str, name: &str, size: usize, ns_per_op: f64) -> Self {
+        report(group, name, size, ns_per_op);
+        BenchRecord {
+            group: group.to_owned(),
+            name: name.to_owned(),
+            size,
+            ns_per_op,
+        }
+    }
+}
+
+/// Serializes bench records as one self-describing JSON document (no
+/// serialization dependency; the field set is fixed). `meta` lands in a
+/// top-level `"meta"` object — use it for the profile, toolchain, or git
+/// revision.
+pub fn records_to_json(meta: &[(&str, &str)], records: &[BenchRecord]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"hpfq-bench/v1\",\n  \"meta\": {");
+    for (i, (k, v)) in meta.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{k}\":\"{v}\""));
+    }
+    out.push_str("},\n  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"group\":\"{}\",\"name\":\"{}\",\"size\":{},\"ns_per_op\":{:.1}}}{}\n",
+            r.group,
+            r.name,
+            r.size,
+            r.ns_per_op,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes [`records_to_json`] output to `path` (`--json <path>` in the
+/// bench binaries). I/O errors abort the bench — a baseline that silently
+/// failed to persist is worse than a crash.
+pub fn write_json(path: &str, meta: &[(&str, &str)], records: &[BenchRecord]) {
+    let doc = records_to_json(meta, records);
+    // lint:allow(L002): bench harness, not simulation hot path — failing to
+    // persist a baseline must be loud
+    std::fs::write(path, doc).unwrap_or_else(|e| panic!("writing bench JSON {path}: {e}"));
+    println!("bench JSON written to {path}");
+}
+
+/// Extracts the `--json <path>` argument, if present.
+pub fn json_path_from_args(args: &[String]) -> Option<String> {
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_document_is_well_formed() {
+        let records = vec![
+            BenchRecord {
+                group: "dispatch".into(),
+                name: "wf2q+/depth1".into(),
+                size: 64,
+                ns_per_op: 123.45,
+            },
+            BenchRecord {
+                group: "enqueue".into(),
+                name: "fifo/depth3".into(),
+                size: 64,
+                ns_per_op: 67.8,
+            },
+        ];
+        let doc = records_to_json(&[("profile", "smoke")], &records);
+        assert!(doc.contains("\"schema\": \"hpfq-bench/v1\""));
+        assert!(doc.contains("\"profile\":\"smoke\""));
+        assert!(doc.contains(
+            "{\"group\":\"dispatch\",\"name\":\"wf2q+/depth1\",\"size\":64,\"ns_per_op\":123.5},"
+        ));
+        assert!(doc.contains(
+            "{\"group\":\"enqueue\",\"name\":\"fifo/depth3\",\"size\":64,\"ns_per_op\":67.8}\n"
+        ));
+        // Balanced braces/brackets (the document nests exactly one level).
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--smoke", "--json", "out.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(Profile::from_args(&args), Profile::Smoke);
+        assert_eq!(json_path_from_args(&args).as_deref(), Some("out.json"));
+        assert_eq!(Profile::from_args(&[]), Profile::Full);
+        assert_eq!(json_path_from_args(&[]), None);
+    }
 
     #[test]
     fn measures_something_positive() {

@@ -82,33 +82,37 @@ pub fn build_with_observer<O: Observer>(
     seed: u64,
     obs: O,
 ) -> Fig3<O> {
-    let mut h: Hierarchy<MixedScheduler, O> =
-        Hierarchy::new_with_observer(LINK_BPS, move |rate| kind.build(rate), obs);
-    let root = h.root();
+    let mut bld = Hierarchy::<MixedScheduler, O>::builder_with_observer(
+        LINK_BPS,
+        move |rate| kind.build(rate),
+        obs,
+    );
+    let root = bld.root();
 
     // --- topology -------------------------------------------------------
-    let n2 = h.add_internal(root, 0.5).unwrap(); // 22.5 Mbit/s
+    let n2 = bld.add_internal(root, 0.5).unwrap(); // 22.5 Mbit/s
     let n1_phi = (9.0 / 0.81) / 22.5; // ≈ 0.49383 ⇒ 11.111 Mbit/s
-    let n1 = h.add_internal(n2, n1_phi).unwrap();
-    let rt1 = h.add_leaf(n1, 0.81).unwrap(); // 9 Mbit/s
-    let be1 = h.add_leaf(n1, 0.19).unwrap();
+    let n1 = bld.add_internal(n2, n1_phi).unwrap();
+    let rt1 = bld.add_leaf(n1, 0.81).unwrap(); // 9 Mbit/s
+    let be1 = bld.add_leaf(n1, 0.19).unwrap();
 
     let ps_outer_phi = 0.05; // of 45 ⇒ 2.25 Mbit/s
     let inner_rest = (1.0 - n1_phi) / 10.0; // ⇒ ≈1.1389 Mbit/s each
     let mut ps_leaves = Vec::new();
     let mut cs_leaves = Vec::new();
     for _ in 0..5 {
-        ps_leaves.push(h.add_leaf(root, ps_outer_phi).unwrap());
+        ps_leaves.push(bld.add_leaf(root, ps_outer_phi).unwrap());
     }
     for _ in 0..5 {
-        cs_leaves.push(h.add_leaf(root, ps_outer_phi).unwrap());
+        cs_leaves.push(bld.add_leaf(root, ps_outer_phi).unwrap());
     }
     for _ in 0..5 {
-        ps_leaves.push(h.add_leaf(n2, inner_rest).unwrap());
+        ps_leaves.push(bld.add_leaf(n2, inner_rest).unwrap());
     }
     for _ in 0..5 {
-        cs_leaves.push(h.add_leaf(n2, inner_rest).unwrap());
+        cs_leaves.push(bld.add_leaf(n2, inner_rest).unwrap());
     }
+    let h = bld.build();
 
     let rt1_rate = 9e6;
     let rt1_rates_path = vec![rt1_rate, h.rate(n1), h.rate(n2)];

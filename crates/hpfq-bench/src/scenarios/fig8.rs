@@ -75,8 +75,7 @@ pub struct Fig8 {
 
 /// Builds the Fig. 8 hierarchy and traffic under the given policy.
 pub fn build(kind: SchedulerKind) -> Fig8 {
-    let mut h: Hierarchy<MixedScheduler> =
-        Hierarchy::new_with(LINK_BPS, move |rate| kind.build(rate));
+    let mut bld = Hierarchy::<MixedScheduler>::builder(LINK_BPS, move |rate| kind.build(rate));
     let mut fluid = FluidTree::new();
 
     let mut tcp_leaves = Vec::new();
@@ -85,27 +84,27 @@ pub fn build(kind: SchedulerKind) -> Fig8 {
     let mut on_fluid = Vec::new();
 
     // Levels 1..3: three TCPs + one on/off + a nested class of share 0.5.
-    let mut parent = h.root();
+    let mut parent = bld.root();
     let mut fparent = fluid.root();
     for _level in 0..3 {
         for _ in 0..3 {
-            tcp_leaves.push(h.add_leaf(parent, 0.1).unwrap());
+            tcp_leaves.push(bld.add_leaf(parent, 0.1).unwrap());
             tcp_fluid.push(fluid.add_leaf(fparent, 0.1).unwrap());
         }
-        on_leaves.push(h.add_leaf(parent, 0.2).unwrap());
+        on_leaves.push(bld.add_leaf(parent, 0.2).unwrap());
         on_fluid.push(fluid.add_leaf(fparent, 0.2).unwrap());
-        parent = h.add_internal(parent, 0.5).unwrap();
+        parent = bld.add_internal(parent, 0.5).unwrap();
         fparent = fluid.add_internal(fparent, 0.5).unwrap();
     }
     // Level 4 (N-C): TCP-10, TCP-11, ON-4.
-    tcp_leaves.push(h.add_leaf(parent, 0.4).unwrap());
+    tcp_leaves.push(bld.add_leaf(parent, 0.4).unwrap());
     tcp_fluid.push(fluid.add_leaf(fparent, 0.4).unwrap());
-    tcp_leaves.push(h.add_leaf(parent, 0.3).unwrap());
+    tcp_leaves.push(bld.add_leaf(parent, 0.3).unwrap());
     tcp_fluid.push(fluid.add_leaf(fparent, 0.3).unwrap());
-    on_leaves.push(h.add_leaf(parent, 0.3).unwrap());
+    on_leaves.push(bld.add_leaf(parent, 0.3).unwrap());
     on_fluid.push(fluid.add_leaf(fparent, 0.3).unwrap());
 
-    let mut sim = Simulation::new(h);
+    let mut sim = Simulation::new(bld.build());
     for flow in [1u32, 5, 8, 10, 11] {
         sim.stats.trace_flow(flow);
     }

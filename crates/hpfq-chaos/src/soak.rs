@@ -154,16 +154,19 @@ pub fn build_soak_sim(
     cfg: &ChaosConfig,
 ) -> (Simulation<MixedScheduler, SoakObserver>, [NodeId; 3]) {
     let obs: SoakObserver = (InvariantObserver::new(), JsonlObserver::new(Vec::new()));
-    let mut h: Hierarchy<MixedScheduler, SoakObserver> =
-        Hierarchy::new_with_observer(LINK_BPS, move |rate| kind.build(rate), obs);
-    let root = h.root();
-    let class_a = h.add_internal(root, 0.35).unwrap();
-    let class_b = h.add_internal(root, 0.25).unwrap();
-    let leaf0 = h.add_leaf(class_a, 0.6).unwrap();
-    let leaf1 = h.add_leaf(class_a, 0.4).unwrap();
-    let leaf2 = h.add_leaf(class_b, 1.0).unwrap();
+    let mut bld = Hierarchy::<MixedScheduler, SoakObserver>::builder_with_observer(
+        LINK_BPS,
+        move |rate| kind.build(rate),
+        obs,
+    );
+    let root = bld.root();
+    let class_a = bld.add_internal(root, 0.35).unwrap();
+    let class_b = bld.add_internal(root, 0.25).unwrap();
+    let leaf0 = bld.add_leaf(class_a, 0.6).unwrap();
+    let leaf1 = bld.add_leaf(class_a, 0.4).unwrap();
+    let leaf2 = bld.add_leaf(class_b, 1.0).unwrap();
 
-    let mut sim = Simulation::new(h);
+    let mut sim = Simulation::new(bld.build());
     for f in BASE_FLOWS {
         sim.stats.trace_flow(f);
     }

@@ -28,12 +28,12 @@ fn measured_bwfi<S: NodeScheduler>(factory: impl Fn(f64) -> S + 'static) -> Vec<
     // The burster lives under an intermediate class (so Theorem 1's path
     // has two levels); the churn flows join directly under the root,
     // which keeps a 0.5 spare budget for them.
-    let mut h = Hierarchy::new_with(RATE, factory);
-    let root = h.root();
-    let class = h.add_internal(root, 0.5).unwrap();
-    let big = h.add_leaf(class, 1.0).unwrap();
+    let mut bld = Hierarchy::builder(RATE, factory);
+    let root = bld.root();
+    let class = bld.add_internal(root, 0.5).unwrap();
+    let big = bld.add_leaf(class, 1.0).unwrap();
 
-    let mut sim = Simulation::new(h);
+    let mut sim = Simulation::new(bld.build());
     let mut arrivals: Vec<Vec<(f64, f64)>> = Vec::new();
 
     let mut big_trace = vec![(ROUND1, PKT); N + 1];

@@ -123,7 +123,6 @@ struct Node<S> {
 /// compiles away.
 pub struct Hierarchy<S: NodeScheduler, O: Observer = NoopObserver> {
     nodes: Vec<Node<S>>,
-    factory: Box<dyn Fn(f64) -> S>,
     transmitting: bool,
     /// Warped time at which the current busy period began (eq. 32: the
     /// root's reference time is elapsed busy time *on the warped clock* —
@@ -144,6 +143,12 @@ pub struct Hierarchy<S: NodeScheduler, O: Observer = NoopObserver> {
     /// Best-known real time, advanced by arrivals and the `*_at` driving
     /// calls; stamps events from code paths that have no exact clock.
     last_time: f64,
+    /// Output link id stamped on every emitted event (0 for single-link
+    /// setups); lets one observer ride a merged multi-link trace.
+    link: usize,
+    /// Reused in [`Hierarchy::complete_transmission_at`] for the in-flight
+    /// root→leaf path, so RESET-PATH allocates nothing in steady state.
+    path_scratch: Vec<usize>,
 }
 
 impl<S: NodeScheduler, O: Observer> std::fmt::Debug for Hierarchy<S, O> {
@@ -155,17 +160,36 @@ impl<S: NodeScheduler, O: Observer> std::fmt::Debug for Hierarchy<S, O> {
     }
 }
 
-impl<S: NodeScheduler> Hierarchy<S> {
-    /// Creates a hierarchy whose root (the physical link) runs at
+/// Builds a [`Hierarchy`]: the scheduler factory lives here, during
+/// construction only, so the finished hierarchy is plain data — no boxed
+/// closure rides along on the hot path.
+///
+/// ```ignore
+/// let mut b = HierarchyBuilder::new(1e9, Wf2qPlus::new);
+/// let cls = b.add_internal(b.root(), 0.8)?;
+/// let leaf = b.add_leaf(cls, 0.5)?;
+/// let mut h = b.build();
+/// ```
+///
+/// Mid-run churn does not need the factory: leaves attach via
+/// [`Hierarchy::add_leaf`], and heterogeneous internal nodes via
+/// [`Hierarchy::add_internal_with`] with an explicit scheduler.
+pub struct HierarchyBuilder<S: NodeScheduler, O: Observer = NoopObserver> {
+    h: Hierarchy<S, O>,
+    factory: Box<dyn Fn(f64) -> S>,
+}
+
+impl<S: NodeScheduler> HierarchyBuilder<S> {
+    /// Starts a hierarchy whose root (the physical link) runs at
     /// `rate_bps`, building node schedulers with `factory`.
-    pub fn new_with(rate_bps: f64, factory: impl Fn(f64) -> S + 'static) -> Self {
-        Hierarchy::new_with_observer(rate_bps, factory, NoopObserver)
+    pub fn new(rate_bps: f64, factory: impl Fn(f64) -> S + 'static) -> Self {
+        HierarchyBuilder::with_observer(rate_bps, factory, NoopObserver)
     }
 }
 
-impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
-    /// Like [`Hierarchy::new_with`], with an explicit event sink attached.
-    pub fn new_with_observer(rate_bps: f64, factory: impl Fn(f64) -> S + 'static, obs: O) -> Self {
+impl<S: NodeScheduler, O: Observer> HierarchyBuilder<S, O> {
+    /// Like [`HierarchyBuilder::new`], with an explicit event sink attached.
+    pub fn with_observer(rate_bps: f64, factory: impl Fn(f64) -> S + 'static, obs: O) -> Self {
         assert!(
             rate_bps.is_finite() && rate_bps > 0.0,
             "invalid link rate {rate_bps}"
@@ -186,9 +210,8 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
             detached: false,
             draining: false,
         };
-        Hierarchy {
+        let h = Hierarchy {
             nodes: vec![root],
-            factory,
             transmitting: false,
             busy_start: 0.0,
             warp_base: 0.0,
@@ -196,7 +219,79 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
             warp_factor: 1.0,
             obs,
             last_time: 0.0,
-        }
+            link: 0,
+            path_scratch: Vec::new(),
+        };
+        HierarchyBuilder { h, factory }
+    }
+
+    /// The root node (the physical link).
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Stamps every event the finished hierarchy emits with `link` (for
+    /// multi-link simulations sharing one trace; defaults to 0).
+    pub fn link_id(mut self, link: usize) -> Self {
+        self.h.link = link;
+        self
+    }
+
+    /// Adds an internal node (a link-sharing class) with share `phi` of its
+    /// parent, running a scheduler built by the factory.
+    pub fn add_internal(&mut self, parent: NodeId, phi: f64) -> Result<NodeId, HpfqError> {
+        self.h.validate_new_child(parent, phi)?;
+        let rate = phi * self.h.nodes[parent.0].rate;
+        let sched = (self.factory)(rate);
+        Ok(self.h.push_node(parent, phi, Some(sched), false))
+    }
+
+    /// Adds an internal node running a caller-supplied scheduler (for
+    /// heterogeneous trees via [`crate::MixedScheduler`]).
+    pub fn add_internal_with(
+        &mut self,
+        parent: NodeId,
+        phi: f64,
+        sched: S,
+    ) -> Result<NodeId, HpfqError> {
+        self.h.add_internal_with(parent, phi, sched)
+    }
+
+    /// Adds a leaf (a session with a real FIFO queue) with share `phi` of
+    /// its parent.
+    pub fn add_leaf(&mut self, parent: NodeId, phi: f64) -> Result<NodeId, HpfqError> {
+        self.h.add_leaf(parent, phi)
+    }
+
+    /// The guaranteed rate of a node added so far (bits/s), for topology
+    /// code that derives shares from already-placed nodes.
+    pub fn rate(&self, node: NodeId) -> f64 {
+        self.h.rate(node)
+    }
+
+    /// Finishes construction, dropping the factory. The returned hierarchy
+    /// is ready to serve traffic (and can still grow leaves and
+    /// caller-supplied internal nodes mid-run).
+    pub fn build(self) -> Hierarchy<S, O> {
+        self.h
+    }
+}
+
+impl<S: NodeScheduler> Hierarchy<S> {
+    /// Shorthand for [`HierarchyBuilder::new`].
+    pub fn builder(rate_bps: f64, factory: impl Fn(f64) -> S + 'static) -> HierarchyBuilder<S> {
+        HierarchyBuilder::new(rate_bps, factory)
+    }
+}
+
+impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
+    /// Shorthand for [`HierarchyBuilder::with_observer`].
+    pub fn builder_with_observer(
+        rate_bps: f64,
+        factory: impl Fn(f64) -> S + 'static,
+        obs: O,
+    ) -> HierarchyBuilder<S, O> {
+        HierarchyBuilder::with_observer(rate_bps, factory, obs)
     }
 
     /// Maps real time onto the warped reference clock (nominal-rate link
@@ -248,6 +343,18 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
     /// Link rate in bits/s.
     pub fn link_rate(&self) -> f64 {
         self.nodes[0].rate
+    }
+
+    /// The link id stamped on every emitted event (see
+    /// [`HierarchyBuilder::link_id`]).
+    pub fn link_id(&self) -> usize {
+        self.link
+    }
+
+    /// Re-stamps future events with `link` — for drivers that assign link
+    /// ids after construction (e.g. a network wiring hierarchies to ports).
+    pub fn set_link_id(&mut self, link: usize) {
+        self.link = link;
     }
 
     fn validate_new_child(&mut self, parent: NodeId, phi: f64) -> Result<(), HpfqError> {
@@ -302,15 +409,6 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
             draining: false,
         });
         NodeId(idx)
-    }
-
-    /// Adds an internal node (a link-sharing class) with share `phi` of its
-    /// parent, running a scheduler built by the hierarchy's factory.
-    pub fn add_internal(&mut self, parent: NodeId, phi: f64) -> Result<NodeId, HpfqError> {
-        self.validate_new_child(parent, phi)?;
-        let rate = phi * self.nodes[parent.0].rate;
-        let sched = (self.factory)(rate);
-        Ok(self.push_node(parent, phi, Some(sched), false))
     }
 
     /// Adds an internal node running a caller-supplied scheduler (for
@@ -472,6 +570,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
         if O::ENABLED {
             self.obs.on_enqueue(&EnqueueEvent {
                 time: pkt.arrival,
+                link: self.link,
                 leaf: l,
                 pkt: pkt_info(&pkt),
                 queue_depth: self.nodes[l].fifo.len(),
@@ -491,6 +590,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
         if O::ENABLED {
             self.obs.on_node_backlog(&BacklogEvent {
                 time: pkt.arrival,
+                link: self.link,
                 node: l,
                 active: true,
             });
@@ -556,6 +656,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
                 let t = self.last_time;
                 self.obs.on_node_backlog(&BacklogEvent {
                     time: t,
+                    link: self.link,
                     node: n,
                     active: true,
                 });
@@ -591,6 +692,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
         let (start_tag, finish_tag) = sched.tags(slot);
         let e = DispatchEvent {
             time: self.last_time,
+            link: self.link,
             node: n,
             session: slot.0,
             child,
@@ -646,6 +748,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
         if O::ENABLED {
             self.obs.on_tx_start(&TxEvent {
                 time: now,
+                link: self.link,
                 leaf: head.leaf,
                 pkt: pkt_info(&pkt),
             });
@@ -672,8 +775,12 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
         self.transmitting = false;
         self.last_time = self.last_time.max(now);
 
-        // Collect the in-flight path root → leaf and clear its heads.
-        let mut path = vec![0usize];
+        // Collect the in-flight path root → leaf and clear its heads. The
+        // buffer is owned by the hierarchy and reused across completions,
+        // so the steady-state cycle performs no heap allocation.
+        let mut path = std::mem::take(&mut self.path_scratch);
+        path.clear();
+        path.push(0usize);
         let mut n = 0usize;
         while let Some(c) = self.nodes[n].active_child {
             path.push(c);
@@ -696,6 +803,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
         if O::ENABLED {
             self.obs.on_tx_complete(&TxEvent {
                 time: now,
+                link: self.link,
                 leaf,
                 pkt: pkt_info(&pkt),
             });
@@ -749,6 +857,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
                         // idle.
                         self.obs.on_node_backlog(&BacklogEvent {
                             time: now,
+                            link: self.link,
                             node: 0,
                             active: false,
                         });
@@ -756,6 +865,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
                 }
             }
         }
+        self.path_scratch = path;
         pkt
     }
 
@@ -767,6 +877,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
         if O::ENABLED {
             self.obs.on_node_backlog(&BacklogEvent {
                 time: t,
+                link: self.link,
                 node,
                 active: false,
             });
@@ -776,6 +887,7 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
         if O::ENABLED && sched.backlogged() == 0 {
             self.obs.on_busy_reset(&BusyResetEvent {
                 time: t,
+                link: self.link,
                 node: parent,
             });
         }
@@ -846,34 +958,55 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
     }
 
     /// Ancestor chain of `node` from its parent up to the root — the
-    /// `p(i), p²(i), …, p^H(i) = R` of Theorems 1–2.
-    pub fn ancestors(&self, node: NodeId) -> Vec<NodeId> {
-        let mut out = Vec::new();
+    /// `p(i), p²(i), …, p^H(i) = R` of Theorems 1–2. Non-allocating; see
+    /// [`Hierarchy::ancestors`] for the collected form.
+    pub fn ancestors_iter(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
         let mut n = node.0;
-        while let Some((p, _)) = self.nodes[n].parent {
-            out.push(NodeId(p));
+        std::iter::from_fn(move || {
+            let (p, _) = self.nodes[n].parent?;
             n = p;
-        }
-        out
+            Some(NodeId(p))
+        })
+    }
+
+    /// Ancestor chain of `node`, collected ([`Hierarchy::ancestors_iter`]
+    /// is the non-allocating form).
+    pub fn ancestors(&self, node: NodeId) -> Vec<NodeId> {
+        self.ancestors_iter(node).collect()
     }
 
     /// All leaf node ids, in creation order (including removed ones; see
-    /// [`Hierarchy::active_leaves`]).
+    /// [`Hierarchy::active_leaves_iter`]). Non-allocating; see
+    /// [`Hierarchy::leaves`] for the collected form.
+    pub fn leaves_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_leaf)
+            .map(|(i, _)| NodeId(i))
+    }
+
+    /// All leaf node ids, collected ([`Hierarchy::leaves_iter`] is the
+    /// non-allocating form).
     pub fn leaves(&self) -> Vec<NodeId> {
-        (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].is_leaf)
-            .map(NodeId)
-            .collect()
+        self.leaves_iter().collect()
     }
 
     /// Leaf node ids still attached to the tree, in creation order.
+    /// Non-allocating; see [`Hierarchy::active_leaves`] for the collected
+    /// form.
+    pub fn active_leaves_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_leaf && !n.detached && !n.draining)
+            .map(|(i, _)| NodeId(i))
+    }
+
+    /// Leaf node ids still attached, collected
+    /// ([`Hierarchy::active_leaves_iter`] is the non-allocating form).
     pub fn active_leaves(&self) -> Vec<NodeId> {
-        (0..self.nodes.len())
-            .filter(|&i| {
-                self.nodes[i].is_leaf && !self.nodes[i].detached && !self.nodes[i].draining
-            })
-            .map(NodeId)
-            .collect()
+        self.active_leaves_iter().collect()
     }
 
     /// Sum of the shares currently allocated to `node`'s attached children
@@ -890,7 +1023,7 @@ mod tests {
     use crate::wf2q_plus::Wf2qPlus;
 
     fn wf2qp(rate: f64) -> Hierarchy<Wf2qPlus> {
-        Hierarchy::new_with(rate, Wf2qPlus::new)
+        Hierarchy::builder(rate, Wf2qPlus::new).build()
     }
 
     fn pkt(id: u64, flow: u32) -> Packet {
@@ -923,12 +1056,13 @@ mod tests {
     /// becomes active the split is 75/5/20.
     #[test]
     fn hierarchical_excess_distribution() {
-        let mut h = wf2qp(1000.0);
-        let root = h.root();
-        let a = h.add_internal(root, 0.8).unwrap();
-        let b = h.add_leaf(root, 0.2).unwrap();
-        let a1 = h.add_leaf(a, 0.9375).unwrap();
-        let a2 = h.add_leaf(a, 0.0625).unwrap();
+        let mut bld = Hierarchy::builder(1000.0, Wf2qPlus::new);
+        let root = bld.root();
+        let a = bld.add_internal(root, 0.8).unwrap();
+        let b = bld.add_leaf(root, 0.2).unwrap();
+        let a1 = bld.add_leaf(a, 0.9375).unwrap();
+        let a2 = bld.add_leaf(a, 0.0625).unwrap();
+        let mut h = bld.build();
 
         // Phase 1: A1 idle, A2 and B heavily backlogged.
         for i in 0..200 {
@@ -1150,10 +1284,11 @@ mod tests {
 
     #[test]
     fn remove_internal_requires_empty_subtree() {
-        let mut h = wf2qp(1000.0);
-        let root = h.root();
-        let cls = h.add_internal(root, 0.8).unwrap();
-        let l1 = h.add_leaf(cls, 0.5).unwrap();
+        let mut bld = Hierarchy::builder(1000.0, Wf2qPlus::new);
+        let root = bld.root();
+        let cls = bld.add_internal(root, 0.8).unwrap();
+        let l1 = bld.add_leaf(cls, 0.5).unwrap();
+        let mut h = bld.build();
         assert!(matches!(
             h.remove_internal(cls),
             Err(HpfqError::HasChildren(_))
@@ -1232,11 +1367,11 @@ mod tests {
         use crate::wfq::Wfq;
         use hpfq_obs::InvariantObserver;
 
-        let mut h: Hierarchy<Wfq, InvariantObserver> =
-            Hierarchy::new_with_observer(8000.0, Wfq::new, InvariantObserver::new());
-        let root = h.root();
-        let a = h.add_leaf(root, 0.5).unwrap();
-        let b = h.add_leaf(root, 0.5).unwrap();
+        let mut bld = Hierarchy::builder_with_observer(8000.0, Wfq::new, InvariantObserver::new());
+        let root = bld.root();
+        let a = bld.add_leaf(root, 0.5).unwrap();
+        let b = bld.add_leaf(root, 0.5).unwrap();
+        let mut h: Hierarchy<Wfq, InvariantObserver> = bld.build();
         // The physical link now delivers half the nominal rate: a 1000-bit
         // packet takes 0.25 s instead of 0.125 s.
         h.set_link_rate_factor(0.0, 0.5).unwrap();
@@ -1289,14 +1424,18 @@ mod tests {
 
     #[test]
     fn introspection() {
-        let mut h = wf2qp(1000.0);
-        let root = h.root();
-        let a = h.add_internal(root, 0.8).unwrap();
-        let a1 = h.add_leaf(a, 0.5).unwrap();
+        let mut bld = Hierarchy::builder(1000.0, Wf2qPlus::new);
+        let root = bld.root();
+        let a = bld.add_internal(root, 0.8).unwrap();
+        let a1 = bld.add_leaf(a, 0.5).unwrap();
+        let h = bld.build();
         assert_eq!(h.rate(a), 800.0);
         assert_eq!(h.rate(a1), 400.0);
         assert_eq!(h.ancestors(a1), vec![a, root]);
+        assert_eq!(h.ancestors_iter(a1).collect::<Vec<_>>(), vec![a, root]);
         assert_eq!(h.leaves(), vec![a1]);
+        assert_eq!(h.leaves_iter().collect::<Vec<_>>(), vec![a1]);
+        assert_eq!(h.active_leaves_iter().collect::<Vec<_>>(), vec![a1]);
         assert!(h.is_leaf(a1));
         assert!(!h.is_leaf(a));
     }

@@ -65,7 +65,7 @@ pub use eligible::{dual_heap::DualHeapEligibleSet, treap::TreapEligibleSet, Elig
 pub use error::HpfqError;
 pub use fifo::Fifo;
 pub use gps_clock::GpsClock;
-pub use hierarchy::{Hierarchy, NodeId};
+pub use hierarchy::{Hierarchy, HierarchyBuilder, NodeId};
 pub use mixed::{MixedScheduler, SchedulerKind};
 pub use packet::Packet;
 pub use scfq::Scfq;

@@ -1,0 +1,97 @@
+//! Proves the steady-state enqueue → dispatch → complete cycle of a
+//! depth-3 WF²Q+ tree performs **zero heap allocations**.
+//!
+//! The hierarchy refactor moved every construction-time concern (the
+//! scheduler factory) into `HierarchyBuilder` and gave `Hierarchy` a
+//! reusable path scratch buffer, so once the tree and its FIFO capacities
+//! are warmed up, serving traffic touches only preallocated storage. A
+//! counting global allocator makes that claim checkable instead of
+//! aspirational.
+//!
+//! This file must stay a dedicated integration test: the global allocator
+//! is process-wide, and the count assertions only make sense when no other
+//! test runs concurrently in the same binary.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hpfq_core::{Hierarchy, Packet, Wf2qPlus};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn depth3_wf2qplus_steady_state_cycle_is_allocation_free() {
+    // Depth-3 tree: root -> 2 classes -> 2 subclasses each -> 2 leaves
+    // each (8 leaves).
+    let mut b = Hierarchy::builder(8e6, Wf2qPlus::new);
+    let root = b.root();
+    let mut leaves = Vec::new();
+    for _ in 0..2 {
+        let cls = b.add_internal(root, 0.5).unwrap();
+        for _ in 0..2 {
+            let sub = b.add_internal(cls, 0.5).unwrap();
+            for _ in 0..2 {
+                leaves.push(b.add_leaf(sub, 0.5).unwrap());
+            }
+        }
+    }
+    let mut h = b.build();
+
+    let mut id = 0u64;
+    let mut now = 0.0;
+    let mut cycle = |h: &mut Hierarchy<Wf2qPlus>, leaves: &[hpfq_core::NodeId]| {
+        // One arrival per leaf, then drain one packet per leaf: the tree
+        // stays busy and every FIFO oscillates around its warmed depth.
+        for (i, &leaf) in leaves.iter().enumerate() {
+            h.enqueue(leaf, Packet::new(id, i as u32, 125, now));
+            id += 1;
+        }
+        for _ in 0..leaves.len() {
+            assert!(h.start_transmission_at(now).is_some());
+            now += 125.0 * 8.0 / 8e6;
+            h.complete_transmission_at(now);
+        }
+    };
+
+    // Warm-up: grows leaf FIFOs, scheduler internals, and the path
+    // scratch buffer to their steady-state capacity.
+    for _ in 0..64 {
+        cycle(&mut h, &leaves);
+    }
+
+    let before = allocations();
+    for _ in 0..32 {
+        cycle(&mut h, &leaves);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state enqueue/dispatch/complete cycle allocated"
+    );
+}

@@ -10,6 +10,7 @@
 
 use crate::curve::ServiceCurve;
 use crate::tree::{FluidNodeId, FluidTree};
+use hpfq_events::EventQueue;
 use std::collections::VecDeque;
 
 /// A packet arrival for the fluid system.
@@ -91,8 +92,17 @@ impl FluidSim {
             assert!(w[0].time <= w[1].time, "arrivals must be sorted by time");
         }
 
-        let mut idx = 0usize; // next arrival
-        let mut t = arrivals.first().map_or(0.0, |a| a.time);
+        // The arrival calendar: an `hpfq_events::EventQueue` so that
+        // simultaneous arrivals fire in trace order (FIFO tie-break) under
+        // the same discipline as the packet simulators. The segment clock
+        // stays client-owned — queue-empty instants are computed, not
+        // scheduled, because every rate change would invalidate them.
+        let mut calendar = EventQueue::new();
+        for a in arrivals {
+            calendar.schedule(a.time, *a);
+        }
+
+        let mut t = calendar.peek_time().unwrap_or(0.0);
         let mut end_time = t;
 
         // Record a zero point so curves start from the first activity.
@@ -103,8 +113,11 @@ impl FluidSim {
         let mut rates = vec![0.0_f64; n];
         loop {
             // Apply all arrivals due at the current instant.
-            while idx < arrivals.len() && arrivals[idx].time <= t + crate::eps::ULP {
-                let a = &arrivals[idx];
+            while calendar
+                .peek_time()
+                .is_some_and(|ta| ta <= t + crate::eps::ULP)
+            {
+                let (_, a) = calendar.pop().expect("peeked event exists");
                 let leaf = leaves[a.leaf.0]
                     .as_mut()
                     .unwrap_or_else(|| panic!("arrival to non-leaf node {}", a.leaf.0));
@@ -112,7 +125,6 @@ impl FluidSim {
                 leaf.arrived += a.bits;
                 leaf.backlog += a.bits;
                 leaf.fifo.push_back((leaf.arrived, a.id));
-                idx += 1;
             }
 
             let any_backlog = leaves
@@ -120,11 +132,10 @@ impl FluidSim {
                 .flatten()
                 .any(|l| l.backlog > crate::eps::TIGHT);
             if !any_backlog {
-                if idx >= arrivals.len() {
+                let Some(t_next) = calendar.peek_time() else {
                     break; // drained and no more work
-                }
+                };
                 // Idle gap: flat curve segment, then jump to next arrival.
-                let t_next = arrivals[idx].time;
                 for (i, c) in curves.iter_mut().enumerate() {
                     c.push(t_next, node_served[i]);
                 }
@@ -137,8 +148,8 @@ impl FluidSim {
 
             // Segment length: next arrival or earliest fluid queue-empty.
             let mut dt = f64::INFINITY;
-            if idx < arrivals.len() {
-                dt = arrivals[idx].time - t;
+            if let Some(t_next) = calendar.peek_time() {
+                dt = t_next - t;
             }
             for (i, l) in leaves.iter().enumerate() {
                 if let Some(l) = l {

@@ -36,6 +36,9 @@ pub struct PacketInfo {
 pub struct EnqueueEvent {
     /// Arrival time.
     pub time: f64,
+    /// Output link (hierarchy) the event belongs to; 0 for
+    /// single-link setups.
+    pub link: usize,
     /// Leaf node index.
     pub leaf: usize,
     /// The packet.
@@ -51,6 +54,9 @@ pub struct EnqueueEvent {
 pub struct DropEvent {
     /// Drop time (the packet's would-be arrival).
     pub time: f64,
+    /// Output link (hierarchy) the event belongs to; 0 for
+    /// single-link setups.
+    pub link: usize,
     /// Leaf node index.
     pub leaf: usize,
     /// The packet.
@@ -67,6 +73,9 @@ pub struct DispatchEvent {
     /// Best-known real time of the selection (exact when driven by the
     /// simulator, last-arrival time for standalone hierarchies).
     pub time: f64,
+    /// Output link (hierarchy) the event belongs to; 0 for
+    /// single-link setups.
+    pub link: usize,
     /// Index of the dispatching (internal) node.
     pub node: usize,
     /// Session slot within the node's scheduler.
@@ -97,6 +106,9 @@ pub struct DispatchEvent {
 pub struct TxEvent {
     /// Real time of the edge.
     pub time: f64,
+    /// Output link (hierarchy) the event belongs to; 0 for
+    /// single-link setups.
+    pub link: usize,
     /// Leaf the packet is queued at.
     pub leaf: usize,
     /// The packet.
@@ -108,6 +120,9 @@ pub struct TxEvent {
 pub struct BacklogEvent {
     /// Best-known real time of the transition.
     pub time: f64,
+    /// Output link (hierarchy) the event belongs to; 0 for
+    /// single-link setups.
+    pub link: usize,
     /// Node index.
     pub node: usize,
     /// `true` when the node starts offering a packet, `false` when it
@@ -121,6 +136,9 @@ pub struct BacklogEvent {
 pub struct BusyResetEvent {
     /// Best-known real time of the reset.
     pub time: f64,
+    /// Output link (hierarchy) the event belongs to; 0 for
+    /// single-link setups.
+    pub link: usize,
     /// Node index.
     pub node: usize,
 }
@@ -196,6 +214,9 @@ impl std::fmt::Display for FaultKind {
 pub struct FaultEvent {
     /// Time of the fault.
     pub time: f64,
+    /// Output link (hierarchy) the event belongs to; 0 for
+    /// single-link setups.
+    pub link: usize,
     /// Fault family.
     pub kind: FaultKind,
     /// Node the fault applies to (0 = the link/root when not node-local).
@@ -213,6 +234,9 @@ pub struct FaultEvent {
 pub struct QuarantineEvent {
     /// Time of the quarantine decision.
     pub time: f64,
+    /// Output link (hierarchy) the event belongs to; 0 for
+    /// single-link setups.
+    pub link: usize,
     /// The quarantined flow's leaf node index.
     pub leaf: usize,
     /// The quarantined flow.

@@ -11,16 +11,20 @@
 //! * **SEFF eligibility** — for WF²Q+ nodes, the dispatched session was
 //!   eligible: its start tag does not exceed the system virtual time used
 //!   for the selection (recovered as `v_after − L/r` from eq. 27).
-//! * **Work conservation** — the link never sits idle while packets are
+//! * **Work conservation** — a link never sits idle while packets are
 //!   queued: whenever a transmission completes with backlog remaining (or a
 //!   packet arrives at an idle server), the next `tx_start` carries the
 //!   same timestamp.
 //!
-//! Violations are recorded (bounded, first [`InvariantObserver::MAX_STORED`]
-//! kept) rather than panicked on, so a checker can ride along in benches and
-//! long soak runs; tests assert [`InvariantObserver::is_clean`].
+//! All state is kept **per link** (events carry a link id), so one checker
+//! can ride a merged multi-link trace: node virtual times and the
+//! work-conservation ledger of link 0 never bleed into link 1. Violations
+//! are recorded (bounded, first [`InvariantObserver::MAX_STORED`] kept)
+//! rather than panicked on, so a checker can ride along in benches and long
+//! soak runs; tests assert [`InvariantObserver::is_clean`]. After warm-up
+//! (every link and node seen once) the checker allocates only when it
+//! stores a violation, so it is safe on the hot path.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::event::{BacklogEvent, BusyResetEvent, DispatchEvent, DropEvent, EnqueueEvent, TxEvent};
@@ -36,7 +40,7 @@ pub enum InvariantKind {
     VirtualTimeMonotone,
     /// A WF²Q+ node dispatched an ineligible session (`S > V`).
     SeffEligibility,
-    /// The link idled while packets were queued.
+    /// A link idled while packets were queued.
     WorkConservation,
 }
 
@@ -59,6 +63,8 @@ pub struct Violation {
     pub kind: InvariantKind,
     /// Event time at which it was detected.
     pub time: f64,
+    /// Link the breach occurred on.
+    pub link: usize,
     /// Node the breach is attributed to (the dispatching node, or the root
     /// for work-conservation breaches).
     pub node: usize,
@@ -70,8 +76,8 @@ impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "[t={:.9}] node {}: {} violated: {}",
-            self.time, self.node, self.kind, self.detail
+            "[t={:.9}] link {} node {}: {} violated: {}",
+            self.time, self.link, self.node, self.kind, self.detail
         )
     }
 }
@@ -83,6 +89,29 @@ struct NodeState {
     last_v: Option<f64>,
 }
 
+/// Per-link state: each link has its own hierarchy of nodes and its own
+/// work-conservation ledger.
+#[derive(Debug, Clone, Default)]
+struct LinkState {
+    /// Node state indexed by node id, grown on demand.
+    nodes: Vec<NodeState>,
+    /// Packets enqueued minus transmitted on this link.
+    queued: i64,
+    link_busy: bool,
+    /// When set, a `tx_start` at exactly this time is owed; any later
+    /// event arriving first is an idle-while-backlogged breach.
+    pending_start: Option<f64>,
+}
+
+impl LinkState {
+    fn node_mut(&mut self, node: usize) -> &mut NodeState {
+        if node >= self.nodes.len() {
+            self.nodes.resize(node + 1, NodeState::default());
+        }
+        &mut self.nodes[node]
+    }
+}
+
 /// An [`Observer`] that checks scheduler invariants online.
 ///
 /// Tolerances: comparisons use a relative-ish epsilon
@@ -90,18 +119,13 @@ struct NodeState {
 /// the tags are accumulated `f64` sums.
 #[derive(Debug, Clone, Default)]
 pub struct InvariantObserver {
-    nodes: BTreeMap<usize, NodeState>,
+    /// Per-link state indexed by link id, grown on demand.
+    links: Vec<LinkState>,
     violations: Vec<Violation>,
     /// Total breaches seen, including ones beyond the storage bound.
     pub total_violations: u64,
     /// Events inspected.
     pub events_checked: u64,
-    // Work-conservation bookkeeping (root link view).
-    queued: i64,
-    link_busy: bool,
-    /// When set, a `tx_start` at exactly this time is owed; any later
-    /// event arriving first is an idle-while-backlogged breach.
-    pending_start: Option<f64>,
 }
 
 impl InvariantObserver {
@@ -144,35 +168,52 @@ impl InvariantObserver {
         }
     }
 
-    fn push(&mut self, kind: InvariantKind, time: f64, node: usize, detail: String) {
+    fn link_mut(&mut self, link: usize) -> &mut LinkState {
+        if link >= self.links.len() {
+            self.links.resize(link + 1, LinkState::default());
+        }
+        &mut self.links[link]
+    }
+
+    /// Records a breach. `detail` is a closure so the message only
+    /// allocates for violations that are actually stored — the clean path
+    /// and the beyond-`MAX_STORED` path format nothing.
+    fn push(
+        &mut self,
+        kind: InvariantKind,
+        time: f64,
+        link: usize,
+        node: usize,
+        detail: impl FnOnce() -> String,
+    ) {
         self.total_violations += 1;
         if self.violations.len() < Self::MAX_STORED {
             self.violations.push(Violation {
                 kind,
                 time,
+                link,
                 node,
-                detail,
+                detail: detail(),
             });
         }
     }
 
-    /// Any event at time `t` that is not the owed `tx_start` exposes an
-    /// idle gap if it happens strictly later than the owed start.
-    fn check_pending_start(&mut self, t: f64) {
-        if let Some(due) = self.pending_start {
+    /// Any event on `link` at time `t` that is not the owed `tx_start`
+    /// exposes an idle gap if it happens strictly later than the owed
+    /// start.
+    fn check_pending_start(&mut self, link: usize, t: f64) {
+        let st = self.link_mut(link);
+        if let Some(due) = st.pending_start {
             if vtime::exceeds_by(t, due, Self::EPS) {
-                self.push(
-                    InvariantKind::WorkConservation,
-                    t,
-                    0,
-                    format!(
-                        "link idle with {} queued packet(s): tx_start owed at t={due}, \
-                         next event at t={t}",
-                        self.queued
-                    ),
-                );
+                let queued = st.queued;
                 // Re-arm at the later time so one gap yields one violation.
-                self.pending_start = Some(t);
+                st.pending_start = Some(t);
+                self.push(InvariantKind::WorkConservation, t, link, 0, || {
+                    format!(
+                        "link idle with {queued} queued packet(s): tx_start owed at t={due}, \
+                         next event at t={t}"
+                    )
+                });
             }
         }
     }
@@ -181,17 +222,18 @@ impl InvariantObserver {
 impl Observer for InvariantObserver {
     fn on_enqueue(&mut self, e: &EnqueueEvent) {
         self.events_checked += 1;
-        self.check_pending_start(e.time);
-        self.queued += 1;
-        if !self.link_busy && self.pending_start.is_none() {
+        self.check_pending_start(e.link, e.time);
+        let st = self.link_mut(e.link);
+        st.queued += 1;
+        if !st.link_busy && st.pending_start.is_none() {
             // Packet arrived at an idle server: service must start now.
-            self.pending_start = Some(e.time);
+            st.pending_start = Some(e.time);
         }
     }
 
     fn on_drop(&mut self, e: &DropEvent) {
         self.events_checked += 1;
-        self.check_pending_start(e.time);
+        self.check_pending_start(e.link, e.time);
     }
 
     fn on_dispatch(&mut self, e: &DispatchEvent) {
@@ -199,12 +241,9 @@ impl Observer for InvariantObserver {
 
         // S <= F on the dispatched head.
         if vtime::exceeds_by(e.start_tag, e.finish_tag, Self::EPS) {
-            self.push(
-                InvariantKind::TagOrder,
-                e.time,
-                e.node,
-                format!("S={} > F={}", e.start_tag, e.finish_tag),
-            );
+            self.push(InvariantKind::TagOrder, e.time, e.link, e.node, || {
+                format!("S={} > F={}", e.start_tag, e.finish_tag)
+            });
         }
 
         // V never decreases across the selection or between selections
@@ -213,24 +252,35 @@ impl Observer for InvariantObserver {
             self.push(
                 InvariantKind::VirtualTimeMonotone,
                 e.time,
+                e.link,
                 e.node,
-                format!(
-                    "V stepped back across dispatch: {} -> {}",
-                    e.v_before, e.v_after
-                ),
+                || {
+                    format!(
+                        "V stepped back across dispatch: {} -> {}",
+                        e.v_before, e.v_after
+                    )
+                },
             );
         }
-        let st = self.nodes.entry(e.node).or_default();
-        if let Some(prev) = st.last_v {
+        let st = self.link_mut(e.link).node_mut(e.node);
+        let prev = st.last_v;
+        st.last_v = Some(e.v_after);
+        if let Some(prev) = prev {
             if vtime::exceeds_by(prev, e.v_before, Self::EPS) {
-                let detail = format!(
-                    "V decreased between dispatches without busy reset: {} -> {}",
-                    prev, e.v_before
+                self.push(
+                    InvariantKind::VirtualTimeMonotone,
+                    e.time,
+                    e.link,
+                    e.node,
+                    || {
+                        format!(
+                            "V decreased between dispatches without busy reset: {} -> {}",
+                            prev, e.v_before
+                        )
+                    },
                 );
-                self.push(InvariantKind::VirtualTimeMonotone, e.time, e.node, detail);
             }
         }
-        self.nodes.entry(e.node).or_default().last_v = Some(e.v_after);
 
         // SEFF: for WF²Q+, eq. 27 sets v_after = max(V, Smin) + L/r where
         // Smin is the eligibility threshold actually used, so the system
@@ -242,8 +292,9 @@ impl Observer for InvariantObserver {
                 self.push(
                     InvariantKind::SeffEligibility,
                     e.time,
+                    e.link,
                     e.node,
-                    format!("ineligible dispatch: S={} > V={thr}", e.start_tag),
+                    || format!("ineligible dispatch: S={} > V={thr}", e.start_tag),
                 );
             }
         }
@@ -251,46 +302,46 @@ impl Observer for InvariantObserver {
 
     fn on_tx_start(&mut self, e: &TxEvent) {
         self.events_checked += 1;
-        if let Some(due) = self.pending_start {
-            if vtime::exceeds_by(e.time, due, Self::EPS) {
-                self.push(
-                    InvariantKind::WorkConservation,
-                    e.time,
-                    0,
-                    format!("tx_start late: owed at t={due}, started at t={}", e.time),
-                );
-            }
+        let st = self.link_mut(e.link);
+        let late = st
+            .pending_start
+            .filter(|&due| vtime::exceeds_by(e.time, due, Self::EPS));
+        st.pending_start = None;
+        st.link_busy = true;
+        if let Some(due) = late {
+            self.push(InvariantKind::WorkConservation, e.time, e.link, 0, || {
+                format!("tx_start late: owed at t={due}, started at t={}", e.time)
+            });
         }
-        self.pending_start = None;
-        self.link_busy = true;
     }
 
     fn on_tx_complete(&mut self, e: &TxEvent) {
         self.events_checked += 1;
-        self.link_busy = false;
-        self.queued -= 1;
-        if self.queued < 0 {
+        let st = self.link_mut(e.link);
+        st.link_busy = false;
+        st.queued -= 1;
+        let underflow = st.queued < 0;
+        if underflow {
             // More completions than enqueues: count it once and clamp.
-            self.queued = 0;
-            self.push(
-                InvariantKind::WorkConservation,
-                e.time,
-                0,
-                "tx_complete without matching enqueue".to_string(),
-            );
+            st.queued = 0;
         }
-        self.pending_start = if self.queued > 0 { Some(e.time) } else { None };
+        st.pending_start = if st.queued > 0 { Some(e.time) } else { None };
+        if underflow {
+            self.push(InvariantKind::WorkConservation, e.time, e.link, 0, || {
+                "tx_complete without matching enqueue".to_string()
+            });
+        }
     }
 
     fn on_node_backlog(&mut self, e: &BacklogEvent) {
         self.events_checked += 1;
-        self.check_pending_start(e.time);
+        self.check_pending_start(e.link, e.time);
     }
 
     fn on_busy_reset(&mut self, e: &BusyResetEvent) {
         self.events_checked += 1;
         // Eq. 4: V is defined per busy period — the rewind is legitimate.
-        self.nodes.entry(e.node).or_default().last_v = None;
+        self.link_mut(e.link).node_mut(e.node).last_v = None;
     }
 }
 
@@ -300,8 +351,13 @@ mod tests {
     use crate::event::PacketInfo;
 
     fn dispatch(v_before: f64, v_after: f64, s: f64, f: f64) -> DispatchEvent {
+        dispatch_on(0, v_before, v_after, s, f)
+    }
+
+    fn dispatch_on(link: usize, v_before: f64, v_after: f64, s: f64, f: f64) -> DispatchEvent {
         DispatchEvent {
             time: 0.0,
+            link,
             node: 0,
             session: 0,
             child: 1,
@@ -358,10 +414,69 @@ mod tests {
 
         let mut inv2 = InvariantObserver::new();
         inv2.on_dispatch(&dispatch(0.0, 5.0, 0.0, 1.0));
-        inv2.on_busy_reset(&BusyResetEvent { time: 1.0, node: 0 });
+        inv2.on_busy_reset(&BusyResetEvent {
+            time: 1.0,
+            link: 0,
+            node: 0,
+        });
         // Same rewind is fine after a reset.
         inv2.on_dispatch(&dispatch(0.0, 1.0, 0.0, 2.0));
         assert!(inv2.is_clean(), "{}", inv2.summary());
+    }
+
+    #[test]
+    fn per_link_state_is_independent() {
+        let mut inv = InvariantObserver::new();
+        // Link 0 advances to V = 5; a dispatch on link 1 starting from
+        // V = 0 is a fresh hierarchy, not a rewind.
+        inv.on_dispatch(&dispatch_on(0, 0.0, 5.0, 0.0, 1.0));
+        inv.on_dispatch(&dispatch_on(1, 0.0, 1.0, 0.0, 2.0));
+        assert!(inv.is_clean(), "{}", inv.summary());
+
+        // A genuine rewind on link 0 is still caught and attributed there.
+        inv.on_dispatch(&dispatch_on(0, 1.0, 2.0, 1.0, 2.0));
+        assert_eq!(inv.total_violations, 1);
+        assert_eq!(inv.violations()[0].link, 0);
+        assert_eq!(inv.violations()[0].kind, InvariantKind::VirtualTimeMonotone);
+    }
+
+    #[test]
+    fn per_link_work_conservation_is_independent() {
+        let pkt = PacketInfo {
+            id: 1,
+            flow: 0,
+            len_bytes: 125,
+            arrival: 0.0,
+        };
+        let mut inv = InvariantObserver::new();
+        // Packet arrives at idle link 0 at t=0 — link 0 owes a tx_start.
+        inv.on_enqueue(&EnqueueEvent {
+            time: 0.0,
+            link: 0,
+            leaf: 1,
+            pkt,
+            queue_depth: 1,
+            queue_bytes: 125,
+        });
+        // Link 1 serving its own traffic later must NOT discharge (or
+        // trip) link 0's owed start.
+        inv.on_tx_start(&TxEvent {
+            time: 1.0,
+            link: 1,
+            leaf: 2,
+            pkt,
+        });
+        assert!(inv.is_clean(), "{}", inv.summary());
+        // Link 0's start finally arriving late is still caught.
+        inv.on_tx_start(&TxEvent {
+            time: 2.0,
+            link: 0,
+            leaf: 1,
+            pkt,
+        });
+        assert_eq!(inv.total_violations, 1);
+        assert_eq!(inv.violations()[0].link, 0);
+        assert_eq!(inv.violations()[0].kind, InvariantKind::WorkConservation);
     }
 
     #[test]
@@ -375,6 +490,7 @@ mod tests {
         let mut inv = InvariantObserver::new();
         inv.on_enqueue(&EnqueueEvent {
             time: 0.0,
+            link: 0,
             leaf: 1,
             pkt,
             queue_depth: 1,
@@ -382,11 +498,13 @@ mod tests {
         });
         inv.on_tx_start(&TxEvent {
             time: 0.0,
+            link: 0,
             leaf: 1,
             pkt,
         });
         inv.on_enqueue(&EnqueueEvent {
             time: 0.5,
+            link: 0,
             leaf: 1,
             pkt: PacketInfo { id: 2, ..pkt },
             queue_depth: 2,
@@ -394,6 +512,7 @@ mod tests {
         });
         inv.on_tx_complete(&TxEvent {
             time: 1.0,
+            link: 0,
             leaf: 1,
             pkt,
         });
@@ -402,6 +521,7 @@ mod tests {
         // t = 2.0: the link idled for a second.
         inv.on_tx_start(&TxEvent {
             time: 2.0,
+            link: 0,
             leaf: 1,
             pkt: PacketInfo { id: 2, ..pkt },
         });
@@ -424,6 +544,7 @@ mod tests {
         for id in 0..3u64 {
             inv.on_enqueue(&EnqueueEvent {
                 time: 0.0,
+                link: 0,
                 leaf: 1,
                 pkt: PacketInfo { id, ..pkt },
                 queue_depth: id as usize + 1,
@@ -434,11 +555,13 @@ mod tests {
             let t0 = id as f64;
             inv.on_tx_start(&TxEvent {
                 time: t0,
+                link: 0,
                 leaf: 1,
                 pkt: PacketInfo { id, ..pkt },
             });
             inv.on_tx_complete(&TxEvent {
                 time: t0 + 1.0,
+                link: 0,
                 leaf: 1,
                 pkt: PacketInfo { id, ..pkt },
             });

@@ -10,15 +10,15 @@
 //! Format, one event kind per `"ev"` tag:
 //!
 //! ```text
-//! {"ev":"enqueue","t":0.2,"leaf":3,"id":7,"flow":1,"len":8192,"arr":0.2,"depth":2,"qbytes":16384}
-//! {"ev":"dispatch","t":0.2,"node":0,"sess":1,"child":2,"s":0.1,"f":0.3,"phi":0.5,"v0":0.1,"v1":0.2,"bits":65536,"rate":45000000,"policy":"wf2q+"}
-//! {"ev":"tx_start","t":0.2,"leaf":3,"id":7,"flow":1,"len":8192,"arr":0.2}
-//! {"ev":"tx_end","t":0.21,"leaf":3,"id":7,"flow":1,"len":8192,"arr":0.2}
-//! {"ev":"backlog","t":0.2,"node":3,"active":true}
-//! {"ev":"busy_reset","t":0.4,"node":0}
-//! {"ev":"drop","t":0.2,"leaf":3,"id":8,"flow":1,"len":8192,"arr":0.2,"qbytes":65536}
-//! {"ev":"fault","t":0.5,"kind":"link_rate","node":0,"flow":0,"value":22500000}
-//! {"ev":"quarantine","t":0.7,"leaf":4,"flow":9,"strikes":3,"purged":12,"pbytes":98304}
+//! {"ev":"enqueue","t":0.2,"link":0,"leaf":3,"id":7,"flow":1,"len":8192,"arr":0.2,"depth":2,"qbytes":16384}
+//! {"ev":"dispatch","t":0.2,"link":0,"node":0,"sess":1,"child":2,"s":0.1,"f":0.3,"phi":0.5,"v0":0.1,"v1":0.2,"bits":65536,"rate":45000000,"policy":"wf2q+"}
+//! {"ev":"tx_start","t":0.2,"link":0,"leaf":3,"id":7,"flow":1,"len":8192,"arr":0.2}
+//! {"ev":"tx_end","t":0.21,"link":0,"leaf":3,"id":7,"flow":1,"len":8192,"arr":0.2}
+//! {"ev":"backlog","t":0.2,"link":0,"node":3,"active":true}
+//! {"ev":"busy_reset","t":0.4,"link":0,"node":0}
+//! {"ev":"drop","t":0.2,"link":0,"leaf":3,"id":8,"flow":1,"len":8192,"arr":0.2,"qbytes":65536}
+//! {"ev":"fault","t":0.5,"link":0,"kind":"link_rate","node":0,"flow":0,"value":22500000}
+//! {"ev":"quarantine","t":0.7,"link":0,"leaf":4,"flow":9,"strikes":3,"purged":12,"pbytes":98304}
 //! ```
 
 use std::io::Write;
@@ -64,59 +64,61 @@ impl<W: Write> JsonlObserver<W> {
 impl<W: Write> Observer for JsonlObserver<W> {
     fn on_enqueue(&mut self, e: &EnqueueEvent) {
         self.emit(format_args!(
-            "{{\"ev\":\"enqueue\",\"t\":{},\"leaf\":{},\"id\":{},\"flow\":{},\"len\":{},\"arr\":{},\"depth\":{},\"qbytes\":{}}}\n",
-            e.time, e.leaf, e.pkt.id, e.pkt.flow, e.pkt.len_bytes, e.pkt.arrival,
+            "{{\"ev\":\"enqueue\",\"t\":{},\"link\":{},\"leaf\":{},\"id\":{},\"flow\":{},\"len\":{},\"arr\":{},\"depth\":{},\"qbytes\":{}}}\n",
+            e.time, e.link, e.leaf, e.pkt.id, e.pkt.flow, e.pkt.len_bytes, e.pkt.arrival,
             e.queue_depth, e.queue_bytes,
         ));
     }
 
     fn on_drop(&mut self, e: &DropEvent) {
         self.emit(format_args!(
-            "{{\"ev\":\"drop\",\"t\":{},\"leaf\":{},\"id\":{},\"flow\":{},\"len\":{},\"arr\":{},\"qbytes\":{}}}\n",
-            e.time, e.leaf, e.pkt.id, e.pkt.flow, e.pkt.len_bytes, e.pkt.arrival, e.queue_bytes,
+            "{{\"ev\":\"drop\",\"t\":{},\"link\":{},\"leaf\":{},\"id\":{},\"flow\":{},\"len\":{},\"arr\":{},\"qbytes\":{}}}\n",
+            e.time, e.link, e.leaf, e.pkt.id, e.pkt.flow, e.pkt.len_bytes, e.pkt.arrival,
+            e.queue_bytes,
         ));
     }
 
     fn on_dispatch(&mut self, e: &DispatchEvent) {
         self.emit(format_args!(
-            "{{\"ev\":\"dispatch\",\"t\":{},\"node\":{},\"sess\":{},\"child\":{},\"s\":{},\"f\":{},\"phi\":{},\"v0\":{},\"v1\":{},\"bits\":{},\"rate\":{},\"policy\":\"{}\"}}\n",
-            e.time, e.node, e.session, e.child, e.start_tag, e.finish_tag, e.phi,
+            "{{\"ev\":\"dispatch\",\"t\":{},\"link\":{},\"node\":{},\"sess\":{},\"child\":{},\"s\":{},\"f\":{},\"phi\":{},\"v0\":{},\"v1\":{},\"bits\":{},\"rate\":{},\"policy\":\"{}\"}}\n",
+            e.time, e.link, e.node, e.session, e.child, e.start_tag, e.finish_tag, e.phi,
             e.v_before, e.v_after, e.head_bits, e.node_rate, e.policy,
         ));
     }
 
     fn on_tx_start(&mut self, e: &TxEvent) {
         self.emit(format_args!(
-            "{{\"ev\":\"tx_start\",\"t\":{},\"leaf\":{},\"id\":{},\"flow\":{},\"len\":{},\"arr\":{}}}\n",
-            e.time, e.leaf, e.pkt.id, e.pkt.flow, e.pkt.len_bytes, e.pkt.arrival,
+            "{{\"ev\":\"tx_start\",\"t\":{},\"link\":{},\"leaf\":{},\"id\":{},\"flow\":{},\"len\":{},\"arr\":{}}}\n",
+            e.time, e.link, e.leaf, e.pkt.id, e.pkt.flow, e.pkt.len_bytes, e.pkt.arrival,
         ));
     }
 
     fn on_tx_complete(&mut self, e: &TxEvent) {
         self.emit(format_args!(
-            "{{\"ev\":\"tx_end\",\"t\":{},\"leaf\":{},\"id\":{},\"flow\":{},\"len\":{},\"arr\":{}}}\n",
-            e.time, e.leaf, e.pkt.id, e.pkt.flow, e.pkt.len_bytes, e.pkt.arrival,
+            "{{\"ev\":\"tx_end\",\"t\":{},\"link\":{},\"leaf\":{},\"id\":{},\"flow\":{},\"len\":{},\"arr\":{}}}\n",
+            e.time, e.link, e.leaf, e.pkt.id, e.pkt.flow, e.pkt.len_bytes, e.pkt.arrival,
         ));
     }
 
     fn on_node_backlog(&mut self, e: &BacklogEvent) {
         self.emit(format_args!(
-            "{{\"ev\":\"backlog\",\"t\":{},\"node\":{},\"active\":{}}}\n",
-            e.time, e.node, e.active,
+            "{{\"ev\":\"backlog\",\"t\":{},\"link\":{},\"node\":{},\"active\":{}}}\n",
+            e.time, e.link, e.node, e.active,
         ));
     }
 
     fn on_busy_reset(&mut self, e: &BusyResetEvent) {
         self.emit(format_args!(
-            "{{\"ev\":\"busy_reset\",\"t\":{},\"node\":{}}}\n",
-            e.time, e.node,
+            "{{\"ev\":\"busy_reset\",\"t\":{},\"link\":{},\"node\":{}}}\n",
+            e.time, e.link, e.node,
         ));
     }
 
     fn on_fault(&mut self, e: &FaultEvent) {
         self.emit(format_args!(
-            "{{\"ev\":\"fault\",\"t\":{},\"kind\":\"{}\",\"node\":{},\"flow\":{},\"value\":{}}}\n",
+            "{{\"ev\":\"fault\",\"t\":{},\"link\":{},\"kind\":\"{}\",\"node\":{},\"flow\":{},\"value\":{}}}\n",
             e.time,
+            e.link,
             e.kind.as_str(),
             e.node,
             e.flow,
@@ -126,8 +128,8 @@ impl<W: Write> Observer for JsonlObserver<W> {
 
     fn on_quarantine(&mut self, e: &QuarantineEvent) {
         self.emit(format_args!(
-            "{{\"ev\":\"quarantine\",\"t\":{},\"leaf\":{},\"flow\":{},\"strikes\":{},\"purged\":{},\"pbytes\":{}}}\n",
-            e.time, e.leaf, e.flow, e.strikes, e.purged_packets, e.purged_bytes,
+            "{{\"ev\":\"quarantine\",\"t\":{},\"link\":{},\"leaf\":{},\"flow\":{},\"strikes\":{},\"purged\":{},\"pbytes\":{}}}\n",
+            e.time, e.link, e.leaf, e.flow, e.strikes, e.purged_packets, e.purged_bytes,
         ));
     }
 }
@@ -211,6 +213,7 @@ pub fn parse_line(line: &str) -> Option<TraceEvent> {
     match f.str("ev")? {
         "enqueue" => Some(TraceEvent::Enqueue(EnqueueEvent {
             time,
+            link: f.usize("link").unwrap_or(0),
             leaf: f.usize("leaf")?,
             pkt: f.pkt()?,
             queue_depth: f.usize("depth")?,
@@ -218,12 +221,14 @@ pub fn parse_line(line: &str) -> Option<TraceEvent> {
         })),
         "drop" => Some(TraceEvent::Drop(DropEvent {
             time,
+            link: f.usize("link").unwrap_or(0),
             leaf: f.usize("leaf")?,
             pkt: f.pkt()?,
             queue_bytes: f.u64("qbytes")?,
         })),
         "dispatch" => Some(TraceEvent::Dispatch(DispatchEvent {
             time,
+            link: f.usize("link").unwrap_or(0),
             node: f.usize("node")?,
             session: f.usize("sess")?,
             child: f.usize("child")?,
@@ -238,25 +243,30 @@ pub fn parse_line(line: &str) -> Option<TraceEvent> {
         })),
         "tx_start" => Some(TraceEvent::TxStart(TxEvent {
             time,
+            link: f.usize("link").unwrap_or(0),
             leaf: f.usize("leaf")?,
             pkt: f.pkt()?,
         })),
         "tx_end" => Some(TraceEvent::TxComplete(TxEvent {
             time,
+            link: f.usize("link").unwrap_or(0),
             leaf: f.usize("leaf")?,
             pkt: f.pkt()?,
         })),
         "backlog" => Some(TraceEvent::Backlog(BacklogEvent {
             time,
+            link: f.usize("link").unwrap_or(0),
             node: f.usize("node")?,
             active: f.str("active")? == "true",
         })),
         "busy_reset" => Some(TraceEvent::BusyReset(BusyResetEvent {
             time,
+            link: f.usize("link").unwrap_or(0),
             node: f.usize("node")?,
         })),
         "fault" => Some(TraceEvent::Fault(FaultEvent {
             time,
+            link: f.usize("link").unwrap_or(0),
             kind: FaultKind::parse(f.str("kind")?)?,
             node: f.usize("node")?,
             flow: f.u32("flow")?,
@@ -264,6 +274,7 @@ pub fn parse_line(line: &str) -> Option<TraceEvent> {
         })),
         "quarantine" => Some(TraceEvent::Quarantine(QuarantineEvent {
             time,
+            link: f.usize("link").unwrap_or(0),
             leaf: f.usize("leaf")?,
             flow: f.u32("flow")?,
             strikes: f.u32("strikes")?,
@@ -271,6 +282,40 @@ pub fn parse_line(line: &str) -> Option<TraceEvent> {
             purged_bytes: f.u64("pbytes")?,
         })),
         _ => None,
+    }
+}
+
+/// A cloneable in-memory byte sink for [`JsonlObserver`].
+///
+/// Multi-link simulations attach one observer per link; giving each a
+/// clone of the same `SharedBuf` merges their output into a single trace
+/// (each event carries its `"link"` field, so the merged stream is still
+/// unambiguous). Lines stay interleaved in emission order because every
+/// write appends atomically to the shared buffer.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuf(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+
+impl SharedBuf {
+    /// An empty shared buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated bytes as a UTF-8 string (JSONL output is always
+    /// UTF-8). Clones out of the shared cell.
+    pub fn contents(&self) -> String {
+        String::from_utf8(self.0.borrow().clone()).expect("JSONL output is UTF-8")
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
     }
 }
 
@@ -321,6 +366,7 @@ mod tests {
     fn every_event_kind_round_trips_exactly() {
         let e = EnqueueEvent {
             time: 1e-9,
+            link: 0,
             leaf: 3,
             pkt: pkt(),
             queue_depth: 17,
@@ -330,6 +376,7 @@ mod tests {
 
         let d = DropEvent {
             time: 2.5,
+            link: 2,
             leaf: 9,
             pkt: pkt(),
             queue_bytes: 65_536,
@@ -338,6 +385,7 @@ mod tests {
 
         let dis = DispatchEvent {
             time: 0.125,
+            link: 1,
             node: 1,
             session: 2,
             child: 5,
@@ -357,6 +405,7 @@ mod tests {
 
         let tx = TxEvent {
             time: 3.0,
+            link: 3,
             leaf: 4,
             pkt: pkt(),
         };
@@ -368,6 +417,7 @@ mod tests {
 
         let b = BacklogEvent {
             time: 0.25,
+            link: 0,
             node: 7,
             active: true,
         };
@@ -375,12 +425,14 @@ mod tests {
 
         let r = BusyResetEvent {
             time: 9.75,
+            link: 1,
             node: 0,
         };
         assert_eq!(roundtrip(|o| o.on_busy_reset(&r)), TraceEvent::BusyReset(r));
 
         let flt = FaultEvent {
             time: 0.333_333_333_333_333_3,
+            link: 0,
             kind: FaultKind::PacketCorrupt,
             node: 2,
             flow: 11,
@@ -390,6 +442,7 @@ mod tests {
 
         let q = QuarantineEvent {
             time: 7.5,
+            link: 0,
             leaf: 4,
             flow: 9,
             strikes: 3,
@@ -419,6 +472,7 @@ mod tests {
             assert_eq!(FaultKind::parse(kind.as_str()), Some(kind));
             let e = FaultEvent {
                 time: 1.0,
+                link: 0,
                 kind,
                 node: 0,
                 flow: 0,
@@ -427,6 +481,50 @@ mod tests {
             assert_eq!(roundtrip(|o| o.on_fault(&e)), TraceEvent::Fault(e));
         }
         assert_eq!(FaultKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn legacy_lines_without_link_default_to_link_zero() {
+        let line = "{\"ev\":\"busy_reset\",\"t\":1,\"node\":4}";
+        match parse_line(line) {
+            Some(TraceEvent::BusyReset(r)) => {
+                assert_eq!(r.link, 0);
+                assert_eq!(r.node, 4);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_buf_merges_observers_in_emission_order() {
+        let buf = SharedBuf::new();
+        let mut a = JsonlObserver::new(buf.clone());
+        let mut b = JsonlObserver::new(buf.clone());
+        a.on_busy_reset(&BusyResetEvent {
+            time: 1.0,
+            link: 0,
+            node: 0,
+        });
+        b.on_busy_reset(&BusyResetEvent {
+            time: 2.0,
+            link: 1,
+            node: 0,
+        });
+        a.on_busy_reset(&BusyResetEvent {
+            time: 3.0,
+            link: 0,
+            node: 2,
+        });
+        let (evs, skipped) = parse_trace(&buf.contents());
+        assert_eq!(skipped, 0);
+        let links: Vec<usize> = evs
+            .iter()
+            .map(|e| match e {
+                TraceEvent::BusyReset(r) => r.link,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(links, [0, 1, 0]);
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use event::{
     PacketInfo, QuarantineEvent, TraceEvent, TxEvent,
 };
 pub use invariant::{InvariantKind, InvariantObserver, Violation};
-pub use jsonl::JsonlObserver;
+pub use jsonl::{JsonlObserver, SharedBuf};
 pub use metrics::{DelayHistogram, MetricsObserver};
 
 /// A sink for scheduler events.
@@ -247,7 +247,11 @@ mod tests {
     #[test]
     fn pair_forwards_to_both() {
         let mut pair = (CountingObserver::default(), CountingObserver::default());
-        let e = BusyResetEvent { time: 1.0, node: 0 };
+        let e = BusyResetEvent {
+            time: 1.0,
+            link: 0,
+            node: 0,
+        };
         pair.on_busy_reset(&e);
         assert_eq!(pair.0.busy_resets, 1);
         assert_eq!(pair.1.busy_resets, 1);
@@ -258,12 +262,17 @@ mod tests {
         let mut c = CountingObserver::default();
         replay(
             &mut c,
-            &TraceEvent::BusyReset(BusyResetEvent { time: 0.0, node: 1 }),
+            &TraceEvent::BusyReset(BusyResetEvent {
+                time: 0.0,
+                link: 0,
+                node: 1,
+            }),
         );
         replay(
             &mut c,
             &TraceEvent::Backlog(BacklogEvent {
                 time: 0.0,
+                link: 0,
                 node: 1,
                 active: true,
             }),

@@ -297,6 +297,7 @@ mod tests {
         };
         m.on_enqueue(&EnqueueEvent {
             time: 0.0,
+            link: 0,
             leaf: 2,
             pkt,
             queue_depth: 1,
@@ -304,6 +305,7 @@ mod tests {
         });
         m.on_dispatch(&DispatchEvent {
             time: 0.0,
+            link: 0,
             node: 0,
             session: 0,
             child: 2,
@@ -318,11 +320,13 @@ mod tests {
         });
         m.on_tx_complete(&TxEvent {
             time: 1.0,
+            link: 0,
             leaf: 2,
             pkt,
         });
         m.on_drop(&DropEvent {
             time: 1.0,
+            link: 0,
             leaf: 2,
             pkt: PacketInfo { id: 2, ..pkt },
             queue_bytes: 0,

@@ -1,8 +1,10 @@
 //! # hpfq-sim — discrete-event network simulator for H-PFQ experiments
 //!
-//! A single-link discrete-event simulator standing in for the modified MIT
-//! NETSIM the paper used (§5). It drives an H-PFQ [`hpfq_core::Hierarchy`]
-//! as the output-link scheduler and provides:
+//! A discrete-event network simulator standing in for the modified MIT
+//! NETSIM the paper used (§5). It drives H-PFQ [`hpfq_core::Hierarchy`]
+//! instances as output-link schedulers — one per link of a multi-link
+//! [`Network`], or the single-link [`Simulation`] front-end — on top of
+//! the shared [`hpfq_events`] engine, and provides:
 //!
 //! * the paper's traffic sources — constant rate (PS-n), deterministic
 //!   on/off (RT-1 and the §5.2 on/off sources), Poisson, multiplexed
@@ -11,6 +13,10 @@
 //! * per-leaf drop-tail buffers and delivery notifications with a
 //!   configurable one-way delay (the hook the TCP crate uses for ACK
 //!   feedback);
+//! * multi-link topologies ([`network`]): each link owns its own
+//!   hierarchy, flows follow static per-hop [`Route`]s with propagation
+//!   delays, and per-link conservation ledgers make multi-hop accounting
+//!   checkable;
 //! * measurement: per-packet service records, per-flow aggregates, and the
 //!   exponentially-averaged windowed bandwidth estimator of §5.2
 //!   ([`stats`]).
@@ -21,15 +27,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod network;
 pub mod rng;
 pub mod simulation;
 pub mod source;
 pub mod stats;
 
-pub use rng::SmallRng;
-pub use simulation::{
-    FaultInjector, NoFaults, PacketVerdict, SimCommand, Simulation, SourceConfig, SourceId,
+pub use network::{
+    FaultInjector, Hop, LinkLedger, Network, NoFaults, PacketVerdict, Route, SimCommand, SourceId,
 };
+pub use rng::SmallRng;
+pub use simulation::{Simulation, SourceConfig};
 pub use source::{
     CbrSource, GreedyLbSource, PacketTrainSource, PeriodicOnOffSource, PoissonSource,
     ScheduledOnOffSource, Source, SourceOutput, TraceSource,

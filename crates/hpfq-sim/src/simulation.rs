@@ -1,5 +1,13 @@
-//! The discrete-event engine: one output link driven by an H-PFQ
-//! hierarchy, fed by [`Source`]s, measured by [`SimStats`].
+//! The single-link front-end: [`Simulation`] is a thin wrapper over a
+//! one-link [`Network`], kept for the (large) body of depth-1 experiments
+//! and as the stable API from earlier releases.
+//!
+//! The event machinery lives in [`crate::network`] on top of the shared
+//! [`hpfq_events::Engine`]; this module only adds the single-link sugar:
+//! [`SourceConfig`] instead of a one-hop [`Route`], no-argument
+//! `link_rate`/`server`/`observer` accessors, and `Deref` to the
+//! underlying network for everything else (`stats`, `run`,
+//! `schedule_command`, conservation checks, …).
 //!
 //! Event model (deterministic: ties fire in scheduling order):
 //!
@@ -17,34 +25,20 @@
 //!   changes (possibly to 0 — an outage), or a flow joins or leaves the
 //!   hierarchy mid-run (churn).
 //!
-//! # Faults and degradation
-//!
-//! A [`FaultInjector`] installed with [`Simulation::set_fault_injector`]
-//! sees every packet at admission (it may drop or corrupt it) and every
-//! source timer (it may jitter it). Corrupted and otherwise malformed
-//! packets are caught by [`Packet::validate`] at admission and become
-//! *strikes* against their flow under the simulation's
-//! [`EscalationPolicy`]: warn (drop the packet and continue), quarantine
-//! (remove the flow's leaf, purge its queue, redistribute its share), or
-//! halt (stop the run cleanly). Nothing in this path panics.
+//! A one-link [`Network`] driven through this wrapper replays the legacy
+//! single-link simulator byte-for-byte (the golden-trace test in
+//! `tests/network_vs_simulation.rs` pins this down).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::ops::{Deref, DerefMut};
 
-use hpfq_core::{vtime, Hierarchy, HpfqError, NodeId, NodeScheduler, Packet};
-use hpfq_obs::{
-    DropEvent, EscalationLevel, EscalationPolicy, EscalationState, FaultEvent, FaultKind,
-    NoopObserver, Observer, PacketInfo, QuarantineEvent,
-};
+use hpfq_core::{Hierarchy, NodeId, NodeScheduler};
+use hpfq_obs::{NoopObserver, Observer};
 
-use crate::source::{Source, SourceOutput};
-use crate::stats::{ServiceRecord, SimStats};
+use crate::network::{Network, Route, SourceId};
+use crate::source::Source;
 
-/// Index of a registered source.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct SourceId(pub usize);
-
-/// Per-source attachment configuration.
+/// Per-source attachment configuration (single-link form; the multi-hop
+/// equivalent is a [`Route`]).
 #[derive(Debug, Clone, Copy)]
 pub struct SourceConfig {
     /// Leaf of the hierarchy this source feeds.
@@ -68,267 +62,86 @@ impl SourceConfig {
     }
 }
 
-/// A control-plane action scheduled against the simulation clock with
-/// [`Simulation::schedule_command`]. Commands model operator actions and
-/// environmental faults; they are part of the event schedule, so runs stay
-/// deterministic.
-pub enum SimCommand {
-    /// Change the link rate to `bps` (bits/s). `0.0` models an outage: the
-    /// in-flight packet is suspended and resumes — with its already-sent
-    /// bits credited — when a later `SetLinkRate` restores service.
-    SetLinkRate(f64),
-    /// Attach a new leaf under `parent` with share `phi` and start `source`
-    /// feeding it (flow churn: join).
-    AddFlow {
-        /// Parent node for the new leaf.
-        parent: NodeId,
-        /// Guaranteed share of the new leaf.
-        phi: f64,
-        /// Flow id the source stamps on its packets.
-        flow: u32,
-        /// The traffic source; its `start()` runs at the command's time.
-        source: Box<dyn Source>,
-        /// Drop-tail buffer for the new leaf (`None` = unbounded).
-        buffer_bytes: Option<u64>,
-        /// One-way delivery delay for the new source.
-        delivery_delay: f64,
-    },
-    /// Detach `flow`'s leaf (flow churn: leave). Queued packets behind the
-    /// in-service head are purged and accounted; the head, if one is being
-    /// offered, finishes service first and the share is freed then.
-    RemoveFlow(u32),
-}
-
-impl std::fmt::Debug for SimCommand {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SimCommand::SetLinkRate(r) => write!(f, "SetLinkRate({r})"),
-            SimCommand::AddFlow {
-                parent, phi, flow, ..
-            } => write!(f, "AddFlow{{parent:{parent:?},phi:{phi},flow:{flow}}}"),
-            SimCommand::RemoveFlow(flow) => write!(f, "RemoveFlow({flow})"),
-        }
-    }
-}
-
-/// What a [`FaultInjector`] decided about one packet at admission.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PacketVerdict {
-    /// Deliver the packet to the scheduler unchanged.
-    Pass,
-    /// Silently lose the packet (modeling loss upstream of the server).
-    Drop,
-    /// The injector mutated the packet's fields in place; the admission
-    /// path revalidates it (a corrupted-invalid packet then strikes its
-    /// flow under the escalation policy).
-    Corrupted,
-}
-
-/// A deterministic fault source consulted on the simulator's hot paths.
-///
-/// Implementations must be pure functions of their own seeded state so the
-/// same injector over the same workload reproduces the same faults; for
-/// scheduler-differential experiments the per-flow decision streams should
-/// depend only on each flow's own packet/wake order (which open-loop
-/// sources make scheduler-independent).
-pub trait FaultInjector {
-    /// Inspect — and possibly mutate — a packet at admission.
-    fn on_packet(&mut self, _now: f64, _pkt: &mut Packet) -> PacketVerdict {
-        PacketVerdict::Pass
-    }
-
-    /// Perturb a wake time requested by `flow`'s source. Returning `wake`
-    /// unchanged means no jitter; returned times earlier than `now` are
-    /// clamped to `now` by the scheduler.
-    fn jitter(&mut self, _now: f64, _flow: u32, wake: f64) -> f64 {
-        wake
-    }
-}
-
-/// The no-fault injector (used when none is installed).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct NoFaults;
-
-impl FaultInjector for NoFaults {}
-
-#[derive(Debug)]
-enum Event {
-    Wake(usize),
-    /// Link transmission completion, tagged with the transmission epoch at
-    /// scheduling time. Link-rate changes bump the epoch and reschedule;
-    /// a fired event whose epoch is stale is ignored.
-    TxComplete(u64),
-    Deliver(usize, Packet),
-    Command(SimCommand),
-}
-
-/// Min-heap key: time, then sequence for FIFO tie-breaking.
-#[derive(Debug, PartialEq)]
-struct Key(f64, u64);
-
-impl Eq for Key {}
-
-impl Ord for Key {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // total_cmp never panics; schedule() only accepts finite times, so
-        // the NaN ordering arm is unreachable anyway.
-        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
-    }
-}
-
-impl PartialOrd for Key {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// One attached source and its runtime state.
-struct SourceSlot {
-    src: Box<dyn Source>,
-    cfg: SourceConfig,
-    /// Flow id registered for the source at attach time.
-    flow: u32,
-    /// `false` once the flow has been removed (churn) or quarantined:
-    /// its timers and deliveries are discarded from then on.
-    live: bool,
-    /// Whether `start()` has run (sources start exactly once even across
-    /// segmented [`Simulation::run`] calls).
-    started: bool,
-}
-
-/// A single-link simulation. Build the [`Hierarchy`] first, attach sources,
-/// then [`Simulation::run`].
+/// A single-link simulation: a [`Network`] with exactly one link. Build
+/// the [`Hierarchy`] first, attach sources, then [`Simulation::run`].
 ///
 /// The hierarchy's [`Observer`] (second type parameter, default
 /// [`NoopObserver`]) sees every scheduling event; the simulator adds the
 /// events only it can know: exact transmission times and buffer drops.
+///
+/// Everything beyond the single-link conveniences below — `run`,
+/// `schedule_command`, `stats`, `strike`, `verify_conservation`,
+/// `set_fault_injector`, … — derefs to [`Network`].
 pub struct Simulation<S: NodeScheduler, O: Observer = NoopObserver> {
-    server: Hierarchy<S, O>,
-    rate: f64,
-    now: f64,
-    queue: BinaryHeap<Reverse<(Key, usize)>>,
-    /// Event arena. Fired slots are pushed onto `free` and reused, so
-    /// memory is bounded by the maximum number of *outstanding* events,
-    /// not the total ever scheduled.
-    events: Vec<Option<Event>>,
-    free: Vec<usize>,
-    seq: u64,
-    sources: Vec<SourceSlot>,
-    /// Transmission start time of the in-flight packet.
-    tx_start: f64,
-    /// Transmission epoch: bumped whenever the pending `TxComplete` is
-    /// invalidated by a link-rate change.
-    tx_epoch: u64,
-    /// Bits of the in-flight packet not yet on the wire, as of
-    /// `tx_updated`.
-    tx_remaining_bits: f64,
-    /// Time `tx_remaining_bits` was last brought up to date.
-    tx_updated: f64,
-    /// Statistics collector.
-    pub stats: SimStats,
-    /// Maps a flow id to the source that owns it (for delivery routing).
-    flow_owner: std::collections::BTreeMap<u32, usize>,
-    injector: Option<Box<dyn FaultInjector>>,
-    policy: EscalationPolicy,
-    escalation: EscalationState,
-    halted: bool,
-    /// Commands that could not be applied (e.g. adding a flow whose share
-    /// would overflow its parent): `(time, error)` pairs. The run
-    /// continues — a rejected command is degraded service, not a crash.
-    pub command_errors: Vec<(f64, HpfqError)>,
+    net: Network<S, O>,
+}
+
+impl<S: NodeScheduler, O: Observer> Deref for Simulation<S, O> {
+    type Target = Network<S, O>;
+
+    fn deref(&self) -> &Network<S, O> {
+        &self.net
+    }
+}
+
+impl<S: NodeScheduler, O: Observer> DerefMut for Simulation<S, O> {
+    fn deref_mut(&mut self) -> &mut Network<S, O> {
+        &mut self.net
+    }
 }
 
 impl<S: NodeScheduler, O: Observer> Simulation<S, O> {
-    /// Wraps a fully built hierarchy into a simulation.
+    /// Wraps a fully built hierarchy into a one-link simulation.
     pub fn new(server: Hierarchy<S, O>) -> Self {
-        let rate = server.link_rate();
-        Simulation {
-            server,
-            rate,
-            now: 0.0,
-            queue: BinaryHeap::new(),
-            events: Vec::new(),
-            free: Vec::new(),
-            seq: 0,
-            sources: Vec::new(),
-            tx_start: 0.0,
-            tx_epoch: 0,
-            tx_remaining_bits: 0.0,
-            tx_updated: 0.0,
-            stats: SimStats::new(),
-            flow_owner: std::collections::BTreeMap::new(),
-            injector: None,
-            policy: EscalationPolicy::warn_only(),
-            escalation: EscalationState::new(),
-            halted: false,
-            command_errors: Vec::new(),
-        }
+        let mut net = Network::new();
+        net.add_link(server);
+        Simulation { net }
     }
 
-    /// Installs a fault injector consulted at packet admission and timer
-    /// scheduling. Replaces any previous injector.
-    pub fn set_fault_injector(&mut self, inj: impl FaultInjector + 'static) {
-        self.injector = Some(Box::new(inj));
+    /// The underlying multi-link network (this wrapper's link is index 0).
+    pub fn network(&self) -> &Network<S, O> {
+        &self.net
     }
 
-    /// Sets the degradation ladder for misbehaving flows. The default is
-    /// [`EscalationPolicy::warn_only`]: invalid packets are dropped and
-    /// recorded but flows are never quarantined.
-    pub fn set_escalation_policy(&mut self, policy: EscalationPolicy) {
-        self.policy = policy;
+    /// The underlying multi-link network, mutably.
+    pub fn network_mut(&mut self) -> &mut Network<S, O> {
+        &mut self.net
     }
 
-    /// The escalation ladder's current state (strikes, quarantine roster).
-    pub fn escalation(&self) -> &EscalationState {
-        &self.escalation
-    }
-
-    /// Whether the escalation ladder halted the run ([`Simulation::run`]
-    /// returns early once this is set).
-    pub fn is_halted(&self) -> bool {
-        self.halted
+    /// Consumes the wrapper, returning the underlying network.
+    pub fn into_network(self) -> Network<S, O> {
+        self.net
     }
 
     /// The link's current service rate in bits/s (0 during an outage).
     pub fn link_rate(&self) -> f64 {
-        self.rate
+        self.net.link_rate(0)
     }
 
     /// Read access to the hierarchy (e.g. for queue inspection).
     pub fn server(&self) -> &Hierarchy<S, O> {
-        &self.server
+        self.net.link_server(0)
     }
 
     /// The hierarchy's observer (e.g. to read counters or recover a trace
     /// buffer after the run).
     pub fn observer(&self) -> &O {
-        self.server.observer()
+        self.net.observer_of(0)
     }
 
     /// The hierarchy's observer, mutably.
     pub fn observer_mut(&mut self) -> &mut O {
-        self.server.observer_mut()
+        self.net.observer_of_mut(0)
     }
 
     /// Consumes the simulation, returning the observer.
     pub fn into_observer(self) -> O {
-        self.server.into_observer()
-    }
-
-    /// Outstanding (scheduled, unfired) events — exposed for capacity
-    /// diagnostics and the arena-reuse tests.
-    pub fn outstanding_events(&self) -> usize {
-        self.events.len() - self.free.len()
-    }
-
-    /// Size of the event arena (high-water mark of outstanding events).
-    pub fn event_arena_len(&self) -> usize {
-        self.events.len()
-    }
-
-    /// Current simulation time.
-    pub fn now(&self) -> f64 {
-        self.now
+        self.net
+            .into_observers()
+            .pop()
+            // lint:allow(L002): teardown, not hot path; `Simulation::new`
+            // constructs exactly one link and nothing can remove it
+            .expect("a Simulation always owns exactly one link")
     }
 
     /// Attaches a source that feeds `cfg.leaf`. `flow` is the flow id the
@@ -340,445 +153,24 @@ impl<S: NodeScheduler, O: Observer> Simulation<S, O> {
         source: impl Source + 'static,
         cfg: SourceConfig,
     ) -> SourceId {
-        assert!(
-            self.server.is_leaf(cfg.leaf),
-            "source must be attached to a leaf"
-        );
-        let idx = self.sources.len();
-        self.sources.push(SourceSlot {
-            src: Box::new(source),
-            cfg,
+        self.net.add_route(
             flow,
-            live: true,
-            started: false,
-        });
-        self.flow_owner.insert(flow, idx);
-        SourceId(idx)
-    }
-
-    /// Schedules a control-plane [`SimCommand`] to fire at time `t` (times
-    /// in the past fire immediately once the run reaches them).
-    pub fn schedule_command(&mut self, t: f64, cmd: SimCommand) {
-        self.schedule(t, Event::Command(cmd));
-    }
-
-    fn schedule(&mut self, t: f64, ev: Event) {
-        debug_assert!(vtime::approx_ge(t, self.now), "scheduling into the past");
-        self.seq += 1;
-        let slot = match self.free.pop() {
-            Some(slot) => {
-                debug_assert!(self.events[slot].is_none(), "free slot still occupied");
-                self.events[slot] = Some(ev);
-                slot
-            }
-            None => {
-                self.events.push(Some(ev));
-                self.events.len() - 1
-            }
-        };
-        self.queue
-            .push(Reverse((Key(t.max(self.now), self.seq), slot)));
-    }
-
-    fn emit_fault(&mut self, kind: FaultKind, node: usize, flow: u32, value: f64) {
-        if O::ENABLED {
-            let ev = FaultEvent {
-                time: self.now,
-                kind,
-                node,
-                flow,
-                value,
-            };
-            self.server.observer_mut().on_fault(&ev);
-        }
-    }
-
-    fn apply_output(&mut self, src_idx: usize, out: SourceOutput) {
-        let flow = self.sources[src_idx].flow;
-        for w in out.wakes {
-            let mut wake = w;
-            if let Some(inj) = self.injector.as_mut() {
-                wake = inj.jitter(self.now, flow, w);
-                if wake != w {
-                    self.emit_fault(FaultKind::ClockJitter, 0, flow, wake - w);
-                }
-            }
-            self.schedule(wake.max(self.now), Event::Wake(src_idx));
-        }
-        for mut pkt in out.packets {
-            let cfg = self.sources[src_idx].cfg;
-            pkt.arrival = self.now;
-            let verdict = self
-                .injector
-                .as_mut()
-                .map_or(PacketVerdict::Pass, |inj| inj.on_packet(self.now, &mut pkt));
-            // "Offered" is what reaches the server's input port — recorded
-            // after corruption so the byte ledger matches what was seen.
-            self.stats.record_arrival(&pkt);
-            match verdict {
-                PacketVerdict::Pass => {}
-                PacketVerdict::Drop => {
-                    self.stats.record_fault_drop(&pkt);
-                    self.emit_fault(
-                        FaultKind::PacketDrop,
-                        cfg.leaf.index(),
-                        pkt.flow,
-                        f64::from(pkt.len_bytes),
-                    );
-                    continue;
-                }
-                PacketVerdict::Corrupted => {
-                    self.emit_fault(
-                        FaultKind::PacketCorrupt,
-                        cfg.leaf.index(),
-                        pkt.flow,
-                        f64::from(pkt.len_bytes),
-                    );
-                }
-            }
-            // Degradation layer: malformed packets never reach the
-            // scheduler maths — they are dropped here and strike the flow.
-            if pkt.validate().is_err() {
-                self.stats.record_fault_drop(&pkt);
-                self.emit_fault(
-                    FaultKind::InvalidPacket,
-                    cfg.leaf.index(),
-                    pkt.flow,
-                    f64::from(pkt.len_bytes),
-                );
-                self.strike(pkt.flow);
-                if self.halted {
-                    return;
-                }
-                continue;
-            }
-            if let Some(limit) = cfg.buffer_bytes {
-                if self.server.leaf_queue_bytes(cfg.leaf) + u64::from(pkt.len_bytes) > limit {
-                    self.stats.record_drop(&pkt);
-                    if O::ENABLED {
-                        let ev = DropEvent {
-                            time: self.now,
-                            leaf: cfg.leaf.index(),
-                            pkt: PacketInfo {
-                                id: pkt.id,
-                                flow: pkt.flow,
-                                len_bytes: pkt.len_bytes,
-                                arrival: pkt.arrival,
-                            },
-                            queue_bytes: self.server.leaf_queue_bytes(cfg.leaf),
-                        };
-                        self.server.observer_mut().on_drop(&ev);
-                    }
-                    continue;
-                }
-            }
-            match self.server.try_enqueue(cfg.leaf, pkt) {
-                Ok(()) => self.stats.record_accept(&pkt),
-                // The leaf vanished between emission and admission (e.g.
-                // quarantined while this packet was being generated):
-                // account the packet as fault-dropped and move on.
-                Err(_) => {
-                    self.stats.record_fault_drop(&pkt);
-                    self.emit_fault(
-                        FaultKind::PacketDrop,
-                        cfg.leaf.index(),
-                        pkt.flow,
-                        f64::from(pkt.len_bytes),
-                    );
-                }
-            }
-        }
-        self.try_start();
-    }
-
-    fn try_start(&mut self) {
-        if self.rate > 0.0
-            && !self.halted
-            && !self.server.is_transmitting()
-            && self.server.has_pending()
-        {
-            let now = self.now;
-            // has_pending() was checked just above, so this is always
-            // Some; degrade to a no-op rather than asserting.
-            let Some(pkt) = self.server.start_transmission_at(now) else {
-                return;
-            };
-            self.tx_start = self.now;
-            self.tx_remaining_bits = pkt.bits();
-            self.tx_updated = self.now;
-            self.schedule(
-                self.now + pkt.tx_time(self.rate),
-                Event::TxComplete(self.tx_epoch),
-            );
-        }
-    }
-
-    /// Changes the link's service rate at the current instant. A rate of 0
-    /// suspends service (outage); the in-flight packet, if any, keeps the
-    /// bits it already transmitted and its completion is rescheduled when
-    /// a later call restores a positive rate.
-    fn set_link_rate(&mut self, new_rate: f64) {
-        if !(new_rate.is_finite() && new_rate >= 0.0) {
-            self.command_errors
-                .push((self.now, HpfqError::InvalidRate(new_rate)));
-            return;
-        }
-        if self.server.is_transmitting() {
-            // Credit bits sent under the old rate, then reschedule the
-            // remainder under the new one.
-            let sent = (self.now - self.tx_updated) * self.rate;
-            self.tx_remaining_bits = (self.tx_remaining_bits - sent).max(0.0);
-            self.tx_updated = self.now;
-            self.tx_epoch += 1;
-            if new_rate > 0.0 {
-                self.schedule(
-                    self.now + self.tx_remaining_bits / new_rate,
-                    Event::TxComplete(self.tx_epoch),
-                );
-            }
-        }
-        self.rate = new_rate;
-        // Resync the hierarchy's reference clock: the GPS-exact policies
-        // measure elapsed busy time in nominal-rate link seconds, so a
-        // degraded link must slow (or, in an outage, freeze) that clock.
-        let factor = new_rate / self.server.link_rate();
-        if let Err(e) = self.server.set_link_rate_factor(self.now, factor) {
-            self.command_errors.push((self.now, e));
-        }
-        if !self.server.is_transmitting() {
-            self.try_start();
-        }
-    }
-
-    /// Records one incident against `flow` and applies the escalation
-    /// ladder's response: warn (no-op beyond the strike count), quarantine
-    /// (the flow's leaf is removed and its queue purged), or halt (the run
-    /// stops at the current event). Returns the level applied.
-    ///
-    /// Invalid packets strike automatically at admission; harnesses call
-    /// this directly to escalate externally detected misbehaviour (e.g. an
-    /// invariant-check violation attributed to a flow).
-    pub fn strike(&mut self, flow: u32) -> EscalationLevel {
-        let level = self.escalation.strike(&self.policy, flow);
-        match level {
-            EscalationLevel::Warn => {}
-            EscalationLevel::Quarantine => self.quarantine(flow),
-            EscalationLevel::Halt => {
-                // Halt still isolates the offending flow so a post-mortem
-                // inspection sees a consistent tree.
-                self.quarantine(flow);
-                self.halted = true;
-            }
-        }
-        level
-    }
-
-    /// Removes `flow`'s leaf from the hierarchy, purging and accounting
-    /// its queued packets, and stops its source.
-    fn quarantine(&mut self, flow: u32) {
-        let Some(&idx) = self.flow_owner.get(&flow) else {
-            return;
-        };
-        if !self.sources[idx].live {
-            return;
-        }
-        let leaf = self.sources[idx].cfg.leaf;
-        match self.server.remove_leaf(leaf) {
-            Ok(purged) => {
-                self.sources[idx].live = false;
-                let mut purged_packets = 0u64;
-                let mut purged_bytes = 0u64;
-                for p in &purged {
-                    self.stats.record_purge(p);
-                    purged_packets += 1;
-                    purged_bytes += u64::from(p.len_bytes);
-                }
-                if O::ENABLED {
-                    let ev = QuarantineEvent {
-                        time: self.now,
-                        leaf: leaf.index(),
-                        flow,
-                        strikes: self.escalation.strikes(flow),
-                        purged_packets,
-                        purged_bytes,
-                    };
-                    self.server.observer_mut().on_quarantine(&ev);
-                }
-            }
-            Err(e) => self.command_errors.push((self.now, e)),
-        }
-    }
-
-    fn apply_command(&mut self, cmd: SimCommand) {
-        match cmd {
-            SimCommand::SetLinkRate(bps) => {
-                let kind = if bps == 0.0 {
-                    FaultKind::LinkDown
-                } else if self.rate == 0.0 {
-                    FaultKind::LinkUp
-                } else {
-                    FaultKind::LinkRate
-                };
-                self.emit_fault(kind, 0, 0, bps);
-                self.set_link_rate(bps);
-            }
-            SimCommand::AddFlow {
-                parent,
-                phi,
-                flow,
-                source,
-                buffer_bytes,
-                delivery_delay,
-            } => match self.server.add_leaf(parent, phi) {
-                Ok(leaf) => {
-                    let idx = self.sources.len();
-                    self.sources.push(SourceSlot {
-                        src: source,
-                        cfg: SourceConfig {
-                            leaf,
-                            buffer_bytes,
-                            delivery_delay,
-                        },
-                        flow,
-                        live: true,
-                        started: true,
-                    });
-                    self.flow_owner.insert(flow, idx);
-                    self.emit_fault(FaultKind::FlowAdd, leaf.index(), flow, phi);
-                    let out = self.sources[idx].src.start();
-                    debug_assert!(out.packets.is_empty(), "start() must not emit packets");
-                    self.apply_output(idx, out);
-                }
-                Err(e) => self.command_errors.push((self.now, e)),
-            },
-            SimCommand::RemoveFlow(flow) => {
-                let Some(&idx) = self.flow_owner.get(&flow) else {
-                    self.command_errors
-                        .push((self.now, HpfqError::UnknownNode(usize::MAX)));
-                    return;
-                };
-                if !self.sources[idx].live {
-                    return;
-                }
-                let leaf = self.sources[idx].cfg.leaf;
-                let phi = self.server.phi(leaf);
-                match self.server.remove_leaf(leaf) {
-                    Ok(purged) => {
-                        self.sources[idx].live = false;
-                        for p in &purged {
-                            self.stats.record_purge(p);
-                        }
-                        self.emit_fault(FaultKind::FlowRemove, leaf.index(), flow, phi);
-                    }
-                    Err(e) => self.command_errors.push((self.now, e)),
-                }
-            }
-        }
-    }
-
-    /// Runs the simulation until `horizon` seconds (events strictly after
-    /// the horizon are left unprocessed), until no events remain, or until
-    /// the escalation ladder halts the run. May be called repeatedly with
-    /// growing horizons to run in segments; sources are started once.
-    pub fn run(&mut self, horizon: f64) {
-        // Start any sources not yet started (first call, or sources
-        // attached between run segments).
-        for i in 0..self.sources.len() {
-            if !self.sources[i].started {
-                self.sources[i].started = true;
-                let out = self.sources[i].src.start();
-                debug_assert!(out.packets.is_empty(), "start() must not emit packets");
-                self.apply_output(i, out);
-            }
-        }
-        while !self.halted {
-            let Some(&Reverse((Key(t, _), _))) = self.queue.peek() else {
-                break;
-            };
-            if t > horizon {
-                break;
-            }
-            let Some(Reverse((Key(t, _), slot))) = self.queue.pop() else {
-                break;
-            };
-            self.now = t;
-            // Each queue entry owns its arena slot until fired; a vacated
-            // slot (impossible today, tolerated for robustness) is skipped.
-            let Some(ev) = self.events[slot].take() else {
-                continue;
-            };
-            self.free.push(slot);
-            match ev {
-                Event::Wake(i) => {
-                    if !self.sources[i].live {
-                        continue;
-                    }
-                    let out = self.sources[i].src.on_wake(t);
-                    self.apply_output(i, out);
-                }
-                Event::TxComplete(epoch) => {
-                    if epoch != self.tx_epoch {
-                        // Superseded by a link-rate change; the rescheduled
-                        // completion carries the current epoch.
-                        continue;
-                    }
-                    let pkt = self.server.complete_transmission_at(t);
-                    self.stats.record_service(ServiceRecord {
-                        id: pkt.id,
-                        flow: pkt.flow,
-                        len_bytes: pkt.len_bytes,
-                        arrival: pkt.arrival,
-                        start: self.tx_start,
-                        end: t,
-                    });
-                    if let Some(&owner) = self.flow_owner.get(&pkt.flow) {
-                        if self.sources[owner].live {
-                            let delay = self.sources[owner].cfg.delivery_delay;
-                            self.schedule(t + delay, Event::Deliver(owner, pkt));
-                        }
-                    }
-                    self.try_start();
-                }
-                Event::Deliver(i, pkt) => {
-                    if !self.sources[i].live {
-                        continue;
-                    }
-                    let out = self.sources[i].src.on_delivered(t, &pkt);
-                    self.apply_output(i, out);
-                }
-                Event::Command(cmd) => self.apply_command(cmd),
-            }
-        }
-        // Unfired events past the horizon stay queued so a subsequent
-        // `run` with a larger horizon continues cleanly.
-    }
-
-    /// Bytes currently queued in the hierarchy (including any in-flight
-    /// packet, which stays in its leaf queue until completion).
-    pub fn queued_bytes(&self) -> u64 {
-        self.server
-            .leaves()
-            .iter()
-            .map(|&l| self.server.leaf_queue_bytes(l))
-            .sum()
-    }
-
-    /// End-to-end byte conservation check: every offered byte is accounted
-    /// for as served, buffer-dropped, fault-dropped, purged, or still
-    /// queued. Returns a description of the imbalance, if any.
-    pub fn verify_conservation(&self) -> Result<(), String> {
-        self.stats.accounting_balanced(self.queued_bytes())
+            source,
+            Route::single(cfg.leaf, cfg.buffer_bytes, cfg.delivery_delay),
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::{FaultInjector, PacketVerdict, SimCommand};
     use crate::source::{CbrSource, GreedyLbSource};
-    use hpfq_core::Wf2qPlus;
+    use hpfq_core::{Packet, Wf2qPlus};
+    use hpfq_obs::EscalationPolicy;
 
     fn server(rate: f64) -> Hierarchy<Wf2qPlus> {
-        Hierarchy::new_with(rate, Wf2qPlus::new)
+        Hierarchy::builder(rate, Wf2qPlus::new).build()
     }
 
     /// Two equal CBR flows at half the link rate each: no queueing beyond

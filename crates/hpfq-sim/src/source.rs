@@ -60,6 +60,24 @@ pub trait Source {
     }
 }
 
+impl Source for Box<dyn Source> {
+    fn start(&mut self) -> SourceOutput {
+        (**self).start()
+    }
+
+    fn on_wake(&mut self, now: f64) -> SourceOutput {
+        (**self).on_wake(now)
+    }
+
+    fn on_delivered(&mut self, now: f64, pkt: &Packet) -> SourceOutput {
+        (**self).on_delivered(now, pkt)
+    }
+
+    fn label(&self) -> String {
+        (**self).label()
+    }
+}
+
 /// Allocates globally unique packet ids within one simulation.
 /// (Sources receive an id range at construction: flow id in the high bits.)
 fn pkt_id(flow: u32, seq: u64) -> u64 {

@@ -32,7 +32,7 @@ impl ServiceRecord {
 }
 
 /// Aggregate statistics for one flow.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FlowStats {
     /// Packets transmitted.
     pub packets: u64,

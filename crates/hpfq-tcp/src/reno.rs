@@ -348,7 +348,7 @@ mod tests {
         delivery_delay: f64,
         horizon: f64,
     ) -> (hpfq_sim::FlowStats, u64) {
-        let mut h = Hierarchy::new_with(link_bps, Wf2qPlus::new);
+        let mut h = Hierarchy::builder(link_bps, Wf2qPlus::new).build();
         let root = h.root();
         let leaf = h.add_leaf(root, 1.0).unwrap();
         let mut sim = Simulation::new(h);
@@ -405,7 +405,7 @@ mod tests {
     /// (the §5.2 premise).
     #[test]
     fn two_flows_follow_scheduler_shares() {
-        let mut h = Hierarchy::new_with(800_000.0, Wf2qPlus::new);
+        let mut h = Hierarchy::builder(800_000.0, Wf2qPlus::new).build();
         let root = h.root();
         let a = h.add_leaf(root, 0.75).unwrap();
         let b = h.add_leaf(root, 0.25).unwrap();
@@ -529,7 +529,7 @@ mod tests {
     /// close (every retransmission eventually fills holes).
     #[test]
     fn no_permanent_holes() {
-        let mut h = Hierarchy::new_with(400_000.0, Wf2qPlus::new);
+        let mut h = Hierarchy::builder(400_000.0, Wf2qPlus::new).build();
         let root = h.root();
         let leaf = h.add_leaf(root, 1.0).unwrap();
         let mut sim = Simulation::new(h);

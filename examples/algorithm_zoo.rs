@@ -16,7 +16,7 @@ const LINK: f64 = 1e6;
 /// hold one packet each; a latecomer (the measured "newcomer") arrives to
 /// an empty queue mid-schedule.
 fn run(kind: SchedulerKind) -> (f64, f64) {
-    let mut h = Hierarchy::new_with(LINK, move |r| kind.build(r));
+    let mut h = Hierarchy::builder(LINK, move |r| kind.build(r)).build();
     let root = h.root();
     let big = h.add_leaf(root, 0.5).unwrap();
     let mut small = Vec::new();

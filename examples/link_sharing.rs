@@ -18,20 +18,20 @@ const LINK: f64 = 45e6;
 const PKT: u32 = 1500;
 
 fn main() {
-    let mut h = Hierarchy::new_with(LINK, Wf2qPlus::new);
-    let root = h.root();
+    let mut bld = Hierarchy::builder(LINK, Wf2qPlus::new);
+    let root = bld.root();
     // Agency A1: 50%, with a real-time subclass (80% of A1) and a
     // best-effort subclass (20% of A1 — the anti-starvation floor).
-    let a1 = h.add_internal(root, 0.5).unwrap();
-    let a1_rt = h.add_leaf(a1, 0.8).unwrap();
-    let a1_be = h.add_leaf(a1, 0.2).unwrap();
+    let a1 = bld.add_internal(root, 0.5).unwrap();
+    let a1_rt = bld.add_leaf(a1, 0.8).unwrap();
+    let a1_be = bld.add_leaf(a1, 0.2).unwrap();
     // Agencies A2..A11: 5% each.
     let mut others = Vec::new();
     for _ in 0..10 {
-        others.push(h.add_leaf(root, 0.05).unwrap());
+        others.push(bld.add_leaf(root, 0.05).unwrap());
     }
 
-    let mut sim = Simulation::new(h);
+    let mut sim = Simulation::new(bld.build());
     for flow in 0..12u32 {
         sim.stats.trace_flow(flow);
     }

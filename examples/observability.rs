@@ -34,18 +34,18 @@ fn main() {
     );
 
     // 1 Mbit/s link, two agencies (60/40), two leaves each.
-    let mut h = Hierarchy::new_with_observer(1e6, Wf2qPlus::new, sinks);
-    let root = h.root();
-    let a = h.add_internal(root, 0.6).expect("valid share");
-    let b = h.add_internal(root, 0.4).expect("valid share");
+    let mut bld = Hierarchy::builder_with_observer(1e6, Wf2qPlus::new, sinks);
+    let root = bld.root();
+    let a = bld.add_internal(root, 0.6).expect("valid share");
+    let b = bld.add_internal(root, 0.4).expect("valid share");
     let leaves = [
-        h.add_leaf(a, 0.5).expect("valid share"),
-        h.add_leaf(a, 0.5).expect("valid share"),
-        h.add_leaf(b, 0.5).expect("valid share"),
-        h.add_leaf(b, 0.5).expect("valid share"),
+        bld.add_leaf(a, 0.5).expect("valid share"),
+        bld.add_leaf(a, 0.5).expect("valid share"),
+        bld.add_leaf(b, 0.5).expect("valid share"),
+        bld.add_leaf(b, 0.5).expect("valid share"),
     ];
 
-    let mut sim = Simulation::new(h);
+    let mut sim = Simulation::new(bld.build());
     for (i, &leaf) in leaves.iter().enumerate() {
         let flow = i as u32;
         // 0.35 Mbit/s each: 1.4x oversubscribed, so queues build and the

@@ -13,7 +13,7 @@ use hpfq::core::{Hierarchy, Packet, Wf2qPlus};
 
 fn main() {
     // 1 Mbit/s link; shares must sum to at most 1.
-    let mut server = Hierarchy::new_with(1_000_000.0, Wf2qPlus::new);
+    let mut server = Hierarchy::builder(1_000_000.0, Wf2qPlus::new).build();
     let root = server.root();
     let a = server.add_leaf(root, 0.5).expect("valid share");
     let b = server.add_leaf(root, 0.3).expect("valid share");

@@ -19,19 +19,19 @@ const LINK: f64 = 10e6;
 const PKT: u32 = 1500;
 
 fn run(kind: SchedulerKind) -> (f64, f64, Vec<f64>) {
-    let mut h = Hierarchy::new_with(LINK, move |r| kind.build(r));
-    let root = h.root();
-    let class = h.add_internal(root, 0.5).unwrap();
-    let rt = h.add_leaf(class, 0.5).unwrap(); // 2.5 Mbit/s guarantee
-    let be = h.add_leaf(class, 0.5).unwrap();
+    let mut bld = Hierarchy::builder(LINK, move |r| kind.build(r));
+    let root = bld.root();
+    let class = bld.add_internal(root, 0.5).unwrap();
+    let rt = bld.add_leaf(class, 0.5).unwrap(); // 2.5 Mbit/s guarantee
+    let be = bld.add_leaf(class, 0.5).unwrap();
     let mut cross = Vec::new();
     for _ in 0..10 {
-        cross.push(h.add_leaf(root, 0.05).unwrap());
+        cross.push(bld.add_leaf(root, 0.05).unwrap());
     }
-    let rt_rate = h.rate(rt);
-    let class_rate = h.rate(class);
+    let rt_rate = bld.rate(rt);
+    let class_rate = bld.rate(class);
 
-    let mut sim = Simulation::new(h);
+    let mut sim = Simulation::new(bld.build());
     sim.stats.trace_flow(0);
     // RT: sparse packets into a usually-empty queue (the §3.1 victim
     // pattern), slightly offset from the cross-traffic period.

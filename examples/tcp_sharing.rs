@@ -17,17 +17,17 @@ use hpfq::tcp::{TcpConfig, TcpSource};
 const LINK: f64 = 8e6;
 
 fn main() {
-    let mut h = Hierarchy::new_with(LINK, Wf2qPlus::new);
-    let root = h.root();
-    let tcp_class = h.add_internal(root, 0.5).unwrap();
-    let burst_leaf = h.add_leaf(root, 0.5).unwrap();
+    let mut bld = Hierarchy::builder(LINK, Wf2qPlus::new);
+    let root = bld.root();
+    let tcp_class = bld.add_internal(root, 0.5).unwrap();
+    let burst_leaf = bld.add_leaf(root, 0.5).unwrap();
     let shares = [0.5, 0.3, 0.2];
     let tcp_leaves: Vec<_> = shares
         .iter()
-        .map(|&s| h.add_leaf(tcp_class, s).unwrap())
+        .map(|&s| bld.add_leaf(tcp_class, s).unwrap())
         .collect();
 
-    let mut sim = Simulation::new(h);
+    let mut sim = Simulation::new(bld.build());
     for (i, &leaf) in tcp_leaves.iter().enumerate() {
         let flow = i as u32;
         sim.stats.trace_flow(flow);

@@ -4,6 +4,8 @@
 //! from-scratch Rust reproduction of *Hierarchical Packet Fair Queueing
 //! Algorithms* (Bennett & Zhang, SIGCOMM 1996):
 //!
+//! * [`events`] — the dependency-free discrete-event core (keyed min-heap
+//!   with FIFO tie-breaking, slot-arena storage, clocked engine driver).
 //! * [`core`] — the WF²Q+ algorithm, the WFQ/WF²Q/SCFQ/SFQ/DRR/FIFO
 //!   baselines, and the H-PFQ hierarchy.
 //! * [`fluid`] — the ideal GPS and H-GPS fluid reference servers.
@@ -22,12 +24,13 @@
 
 pub use hpfq_analysis as analysis;
 pub use hpfq_core as core;
+pub use hpfq_events as events;
 pub use hpfq_fluid as fluid;
 pub use hpfq_obs as obs;
 pub use hpfq_sim as sim;
 pub use hpfq_tcp as tcp;
 
 pub use hpfq_core::{
-    Drr, Fifo, Hierarchy, HpfqError, MixedScheduler, NodeId, NodeScheduler, Packet, Scfq,
-    SchedulerKind, SessionId, Sfq, Wf2q, Wf2qPlus, Wfq,
+    Drr, Fifo, Hierarchy, HierarchyBuilder, HpfqError, MixedScheduler, NodeId, NodeScheduler,
+    Packet, Scfq, SchedulerKind, SessionId, Sfq, Wf2q, Wf2qPlus, Wfq,
 };

@@ -15,7 +15,7 @@ const LMAX: f64 = 8000.0;
 fn theorem4_standalone_bound() {
     let rate = 1e6;
     for phi in [0.1, 0.3, 0.5] {
-        let mut h = Hierarchy::new_with(rate, Wf2qPlus::new);
+        let mut h = Hierarchy::builder(rate, Wf2qPlus::new).build();
         let root = h.root();
         let measured = h.add_leaf(root, phi).unwrap();
         let cross = h.add_leaf(root, 1.0 - phi).unwrap();
@@ -60,19 +60,19 @@ fn theorem4_standalone_bound() {
 #[test]
 fn corollary2_three_levels() {
     let rate = 2e6;
-    let mut h = Hierarchy::new_with(rate, Wf2qPlus::new);
-    let root = h.root();
-    let c1 = h.add_internal(root, 0.6).unwrap();
-    let x1 = h.add_leaf(root, 0.4).unwrap();
-    let c2 = h.add_internal(c1, 0.5).unwrap();
-    let x2 = h.add_leaf(c1, 0.5).unwrap();
-    let measured = h.add_leaf(c2, 0.5).unwrap();
-    let x3 = h.add_leaf(c2, 0.5).unwrap();
+    let mut bld = Hierarchy::builder(rate, Wf2qPlus::new);
+    let root = bld.root();
+    let c1 = bld.add_internal(root, 0.6).unwrap();
+    let x1 = bld.add_leaf(root, 0.4).unwrap();
+    let c2 = bld.add_internal(c1, 0.5).unwrap();
+    let x2 = bld.add_leaf(c1, 0.5).unwrap();
+    let measured = bld.add_leaf(c2, 0.5).unwrap();
+    let x3 = bld.add_leaf(c2, 0.5).unwrap();
 
-    let r_i = h.rate(measured);
-    let rates_path = vec![r_i, h.rate(c2), h.rate(c1)];
+    let r_i = bld.rate(measured);
+    let rates_path = vec![r_i, bld.rate(c2), bld.rate(c1)];
 
-    let mut sim = Simulation::new(h);
+    let mut sim = Simulation::new(bld.build());
     sim.stats.trace_flow(0);
     let sigma_pkts = 3u32;
     sim.add_source(
@@ -109,16 +109,16 @@ fn corollary2_three_levels() {
 fn wfq_exceeds_the_wf2q_plus_bound_in_a_hierarchy() {
     let rate = 1e6;
     let build = |kind: SchedulerKind| {
-        let mut h = Hierarchy::new_with(rate, move |r| kind.build(r));
-        let root = h.root();
-        let class = h.add_internal(root, 0.5).unwrap();
-        let rt = h.add_leaf(class, 0.5).unwrap();
-        let be = h.add_leaf(class, 0.5).unwrap();
+        let mut bld = Hierarchy::builder(rate, move |r| kind.build(r));
+        let root = bld.root();
+        let class = bld.add_internal(root, 0.5).unwrap();
+        let rt = bld.add_leaf(class, 0.5).unwrap();
+        let be = bld.add_leaf(class, 0.5).unwrap();
         let mut cross = Vec::new();
         for _ in 0..10 {
-            cross.push(h.add_leaf(root, 0.05).unwrap());
+            cross.push(bld.add_leaf(root, 0.05).unwrap());
         }
-        (h, rt, be, cross)
+        (bld.build(), rt, be, cross)
     };
     let worst_delay = |kind: SchedulerKind| -> f64 {
         let (h, rt, be, cross) = build(kind);

@@ -12,7 +12,9 @@ use hpfq::obs::InvariantObserver;
 /// rides along; any breach of the tag/virtual-time/SEFF invariants fails
 /// the calling test.
 fn order(kind: SchedulerKind) -> Vec<u32> {
-    let mut h = Hierarchy::new_with_observer(1.0, move |r| kind.build(r), InvariantObserver::new());
+    let mut h =
+        Hierarchy::builder_with_observer(1.0, move |r| kind.build(r), InvariantObserver::new())
+            .build();
     let root = h.root();
     let big = h.add_leaf(root, 0.5).unwrap();
     let mut small = Vec::new();

@@ -22,7 +22,7 @@ struct Mirror {
 /// Builds mirrored 2-level trees: `classes` internal nodes, each with
 /// `per_class` leaves, shares perturbed by `rng`.
 fn build(classes: usize, per_class: usize, rng: &mut SmallRng) -> Mirror {
-    let mut h = Hierarchy::new_with(LINK, Wf2qPlus::new);
+    let mut bld = Hierarchy::builder(LINK, Wf2qPlus::new);
     let mut fluid = FluidTree::new();
     let mut leaves = Vec::new();
     // Random class shares summing to 1.
@@ -30,7 +30,7 @@ fn build(classes: usize, per_class: usize, rng: &mut SmallRng) -> Mirror {
     let total: f64 = raw.iter().sum();
     for &w in &raw {
         let phi = w / total;
-        let c = h.add_internal(h.root(), phi).unwrap();
+        let c = bld.add_internal(bld.root(), phi).unwrap();
         let fc = fluid.add_internal(fluid.root(), phi).unwrap();
         let raw_l: Vec<f64> = (0..per_class)
             .map(|_| rng.gen_range_f64(0.5, 2.0))
@@ -39,12 +39,16 @@ fn build(classes: usize, per_class: usize, rng: &mut SmallRng) -> Mirror {
         for &wl in &raw_l {
             let phil = wl / total_l;
             leaves.push((
-                h.add_leaf(c, phil).unwrap(),
+                bld.add_leaf(c, phil).unwrap(),
                 fluid.add_leaf(fc, phil).unwrap(),
             ));
         }
     }
-    Mirror { h, fluid, leaves }
+    Mirror {
+        h: bld.build(),
+        fluid,
+        leaves,
+    }
 }
 
 #[test]
@@ -130,14 +134,14 @@ fn packet_service_tracks_fluid_service() {
 /// bandwidth by their shares even while an unrelated class floods.
 #[test]
 fn sibling_shares_respected_under_flooding() {
-    let mut h = Hierarchy::new_with(LINK, Wf2qPlus::new);
-    let root = h.root();
-    let a = h.add_internal(root, 0.5).unwrap();
-    let b = h.add_leaf(root, 0.5).unwrap();
-    let a1 = h.add_leaf(a, 0.7).unwrap();
-    let a2 = h.add_leaf(a, 0.3).unwrap();
+    let mut bld = Hierarchy::builder(LINK, Wf2qPlus::new);
+    let root = bld.root();
+    let a = bld.add_internal(root, 0.5).unwrap();
+    let b = bld.add_leaf(root, 0.5).unwrap();
+    let a1 = bld.add_leaf(a, 0.7).unwrap();
+    let a2 = bld.add_leaf(a, 0.3).unwrap();
 
-    let mut sim = Simulation::new(h);
+    let mut sim = Simulation::new(bld.build());
     for flow in 0..3u32 {
         sim.stats.trace_flow(flow);
     }

@@ -15,12 +15,13 @@ fn treap_and_dual_heap_schedules_are_identical() {
     fn schedule<E: hpfq::core::EligibleSet + 'static>(
         make: impl Fn(f64) -> Wf2qPlus<E> + 'static,
     ) -> Vec<u64> {
-        let mut h = Hierarchy::new_with(1e6, make);
-        let root = h.root();
-        let class = h.add_internal(root, 0.6).unwrap();
-        let l1 = h.add_leaf(class, 0.5).unwrap();
-        let l2 = h.add_leaf(class, 0.5).unwrap();
-        let l3 = h.add_leaf(root, 0.4).unwrap();
+        let mut bld = Hierarchy::builder(1e6, make);
+        let root = bld.root();
+        let class = bld.add_internal(root, 0.6).unwrap();
+        let l1 = bld.add_leaf(class, 0.5).unwrap();
+        let l2 = bld.add_leaf(class, 0.5).unwrap();
+        let l3 = bld.add_leaf(root, 0.4).unwrap();
+        let mut h = bld.build();
         let mut rng = SmallRng::seed_from_u64(99);
         let mut id = 0u64;
         let mut out = Vec::new();
@@ -59,7 +60,7 @@ fn treap_and_dual_heap_schedules_are_identical() {
 #[test]
 fn mixed_policy_tree_isolates_at_the_link_level() {
     let mut h: Hierarchy<MixedScheduler> =
-        Hierarchy::new_with(1e6, |r| SchedulerKind::Wf2qPlus.build(r));
+        Hierarchy::builder(1e6, |r| SchedulerKind::Wf2qPlus.build(r)).build();
     let root = h.root();
     // Guaranteed class under WF²Q+.
     let guaranteed = h.add_leaf(root, 0.5).unwrap();

@@ -61,7 +61,7 @@ fn worst_lag_vs_gps(kind: SchedulerKind, seed: u64) -> (f64, f64) {
     let fluid = FluidSim::run(&tree, LINK, &arr);
 
     // Packet run under `kind`.
-    let mut h = Hierarchy::new_with(LINK, move |r| kind.build(r));
+    let mut h = Hierarchy::builder(LINK, move |r| kind.build(r)).build();
     let root = h.root();
     let leaves: Vec<_> = raw
         .iter()

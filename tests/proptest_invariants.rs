@@ -135,7 +135,7 @@ fn wf2q_plus_bwfi_theorem_holds() {
         let specs: Vec<FlowSpec> = (0..nflows).map(|_| random_flow_spec(&mut rng)).collect();
         let total_w: f64 = specs.iter().map(|s| s.weight).sum();
 
-        let mut h = Hierarchy::new_with(LINK, Wf2qPlus::new);
+        let mut h = Hierarchy::builder(LINK, Wf2qPlus::new).build();
         let root = h.root();
         let leaves: Vec<_> = specs
             .iter()
@@ -305,7 +305,7 @@ fn hierarchy_conserves_packets() {
             .collect();
 
         let total: f64 = weights.iter().sum();
-        let mut h = Hierarchy::new_with(1e6, Wf2qPlus::new);
+        let mut h = Hierarchy::builder(1e6, Wf2qPlus::new).build();
         let root = h.root();
         let leaves: Vec<_> = weights
             .iter()
@@ -361,13 +361,13 @@ fn churn_case<S: NodeScheduler>(factory: impl Fn(f64) -> S + 'static, seed: u64)
 
     // Static backbone: a class with two permanent leaves plus a root-level
     // leaf, deliberately leaving 0.2 of the root for churn arrivals.
-    let mut h = Hierarchy::new_with_observer(LINK, factory, InvariantObserver::new());
-    let root = h.root();
-    let class = h.add_internal(root, 0.5).unwrap();
-    let l0 = h.add_leaf(class, 0.6).unwrap();
-    let l1 = h.add_leaf(class, 0.4).unwrap();
-    let l2 = h.add_leaf(root, 0.3).unwrap();
-    let mut sim = Simulation::new(h);
+    let mut bld = Hierarchy::builder_with_observer(LINK, factory, InvariantObserver::new());
+    let root = bld.root();
+    let class = bld.add_internal(root, 0.5).unwrap();
+    let l0 = bld.add_leaf(class, 0.6).unwrap();
+    let l1 = bld.add_leaf(class, 0.4).unwrap();
+    let l2 = bld.add_leaf(root, 0.3).unwrap();
+    let mut sim = Simulation::new(bld.build());
     for (i, (leaf, rate)) in [(l0, 0.45e6), (l1, 0.30e6), (l2, 0.50e6)]
         .into_iter()
         .enumerate()

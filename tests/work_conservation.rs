@@ -9,17 +9,17 @@ use hpfq::sim::{CbrSource, Simulation, SourceConfig, TraceSource};
 use std::collections::HashMap;
 
 fn two_level(kind: SchedulerKind) -> (Hierarchy<MixedScheduler>, Vec<NodeId>) {
-    let mut h = Hierarchy::new_with(1e6, move |r| kind.build(r));
-    let root = h.root();
-    let a = h.add_internal(root, 0.6).unwrap();
-    let b = h.add_internal(root, 0.4).unwrap();
+    let mut bld = Hierarchy::builder(1e6, move |r| kind.build(r));
+    let root = bld.root();
+    let a = bld.add_internal(root, 0.6).unwrap();
+    let b = bld.add_internal(root, 0.4).unwrap();
     let leaves = vec![
-        h.add_leaf(a, 0.5).unwrap(),
-        h.add_leaf(a, 0.5).unwrap(),
-        h.add_leaf(b, 0.25).unwrap(),
-        h.add_leaf(b, 0.75).unwrap(),
+        bld.add_leaf(a, 0.5).unwrap(),
+        bld.add_leaf(a, 0.5).unwrap(),
+        bld.add_leaf(b, 0.25).unwrap(),
+        bld.add_leaf(b, 0.75).unwrap(),
     ];
-    (h, leaves)
+    (bld.build(), leaves)
 }
 
 #[test]
@@ -106,17 +106,18 @@ fn every_packet_transmitted_exactly_once_and_in_flow_order() {
 #[test]
 fn transmissions_do_not_overlap() {
     let kind = SchedulerKind::Wf2qPlus;
-    let mut h = Hierarchy::new_with_observer(1e6, move |r| kind.build(r), InvariantObserver::new());
-    let root = h.root();
-    let a = h.add_internal(root, 0.6).unwrap();
-    let b = h.add_internal(root, 0.4).unwrap();
+    let mut bld =
+        Hierarchy::builder_with_observer(1e6, move |r| kind.build(r), InvariantObserver::new());
+    let root = bld.root();
+    let a = bld.add_internal(root, 0.6).unwrap();
+    let b = bld.add_internal(root, 0.4).unwrap();
     let leaves = [
-        h.add_leaf(a, 0.5).unwrap(),
-        h.add_leaf(a, 0.5).unwrap(),
-        h.add_leaf(b, 0.25).unwrap(),
-        h.add_leaf(b, 0.75).unwrap(),
+        bld.add_leaf(a, 0.5).unwrap(),
+        bld.add_leaf(a, 0.5).unwrap(),
+        bld.add_leaf(b, 0.25).unwrap(),
+        bld.add_leaf(b, 0.75).unwrap(),
     ];
-    let mut sim = Simulation::new(h);
+    let mut sim = Simulation::new(bld.build());
     for (i, &leaf) in leaves.iter().enumerate() {
         let flow = i as u32;
         sim.stats.trace_flow(flow);
