@@ -10,18 +10,27 @@
 //!   measurement; the amortized `VecDeque` growth is part of the real
 //!   arrival cost.
 //!
+//! A second axis — the **flow-count scaling sweep** (`--sizes
+//! 64,1k,16k,256k`, `k` = ×1024) — measures the same two operations on
+//! flat WF²Q+ trees of growing width. Dispatch cost is dominated by the
+//! dual-heap eligible set, so ns/op across the sweep must grow
+//! sub-linearly (O(log N)); the committed baseline pins that curve.
+//!
 //! Output: aligned rows on stdout, plus `--json <path>` for the
 //! machine-readable form committed as `results/bench_baseline.json`.
 //! `--smoke` switches to the fast CI profile (same code, noisier numbers).
 
 use hpfq_bench::microbench::{
-    json_path_from_args, time_op_profile, write_json, BenchRecord, Profile,
+    json_path_from_args, sizes_from_args, time_op_profile, write_json, BenchRecord, MetaValue,
+    Profile,
 };
 use hpfq_core::{Hierarchy, MixedScheduler, NodeId, Packet, SchedulerKind};
 
 const LEAVES: usize = 64;
 /// `(label, depth, fanout)`: fanout^depth == LEAVES for both shapes.
 const SHAPES: [(&str, u32, usize); 2] = [("depth1", 1, 64), ("depth3", 3, 4)];
+/// Default flow-count sweep (overridable via `--sizes`).
+const DEFAULT_SIZES: [u32; 4] = [64, 1024, 16384, 262144];
 
 /// Builds a uniform `depth`-level tree of `fanout^depth` leaves running
 /// `kind` at every node.
@@ -47,7 +56,7 @@ fn build(
             leaves.push(bld.add_leaf(p, 1.0 / fanout as f64).unwrap());
         }
     }
-    assert_eq!(leaves.len(), LEAVES);
+    assert_eq!(leaves.len(), fanout.pow(depth));
     (bld.build(), leaves)
 }
 
@@ -105,6 +114,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let profile = Profile::from_args(&args);
     let json = json_path_from_args(&args);
+    let sizes = sizes_from_args(&args).unwrap_or_else(|| DEFAULT_SIZES.to_vec());
 
     let mut records = Vec::new();
     println!(
@@ -121,10 +131,36 @@ fn main() {
         }
     }
 
+    // Flow-count scaling sweep: flat WF²Q+ trees of growing width. The
+    // per-dispatch cost is the dual-heap's O(log N); the sweep pins the
+    // curve's shape, not just one point.
+    println!("== scaling sweep (wf2q+, flat): sizes {:?} ==", sizes);
+    let kind = SchedulerKind::Wf2qPlus;
+    for &size in &sizes {
+        let ns = bench_dispatch(kind, 1, size as usize, profile);
+        records.push(BenchRecord::reported(
+            "dispatch",
+            "wf2q+/scale",
+            size as usize,
+            ns,
+        ));
+        let ns = bench_enqueue(kind, 1, size as usize, profile);
+        records.push(BenchRecord::reported(
+            "enqueue",
+            "wf2q+/scale",
+            size as usize,
+            ns,
+        ));
+    }
+
     if let Some(path) = json {
         write_json(
             &path,
-            &[("profile", profile.as_str()), ("leaves", "64")],
+            &[
+                ("profile", MetaValue::Str(profile.as_str())),
+                ("leaves", MetaValue::U64(LEAVES as u64)),
+                ("sizes", MetaValue::U32List(&sizes)),
+            ],
             &records,
         );
     }

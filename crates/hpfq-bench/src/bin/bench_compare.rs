@@ -1,0 +1,116 @@
+//! Compares a fresh bench-JSON report against a committed baseline and
+//! warns about dispatch-path regressions.
+//!
+//! ```text
+//! bench_compare <baseline.json> <current.json> [--threshold 15] [--deny]
+//! ```
+//!
+//! Rows are matched on `(group, name, size)`. A `dispatch`-group row more
+//! than `--threshold` percent slower than its baseline counterpart prints
+//! a `REGRESSION` warning; other groups are reported informationally.
+//! The exit code stays 0 unless `--deny` is given — CI runs this
+//! non-blocking, because smoke-profile numbers on shared runners are
+//! noisy and a hard gate would flake. Rows present on one side only are
+//! listed so coverage drift is visible, never silent.
+
+use std::process::ExitCode;
+
+use hpfq_bench::microbench::{parse_bench_json, BenchRecord};
+
+fn load(path: &str) -> Vec<BenchRecord> {
+    let text = std::fs::read_to_string(path)
+        // lint:allow(L002): CLI tool — a missing input file must be loud
+        .unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    parse_bench_json(&text).unwrap_or_else(|e| panic!("parsing {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&String> = Vec::new();
+    let mut threshold = 15.0f64;
+    let mut deny = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--threshold requires a value");
+                    return ExitCode::FAILURE;
+                };
+                threshold = v
+                    .parse()
+                    // lint:allow(L002): CLI parsing — bad flags must be loud
+                    .unwrap_or_else(|e| panic!("--threshold {v}: {e}"));
+            }
+            "--deny" => deny = true,
+            _ => positional.push(a),
+        }
+    }
+    let [baseline_path, current_path] = positional.as_slice() else {
+        eprintln!("usage: bench_compare <baseline.json> <current.json> [--threshold N] [--deny]");
+        return ExitCode::FAILURE;
+    };
+
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+
+    let mut regressions = 0usize;
+    let mut matched = 0usize;
+    println!(
+        "== bench_compare: {current_path} vs baseline {baseline_path} (threshold {threshold}%) =="
+    );
+    for cur in &current {
+        let Some(base) = baseline
+            .iter()
+            .find(|b| b.group == cur.group && b.name == cur.name && b.size == cur.size)
+        else {
+            println!(
+                "  NEW        {}/{} @{} ({:.1} ns/op, no baseline row)",
+                cur.group, cur.name, cur.size, cur.ns_per_op
+            );
+            continue;
+        };
+        matched += 1;
+        let delta_pct = (cur.ns_per_op / base.ns_per_op - 1.0) * 100.0;
+        let slow = delta_pct > threshold;
+        let gated = cur.group == "dispatch";
+        if slow && gated {
+            regressions += 1;
+        }
+        let tag = match (slow, gated) {
+            (true, true) => "REGRESSION",
+            (true, false) => "slower",
+            _ => "ok",
+        };
+        println!(
+            "  {tag:<10} {}/{} @{}: {:.1} -> {:.1} ns/op ({:+.1}%)",
+            cur.group, cur.name, cur.size, base.ns_per_op, cur.ns_per_op, delta_pct
+        );
+    }
+    for base in &baseline {
+        if !current
+            .iter()
+            .any(|c| c.group == base.group && c.name == base.name && c.size == base.size)
+        {
+            println!(
+                "  MISSING    {}/{} @{} (in baseline, not in current)",
+                base.group, base.name, base.size
+            );
+        }
+    }
+    println!(
+        "== {matched} rows compared, {regressions} dispatch regression(s) over {threshold}% =="
+    );
+    if regressions > 0 {
+        eprintln!(
+            "warning: {regressions} dispatch row(s) regressed beyond {threshold}% \
+             (non-blocking{})",
+            if deny { "" } else { "; pass --deny to gate" }
+        );
+    }
+    if deny && regressions > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -130,17 +130,52 @@ impl BenchRecord {
     }
 }
 
+/// A typed metadata value for the bench-JSON `"meta"` object.
+///
+/// The document stays dependency-free, so the value space is exactly what
+/// the baselines need: strings (profile, toolchain), integers (host core
+/// count), and integer lists (the `sizes` sweep — typed, so downstream
+/// tooling reads `[64,1024,...]` instead of re-parsing `"64,1k,..."`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetaValue<'a> {
+    /// A string value, emitted quoted.
+    Str(&'a str),
+    /// An unsigned integer, emitted bare.
+    U64(u64),
+    /// A list of `u32`, emitted as a JSON array of bare integers.
+    U32List(&'a [u32]),
+}
+
+impl std::fmt::Display for MetaValue<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetaValue::Str(s) => write!(f, "\"{s}\""),
+            MetaValue::U64(n) => write!(f, "{n}"),
+            MetaValue::U32List(xs) => {
+                f.write_str("[")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                f.write_str("]")
+            }
+        }
+    }
+}
+
 /// Serializes bench records as one self-describing JSON document (no
 /// serialization dependency; the field set is fixed). `meta` lands in a
-/// top-level `"meta"` object — use it for the profile, toolchain, or git
-/// revision.
-pub fn records_to_json(meta: &[(&str, &str)], records: &[BenchRecord]) -> String {
+/// top-level `"meta"` object — use it for the profile, sweep sizes, host
+/// core count, toolchain, or git revision.
+pub fn records_to_json(meta: &[(&str, MetaValue<'_>)], records: &[BenchRecord]) -> String {
     let mut out = String::from("{\n  \"schema\": \"hpfq-bench/v1\",\n  \"meta\": {");
     for (i, (k, v)) in meta.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        out.push_str(&format!("\"{k}\":\"{v}\""));
+        out.push_str(&format!("\"{k}\":{v}"));
     }
     out.push_str("},\n  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
@@ -160,7 +195,7 @@ pub fn records_to_json(meta: &[(&str, &str)], records: &[BenchRecord]) -> String
 /// Writes [`records_to_json`] output to `path` (`--json <path>` in the
 /// bench binaries). I/O errors abort the bench — a baseline that silently
 /// failed to persist is worse than a crash.
-pub fn write_json(path: &str, meta: &[(&str, &str)], records: &[BenchRecord]) {
+pub fn write_json(path: &str, meta: &[(&str, MetaValue<'_>)], records: &[BenchRecord]) {
     let doc = records_to_json(meta, records);
     // lint:allow(L002): bench harness, not simulation hot path — failing to
     // persist a baseline must be loud
@@ -174,6 +209,83 @@ pub fn json_path_from_args(args: &[String]) -> Option<String> {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Parses one `--sizes` element: a bare integer with an optional `k`
+/// suffix meaning ×1024 (`"16k"` → 16384).
+fn parse_size(tok: &str) -> Result<u32, String> {
+    let (digits, mult) = match tok.strip_suffix(['k', 'K']) {
+        Some(d) => (d, 1024u32),
+        None => (tok, 1),
+    };
+    digits
+        .parse::<u32>()
+        .ok()
+        .and_then(|n| n.checked_mul(mult))
+        .ok_or_else(|| format!("bad size {tok:?} (expected e.g. 64, 1k, 256k)"))
+}
+
+/// Extracts the `--sizes 64,1k,16k,256k` flow-count sweep, if present.
+/// `k` means ×1024. Malformed lists abort: a sweep that silently ran the
+/// wrong sizes would poison the committed baseline.
+pub fn sizes_from_args(args: &[String]) -> Option<Vec<u32>> {
+    let spec = args
+        .iter()
+        .position(|a| a == "--sizes")
+        .and_then(|i| args.get(i + 1))?;
+    let sizes: Result<Vec<u32>, String> = spec.split(',').map(parse_size).collect();
+    // lint:allow(L002): bench CLI parsing, not simulation hot path
+    Some(sizes.unwrap_or_else(|e| panic!("--sizes {spec}: {e}")))
+}
+
+/// Parses a bench-JSON document produced by [`records_to_json`] back into
+/// its records. Tolerant of whitespace, intolerant of schema drift: a
+/// document without the `hpfq-bench/v1` schema tag, or with a malformed
+/// record line, is an error — comparisons against a half-read baseline
+/// would be silently wrong.
+pub fn parse_bench_json(doc: &str) -> Result<Vec<BenchRecord>, String> {
+    if !doc.contains("\"schema\": \"hpfq-bench/v1\"") {
+        return Err("missing hpfq-bench/v1 schema tag".into());
+    }
+    let field = |line: &str, key: &str| -> Result<String, String> {
+        let pat = format!("\"{key}\":");
+        let start = line
+            .find(&pat)
+            .ok_or_else(|| format!("record missing {key:?}: {line}"))?
+            + pat.len();
+        let rest = &line[start..];
+        Ok(if let Some(r) = rest.strip_prefix('"') {
+            r[..r
+                .find('"')
+                .ok_or_else(|| format!("unterminated string: {line}"))?]
+                .to_owned()
+        } else {
+            rest[..rest.find([',', '}']).unwrap_or(rest.len())].to_owned()
+        })
+    };
+    let mut records = Vec::new();
+    let mut in_records = false;
+    for line in doc.lines() {
+        let line = line.trim();
+        if line.starts_with("\"records\"") {
+            in_records = true;
+            continue;
+        }
+        if !in_records || !line.starts_with('{') {
+            continue;
+        }
+        records.push(BenchRecord {
+            group: field(line, "group")?,
+            name: field(line, "name")?,
+            size: field(line, "size")?
+                .parse()
+                .map_err(|e| format!("bad size: {e}"))?,
+            ns_per_op: field(line, "ns_per_op")?
+                .parse()
+                .map_err(|e| format!("bad ns_per_op: {e}"))?,
+        });
+    }
+    Ok(records)
 }
 
 #[cfg(test)]
@@ -196,9 +308,18 @@ mod tests {
                 ns_per_op: 67.8,
             },
         ];
-        let doc = records_to_json(&[("profile", "smoke")], &records);
+        let doc = records_to_json(
+            &[
+                ("profile", MetaValue::Str("smoke")),
+                ("sizes", MetaValue::U32List(&[64, 1024, 16384, 262144])),
+                ("host_cores", MetaValue::U64(4)),
+            ],
+            &records,
+        );
         assert!(doc.contains("\"schema\": \"hpfq-bench/v1\""));
         assert!(doc.contains("\"profile\":\"smoke\""));
+        assert!(doc.contains("\"sizes\":[64,1024,16384,262144]"));
+        assert!(doc.contains("\"host_cores\":4"));
         assert!(doc.contains(
             "{\"group\":\"dispatch\",\"name\":\"wf2q+/depth1\",\"size\":64,\"ns_per_op\":123.5},"
         ));
@@ -220,6 +341,47 @@ mod tests {
         assert_eq!(json_path_from_args(&args).as_deref(), Some("out.json"));
         assert_eq!(Profile::from_args(&[]), Profile::Full);
         assert_eq!(json_path_from_args(&[]), None);
+    }
+
+    #[test]
+    fn sizes_parsing_handles_k_suffix() {
+        let args: Vec<String> = ["--sizes", "64,1k,16k,256k"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(sizes_from_args(&args), Some(vec![64, 1024, 16384, 262144]));
+        assert_eq!(sizes_from_args(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad size")]
+    fn sizes_parsing_rejects_garbage() {
+        let args: Vec<String> = ["--sizes", "64,huge"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        sizes_from_args(&args);
+    }
+
+    #[test]
+    fn bench_json_round_trips_through_parser() {
+        let records = vec![
+            BenchRecord {
+                group: "dispatch".into(),
+                name: "wf2q+/scale".into(),
+                size: 262144,
+                ns_per_op: 412.5,
+            },
+            BenchRecord {
+                group: "net".into(),
+                name: "parallel4".into(),
+                size: 4,
+                ns_per_op: 98765.4,
+            },
+        ];
+        let doc = records_to_json(&[("profile", MetaValue::Str("full"))], &records);
+        assert_eq!(parse_bench_json(&doc).unwrap(), records);
+        assert!(parse_bench_json("{\"schema\": \"other\"}").is_err());
     }
 
     #[test]

@@ -2,20 +2,26 @@
 //!
 //! ```text
 //! chaos-soak [--seed N] [--horizon SECS] [--trace-dir DIR] [--quarantine-demo]
+//!            [--parallel-shards N]
 //! ```
 //!
 //! Exits non-zero if [`hpfq_chaos::ChaosReport::assert_healthy`] finds any
 //! breach of the degradation contract, so CI can gate on it directly.
+//! `--parallel-shards N` runs the command-driven chaos scenario through
+//! the deterministic parallel front-end instead (link flaps + churn on a
+//! multi-link topology, `run_parallel(N)` differentially checked against
+//! the sequential run).
 
 use std::process::ExitCode;
 
-use hpfq_chaos::{quarantine_scenario, run_soak, ChaosConfig};
+use hpfq_chaos::{parallel_soak, quarantine_scenario, run_soak, ChaosConfig};
 
 struct Args {
     seed: u64,
     horizon: f64,
     trace_dir: Option<String>,
     quarantine_demo: bool,
+    parallel_shards: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -24,6 +30,7 @@ fn parse_args() -> Result<Args, String> {
         horizon: 30.0,
         trace_dir: None,
         quarantine_demo: false,
+        parallel_shards: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -42,10 +49,20 @@ fn parse_args() -> Result<Args, String> {
             }
             "--trace-dir" => args.trace_dir = Some(grab("--trace-dir")?),
             "--quarantine-demo" => args.quarantine_demo = true,
+            "--parallel-shards" => {
+                let v = grab("--parallel-shards")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|e| format!("--parallel-shards {v}: {e}"))?;
+                if n < 2 {
+                    return Err(format!("--parallel-shards {v}: need at least 2"));
+                }
+                args.parallel_shards = Some(n);
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: chaos-soak [--seed N] [--horizon SECS] [--trace-dir DIR] \
-                     [--quarantine-demo]"
+                     [--quarantine-demo] [--parallel-shards N]"
                         .to_string(),
                 )
             }
@@ -63,6 +80,36 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(shards) = args.parallel_shards {
+        let out = parallel_soak(args.seed, args.horizon, shards);
+        println!(
+            "parallel chaos soak (seed {}, horizon {} s, {} shard(s), {} epoch(s)): \
+             {} pkts / {} B served, fallback {:?}, sequential match {}, conservation {}",
+            args.seed,
+            args.horizon,
+            out.shards,
+            out.epochs,
+            out.served_packets,
+            out.served_bytes,
+            out.fallback,
+            match &out.matches_sequential {
+                Ok(()) => "OK".to_string(),
+                Err(e) => format!("DIVERGED: {e}"),
+            },
+            match &out.conservation {
+                Ok(()) => "OK".to_string(),
+                Err(e) => format!("BROKEN: {e}"),
+            }
+        );
+        return if out.healthy() {
+            println!("parallel soak healthy: run_parallel({shards}) reproduced the sequential run");
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("parallel soak UNHEALTHY");
+            ExitCode::FAILURE
+        };
+    }
 
     if args.quarantine_demo {
         let out = quarantine_scenario(args.seed);

@@ -18,7 +18,11 @@
 //!   interleaving;
 //! * [`soak::run_soak`] — the differential harness: all seven scheduler
 //!   policies under the *same* fault schedule, checked for conservation,
-//!   invariant cleanliness, fault determinism, and post-recovery fairness.
+//!   invariant cleanliness, fault determinism, and post-recovery fairness;
+//! * [`parallel::parallel_soak`] — the command-driven fault families
+//!   (link flaps, flow churn) replayed through the deterministic parallel
+//!   front-end (`Network::run_parallel`) and differentially checked
+//!   against the sequential run.
 //!
 //! Reproduce any failure from its seed: `cargo run -p hpfq-chaos --bin
 //! chaos-soak -- --seed N`.
@@ -28,6 +32,7 @@
 
 pub mod config;
 pub mod inject;
+pub mod parallel;
 pub mod plan;
 pub mod soak;
 
@@ -36,6 +41,7 @@ pub use config::{
     LinkFaultConfig,
 };
 pub use inject::ChaosInjector;
+pub use parallel::{parallel_soak, ParallelSoakOutcome};
 pub use plan::{build_plan, ChaosPlan, CHURN_FLOW_BASE};
 pub use soak::{
     build_soak_sim, quarantine_scenario, run_soak, ChaosReport, FlowLedger, QuarantineOutcome,

@@ -1,0 +1,240 @@
+//! Command-driven chaos through the deterministic parallel front-end.
+//!
+//! The classic soak ([`crate::soak::run_soak`]) exercises faults through a
+//! stateful [`hpfq_sim::FaultInjector`], which `run_parallel` rightly
+//! refuses to shard (one mutable decision stream cannot be consulted from
+//! concurrent shards deterministically). This module stresses the parallel
+//! engine with the fault families that *are* shardable because they travel
+//! as timestamped [`SimCommand`]s through the ordinary event plumbing:
+//!
+//! * link flaps — `SetLinkRateOn` outage/restore pairs on every link;
+//! * flow churn — `RemoveFlow` mid-run, including a multi-hop flow whose
+//!   downstream detachments ride cross-shard `Detach` events.
+//!
+//! [`parallel_soak`] builds the same seeded multi-link scenario twice,
+//! runs it sequentially and through `run_parallel(shards)`, and verifies
+//! the two runs are *identical* — per-flow statistics and per-link
+//! ledgers — and that both conserve bytes. Graceful degradation and
+//! determinism, checked in one pass.
+
+use hpfq_core::{Hierarchy, MixedScheduler, SchedulerKind};
+use hpfq_sim::{
+    CbrSource, FallbackReason, Hop, Network, PoissonSource, Route, SimCommand, SmallRng,
+};
+
+/// Links in the parallel-soak topology.
+pub const PARALLEL_SOAK_LINKS: usize = 3;
+/// Nominal link rate (10 Mbit/s — chaos flows fit comfortably, outages
+/// create real backlog).
+pub const PARALLEL_LINK_BPS: f64 = 10e6;
+const PKT: u32 = 1500;
+/// Tandem propagation delay: the conservative lookahead window.
+const PROP: f64 = 0.005;
+
+/// What [`parallel_soak`] observed.
+#[derive(Debug)]
+pub struct ParallelSoakOutcome {
+    /// Shards the parallel run actually used.
+    pub shards: usize,
+    /// Conservative epochs executed.
+    pub epochs: u64,
+    /// Fallback reason, if the parallel run declined to shard.
+    pub fallback: Option<FallbackReason>,
+    /// Packets served (identical between the two runs on success).
+    pub served_packets: u64,
+    /// Bytes served.
+    pub served_bytes: u64,
+    /// `Ok` iff every per-flow stat and per-link ledger matched the
+    /// sequential run exactly.
+    pub matches_sequential: Result<(), String>,
+    /// End-of-run conservation audit over both runs.
+    pub conservation: Result<(), String>,
+}
+
+impl ParallelSoakOutcome {
+    /// Whether the parallel soak upheld the full contract.
+    pub fn healthy(&self) -> bool {
+        self.matches_sequential.is_ok() && self.conservation.is_ok() && self.fallback.is_none()
+    }
+}
+
+/// Flow ids used by the scenario: one multi-hop tandem flow plus two
+/// cross flows per link (CBR and Poisson).
+fn flow_ids() -> Vec<u32> {
+    let mut ids = vec![0u32];
+    for li in 0..PARALLEL_SOAK_LINKS as u32 {
+        ids.push(100 + 2 * li);
+        ids.push(101 + 2 * li);
+    }
+    ids
+}
+
+/// Builds the seeded scenario. Both the sequential and the parallel run
+/// call this with the same seed, so the command schedule — flap windows,
+/// churn times — is identical by construction.
+fn build(seed: u64, horizon: f64) -> Network<MixedScheduler> {
+    let kind = SchedulerKind::Wf2qPlus;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0A5_CADE);
+    let mut net: Network<MixedScheduler> = Network::new();
+    let mut hops = Vec::new();
+    for li in 0..PARALLEL_SOAK_LINKS {
+        let mut bld =
+            Hierarchy::<MixedScheduler>::builder(PARALLEL_LINK_BPS, move |r| kind.build(r));
+        let root = bld.root();
+        let tandem = bld.add_leaf(root, 0.3).unwrap();
+        let cbr = bld.add_leaf(root, 0.4).unwrap();
+        let poisson = bld.add_leaf(root, 0.3).unwrap();
+        let link = net.add_link(bld.build());
+        hops.push(Hop {
+            link,
+            leaf: tandem,
+            buffer_bytes: Some(64 * u64::from(PKT)),
+            prop_delay: PROP,
+        });
+        let f_cbr = 100 + 2 * li as u32;
+        let f_poi = 101 + 2 * li as u32;
+        net.add_route(
+            f_cbr,
+            CbrSource::new(f_cbr, PKT, 3.5e6, 0.0, horizon),
+            Route::new(vec![Hop {
+                link,
+                leaf: cbr,
+                buffer_bytes: Some(32 * u64::from(PKT)),
+                prop_delay: 0.0,
+            }]),
+        );
+        net.add_route(
+            f_poi,
+            PoissonSource::new(
+                f_poi,
+                PKT,
+                2.5e6,
+                0.0,
+                horizon,
+                seed.wrapping_add(li as u64),
+            ),
+            Route::new(vec![Hop {
+                link,
+                leaf: poisson,
+                buffer_bytes: Some(32 * u64::from(PKT)),
+                prop_delay: 0.0,
+            }]),
+        );
+    }
+    net.add_route(
+        0,
+        CbrSource::new(0, PKT, 2e6, 0.0, horizon),
+        Route::new(hops),
+    );
+
+    // Link flaps: two outage windows per link at seeded times. Windows are
+    // kept inside (10%, 85%) of the horizon so the tail is fault-free.
+    for li in 0..PARALLEL_SOAK_LINKS {
+        for _ in 0..2 {
+            let start = rng.gen_range_f64(0.10, 0.80) * horizon;
+            let dur = rng.gen_range_f64(0.01, 0.05) * horizon;
+            net.schedule_command(start, SimCommand::SetLinkRateOn { link: li, bps: 0.0 });
+            net.schedule_command(
+                start + dur,
+                SimCommand::SetLinkRateOn {
+                    link: li,
+                    bps: PARALLEL_LINK_BPS,
+                },
+            );
+        }
+    }
+    // Churn: one cross flow leaves mid-run, and the tandem flow — whose
+    // removal must detach leaves on every shard — leaves late.
+    let departing = 100 + 2 * rng.gen_range_u32(0, PARALLEL_SOAK_LINKS as u32);
+    net.schedule_command(
+        rng.gen_range_f64(0.3, 0.5) * horizon,
+        SimCommand::RemoveFlow(departing),
+    );
+    net.schedule_command(
+        rng.gen_range_f64(0.6, 0.8) * horizon,
+        SimCommand::RemoveFlow(0),
+    );
+    net
+}
+
+/// Runs the command-driven chaos scenario sequentially and through
+/// `run_parallel(shards)`, and differentially checks the results.
+pub fn parallel_soak(seed: u64, horizon: f64, shards: usize) -> ParallelSoakOutcome {
+    let mut seq = build(seed, horizon);
+    seq.run(horizon);
+
+    let mut par = build(seed, horizon);
+    let report = par.run_parallel(horizon, shards);
+
+    let mut mismatches = Vec::new();
+    for flow in flow_ids() {
+        let (a, b) = (seq.stats.flow(flow), par.stats.flow(flow));
+        if a != b {
+            mismatches.push(format!("flow {flow}: sequential {a:?} != parallel {b:?}"));
+        }
+    }
+    for link in 0..PARALLEL_SOAK_LINKS {
+        let (a, b) = (seq.link_ledger(link), par.link_ledger(link));
+        if a != b {
+            mismatches.push(format!("link {link}: sequential {a:?} != parallel {b:?}"));
+        }
+    }
+    if seq.stats.total_packets != par.stats.total_packets
+        || seq.stats.total_bytes != par.stats.total_bytes
+    {
+        mismatches.push(format!(
+            "totals: sequential {}p/{}B != parallel {}p/{}B",
+            seq.stats.total_packets,
+            seq.stats.total_bytes,
+            par.stats.total_packets,
+            par.stats.total_bytes
+        ));
+    }
+
+    let conservation = seq
+        .verify_conservation()
+        .map_err(|e| format!("sequential: {e}"))
+        .and_then(|()| {
+            par.verify_conservation()
+                .map_err(|e| format!("parallel: {e}"))
+        });
+
+    ParallelSoakOutcome {
+        shards: report.shards,
+        epochs: report.epochs,
+        fallback: report.fallback,
+        served_packets: par.stats.total_packets,
+        served_bytes: par.stats.total_bytes,
+        matches_sequential: if mismatches.is_empty() {
+            Ok(())
+        } else {
+            Err(mismatches.join("; "))
+        },
+        conservation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_soak_seed_1_is_healthy() {
+        let out = parallel_soak(1, 10.0, 2);
+        assert!(out.fallback.is_none(), "{out:?}");
+        assert_eq!(out.shards, 2);
+        assert!(out.epochs > 0);
+        assert!(out.matches_sequential.is_ok(), "{out:?}");
+        assert!(out.conservation.is_ok(), "{out:?}");
+        assert!(out.served_packets > 1000, "{out:?}");
+    }
+
+    #[test]
+    fn parallel_soak_shards_sweep_agrees() {
+        for shards in [2usize, 3] {
+            let out = parallel_soak(7, 6.0, shards);
+            assert_eq!(out.shards, shards);
+            assert!(out.healthy(), "shards {shards}: {out:?}");
+        }
+    }
+}

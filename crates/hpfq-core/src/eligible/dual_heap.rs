@@ -11,6 +11,14 @@
 //!
 //! Removal is lazy: heap entries carry a per-session generation number and
 //! stale entries are skipped on pop.
+//!
+//! The per-session bookkeeping is laid out structure-of-arrays: membership
+//! state, start tags, and finish tags live in three parallel `Vec`s indexed
+//! by session id, and a heap entry carries only its one ordering key plus
+//! `(id, generation)`. Sift operations therefore move 24-byte entries
+//! instead of 40-byte ones, and the migrate loop's start-tag scan walks a
+//! dense `f64` array — the hot-path layout the scaling sweep in
+//! `hpfq-bench` measures.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -20,11 +28,12 @@ use crate::scheduler::SessionId;
 use crate::vtime;
 
 /// Heap entry; ordering is inverted so `BinaryHeap` (a max-heap) acts as a
-/// min-heap on `(key, tiebreak, id)`.
+/// min-heap on `(key, id)`. The key is the start tag in the pending heap
+/// and the finish tag in the ready heap; the id tie-break reproduces the
+/// session-index order of the paper's Fig. 2 timelines.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Entry {
     key: f64,
-    tiebreak: f64,
     id: SessionId,
     generation: u64,
 }
@@ -33,9 +42,9 @@ impl Eq for Entry {}
 
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Inverted: smaller (key, tiebreak, id) is "greater" for the heap.
-        let lhs = (other.key, other.tiebreak, other.id.0);
-        let rhs = (self.key, self.tiebreak, self.id.0);
+        // Inverted: smaller (key, id) is "greater" for the heap.
+        let lhs = (other.key, other.id.0);
+        let rhs = (self.key, self.id.0);
         lhs.partial_cmp(&rhs)
             // lint:allow(L002): insert() asserts finite tags — total order
             .expect("tags must not be NaN (asserted on insert)")
@@ -48,10 +57,12 @@ impl PartialOrd for Entry {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Membership state only — the tags live in the parallel `starts` /
+/// `finishes` arrays, so this stays a one-byte fieldless enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Slot {
     Absent,
-    Pending { start: f64, finish: f64 },
+    Pending,
     Ready,
 }
 
@@ -63,7 +74,11 @@ pub struct DualHeapEligibleSet {
     /// Min-heap on finish tag of eligible sessions.
     ready: BinaryHeap<Entry>,
     /// Per-session membership state, indexed by session id.
-    slots: Vec<Slot>,
+    state: Vec<Slot>,
+    /// Per-session start tags (valid while `state` is not `Absent`).
+    starts: Vec<f64>,
+    /// Per-session finish tags (valid while `state` is not `Absent`).
+    finishes: Vec<f64>,
     /// Per-session generation counters invalidating stale heap entries.
     generations: Vec<u64>,
     /// Number of live members.
@@ -77,8 +92,10 @@ impl DualHeapEligibleSet {
     }
 
     fn ensure(&mut self, id: SessionId) {
-        if id.0 >= self.slots.len() {
-            self.slots.resize(id.0 + 1, Slot::Absent);
+        if id.0 >= self.state.len() {
+            self.state.resize(id.0 + 1, Slot::Absent);
+            self.starts.resize(id.0 + 1, 0.0);
+            self.finishes.resize(id.0 + 1, 0.0);
             self.generations.resize(id.0 + 1, 0);
         }
     }
@@ -97,19 +114,11 @@ impl DualHeapEligibleSet {
                 break;
             }
             self.pending.pop();
-            let Slot::Pending { start, finish } = self.slots[top.id.0] else {
-                // lint:allow(L002): generation match implies the slot state;
-                // remove() bumps the generation when it clears a slot
-                unreachable!("current-generation pending entry must be Pending");
-            };
-            debug_assert_eq!(start, top.key);
-            self.slots[top.id.0] = Slot::Ready;
-            // tiebreak pinned to 0 so ready ordering is (finish, id) — the
-            // session-index tie-break of the paper's Fig. 2 timelines.
-            let _ = start;
+            debug_assert_eq!(self.state[top.id.0], Slot::Pending);
+            debug_assert_eq!(self.starts[top.id.0], top.key);
+            self.state[top.id.0] = Slot::Ready;
             self.ready.push(Entry {
-                key: finish,
-                tiebreak: 0.0,
+                key: self.finishes[top.id.0],
                 id: top.id,
                 generation: top.generation,
             });
@@ -147,15 +156,16 @@ impl EligibleSet for DualHeapEligibleSet {
         );
         self.ensure(id);
         assert_eq!(
-            self.slots[id.0],
+            self.state[id.0],
             Slot::Absent,
             "session {id:?} inserted twice"
         );
         self.generations[id.0] += 1;
-        self.slots[id.0] = Slot::Pending { start, finish };
+        self.state[id.0] = Slot::Pending;
+        self.starts[id.0] = start;
+        self.finishes[id.0] = finish;
         self.pending.push(Entry {
             key: start,
-            tiebreak: finish,
             id,
             generation: self.generations[id.0],
         });
@@ -164,8 +174,8 @@ impl EligibleSet for DualHeapEligibleSet {
 
     fn remove(&mut self, id: SessionId) {
         self.ensure(id);
-        if self.slots[id.0] != Slot::Absent {
-            self.slots[id.0] = Slot::Absent;
+        if self.state[id.0] != Slot::Absent {
+            self.state[id.0] = Slot::Absent;
             self.generations[id.0] += 1; // invalidates any heap entry
             self.live -= 1;
         }
@@ -196,8 +206,8 @@ impl EligibleSet for DualHeapEligibleSet {
             if self.generations[top.id.0] != top.generation {
                 continue;
             }
-            debug_assert_eq!(self.slots[top.id.0], Slot::Ready);
-            self.slots[top.id.0] = Slot::Absent;
+            debug_assert_eq!(self.state[top.id.0], Slot::Ready);
+            self.state[top.id.0] = Slot::Absent;
             self.generations[top.id.0] += 1;
             self.live -= 1;
             return Some(top.id);
@@ -212,7 +222,7 @@ impl EligibleSet for DualHeapEligibleSet {
     fn clear(&mut self) {
         self.pending.clear();
         self.ready.clear();
-        self.slots.fill(Slot::Absent);
+        self.state.fill(Slot::Absent);
         // Bump generations rather than zeroing so pre-clear entries can
         // never be mistaken for live ones.
         for g in &mut self.generations {
@@ -272,6 +282,24 @@ mod tests {
         s.insert(SessionId(0), 5.0, 6.0);
         assert_eq!(s.eligibility_threshold(0.0), Some(5.0));
         assert_eq!(s.pop_min_finish(5.0), Some(SessionId(0)));
+    }
+
+    #[test]
+    fn heap_entry_stays_small() {
+        // The point of the SoA split: sift operations move (key, id,
+        // generation) only. Guard against fields creeping back in.
+        assert_eq!(std::mem::size_of::<Entry>(), 24);
+    }
+
+    #[test]
+    fn finish_ties_break_by_session_id() {
+        let mut s = DualHeapEligibleSet::new();
+        s.insert(SessionId(3), 0.0, 4.0);
+        s.insert(SessionId(1), 0.0, 4.0);
+        s.insert(SessionId(2), 0.0, 4.0);
+        assert_eq!(s.pop_min_finish(0.0), Some(SessionId(1)));
+        assert_eq!(s.pop_min_finish(0.0), Some(SessionId(2)));
+        assert_eq!(s.pop_min_finish(0.0), Some(SessionId(3)));
     }
 
     #[test]

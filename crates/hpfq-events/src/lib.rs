@@ -19,13 +19,33 @@
 //!
 //! The crate is dependency-free and knows nothing about packets or
 //! scheduling policies: `E` is whatever event enum the client defines.
+//!
+//! # Minor keys and parallel determinism
+//!
+//! [`EventQueue::schedule_keyed`] accepts a caller-supplied **minor key**
+//! ordered between the time and the FIFO sequence: events fire in
+//! `(time, minor, seq)` order. A client that derives the minor key from
+//! event *content* (rather than scheduling order) gets a tie-break that is
+//! a pure function of the event itself — the property a conservative
+//! parallel simulator needs to reproduce a sequential run exactly, because
+//! per-shard sequence numbers cannot match the global ones. Plain
+//! [`EventQueue::schedule`] uses minor key 0, so single-keyed clients keep
+//! the original `(time, seq)` FIFO semantics unchanged.
+//!
+//! The epoch/window API ([`Engine::pop_strictly_before`],
+//! [`Engine::advance_to`], [`EventQueue::pop_entry`]) supports
+//! conservative-epoch execution: a worker drains events with
+//! `t < epoch_end` only, the coordinator advances the clock across empty
+//! windows, and whole queues can be drained (keys included) when shards
+//! are assembled or merged.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// Min-heap key: time, then scheduling sequence for FIFO tie-breaking.
+/// Min-heap key: time, then the caller's minor key, then scheduling
+/// sequence for FIFO tie-breaking.
 #[derive(Debug, PartialEq)]
-struct Key(f64, u64);
+struct Key(f64, u64, u64);
 
 impl Eq for Key {}
 
@@ -33,7 +53,10 @@ impl Ord for Key {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // total_cmp never panics; schedule() only accepts finite times, so
         // the NaN ordering arm is unreachable anyway.
-        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+        self.0
+            .total_cmp(&other.0)
+            .then(self.1.cmp(&other.1))
+            .then(self.2.cmp(&other.2))
     }
 }
 
@@ -69,10 +92,19 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Schedules `ev` at time `t`. Callers must pass finite times
-    /// (debug-asserted); the `total_cmp` key ordering keeps the heap
-    /// consistent even if a non-finite time slips through in release.
+    /// Schedules `ev` at time `t` with minor key 0. Callers must pass
+    /// finite times (debug-asserted); the `total_cmp` key ordering keeps
+    /// the heap consistent even if a non-finite time slips through in
+    /// release.
     pub fn schedule(&mut self, t: f64, ev: E) {
+        self.schedule_keyed(t, 0, ev);
+    }
+
+    /// Schedules `ev` at time `t` with an explicit minor tie-break key.
+    /// Events fire in `(t, minor, scheduling order)` order; clients that
+    /// derive `minor` from event content get execution-order-independent
+    /// tie-breaking (see the crate docs on parallel determinism).
+    pub fn schedule_keyed(&mut self, t: f64, minor: u64, ev: E) {
         debug_assert!(t.is_finite(), "non-finite event time {t}");
         self.seq += 1;
         let slot = match self.free.pop() {
@@ -86,23 +118,30 @@ impl<E> EventQueue<E> {
                 self.arena.len() - 1
             }
         };
-        self.heap.push(Reverse((Key(t, self.seq), slot)));
+        self.heap.push(Reverse((Key(t, minor, self.seq), slot)));
     }
 
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<f64> {
-        self.heap.peek().map(|Reverse((Key(t, _), _))| *t)
+        self.heap.peek().map(|Reverse((Key(t, _, _), _))| *t)
     }
 
     /// Removes and returns the earliest event and its time. Ties fire in
-    /// scheduling order.
+    /// `(minor, scheduling order)` order.
     pub fn pop(&mut self) -> Option<(f64, E)> {
-        while let Some(Reverse((Key(t, _), slot))) = self.heap.pop() {
+        self.pop_entry().map(|(t, _, ev)| (t, ev))
+    }
+
+    /// Removes and returns the earliest event along with its time and
+    /// minor key. Used when draining one queue into another (shard
+    /// assembly/merge) where the minor keys must survive the transfer.
+    pub fn pop_entry(&mut self) -> Option<(f64, u64, E)> {
+        while let Some(Reverse((Key(t, minor, _), slot))) = self.heap.pop() {
             // Each heap entry owns its arena slot until fired; a vacated
             // slot (impossible today, tolerated for robustness) is skipped.
             if let Some(ev) = self.arena[slot].take() {
                 self.free.push(slot);
-                return Some((t, ev));
+                return Some((t, minor, ev));
             }
         }
         None
@@ -159,6 +198,12 @@ impl<E> Engine<E> {
     /// backwards, so a request into the past fires immediately instead.
     /// Debug builds flag such requests beyond float-rounding slack.
     pub fn schedule(&mut self, t: f64, ev: E) {
+        self.schedule_keyed(t, 0, ev);
+    }
+
+    /// [`Engine::schedule`] with an explicit minor tie-break key (see
+    /// [`EventQueue::schedule_keyed`]).
+    pub fn schedule_keyed(&mut self, t: f64, minor: u64, ev: E) {
         debug_assert!(
             // lint:allow(L003): hpfq-events is dependency-free by design and
             // cannot import `vtime::EPS`; this debug-only relative slack
@@ -167,7 +212,7 @@ impl<E> Engine<E> {
             "scheduling into the past: {t} < {}",
             self.now
         );
-        self.queue.schedule(t.max(self.now), ev);
+        self.queue.schedule_keyed(t.max(self.now), minor, ev);
     }
 
     /// Time of the earliest pending event.
@@ -186,6 +231,41 @@ impl<E> Engine<E> {
         let (t, ev) = self.queue.pop()?;
         self.now = t;
         Some((t, ev))
+    }
+
+    /// Pops the earliest event if its time is **strictly** before `end`,
+    /// advancing the clock to its time. This is the conservative-epoch
+    /// window pop: an epoch `[T, T+W)` drains events with `t < T+W` only,
+    /// leaving everything at or past the epoch boundary for later epochs
+    /// (after cross-shard messages for that boundary have been exchanged).
+    pub fn pop_strictly_before(&mut self, end: f64) -> Option<(f64, E)> {
+        if self.queue.peek_time()? >= end {
+            return None;
+        }
+        let (t, ev) = self.queue.pop()?;
+        self.now = t;
+        Some((t, ev))
+    }
+
+    /// Advances the clock to `t` without popping anything. Used by epoch
+    /// drivers to jump across empty windows so that `schedule` calls made
+    /// between epochs are clamped against the epoch start, not a stale
+    /// clock. Moving backwards is a no-op (the clock stays monotone).
+    pub fn advance_to(&mut self, t: f64) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Drains every pending event in `(time, minor, seq)` order, returning
+    /// `(time, minor, event)` triples. Used to redistribute a queue across
+    /// shards and to fold shard leftovers back into the master engine.
+    pub fn drain_ordered(&mut self) -> Vec<(f64, u64, E)> {
+        let mut out = Vec::with_capacity(self.queue.outstanding());
+        while let Some(entry) = self.queue.pop_entry() {
+            out.push(entry);
+        }
+        out
     }
 
     /// Whether no events are pending.
@@ -284,6 +364,76 @@ mod tests {
         // and fires at now.
         e.schedule(2.0, "follow-up");
         assert_eq!(e.pop_due(10.0), Some((2.0, "follow-up")));
+    }
+
+    #[test]
+    fn minor_keys_order_ties_before_seq() {
+        let mut q = EventQueue::new();
+        // Scheduled in an order deliberately different from the minor-key
+        // order: ties in time must fire by minor key, then FIFO.
+        q.schedule_keyed(1.0, 5, "e");
+        q.schedule_keyed(1.0, 2, "b");
+        q.schedule_keyed(1.0, 2, "c");
+        q.schedule_keyed(1.0, 0, "a");
+        q.schedule_keyed(0.5, 9, "first");
+        assert_eq!(q.pop(), Some((0.5, "first")));
+        assert_eq!(q.pop_entry(), Some((1.0, 0, "a")));
+        assert_eq!(q.pop_entry(), Some((1.0, 2, "b")));
+        assert_eq!(q.pop_entry(), Some((1.0, 2, "c")));
+        assert_eq!(q.pop_entry(), Some((1.0, 5, "e")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn plain_schedule_keeps_fifo_semantics() {
+        // schedule() is schedule_keyed(minor = 0): mixing it with keyed
+        // events must keep plain events ahead of any positive minor key.
+        let mut q = EventQueue::new();
+        q.schedule_keyed(1.0, 7, "keyed");
+        q.schedule(1.0, "plain1");
+        q.schedule(1.0, "plain2");
+        assert_eq!(q.pop(), Some((1.0, "plain1")));
+        assert_eq!(q.pop(), Some((1.0, "plain2")));
+        assert_eq!(q.pop(), Some((1.0, "keyed")));
+    }
+
+    #[test]
+    fn pop_strictly_before_excludes_boundary() {
+        let mut e = Engine::new();
+        e.schedule(1.0, "in");
+        e.schedule(2.0, "boundary");
+        assert_eq!(e.pop_strictly_before(2.0), Some((1.0, "in")));
+        assert_eq!(e.pop_strictly_before(2.0), None);
+        assert_eq!(e.outstanding(), 1);
+        // pop_due is inclusive; the boundary event is still reachable.
+        assert_eq!(e.pop_due(2.0), Some((2.0, "boundary")));
+    }
+
+    #[test]
+    fn advance_to_is_monotone_and_clamps_schedules() {
+        let mut e = Engine::new();
+        e.advance_to(5.0);
+        assert_eq!(e.now(), 5.0);
+        e.advance_to(3.0); // backwards: no-op
+        assert_eq!(e.now(), 5.0);
+        e.schedule(5.0, "at-now");
+        assert_eq!(e.pop_due(10.0), Some((5.0, "at-now")));
+    }
+
+    #[test]
+    fn drain_ordered_preserves_keys() {
+        let mut e = Engine::new();
+        e.schedule_keyed(2.0, 1, "c");
+        e.schedule_keyed(1.0, 9, "b");
+        e.schedule_keyed(1.0, 3, "a");
+        let drained = e.drain_ordered();
+        assert_eq!(drained, vec![(1.0, 3, "a"), (1.0, 9, "b"), (2.0, 1, "c")]);
+        assert!(e.is_empty());
+        // Re-scheduling the drained entries reproduces the same order.
+        for (t, minor, ev) in drained {
+            e.schedule_keyed(t, minor, ev);
+        }
+        assert_eq!(e.pop_due(10.0), Some((1.0, "a")));
     }
 
     #[test]

@@ -141,6 +141,24 @@ impl EscalationState {
     pub fn is_halted(&self) -> bool {
         self.halted
     }
+
+    /// Folds `other` into `self`, taking the maximum strike count per
+    /// flow, the union of quarantine rosters, and the OR of halt flags.
+    ///
+    /// Supports sharded execution: each shard evolves a clone of the
+    /// pre-run state, every flow's strikes are only advanced by the single
+    /// shard owning its ingress link, so the per-flow maximum across
+    /// shards is exactly the count a sequential run would have reached.
+    pub fn absorb_max(&mut self, other: &EscalationState) {
+        for (&flow, &n) in &other.strikes {
+            let e = self.strikes.entry(flow).or_insert(0);
+            if n > *e {
+                *e = n;
+            }
+        }
+        self.quarantined.extend(other.quarantined.iter().copied());
+        self.halted |= other.halted;
+    }
 }
 
 #[cfg(test)]

@@ -319,6 +319,50 @@ impl Write for SharedBuf {
     }
 }
 
+/// Merges per-link JSONL trace buffers into one canonical stream.
+///
+/// Lines are stable-sorted by `(t, link)` — `t` compared by
+/// [`f64::total_cmp`], the same total order the event engine uses. Each
+/// per-link buffer is already time-ordered (an observer sees its link's
+/// events in simulation order), so for equal `(t, link)` keys the stable
+/// sort preserves the emission order *within* that link's buffer, and
+/// distinct links never tie on the full key. The merged bytes are therefore
+/// a pure function of the per-link byte streams: two runs — e.g. a
+/// sequential run and a sharded [`run_parallel`] run — produce bit-identical
+/// merged traces exactly when they produced bit-identical per-link traces,
+/// regardless of how execution interleaved the links. This is the oracle
+/// the determinism tests compare.
+///
+/// Each buffer should carry a distinct `"link"` id (the normal per-link
+/// observer setup); a line that fails to parse sorts to the front with
+/// `t = -inf` rather than being dropped, so corruption stays visible.
+///
+/// [`run_parallel`]: https://docs.rs/hpfq-sim (Network::run_parallel)
+pub fn merge_traces<S: AsRef<str>>(traces: &[S]) -> String {
+    let mut lines: Vec<(f64, usize, &str)> = Vec::new();
+    let mut total = 0usize;
+    for trace in traces {
+        let text = trace.as_ref();
+        total += text.len();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let key =
+                Fields::parse(line).and_then(|f| Some((f.f64("t")?, f.usize("link").unwrap_or(0))));
+            let (t, link) = key.unwrap_or((f64::NEG_INFINITY, 0));
+            lines.push((t, link, line));
+        }
+    }
+    lines.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut out = String::with_capacity(total + lines.len());
+    for (_, _, line) in lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
 /// Parses a whole trace, skipping malformed lines; returns the events and
 /// the number of lines skipped.
 pub fn parse_trace(text: &str) -> (Vec<TraceEvent>, usize) {
@@ -543,5 +587,48 @@ mod tests {
             Some(TraceEvent::Dispatch(d)) => assert_eq!(d.policy, "?"),
             other => panic!("unexpected parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn merge_traces_interleaves_by_time_then_link() {
+        let link0 = "{\"ev\":\"busy_reset\",\"t\":0.1,\"link\":0,\"node\":0}\n\
+                     {\"ev\":\"busy_reset\",\"t\":0.3,\"link\":0,\"node\":0}\n";
+        let link1 = "{\"ev\":\"busy_reset\",\"t\":0.2,\"link\":1,\"node\":0}\n\
+                     {\"ev\":\"busy_reset\",\"t\":0.3,\"link\":1,\"node\":0}\n";
+        let merged = merge_traces(&[link0, link1]);
+        let times: Vec<(f64, usize)> = merged
+            .lines()
+            .map(|l| {
+                let f = Fields::parse(l).unwrap();
+                (f.f64("t").unwrap(), f.usize("link").unwrap())
+            })
+            .collect();
+        assert_eq!(times, vec![(0.1, 0), (0.2, 1), (0.3, 0), (0.3, 1)]);
+    }
+
+    #[test]
+    fn merge_traces_is_independent_of_buffer_order() {
+        let link0 = "{\"ev\":\"busy_reset\",\"t\":0.5,\"link\":0,\"node\":0}\n\
+                     {\"ev\":\"busy_reset\",\"t\":0.5,\"link\":0,\"node\":1}\n";
+        let link1 = "{\"ev\":\"busy_reset\",\"t\":0.5,\"link\":1,\"node\":2}\n";
+        let link2 = "{\"ev\":\"busy_reset\",\"t\":0.25,\"link\":2,\"node\":3}\n";
+        let a = merge_traces(&[link0, link1, link2]);
+        let b = merge_traces(&[link2, link1, link0]);
+        assert_eq!(a, b, "canonical merge must not depend on input order");
+        // Within one link, equal-time lines keep emission order.
+        let nodes: Vec<&str> = a
+            .lines()
+            .map(|l| Fields::parse(l).unwrap().str("node").unwrap())
+            .collect();
+        assert_eq!(nodes, vec!["3", "0", "1", "2"]);
+    }
+
+    #[test]
+    fn merge_traces_keeps_malformed_lines_visible() {
+        let good = "{\"ev\":\"busy_reset\",\"t\":1.0,\"link\":0,\"node\":0}\n";
+        let bad = "not json at all\n";
+        let merged = merge_traces(&[good, bad]);
+        assert_eq!(merged.lines().count(), 2);
+        assert!(merged.starts_with("not json"), "malformed sorts first");
     }
 }

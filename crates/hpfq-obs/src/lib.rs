@@ -49,7 +49,7 @@ pub use event::{
     PacketInfo, QuarantineEvent, TraceEvent, TxEvent,
 };
 pub use invariant::{InvariantKind, InvariantObserver, Violation};
-pub use jsonl::{JsonlObserver, SharedBuf};
+pub use jsonl::{merge_traces, JsonlObserver, SharedBuf};
 pub use metrics::{DelayHistogram, MetricsObserver};
 
 /// A sink for scheduler events.

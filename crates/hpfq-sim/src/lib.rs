@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod network;
+pub mod parallel;
 pub mod rng;
 pub mod simulation;
 pub mod source;
@@ -36,6 +37,7 @@ pub mod stats;
 pub use network::{
     FaultInjector, Hop, LinkLedger, Network, NoFaults, PacketVerdict, Route, SimCommand, SourceId,
 };
+pub use parallel::{FallbackReason, ParallelReport};
 pub use rng::SmallRng;
 pub use simulation::{Simulation, SourceConfig};
 pub use source::{

@@ -171,7 +171,11 @@ pub enum PacketVerdict {
 /// scheduler-differential experiments the per-flow decision streams should
 /// depend only on each flow's own packet/wake order (which open-loop
 /// sources make scheduler-independent).
-pub trait FaultInjector {
+///
+/// `Send` is a supertrait so a `Network` holding an injector is still a
+/// `Send` value (parallel runs *fall back* to sequential when one is
+/// installed, but the container must cross the thread-scope type check).
+pub trait FaultInjector: Send {
     /// Inspect — and possibly mutate — a packet at admission.
     fn on_packet(&mut self, _now: f64, _pkt: &mut Packet) -> PacketVerdict {
         PacketVerdict::Pass
@@ -191,8 +195,19 @@ pub struct NoFaults;
 
 impl FaultInjector for NoFaults {}
 
+/// Why a leaf is being detached by a [`NetEvent::Detach`] event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DetachReason {
+    /// Escalation-ladder quarantine; carries the strike count at
+    /// quarantine time (captured then so delayed downstream detaches
+    /// report the same count in both sequential and parallel runs).
+    Quarantine { strikes: u32 },
+    /// Flow churn ([`SimCommand::RemoveFlow`]).
+    Churn,
+}
+
 #[derive(Debug)]
-enum NetEvent {
+pub(crate) enum NetEvent {
     Wake(usize),
     /// A link finished a packet, tagged with that link's transmission
     /// epoch at scheduling time. Link-rate changes bump the epoch and
@@ -210,6 +225,49 @@ enum NetEvent {
     },
     Deliver(usize, Packet),
     Command(SimCommand),
+    /// Tear down hop `hop` of `src`'s route (quarantine or churn). The
+    /// first hop detaches synchronously; downstream hops receive this
+    /// event after the route's cumulative propagation delay — teardown is
+    /// a control-plane signal that travels the same path as the data, so
+    /// its per-hop delay is at least the conservative lookahead of any
+    /// shard boundary it crosses.
+    Detach {
+        src: usize,
+        hop: usize,
+        reason: DetachReason,
+    },
+}
+
+/// Content-derived tie-break key for [`NetEvent`]s: a class tag in the
+/// top byte, an identifying payload below it. Two runs that pop the same
+/// events at the same times order equal-time events identically **without
+/// consulting scheduling order across streams**, which is what lets a
+/// sharded parallel run reproduce the sequential event order exactly
+/// (per-shard FIFO sequence numbers cannot match the global ones).
+///
+/// Payloads are unique per class at any instant (packet ids are globally
+/// unique; source/link indices identify their timers), so residual
+/// same-key ties are between events of identical content, where FIFO
+/// order is content-determined too.
+pub(crate) fn minor_of(ev: &NetEvent) -> u64 {
+    const CONTENT: u64 = (1 << 56) - 1;
+    let (class, content) = match ev {
+        NetEvent::Command(cmd) => {
+            let c = match cmd {
+                SimCommand::SetLinkRate(_) => 0,
+                SimCommand::SetLinkRateOn { link, .. } => *link as u64,
+                SimCommand::AddFlow { flow, .. } => u64::from(*flow),
+                SimCommand::RemoveFlow(flow) => u64::from(*flow),
+            };
+            (0u64, c)
+        }
+        NetEvent::Wake(i) => (1, *i as u64),
+        NetEvent::TxComplete { link, .. } => (2, *link as u64),
+        NetEvent::Arrive { pkt, .. } => (3, pkt.id),
+        NetEvent::Deliver(_, pkt) => (4, pkt.id),
+        NetEvent::Detach { src, hop, .. } => (5, ((*src as u64) << 16) | (*hop as u64 & 0xFFFF)),
+    };
+    (class << 56) | (content & CONTENT)
 }
 
 /// Per-link byte/packet conservation ledger, for multi-hop accounting
@@ -230,36 +288,58 @@ pub struct LinkLedger {
 }
 
 /// One output link: its hierarchy plus the in-flight transmission state.
-struct Link<S: NodeScheduler, O: Observer> {
-    server: Hierarchy<S, O>,
+pub(crate) struct Link<S: NodeScheduler, O: Observer> {
+    pub(crate) server: Hierarchy<S, O>,
     /// Current service rate in bits/s (0 during an outage).
-    rate: f64,
+    pub(crate) rate: f64,
     /// Transmission start time of the in-flight packet.
-    tx_start: f64,
+    pub(crate) tx_start: f64,
     /// Transmission epoch: bumped whenever the pending `TxComplete` is
     /// invalidated by a link-rate change.
-    tx_epoch: u64,
+    pub(crate) tx_epoch: u64,
     /// Bits of the in-flight packet not yet on the wire, as of
     /// `tx_updated`.
-    tx_remaining_bits: f64,
+    pub(crate) tx_remaining_bits: f64,
     /// Time `tx_remaining_bits` was last brought up to date.
-    tx_updated: f64,
-    ledger: LinkLedger,
+    pub(crate) tx_updated: f64,
+    pub(crate) ledger: LinkLedger,
 }
 
 /// One attached source and its runtime state.
-struct SourceSlot {
-    src: Box<dyn Source>,
-    route: Route,
+pub(crate) struct SourceSlot {
+    /// The generator itself. `None` on shards that replicate this slot's
+    /// routing metadata but do not own the source (parallel mode): the
+    /// slot's `Wake`/`Deliver` events only ever fire on the owning shard.
+    pub(crate) src: Option<Box<dyn Source>>,
+    pub(crate) route: Route,
     /// Flow id registered for the source at attach time.
-    flow: u32,
+    pub(crate) flow: u32,
     /// `false` once the flow has been removed (churn) or quarantined:
-    /// its timers, deliveries, and in-flight hops are discarded from then
-    /// on.
-    live: bool,
+    /// its timers and deliveries are discarded from then on. Only the
+    /// owning shard's copy is authoritative; every path that reads it
+    /// runs there.
+    pub(crate) live: bool,
     /// Whether `start()` has run (sources start exactly once even across
     /// segmented [`Network::run`] calls).
-    started: bool,
+    pub(crate) started: bool,
+}
+
+/// A cross-shard event captured at its source shard, delivered to `dest`'s
+/// engine at the next epoch barrier.
+pub(crate) struct OutMsg {
+    pub(crate) dest: usize,
+    pub(crate) t: f64,
+    pub(crate) minor: u64,
+    pub(crate) ev: NetEvent,
+}
+
+/// Present only while a [`Network`] is acting as one shard of a parallel
+/// run: identifies the shard and buffers outbound cross-shard events.
+pub(crate) struct ShardCtx {
+    pub(crate) id: usize,
+    /// `link_shard[link]` = shard that owns `link`. Shared read-only.
+    pub(crate) link_shard: std::sync::Arc<Vec<usize>>,
+    pub(crate) outbox: Vec<OutMsg>,
 }
 
 /// A multi-link discrete-event simulation. Build each link's [`Hierarchy`]
@@ -271,25 +351,32 @@ struct SourceSlot {
 /// adds the events only it can know: exact transmission times, buffer
 /// drops, faults, and quarantines.
 pub struct Network<S: NodeScheduler, O: Observer = NoopObserver> {
-    links: Vec<Link<S, O>>,
-    engine: Engine<NetEvent>,
-    sources: Vec<SourceSlot>,
+    /// `None` holes appear only in shard instances (parallel mode), for
+    /// links owned by other shards; a sequential network's links are all
+    /// `Some`.
+    pub(crate) links: Vec<Option<Link<S, O>>>,
+    pub(crate) engine: Engine<NetEvent>,
+    pub(crate) sources: Vec<SourceSlot>,
     /// Statistics collector (network-wide; service records are written at
     /// a flow's **last** hop).
     pub stats: SimStats,
     /// Maps a flow id to the source that owns it (for delivery routing).
-    flow_owner: BTreeMap<u32, usize>,
-    injector: Option<Box<dyn FaultInjector>>,
-    policy: EscalationPolicy,
-    escalation: EscalationState,
-    halted: bool,
+    pub(crate) flow_owner: BTreeMap<u32, usize>,
+    pub(crate) injector: Option<Box<dyn FaultInjector>>,
+    pub(crate) policy: EscalationPolicy,
+    pub(crate) escalation: EscalationState,
+    pub(crate) halted: bool,
     /// Bytes currently propagating between hops (transmitted at hop *i*,
-    /// not yet admitted at hop *i+1*).
-    inflight_bytes: u64,
+    /// not yet admitted at hop *i+1*). Signed because a shard may admit
+    /// bytes another shard transmitted: its local delta can be negative;
+    /// the merged network-wide value never is.
+    pub(crate) inflight_bytes: i64,
     /// Commands that could not be applied (e.g. adding a flow whose share
     /// would overflow its parent): `(time, error)` pairs. The run
     /// continues — a rejected command is degraded service, not a crash.
     pub command_errors: Vec<(f64, HpfqError)>,
+    /// Set only while this network is one shard of a parallel run.
+    pub(crate) shard: Option<ShardCtx>,
 }
 
 impl<S: NodeScheduler, O: Observer> Default for Network<S, O> {
@@ -313,7 +400,32 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
             halted: false,
             inflight_bytes: 0,
             command_errors: Vec::new(),
+            shard: None,
         }
+    }
+
+    /// `link`, which must be owned by this network (or this shard of it).
+    /// Event routing guarantees handlers only touch owned links; a miss
+    /// here is a routing bug, not a runtime condition to degrade through.
+    #[track_caller]
+    pub(crate) fn link(&self, link: usize) -> &Link<S, O> {
+        self.links[link]
+            .as_ref()
+            // lint:allow(L002): shard routing invariant — an event for a
+            // non-owned link can only reach here through a bug in
+            // `event_shard`, which the determinism tests would surface;
+            // there is no sensible degraded behaviour for a misrouted
+            // borrow.
+            .expect("link owned by another shard")
+    }
+
+    /// Mutable [`Network::link`].
+    #[track_caller]
+    pub(crate) fn link_mut(&mut self, link: usize) -> &mut Link<S, O> {
+        self.links[link]
+            .as_mut()
+            // lint:allow(L002): see `link` — shard routing invariant.
+            .expect("link owned by another shard")
     }
 
     /// Adds an output link scheduled by the fully built `server` hierarchy
@@ -324,7 +436,7 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
         let idx = self.links.len();
         server.set_link_id(idx);
         let rate = server.link_rate();
-        self.links.push(Link {
+        self.links.push(Some(Link {
             server,
             rate,
             tx_start: 0.0,
@@ -332,7 +444,7 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
             tx_remaining_bits: 0.0,
             tx_updated: 0.0,
             ledger: LinkLedger::default(),
-        });
+        }));
         idx
     }
 
@@ -367,27 +479,27 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
 
     /// `link`'s current service rate in bits/s (0 during an outage).
     pub fn link_rate(&self, link: usize) -> f64 {
-        self.links[link].rate
+        self.link(link).rate
     }
 
     /// Read access to `link`'s hierarchy (e.g. for queue inspection).
     pub fn link_server(&self, link: usize) -> &Hierarchy<S, O> {
-        &self.links[link].server
+        &self.link(link).server
     }
 
     /// `link`'s conservation ledger.
     pub fn link_ledger(&self, link: usize) -> LinkLedger {
-        self.links[link].ledger
+        self.link(link).ledger
     }
 
     /// `link`'s observer.
     pub fn observer_of(&self, link: usize) -> &O {
-        self.links[link].server.observer()
+        self.link(link).server.observer()
     }
 
     /// `link`'s observer, mutably (e.g. to flush or read counters).
     pub fn observer_of_mut(&mut self, link: usize) -> &mut O {
-        self.links[link].server.observer_mut()
+        self.link_mut(link).server.observer_mut()
     }
 
     /// Consumes the network, returning every link's observer in link
@@ -395,6 +507,7 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
     pub fn into_observers(self) -> Vec<O> {
         self.links
             .into_iter()
+            .flatten()
             .map(|l| l.server.into_observer())
             .collect()
     }
@@ -428,13 +541,13 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
         for hop in &route.hops {
             assert!(hop.link < self.links.len(), "route references unknown link");
             assert!(
-                self.links[hop.link].server.is_leaf(hop.leaf),
+                self.link(hop.link).server.is_leaf(hop.leaf),
                 "route must attach to a leaf"
             );
         }
         let idx = self.sources.len();
         self.sources.push(SourceSlot {
-            src: Box::new(source),
+            src: Some(Box::new(source)),
             route,
             flow,
             live: true,
@@ -447,7 +560,53 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
     /// Schedules a control-plane [`SimCommand`] to fire at time `t` (times
     /// in the past fire immediately once the run reaches them).
     pub fn schedule_command(&mut self, t: f64, cmd: SimCommand) {
-        self.engine.schedule(t, NetEvent::Command(cmd));
+        self.send(t, NetEvent::Command(cmd));
+    }
+
+    /// Shard that should process `ev`. Every event is routed to the shard
+    /// owning the link (or the source's first-hop link) it mutates, so
+    /// handlers never touch state owned by another shard.
+    pub(crate) fn event_shard(&self, link_shard: &[usize], ev: &NetEvent) -> usize {
+        let of_src = |s: usize| link_shard[self.sources[s].route.hops[0].link];
+        match ev {
+            NetEvent::Wake(i) => of_src(*i),
+            NetEvent::Deliver(i, _) => of_src(*i),
+            NetEvent::TxComplete { link, .. } => link_shard[*link],
+            NetEvent::Arrive { src, hop, .. } | NetEvent::Detach { src, hop, .. } => {
+                link_shard[self.sources[*src].route.hops[*hop].link]
+            }
+            NetEvent::Command(cmd) => match cmd {
+                SimCommand::SetLinkRate(_) | SimCommand::AddFlow { .. } => link_shard[0],
+                SimCommand::SetLinkRateOn { link, .. } => {
+                    // An out-of-range link is reported as a command error
+                    // by whichever shard receives it; route to shard 0.
+                    link_shard.get(*link).copied().unwrap_or(link_shard[0])
+                }
+                SimCommand::RemoveFlow(flow) => self
+                    .flow_owner
+                    .get(flow)
+                    .map(|&i| of_src(i))
+                    .unwrap_or(link_shard[0]),
+            },
+        }
+    }
+
+    /// Schedules `ev` at `t` with its content-derived minor key — locally,
+    /// or into the cross-shard outbox when this network is a shard and the
+    /// event belongs to another shard.
+    pub(crate) fn send(&mut self, t: f64, ev: NetEvent) {
+        let minor = minor_of(&ev);
+        let cross = match &self.shard {
+            Some(ctx) => {
+                let dest = self.event_shard(&ctx.link_shard, &ev);
+                (dest != ctx.id).then_some(dest)
+            }
+            None => None,
+        };
+        match (cross, self.shard.as_mut()) {
+            (Some(dest), Some(ctx)) => ctx.outbox.push(OutMsg { dest, t, minor, ev }),
+            _ => self.engine.schedule_keyed(t, minor, ev),
+        }
     }
 
     fn emit_fault(&mut self, link: usize, kind: FaultKind, node: usize, flow: u32, value: f64) {
@@ -460,7 +619,7 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
                 flow,
                 value,
             };
-            self.links[link].server.observer_mut().on_fault(&ev);
+            self.link_mut(link).server.observer_mut().on_fault(&ev);
         }
     }
 
@@ -476,7 +635,7 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
                     self.emit_fault(ingress.link, FaultKind::ClockJitter, 0, flow, wake - w);
                 }
             }
-            self.engine.schedule(wake.max(now), NetEvent::Wake(src_idx));
+            self.send(wake.max(now), NetEvent::Wake(src_idx));
         }
         for mut pkt in out.packets {
             pkt.arrival = now;
@@ -529,7 +688,8 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
                 continue;
             }
             if let Some(limit) = ingress.buffer_bytes {
-                let queued = self.links[ingress.link]
+                let queued = self
+                    .link(ingress.link)
                     .server
                     .leaf_queue_bytes(ingress.leaf);
                 if queued + u64::from(pkt.len_bytes) > limit {
@@ -547,18 +707,22 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
                             },
                             queue_bytes: queued,
                         };
-                        self.links[ingress.link].server.observer_mut().on_drop(&ev);
+                        self.link_mut(ingress.link)
+                            .server
+                            .observer_mut()
+                            .on_drop(&ev);
                     }
                     continue;
                 }
             }
-            match self.links[ingress.link]
+            match self
+                .link_mut(ingress.link)
                 .server
                 .try_enqueue(ingress.leaf, pkt)
             {
                 Ok(()) => {
                     self.stats.record_accept(&pkt);
-                    let l = &mut self.links[ingress.link].ledger;
+                    let l = &mut self.link_mut(ingress.link).ledger;
                     l.bytes_in += u64::from(pkt.len_bytes);
                     l.packets_in += 1;
                 }
@@ -581,9 +745,10 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
     }
 
     fn try_start(&mut self, link: usize) {
-        let l = &mut self.links[link];
-        if l.rate > 0.0 && !self.halted && !l.server.is_transmitting() && l.server.has_pending() {
-            let now = self.engine.now();
+        let halted = self.halted;
+        let now = self.engine.now();
+        let l = self.link_mut(link);
+        if l.rate > 0.0 && !halted && !l.server.is_transmitting() && l.server.has_pending() {
             // has_pending() was checked just above, so this is always
             // Some; degrade to a no-op rather than asserting.
             let Some(pkt) = l.server.start_transmission_at(now) else {
@@ -594,8 +759,7 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
             l.tx_updated = now;
             let epoch = l.tx_epoch;
             let done = now + pkt.tx_time(l.rate);
-            self.engine
-                .schedule(done, NetEvent::TxComplete { link, epoch });
+            self.send(done, NetEvent::TxComplete { link, epoch });
         }
     }
 
@@ -610,7 +774,7 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
                 .push((now, HpfqError::InvalidRate(new_rate)));
             return;
         }
-        let l = &mut self.links[link];
+        let l = self.link_mut(link);
         if l.server.is_transmitting() {
             // Credit bits sent under the old rate, then reschedule the
             // remainder under the new one.
@@ -621,11 +785,10 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
             if new_rate > 0.0 {
                 let done = now + l.tx_remaining_bits / new_rate;
                 let epoch = l.tx_epoch;
-                self.engine
-                    .schedule(done, NetEvent::TxComplete { link, epoch });
+                self.send(done, NetEvent::TxComplete { link, epoch });
             }
         }
-        let l = &mut self.links[link];
+        let l = self.link_mut(link);
         l.rate = new_rate;
         // Resync the hierarchy's reference clock: the GPS-exact policies
         // measure elapsed busy time in nominal-rate link seconds, so a
@@ -634,7 +797,7 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
         if let Err(e) = l.server.set_link_rate_factor(now, factor) {
             self.command_errors.push((now, e));
         }
-        if !self.links[link].server.is_transmitting() {
+        if !self.link(link).server.is_transmitting() {
             self.try_start(link);
         }
     }
@@ -663,8 +826,11 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
         level
     }
 
-    /// Removes `flow`'s leaf at every hop of its route, purging and
-    /// accounting its queued packets, and stops its source.
+    /// Stops `flow`'s source and tears its route down: the first hop's
+    /// leaf is removed immediately, downstream hops when the teardown
+    /// signal propagates to them (see [`NetEvent::Detach`]). Single-hop
+    /// routes therefore behave exactly as the historical instantaneous
+    /// quarantine did.
     fn quarantine(&mut self, flow: u32) {
         let Some(&idx) = self.flow_owner.get(&flow) else {
             return;
@@ -673,37 +839,74 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
             return;
         }
         self.sources[idx].live = false;
+        let strikes = self.escalation.strikes(flow);
+        self.detach_route(idx, DetachReason::Quarantine { strikes });
+    }
+
+    /// Detaches hop 0 of `src`'s route now and schedules [`NetEvent::
+    /// Detach`] for each downstream hop at the route's cumulative
+    /// propagation delay. The delay keeps teardown causal with the data
+    /// path — and, in parallel runs, at or above the conservative
+    /// lookahead of any shard boundary the signal crosses.
+    fn detach_route(&mut self, src: usize, reason: DetachReason) {
         let now = self.engine.now();
-        let hops = self.sources[idx].route.hops.clone();
-        for hop in hops {
-            match self.links[hop.link].server.remove_leaf(hop.leaf) {
-                Ok(purged) => {
-                    let mut purged_packets = 0u64;
-                    let mut purged_bytes = 0u64;
-                    for p in &purged {
-                        self.stats.record_purge(p);
-                        purged_packets += 1;
-                        purged_bytes += u64::from(p.len_bytes);
+        self.detach_hop(src, 0, reason);
+        let n_hops = self.sources[src].route.hops.len();
+        let mut delay = 0.0;
+        for hop in 1..n_hops {
+            delay += self.sources[src].route.hops[hop - 1].prop_delay;
+            self.send(now + delay, NetEvent::Detach { src, hop, reason });
+        }
+    }
+
+    /// Removes the leaf at hop `hop_idx` of `src`'s route, purging and
+    /// accounting its queued packets.
+    fn detach_hop(&mut self, src: usize, hop_idx: usize, reason: DetachReason) {
+        let now = self.engine.now();
+        let flow = self.sources[src].flow;
+        let hop = self.sources[src].route.hops[hop_idx];
+        // Captured before removal: churn reports the share being freed.
+        let phi = self.link(hop.link).server.phi(hop.leaf);
+        match self.link_mut(hop.link).server.remove_leaf(hop.leaf) {
+            Ok(purged) => {
+                let mut purged_packets = 0u64;
+                let mut purged_bytes = 0u64;
+                for p in &purged {
+                    self.stats.record_purge(p);
+                    purged_packets += 1;
+                    purged_bytes += u64::from(p.len_bytes);
+                }
+                self.link_mut(hop.link).ledger.bytes_purged += purged_bytes;
+                match reason {
+                    DetachReason::Quarantine { strikes } => {
+                        if O::ENABLED {
+                            let ev = QuarantineEvent {
+                                time: now,
+                                link: hop.link,
+                                leaf: hop.leaf.index(),
+                                flow,
+                                strikes,
+                                purged_packets,
+                                purged_bytes,
+                            };
+                            self.link_mut(hop.link)
+                                .server
+                                .observer_mut()
+                                .on_quarantine(&ev);
+                        }
                     }
-                    self.links[hop.link].ledger.bytes_purged += purged_bytes;
-                    if O::ENABLED {
-                        let ev = QuarantineEvent {
-                            time: now,
-                            link: hop.link,
-                            leaf: hop.leaf.index(),
+                    DetachReason::Churn => {
+                        self.emit_fault(
+                            hop.link,
+                            FaultKind::FlowRemove,
+                            hop.leaf.index(),
                             flow,
-                            strikes: self.escalation.strikes(flow),
-                            purged_packets,
-                            purged_bytes,
-                        };
-                        self.links[hop.link]
-                            .server
-                            .observer_mut()
-                            .on_quarantine(&ev);
+                            phi,
+                        );
                     }
                 }
-                Err(e) => self.command_errors.push((now, e)),
             }
+            Err(e) => self.command_errors.push((now, e)),
         }
     }
 
@@ -726,11 +929,11 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
                 source,
                 buffer_bytes,
                 delivery_delay,
-            } => match self.links[0].server.add_leaf(parent, phi) {
+            } => match self.link_mut(0).server.add_leaf(parent, phi) {
                 Ok(leaf) => {
                     let idx = self.sources.len();
                     self.sources.push(SourceSlot {
-                        src: source,
+                        src: Some(source),
                         route: Route::single(leaf, buffer_bytes, delivery_delay),
                         flow,
                         live: true,
@@ -738,7 +941,10 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
                     });
                     self.flow_owner.insert(flow, idx);
                     self.emit_fault(0, FaultKind::FlowAdd, leaf.index(), flow, phi);
-                    let out = self.sources[idx].src.start();
+                    let out = match self.sources[idx].src.as_mut() {
+                        Some(src) => src.start(),
+                        None => SourceOutput::none(),
+                    };
                     debug_assert!(out.packets.is_empty(), "start() must not emit packets");
                     self.apply_output(idx, out);
                 }
@@ -754,28 +960,7 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
                     return;
                 }
                 self.sources[idx].live = false;
-                let hops = self.sources[idx].route.hops.clone();
-                for hop in hops {
-                    let phi = self.links[hop.link].server.phi(hop.leaf);
-                    match self.links[hop.link].server.remove_leaf(hop.leaf) {
-                        Ok(purged) => {
-                            let mut purged_bytes = 0u64;
-                            for p in &purged {
-                                self.stats.record_purge(p);
-                                purged_bytes += u64::from(p.len_bytes);
-                            }
-                            self.links[hop.link].ledger.bytes_purged += purged_bytes;
-                            self.emit_fault(
-                                hop.link,
-                                FaultKind::FlowRemove,
-                                hop.leaf.index(),
-                                flow,
-                                phi,
-                            );
-                        }
-                        Err(e) => self.command_errors.push((now, e)),
-                    }
-                }
+                self.detach_route(idx, DetachReason::Churn);
             }
         }
     }
@@ -783,7 +968,7 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
     fn rate_command(&mut self, link: usize, bps: f64) {
         let kind = if bps == 0.0 {
             FaultKind::LinkDown
-        } else if self.links[link].rate == 0.0 {
+        } else if self.link(link).rate == 0.0 {
             FaultKind::LinkUp
         } else {
             FaultKind::LinkRate
@@ -797,16 +982,18 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
     /// as purges: the packet was already accepted into the network at
     /// ingress.
     fn arrive(&mut self, src: usize, hop_idx: usize, mut pkt: Packet) {
-        self.inflight_bytes -= u64::from(pkt.len_bytes);
+        self.inflight_bytes -= i64::from(pkt.len_bytes);
         let now = self.engine.now();
         let hop = self.sources[src].route.hops[hop_idx];
-        if !self.sources[src].live {
-            self.stats.record_purge(&pkt);
-            return;
-        }
+        // A removed/quarantined flow's leaf disappears from this hop when
+        // the Detach event lands here; until then bytes already on the
+        // wire are admitted normally (they will be purged with the leaf).
+        // Keying the decision on local leaf state — never on the owner
+        // shard's `live` flag — is what keeps sequential and parallel
+        // runs identical.
         pkt.arrival = now;
         if let Some(limit) = hop.buffer_bytes {
-            let queued = self.links[hop.link].server.leaf_queue_bytes(hop.leaf);
+            let queued = self.link(hop.link).server.leaf_queue_bytes(hop.leaf);
             if queued + u64::from(pkt.len_bytes) > limit {
                 self.stats.record_purge(&pkt);
                 if O::ENABLED {
@@ -822,14 +1009,14 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
                         },
                         queue_bytes: queued,
                     };
-                    self.links[hop.link].server.observer_mut().on_drop(&ev);
+                    self.link_mut(hop.link).server.observer_mut().on_drop(&ev);
                 }
                 return;
             }
         }
-        match self.links[hop.link].server.try_enqueue(hop.leaf, pkt) {
+        match self.link_mut(hop.link).server.try_enqueue(hop.leaf, pkt) {
             Ok(()) => {
-                let l = &mut self.links[hop.link].ledger;
+                let l = &mut self.link_mut(hop.link).ledger;
                 l.bytes_in += u64::from(pkt.len_bytes);
                 l.packets_in += 1;
             }
@@ -848,15 +1035,15 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
     }
 
     fn tx_complete(&mut self, link: usize, epoch: u64) {
-        if epoch != self.links[link].tx_epoch {
+        if epoch != self.link(link).tx_epoch {
             // Superseded by a link-rate change; the rescheduled
             // completion carries the current epoch.
             return;
         }
         let t = self.engine.now();
-        let pkt = self.links[link].server.complete_transmission_at(t);
+        let pkt = self.link_mut(link).server.complete_transmission_at(t);
         {
-            let l = &mut self.links[link].ledger;
+            let l = &mut self.link_mut(link).ledger;
             l.bytes_out += u64::from(pkt.len_bytes);
             l.packets_out += 1;
         }
@@ -869,10 +1056,11 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
                 Some(i) if i + 1 < route.hops.len() => {
                     // Propagate to the next hop (even if the source has
                     // since been removed: bytes on the wire stay on the
-                    // wire; `arrive` discards them if the flow is dead).
-                    self.inflight_bytes += u64::from(pkt.len_bytes);
+                    // wire; the next hop purges them once its leaf is
+                    // detached).
+                    self.inflight_bytes += i64::from(pkt.len_bytes);
                     let delay = route.hops[i].prop_delay;
-                    self.engine.schedule(
+                    self.send(
                         t + delay,
                         NetEvent::Arrive {
                             src: owner,
@@ -882,20 +1070,21 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
                     );
                 }
                 _ => {
-                    // Final hop: the packet leaves the network.
+                    // Final hop: the packet leaves the network. Delivery
+                    // is always scheduled — the owner-side handler drops
+                    // it if the flow has since been removed, so the
+                    // decision is made where the `live` flag is
+                    // authoritative (its owning shard, in parallel runs).
                     self.stats.record_service(ServiceRecord {
                         id: pkt.id,
                         flow: pkt.flow,
                         len_bytes: pkt.len_bytes,
                         arrival: pkt.arrival,
-                        start: self.links[link].tx_start,
+                        start: self.link(link).tx_start,
                         end: t,
                     });
-                    if self.sources[owner].live {
-                        let delay = route.hops.last().map(|h| h.prop_delay).unwrap_or(0.0);
-                        self.engine
-                            .schedule(t + delay, NetEvent::Deliver(owner, pkt));
-                    }
+                    let delay = route.hops.last().map(|h| h.prop_delay).unwrap_or(0.0);
+                    self.send(t + delay, NetEvent::Deliver(owner, pkt));
                 }
             }
         } else {
@@ -906,7 +1095,7 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
                 flow: pkt.flow,
                 len_bytes: pkt.len_bytes,
                 arrival: pkt.arrival,
-                start: self.links[link].tx_start,
+                start: self.link(link).tx_start,
                 end: t,
             });
         }
@@ -918,48 +1107,68 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
     /// the escalation ladder halts the run. May be called repeatedly with
     /// growing horizons to run in segments; sources are started once.
     pub fn run(&mut self, horizon: f64) {
-        // Start any sources not yet started (first call, or sources
-        // attached between run segments).
-        for i in 0..self.sources.len() {
-            if !self.sources[i].started {
-                self.sources[i].started = true;
-                let out = self.sources[i].src.start();
-                debug_assert!(out.packets.is_empty(), "start() must not emit packets");
-                self.apply_output(i, out);
-            }
-        }
+        self.start_pending_sources();
         while !self.halted {
             let Some((t, ev)) = self.engine.pop_due(horizon) else {
                 break;
             };
-            match ev {
-                NetEvent::Wake(i) => {
-                    if !self.sources[i].live {
-                        continue;
-                    }
-                    let out = self.sources[i].src.on_wake(t);
-                    self.apply_output(i, out);
-                }
-                NetEvent::TxComplete { link, epoch } => self.tx_complete(link, epoch),
-                NetEvent::Arrive { src, hop, pkt } => self.arrive(src, hop, pkt),
-                NetEvent::Deliver(i, pkt) => {
-                    if !self.sources[i].live {
-                        continue;
-                    }
-                    let out = self.sources[i].src.on_delivered(t, &pkt);
-                    self.apply_output(i, out);
-                }
-                NetEvent::Command(cmd) => self.apply_command(cmd),
-            }
+            self.handle(t, ev);
         }
         // Unfired events past the horizon stay queued so a subsequent
         // `run` with a larger horizon continues cleanly.
     }
 
+    /// Starts any sources not yet started (first call, or sources attached
+    /// between run segments).
+    pub(crate) fn start_pending_sources(&mut self) {
+        for i in 0..self.sources.len() {
+            if !self.sources[i].started {
+                self.sources[i].started = true;
+                let out = match self.sources[i].src.as_mut() {
+                    Some(src) => src.start(),
+                    None => continue,
+                };
+                debug_assert!(out.packets.is_empty(), "start() must not emit packets");
+                self.apply_output(i, out);
+            }
+        }
+    }
+
+    /// Dispatches one popped event. Shared by the sequential loop and the
+    /// parallel epoch driver so both modes run identical handler code.
+    pub(crate) fn handle(&mut self, t: f64, ev: NetEvent) {
+        match ev {
+            NetEvent::Wake(i) => {
+                if !self.sources[i].live {
+                    return;
+                }
+                let out = match self.sources[i].src.as_mut() {
+                    Some(src) => src.on_wake(t),
+                    None => return,
+                };
+                self.apply_output(i, out);
+            }
+            NetEvent::TxComplete { link, epoch } => self.tx_complete(link, epoch),
+            NetEvent::Arrive { src, hop, pkt } => self.arrive(src, hop, pkt),
+            NetEvent::Deliver(i, pkt) => {
+                if !self.sources[i].live {
+                    return;
+                }
+                let out = match self.sources[i].src.as_mut() {
+                    Some(src) => src.on_delivered(t, &pkt),
+                    None => return,
+                };
+                self.apply_output(i, out);
+            }
+            NetEvent::Command(cmd) => self.apply_command(cmd),
+            NetEvent::Detach { src, hop, reason } => self.detach_hop(src, hop, reason),
+        }
+    }
+
     /// Bytes currently queued at `link` (including any in-flight packet,
     /// which stays in its leaf queue until completion).
     pub fn queued_bytes_on(&self, link: usize) -> u64 {
-        let server = &self.links[link].server;
+        let server = &self.link(link).server;
         server
             .leaves_iter()
             .map(|l| server.leaf_queue_bytes(l))
@@ -968,7 +1177,16 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
 
     /// Bytes currently queued across every link.
     pub fn queued_bytes(&self) -> u64 {
-        (0..self.links.len()).map(|l| self.queued_bytes_on(l)).sum()
+        self.links
+            .iter()
+            .flatten()
+            .map(|l| {
+                l.server
+                    .leaves_iter()
+                    .map(|leaf| l.server.leaf_queue_bytes(leaf))
+                    .sum::<u64>()
+            })
+            .sum()
     }
 
     /// End-to-end byte conservation check: every offered byte is accounted
@@ -976,11 +1194,18 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
     /// or propagating between hops. Returns a description of the
     /// imbalance, if any.
     pub fn verify_conservation(&self) -> Result<(), String> {
+        let inflight = u64::try_from(self.inflight_bytes).map_err(|_| {
+            format!(
+                "in-flight byte count is negative ({}): arrivals outran transmissions",
+                self.inflight_bytes
+            )
+        })?;
         self.stats
-            .accounting_balanced(self.queued_bytes() + self.inflight_bytes)?;
+            .accounting_balanced(self.queued_bytes() + inflight)?;
         // Per-link ledgers must balance independently (multi-hop: every
         // hop conserves bytes on its own).
         for (i, link) in self.links.iter().enumerate() {
+            let Some(link) = link else { continue };
             let LinkLedger {
                 bytes_in,
                 bytes_out,

@@ -1,0 +1,439 @@
+//! Deterministic parallel execution of a multi-link [`Network`]:
+//! conservative epochs over sharded links.
+//!
+//! # Model
+//!
+//! Links are assigned round-robin to `n` shards; each shard owns its
+//! links' hierarchies, the sources whose **first hop** is on one of them,
+//! and a private [`hpfq_events::Engine`]. Shards advance in lock-step
+//! *epochs* `[T, T + W)` where the lookahead `W` is the minimum
+//! propagation delay across *inter-shard* edges: hop-to-hop handoffs
+//! whose two links live on different shards, and last-hop-to-source
+//! delivery edges whose shards differ. Within an epoch a shard pops only
+//! events with `t < T + W`; any event it produces for another shard is at
+//! least `W` in the future (every cross-shard event — `Arrive`,
+//! `Deliver`, `Detach` — travels a propagation edge), so it cannot land
+//! inside the epoch that produced it. Outbound events are buffered per
+//! shard and exchanged at a barrier; each shard then schedules its inbox
+//! in `(time, minor-key, sender, sender-sequence)` order and all shards
+//! agree on the next epoch start: the global minimum pending event time
+//! (jumping over empty windows keeps the epoch count proportional to
+//! event density, not to `horizon / W`).
+//!
+//! # Determinism argument
+//!
+//! The sequential run orders same-time events by `(minor key, global
+//! scheduling sequence)`; minor keys are content-derived
+//! ([`crate::network::minor_of`]) and collide only for events with
+//! identical content streams (same packet id, same timer owner), whose
+//! relative FIFO order is itself content-determined. A shard therefore
+//! pops the events *of its links* in exactly the order the sequential
+//! engine would have popped them, provided every event reaches the right
+//! engine before its epoch — which the conservative window guarantees.
+//! Handlers are the *same code* in both modes ([`Network::handle`]) and
+//! mutate only shard-owned state (routing sends every event to the shard
+//! owning the link it mutates; the one cross-shard read — a removed
+//! flow's liveness — was converted into the explicitly propagated
+//! `Detach`/`Deliver` events). Ledgers, traces, stats, and escalation
+//! state merge losslessly, so the merged result is bit-identical to the
+//! sequential run. The golden oracle in `tests/parallel_determinism.rs`
+//! holds this to byte equality for n ∈ {1, 2, 4}.
+//!
+//! # Fallback
+//!
+//! Some configurations cannot be sharded without changing observable
+//! behaviour; [`Network::run_parallel`] then runs sequentially and says
+//! so in the returned [`ParallelReport`]:
+//!
+//! * fewer than two links (nothing to parallelise);
+//! * a zero (or negative) lookahead — some inter-shard edge has no
+//!   propagation delay, so no conservative window exists (the degenerate
+//!   case the epoch tests pin: fall back, never deadlock);
+//! * an installed [`crate::FaultInjector`] (a single stateful object
+//!   consulted from every shard would race);
+//! * a halt-capable escalation policy (halting is an instantaneous
+//!   global effect with no propagation delay to hide behind).
+
+use std::sync::{Barrier, Mutex};
+
+use hpfq_core::NodeScheduler;
+use hpfq_events::Engine;
+use hpfq_obs::Observer;
+
+use crate::network::{NetEvent, Network, OutMsg, ShardCtx, SourceSlot};
+use crate::stats::SimStats;
+
+/// Why [`Network::run_parallel`] executed sequentially instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// Fewer than two links, or one shard requested.
+    SingleShard,
+    /// An inter-shard edge has zero (or negative) propagation delay:
+    /// there is no conservative lookahead window.
+    ZeroLookahead,
+    /// A [`crate::FaultInjector`] is installed; its single mutable state
+    /// cannot be consulted from concurrent shards deterministically.
+    InjectorInstalled,
+    /// The escalation policy can halt the run — an instantaneous global
+    /// transition incompatible with conservative windows.
+    HaltCapablePolicy,
+}
+
+/// What [`Network::run_parallel`] actually did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelReport {
+    /// Shards that executed (1 on fallback).
+    pub shards: usize,
+    /// Conservative epochs run (0 on fallback).
+    pub epochs: u64,
+    /// Epoch width in seconds (`f64::INFINITY` when no route crosses
+    /// shards; unset on fallback).
+    pub lookahead: f64,
+    /// Why the run fell back to sequential execution, if it did.
+    pub fallback: Option<FallbackReason>,
+}
+
+/// One cross-shard message in flight between epochs, tagged for
+/// deterministic inbox ordering.
+struct Envelope {
+    t: f64,
+    minor: u64,
+    sender: usize,
+    seq: usize,
+    ev: NetEvent,
+}
+
+/// Locks `m`, tolerating poisoning: mailbox contents are plain data and a
+/// panicked peer worker already propagates its panic through the scope, so
+/// continuing with the inner value never observes broken invariants.
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl<S: NodeScheduler + Send, O: Observer + Send> Network<S, O> {
+    /// Runs the simulation to `horizon` on up to `shards` worker threads,
+    /// producing results byte-identical to [`Network::run`]`(horizon)`.
+    /// Falls back to the sequential loop (and reports why) when the
+    /// configuration cannot be sharded conservatively.
+    pub fn run_parallel(&mut self, horizon: f64, shards: usize) -> ParallelReport {
+        let requested = shards.clamp(1, self.links.len().max(1));
+        let fallback = |reason| ParallelReport {
+            shards: 1,
+            epochs: 0,
+            lookahead: 0.0,
+            fallback: Some(reason),
+        };
+        if requested < 2 || self.links.len() < 2 {
+            self.run(horizon);
+            return fallback(FallbackReason::SingleShard);
+        }
+        if self.injector.is_some() {
+            self.run(horizon);
+            return fallback(FallbackReason::InjectorInstalled);
+        }
+        if self.policy.halt_after != u32::MAX {
+            self.run(horizon);
+            return fallback(FallbackReason::HaltCapablePolicy);
+        }
+        if self.halted {
+            return ParallelReport {
+                shards: requested,
+                epochs: 0,
+                lookahead: 0.0,
+                fallback: None,
+            };
+        }
+
+        // Round-robin link → shard assignment: deterministic, and
+        // balanced for the homogeneous-link topologies we shard.
+        let link_shard: std::sync::Arc<Vec<usize>> =
+            std::sync::Arc::new((0..self.links.len()).map(|i| i % requested).collect());
+        let lookahead = self.lookahead_of(&link_shard);
+        if lookahead <= 0.0 {
+            self.run(horizon);
+            return fallback(FallbackReason::ZeroLookahead);
+        }
+
+        // Sources not yet started emit their first timers here, on the
+        // master, exactly as a sequential run would.
+        self.start_pending_sources();
+
+        let base_sources = self.sources.len();
+        let mut workers = self.split(&link_shard, requested);
+
+        let barrier = Barrier::new(requested);
+        let mailboxes: Vec<Mutex<Vec<Envelope>>> =
+            (0..requested).map(|_| Mutex::new(Vec::new())).collect();
+        // Each shard's earliest pending event time after the exchange
+        // (INFINITY = drained); slot `i` is written only by worker `i`
+        // between the two barriers of an epoch.
+        let next_times: Mutex<Vec<f64>> = Mutex::new(vec![0.0; requested]);
+        let epochs = std::sync::atomic::AtomicU64::new(0);
+        let start = self.engine.now();
+
+        std::thread::scope(|scope| {
+            for (sid, net) in workers.iter_mut().enumerate() {
+                let barrier = &barrier;
+                let mailboxes = &mailboxes;
+                let next_times = &next_times;
+                let epochs = &epochs;
+                scope.spawn(move || {
+                    let n = run_shard(
+                        net, sid, start, horizon, lookahead, barrier, mailboxes, next_times,
+                    );
+                    if sid == 0 {
+                        epochs.store(n, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+
+        self.merge(workers, &link_shard, base_sources);
+        ParallelReport {
+            shards: requested,
+            epochs: epochs.load(std::sync::atomic::Ordering::Relaxed),
+            lookahead,
+            fallback: None,
+        }
+    }
+
+    /// Minimum propagation delay over inter-shard edges: consecutive route
+    /// hops on different shards, and final-hop delivery edges back to a
+    /// source owned by a different shard. `INFINITY` when no route
+    /// crosses shards (a single epoch suffices).
+    fn lookahead_of(&self, link_shard: &[usize]) -> f64 {
+        let mut w = f64::INFINITY;
+        for slot in &self.sources {
+            let hops = &slot.route.hops;
+            let owner = link_shard[hops[0].link];
+            for pair in hops.windows(2) {
+                if link_shard[pair[0].link] != link_shard[pair[1].link] && pair[0].prop_delay < w {
+                    w = pair[0].prop_delay;
+                }
+            }
+            if let Some(last) = hops.last() {
+                if link_shard[last.link] != owner && last.prop_delay < w {
+                    w = last.prop_delay;
+                }
+            }
+        }
+        w
+    }
+
+    /// Carves `self` into `n` shard networks: links and source boxes move
+    /// to their owning shard, routing metadata is replicated, pending
+    /// events are dealt out by [`Network::event_shard`]. The master keeps
+    /// its accumulated stats/escalation/ledger history; shards start from
+    /// clean accumulators that merge back exactly.
+    fn split(&mut self, link_shard: &std::sync::Arc<Vec<usize>>, n: usize) -> Vec<Network<S, O>> {
+        let now = self.engine.now();
+        let pending = self.engine.drain_ordered();
+        let mut workers: Vec<Network<S, O>> = (0..n)
+            .map(|sid| {
+                let mut stats = SimStats::new();
+                for flow in self.stats.traced_flows() {
+                    stats.trace_flow(flow);
+                }
+                let mut engine = Engine::new();
+                engine.advance_to(now);
+                Network {
+                    links: Vec::new(),
+                    engine,
+                    sources: Vec::new(),
+                    stats,
+                    flow_owner: self.flow_owner.clone(),
+                    injector: None,
+                    policy: self.policy,
+                    escalation: self.escalation.clone(),
+                    halted: false,
+                    inflight_bytes: 0,
+                    command_errors: Vec::new(),
+                    shard: Some(ShardCtx {
+                        id: sid,
+                        link_shard: std::sync::Arc::clone(link_shard),
+                        outbox: Vec::new(),
+                    }),
+                }
+            })
+            .collect();
+        for (i, slot) in self.links.iter_mut().enumerate() {
+            for (sid, w) in workers.iter_mut().enumerate() {
+                w.links.push(if link_shard[i] == sid {
+                    slot.take()
+                } else {
+                    None
+                });
+            }
+        }
+        for slot in &mut self.sources {
+            let owner = link_shard[slot.route.hops[0].link];
+            for (sid, w) in workers.iter_mut().enumerate() {
+                w.sources.push(SourceSlot {
+                    src: if sid == owner { slot.src.take() } else { None },
+                    route: slot.route.clone(),
+                    flow: slot.flow,
+                    live: slot.live,
+                    started: slot.started,
+                });
+            }
+        }
+        for (t, minor, ev) in pending {
+            let dest = self.event_shard(link_shard, &ev);
+            workers[dest].engine.schedule_keyed(t, minor, ev);
+        }
+        workers
+    }
+
+    /// Reassembles the master from finished shards. Every merge below is
+    /// exact — see the field-by-field arguments at the merge sites.
+    fn merge(&mut self, workers: Vec<Network<S, O>>, link_shard: &[usize], base_sources: usize) {
+        let mut leftovers: Vec<(f64, u64, usize, usize, NetEvent)> = Vec::new();
+        let mut errors: Vec<(f64, usize, hpfq_core::HpfqError)> = Vec::new();
+        let mut max_now = self.engine.now();
+        for (sid, mut w) in workers.into_iter().enumerate() {
+            // Links move back whole: ledger, hierarchy, observer state and
+            // all. Each was owned by exactly one shard.
+            for (i, slot) in w.links.iter_mut().enumerate() {
+                if link_shard[i] == sid {
+                    self.links[i] = slot.take();
+                }
+            }
+            for (i, slot) in w.sources.iter_mut().enumerate() {
+                if i >= base_sources {
+                    // A flow added mid-run. AddFlow executes only on the
+                    // shard owning link 0, which therefore holds the only
+                    // real (non-replica) slot at each appended index, in
+                    // order — so indices line up with a plain push.
+                    if slot.src.is_some() && i == self.sources.len() {
+                        self.sources.push(SourceSlot {
+                            src: slot.src.take(),
+                            route: slot.route.clone(),
+                            flow: slot.flow,
+                            live: slot.live,
+                            started: slot.started,
+                        });
+                    }
+                    continue;
+                }
+                if slot.src.is_some() {
+                    // Owner shard: its liveness/started flags are the
+                    // authoritative ones.
+                    self.sources[i].src = slot.src.take();
+                    self.sources[i].live = slot.live;
+                    self.sources[i].started = slot.started;
+                }
+            }
+            // flow_owner only grows (AddFlow on link 0's shard); absorb
+            // all entries.
+            for (flow, idx) in std::mem::take(&mut w.flow_owner) {
+                self.flow_owner.entry(flow).or_insert(idx);
+            }
+            // Exact counter/extremum merge (see SimStats::merge_from).
+            self.stats.merge_from(std::mem::take(&mut w.stats));
+            // Per-flow strikes advance on one shard only: max is exact.
+            self.escalation.absorb_max(&w.escalation);
+            // Signed per-shard deltas sum to the true in-flight count.
+            self.inflight_bytes += w.inflight_bytes;
+            for (t, e) in w.command_errors.drain(..) {
+                errors.push((t, sid, e));
+            }
+            if w.engine.now() > max_now {
+                max_now = w.engine.now();
+            }
+            for (idx, (t, minor, ev)) in w.engine.drain_ordered().into_iter().enumerate() {
+                leftovers.push((t, minor, sid, idx, ev));
+            }
+        }
+        // Post-horizon events go back into the master engine in global
+        // `(time, minor, shard, shard-order)` order so a later sequential
+        // or parallel segment continues deterministically.
+        leftovers.sort_by(|a, b| {
+            a.0.total_cmp(&b.0)
+                .then(a.1.cmp(&b.1))
+                .then(a.2.cmp(&b.2))
+                .then(a.3.cmp(&b.3))
+        });
+        self.engine.advance_to(max_now);
+        for (t, minor, _, _, ev) in leftovers {
+            self.engine.schedule_keyed(t, minor, ev);
+        }
+        errors.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        self.command_errors
+            .extend(errors.into_iter().map(|(t, _, e)| (t, e)));
+    }
+}
+
+/// The per-shard epoch loop. Returns the number of epochs executed.
+#[allow(clippy::too_many_arguments)]
+fn run_shard<S: NodeScheduler + Send, O: Observer + Send>(
+    net: &mut Network<S, O>,
+    sid: usize,
+    start: f64,
+    horizon: f64,
+    lookahead: f64,
+    barrier: &Barrier,
+    mailboxes: &[Mutex<Vec<Envelope>>],
+    next_times: &Mutex<Vec<f64>>,
+) -> u64 {
+    let mut t_start = start;
+    let mut epochs = 0u64;
+    let mut send_seq = 0usize;
+    loop {
+        epochs += 1;
+        let epoch_end = t_start + lookahead;
+        net.engine.advance_to(t_start);
+        // Drain this shard's events due inside the window (and horizon):
+        // strictly before the epoch boundary, inclusively at the horizon
+        // (matching the sequential loop's `pop_due` semantics there).
+        loop {
+            let due = if epoch_end <= horizon {
+                net.engine.pop_strictly_before(epoch_end)
+            } else {
+                net.engine.pop_due(horizon)
+            };
+            let Some((t, ev)) = due else { break };
+            net.handle(t, ev);
+        }
+        // Post everything produced for other shards. `send_seq` keeps the
+        // producing order so identical `(t, minor)` envelopes from one
+        // sender stay FIFO after the inbox sort.
+        if let Some(ctx) = net.shard.as_mut() {
+            for OutMsg { dest, t, minor, ev } in ctx.outbox.drain(..) {
+                send_seq += 1;
+                lock_clean(&mailboxes[dest]).push(Envelope {
+                    t,
+                    minor,
+                    sender: sid,
+                    seq: send_seq,
+                    ev,
+                });
+            }
+        }
+        barrier.wait();
+        // All inboxes are complete now: take mine, order it canonically,
+        // feed the engine.
+        let mut inbox = std::mem::take(&mut *lock_clean(&mailboxes[sid]));
+        inbox.sort_by(|a, b| {
+            a.t.total_cmp(&b.t)
+                .then(a.minor.cmp(&b.minor))
+                .then(a.sender.cmp(&b.sender))
+                .then(a.seq.cmp(&b.seq))
+        });
+        for env in inbox {
+            net.engine.schedule_keyed(env.t, env.minor, env.ev);
+        }
+        lock_clean(next_times)[sid] = net.engine.peek_time().unwrap_or(f64::INFINITY);
+        barrier.wait();
+        // Every shard computes the same next epoch start from the same
+        // published vector; no third barrier is needed because slot `sid`
+        // is only rewritten after the *next* exchange barrier.
+        let global_next =
+            lock_clean(next_times)
+                .iter()
+                .fold(f64::INFINITY, |m, &t| if t < m { t } else { m });
+        if !global_next.is_finite() || global_next > horizon {
+            return epochs;
+        }
+        t_start = global_next;
+    }
+}

@@ -39,7 +39,13 @@ impl SourceOutput {
 }
 
 /// A traffic generator attached to one leaf of the hierarchy.
-pub trait Source {
+///
+/// `Send` is a supertrait so that a whole [`crate::Network`] — sources
+/// included — can be sharded across `std::thread::scope` workers by the
+/// deterministic parallel execution mode. Sources are still driven from
+/// exactly one thread at a time; the bound only rules out thread-pinned
+/// interior handles (`Rc`, raw pointers) in source state.
+pub trait Source: Send {
     /// Called once at simulation start (time 0); typically schedules the
     /// first wake-up.
     fn start(&mut self) -> SourceOutput;

@@ -224,6 +224,53 @@ impl SimStats {
     pub fn flows(&self) -> Vec<u32> {
         self.flows.keys().copied().collect()
     }
+
+    /// Flows registered for per-packet trace capture, sorted by id.
+    pub fn traced_flows(&self) -> Vec<u32> {
+        self.traced.keys().copied().collect()
+    }
+
+    /// Folds `other` into `self` **exactly** (no approximation): counters
+    /// sum, extrema take the maximum, and per-flow traces concatenate.
+    ///
+    /// This is the shard-merge of parallel execution, and it reproduces
+    /// the sequential totals bit-for-bit because every field is either an
+    /// order-free integer sum, or written by exactly one shard per flow:
+    /// `delay_sum`/`delay_max`/`last_departure` and the trace records come
+    /// only from `record_service`, which runs at a flow's **last** hop —
+    /// a single link, hence a single shard.
+    pub fn merge_from(&mut self, other: SimStats) {
+        for (flow, f) in other.flows {
+            let e = self.flows.entry(flow).or_default();
+            e.packets += f.packets;
+            e.bytes += f.bytes;
+            e.drops += f.drops;
+            e.drop_bytes += f.drop_bytes;
+            e.offered_packets += f.offered_packets;
+            e.offered_bytes += f.offered_bytes;
+            e.accepted_packets += f.accepted_packets;
+            e.accepted_bytes += f.accepted_bytes;
+            e.fault_drops += f.fault_drops;
+            e.fault_drop_bytes += f.fault_drop_bytes;
+            e.purged_packets += f.purged_packets;
+            e.purged_bytes += f.purged_bytes;
+            e.delay_sum += f.delay_sum;
+            if f.delay_max > e.delay_max {
+                e.delay_max = f.delay_max;
+            }
+            if f.last_departure > e.last_departure {
+                e.last_departure = f.last_departure;
+            }
+        }
+        for (flow, mut tr) in other.traced {
+            self.traced.entry(flow).or_default().append(&mut tr);
+        }
+        self.total_bytes += other.total_bytes;
+        self.total_packets += other.total_packets;
+        if other.last_departure > self.last_departure {
+            self.last_departure = other.last_departure;
+        }
+    }
 }
 
 /// The paper's §5.2 bandwidth measurement: throughput is accumulated in

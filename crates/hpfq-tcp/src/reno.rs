@@ -7,9 +7,8 @@
 //! responds with a cumulative ACK that the sender processes `ack_delay`
 //! seconds later (ideal, uncongested return path).
 
-use std::cell::RefCell;
 use std::collections::{BTreeSet, VecDeque};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use hpfq_core::{vtime, Packet};
 use hpfq_sim::{Source, SourceOutput};
@@ -53,7 +52,7 @@ fn seg_id(flow: u32, seq: u64) -> u64 {
 
 /// Shared `(time, cwnd-in-segments)` sample buffer returned by
 /// [`TcpSource::cwnd_trace_handle`].
-pub type CwndTrace = Rc<RefCell<Vec<(f64, f64)>>>;
+pub type CwndTrace = Arc<Mutex<Vec<(f64, f64)>>>;
 
 /// A greedy (always has data) TCP Reno connection.
 #[derive(Debug)]
@@ -133,8 +132,8 @@ impl TcpSource {
     /// samples as the connection runs; call before moving the source into
     /// the simulation.
     pub fn cwnd_trace_handle(&mut self) -> CwndTrace {
-        let h = Rc::new(RefCell::new(Vec::new()));
-        self.cwnd_trace = Some(Rc::clone(&h));
+        let h = Arc::new(Mutex::new(Vec::new()));
+        self.cwnd_trace = Some(Arc::clone(&h));
         h
     }
 
@@ -145,7 +144,10 @@ impl TcpSource {
 
     fn sample_cwnd(&self, now: f64) {
         if let Some(tr) = &self.cwnd_trace {
-            tr.borrow_mut().push((now, self.cwnd));
+            // Poison-tolerant: a panicked reader cannot lose us samples.
+            tr.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((now, self.cwnd));
         }
     }
 

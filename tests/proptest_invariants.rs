@@ -36,6 +36,8 @@ enum SetOp {
     Threshold,
     /// Remove a (possibly absent) session.
     Remove(usize),
+    /// Reset the whole set (busy-period end / link reconfiguration).
+    Clear,
 }
 
 fn random_set_op(rng: &mut SmallRng) -> SetOp {
@@ -97,9 +99,111 @@ fn eligible_sets_agree() {
                     oracle.remove(SessionId(id));
                     present[id] = false;
                 }
+                // `random_set_op` never emits Clear; the tie-heavy suite
+                // below covers it.
+                SetOp::Clear => unreachable!(),
             }
             assert_eq!(dual.len(), oracle.len(), "case {case}");
             assert_eq!(treap.len(), oracle.len(), "case {case}");
+        }
+    }
+}
+
+/// Tie-heavy variant of [`random_set_op`]: tag arithmetic quantized to a
+/// coarse grid so equal start *and* equal finish tags are common, plus the
+/// occasional [`SetOp::Clear`]. This is the regime where a sloppy
+/// tie-break (anything other than `(tag, session id)`) diverges between
+/// implementations — exactly what the SoA dual-heap refactor must not
+/// change.
+fn random_tie_op(rng: &mut SmallRng, ids: usize) -> SetOp {
+    const Q: f64 = 0.25;
+    match rng.gen_range_u32(0, 16) {
+        0..=6 => SetOp::Insert(
+            rng.gen_range_usize(0, ids),
+            Q * rng.gen_range_usize(0, 8) as f64,
+            Q * rng.gen_range_usize(1, 8) as f64,
+        ),
+        7..=10 => SetOp::Pop(Q * rng.gen_range_usize(0, 3) as f64),
+        11..=12 => SetOp::Threshold,
+        13..=14 => SetOp::Remove(rng.gen_range_usize(0, ids)),
+        _ => SetOp::Clear,
+    }
+}
+
+/// The three eligible-set implementations stay in lockstep under a
+/// tie-saturated churn workload over a larger id space, including full
+/// `clear()` resets mid-sequence.
+#[test]
+fn eligible_sets_agree_under_ties_and_clears() {
+    const IDS: usize = 96;
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0x71e_0000 + case);
+        let nops = rng.gen_range_usize(1, 600);
+        let mut dual = DualHeapEligibleSet::new();
+        let mut treap = TreapEligibleSet::new();
+        let mut oracle = BruteForceEligibleSet::default();
+        let mut present = [false; IDS];
+        let mut thr = 0.0_f64;
+        for _ in 0..nops {
+            match random_tie_op(&mut rng, IDS) {
+                SetOp::Insert(id, s, d) => {
+                    if !present[id] {
+                        let start = thr + s;
+                        let finish = start + d;
+                        dual.insert(SessionId(id), start, finish);
+                        treap.insert(SessionId(id), start, finish);
+                        oracle.insert(SessionId(id), start, finish);
+                        present[id] = true;
+                    }
+                }
+                SetOp::Pop(adv) => {
+                    thr += adv;
+                    let a = dual.pop_min_finish(thr);
+                    let b = treap.pop_min_finish(thr);
+                    let c = oracle.pop_min_finish(thr);
+                    assert_eq!(a, c, "case {case}");
+                    assert_eq!(b, c, "case {case}");
+                    if let Some(id) = c {
+                        present[id.0] = false;
+                    }
+                }
+                SetOp::Threshold => {
+                    let a = dual.eligibility_threshold(thr);
+                    let b = treap.eligibility_threshold(thr);
+                    let c = oracle.eligibility_threshold(thr);
+                    assert_eq!(a, c, "case {case}");
+                    assert_eq!(b, c, "case {case}");
+                }
+                SetOp::Remove(id) => {
+                    dual.remove(SessionId(id));
+                    treap.remove(SessionId(id));
+                    oracle.remove(SessionId(id));
+                    present[id] = false;
+                }
+                SetOp::Clear => {
+                    dual.clear();
+                    treap.clear();
+                    oracle.clear();
+                    present = [false; IDS];
+                    // Virtual time restarts with the new busy period.
+                    thr = 0.0;
+                }
+            }
+            assert_eq!(dual.len(), oracle.len(), "case {case}");
+            assert_eq!(treap.len(), oracle.len(), "case {case}");
+        }
+        // Drain fully: the complete pop order must agree, not just the
+        // prefix the random walk happened to sample.
+        loop {
+            thr += 1.0;
+            let a = dual.pop_min_finish(thr);
+            let b = treap.pop_min_finish(thr);
+            let c = oracle.pop_min_finish(thr);
+            assert_eq!(a, c, "case {case} drain");
+            assert_eq!(b, c, "case {case} drain");
+            if c.is_none() && oracle.is_empty() {
+                break;
+            }
         }
     }
 }
