@@ -25,6 +25,8 @@ use hpfq_bench::microbench::{
     Profile,
 };
 use hpfq_core::{Hierarchy, MixedScheduler, NodeId, Packet, SchedulerKind};
+use hpfq_obs::SpanKind;
+use hpfq_sim::{CbrSource, Network, Route};
 
 const LEAVES: usize = 64;
 /// `(label, depth, fanout)`: fanout^depth == LEAVES for both shapes.
@@ -110,6 +112,64 @@ fn bench_enqueue(kind: SchedulerKind, depth: u32, fanout: usize, profile: Profil
     ns
 }
 
+/// Drives a 64-flow single-link network through the real event engine and
+/// reports wall-clock ns per served packet, plus — when built with
+/// `--features profile` — the per-phase span breakdown (`group:"phase"`
+/// rows; the snapshot is empty otherwise, so profile-off baselines are
+/// byte-compatible with earlier ones apart from the one new `engine` row).
+fn bench_engine(profile: Profile, records: &mut Vec<BenchRecord>) {
+    let kind = SchedulerKind::Wf2qPlus;
+    let mut bld = Hierarchy::<MixedScheduler>::builder(1e9, move |r| kind.build(r));
+    let root = bld.root();
+    let leaves: Vec<NodeId> = (0..LEAVES)
+        .map(|_| bld.add_leaf(root, 1.0 / LEAVES as f64).unwrap())
+        .collect();
+    let mut net: Network<MixedScheduler> = Network::new();
+    net.add_link(bld.build());
+    for (i, &leaf) in leaves.iter().enumerate() {
+        let flow = i as u32;
+        net.add_route(
+            flow,
+            CbrSource::new(flow, 1000, 1e6, 0.0, f64::INFINITY),
+            Route::new(vec![hpfq_sim::Hop {
+                link: 0,
+                leaf,
+                buffer_bytes: Some(64_000),
+                prop_delay: 0.0,
+            }]),
+        );
+    }
+    let horizon = match profile {
+        Profile::Full => 2.0,
+        Profile::Smoke => 0.25,
+    };
+    let t = std::time::Instant::now();
+    net.run(horizon);
+    let wall = t.elapsed().as_secs_f64();
+    net.verify_conservation().unwrap();
+    let packets = net.stats.total_packets;
+    assert!(packets > 0);
+    records.push(BenchRecord::reported(
+        "engine",
+        "wf2q+/net",
+        LEAVES,
+        wall * 1e9 / packets as f64,
+    ));
+    let spans = net.span_snapshot();
+    for kind in SpanKind::ALL {
+        let s = spans.get(kind);
+        if s.count == 0 {
+            continue;
+        }
+        records.push(BenchRecord::reported(
+            "phase",
+            &format!("wf2q+/net/{kind}"),
+            LEAVES,
+            s.mean_ns() as f64,
+        ));
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let profile = Profile::from_args(&args);
@@ -152,6 +212,11 @@ fn main() {
             ns,
         ));
     }
+
+    // Event-engine section: wall clock through the full Network loop (and,
+    // with `--features profile`, the per-phase span breakdown).
+    println!("== engine: 64-flow single-link network ==");
+    bench_engine(profile, &mut records);
 
     if let Some(path) = json {
         write_json(

@@ -15,7 +15,20 @@
 
 use hpfq_bench::microbench::{report, time_op};
 use hpfq_core::{Hierarchy, NodeId, Packet, Wf2qPlus};
-use hpfq_obs::{CountingObserver, NoopObserver, Observer};
+use hpfq_obs::{CountingObserver, NoopObserver, Observer, SpanProfiler};
+
+// The zero-cost contract, pinned at compile time: the noop observer's
+// liveness flag is false (every `if O::ENABLED` block is dead code)...
+const _: () = assert!(!NoopObserver::ENABLED);
+// ...and without the `profile` feature the span profiler carries no state
+// at all — `if SpanProfiler::ENABLED` blocks are dead code the same way.
+#[cfg(not(feature = "profile"))]
+const _: () = {
+    assert!(!SpanProfiler::ENABLED);
+    assert!(std::mem::size_of::<SpanProfiler>() == 0);
+};
+#[cfg(feature = "profile")]
+const _: () = assert!(SpanProfiler::ENABLED);
 
 /// Builds a uniform tree of the given depth/fanout and returns its leaves.
 fn build<O: Observer>(depth: u32, fanout: usize, obs: O) -> (Hierarchy<Wf2qPlus, O>, Vec<NodeId>) {
@@ -87,4 +100,29 @@ fn main() {
             (counting - noop) / noop * 100.0
         );
     }
+
+    // Zero-cost canary: with the noop observer (and, unless `profile` is
+    // on, the compiled-out span profiler) two independent measurements of
+    // the identical workload must agree to within measurement noise — if
+    // they don't, either the host is too noisy to trust any number above,
+    // or "disabled" instrumentation is doing work. The bound is generous
+    // (2x) because this runs on shared single-core CI workers.
+    println!("\n== zero-cost canary (noop observer, profiler {}) ==", {
+        if SpanProfiler::ENABLED {
+            "ON"
+        } else {
+            "off"
+        }
+    });
+    let a = bench_tree(2, 16, NoopObserver);
+    let b = bench_tree(2, 16, NoopObserver);
+    let ratio = if a > b { a / b } else { b / a };
+    report("canary", "noop-run-a", 256, a);
+    report("canary", "noop-run-b", 256, b);
+    println!("canary ratio: {ratio:.3} (must be < 2.0)");
+    assert!(
+        ratio < 2.0,
+        "noop runs diverge by {ratio:.2}x — disabled instrumentation is not free \
+         (or the host is too noisy to bench)"
+    );
 }

@@ -1,12 +1,17 @@
 //! The chaos-soak CLI: run the differential fault soak and report.
 //!
 //! ```text
-//! chaos-soak [--seed N] [--horizon SECS] [--trace-dir DIR] [--quarantine-demo]
-//!            [--parallel-shards N]
+//! chaos-soak [--seed N] [--horizon SECS] [--trace-dir DIR] [--flight-dir DIR]
+//!            [--quarantine-demo] [--halt-demo] [--parallel-shards N]
 //! ```
 //!
 //! Exits non-zero if [`hpfq_chaos::ChaosReport::assert_healthy`] finds any
 //! breach of the degradation contract, so CI can gate on it directly.
+//! `--flight-dir DIR` writes each run's flight-recorder snapshot there
+//! when (and only when) the soak is unhealthy — the post-mortem artifact
+//! CI uploads. `--halt-demo` instead drives the escalation ladder to a
+//! halt on purpose and writes the dump the recorder emits at that moment
+//! (to `--flight-dir`, default the working directory).
 //! `--parallel-shards N` runs the command-driven chaos scenario through
 //! the deterministic parallel front-end instead (link flaps + churn on a
 //! multi-link topology, `run_parallel(N)` differentially checked against
@@ -14,13 +19,15 @@
 
 use std::process::ExitCode;
 
-use hpfq_chaos::{parallel_soak, quarantine_scenario, run_soak, ChaosConfig};
+use hpfq_chaos::{halt_scenario, parallel_soak, quarantine_scenario, run_soak, ChaosConfig};
 
 struct Args {
     seed: u64,
     horizon: f64,
     trace_dir: Option<String>,
+    flight_dir: Option<String>,
     quarantine_demo: bool,
+    halt_demo: bool,
     parallel_shards: Option<usize>,
 }
 
@@ -29,7 +36,9 @@ fn parse_args() -> Result<Args, String> {
         seed: 1,
         horizon: 30.0,
         trace_dir: None,
+        flight_dir: None,
         quarantine_demo: false,
+        halt_demo: false,
         parallel_shards: None,
     };
     let mut it = std::env::args().skip(1);
@@ -48,7 +57,9 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--trace-dir" => args.trace_dir = Some(grab("--trace-dir")?),
+            "--flight-dir" => args.flight_dir = Some(grab("--flight-dir")?),
             "--quarantine-demo" => args.quarantine_demo = true,
+            "--halt-demo" => args.halt_demo = true,
             "--parallel-shards" => {
                 let v = grab("--parallel-shards")?;
                 let n: usize = v
@@ -62,7 +73,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: chaos-soak [--seed N] [--horizon SECS] [--trace-dir DIR] \
-                     [--quarantine-demo] [--parallel-shards N]"
+                     [--flight-dir DIR] [--quarantine-demo] [--halt-demo] \
+                     [--parallel-shards N]"
                         .to_string(),
                 )
             }
@@ -107,6 +119,26 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         } else {
             eprintln!("parallel soak UNHEALTHY");
+            ExitCode::FAILURE
+        };
+    }
+
+    if args.halt_demo {
+        let dir = args.flight_dir.as_deref().unwrap_or(".");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let path = format!("{dir}/flight-halt-seed{}.jsonl", args.seed);
+        let out = halt_scenario(args.seed, &path);
+        println!(
+            "halt demo (seed {}): halted {}, quarantined {:?}, {} flight dump(s) -> {path}",
+            args.seed, out.halted, out.quarantined, out.dumps_written
+        );
+        return if out.halted && out.dumps_written > 0 {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("halt demo FAILED: expected a halt and at least one flight dump");
             ExitCode::FAILURE
         };
     }
@@ -173,6 +205,21 @@ fn main() -> ExitCode {
             eprintln!("soak UNHEALTHY ({} problem(s)):", problems.len());
             for p in &problems {
                 eprintln!("  {p}");
+            }
+            // Post-mortem: persist every run's flight-recorder snapshot so
+            // CI can upload them as failure artifacts.
+            if let Some(dir) = &args.flight_dir {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("cannot create {dir}: {e}");
+                } else {
+                    for run in &report.runs {
+                        let path = format!("{dir}/flight-{}-seed{}.jsonl", run.scheduler, cfg.seed);
+                        match std::fs::write(&path, &run.flight_dump) {
+                            Ok(()) => eprintln!("flight dump written: {path}"),
+                            Err(e) => eprintln!("cannot write {path}: {e}"),
+                        }
+                    }
+                }
             }
             ExitCode::FAILURE
         }

@@ -44,6 +44,7 @@ pub use inject::ChaosInjector;
 pub use parallel::{parallel_soak, ParallelSoakOutcome};
 pub use plan::{build_plan, ChaosPlan, CHURN_FLOW_BASE};
 pub use soak::{
-    build_soak_sim, quarantine_scenario, run_soak, ChaosReport, FlowLedger, QuarantineOutcome,
-    SoakRun, BASE_FLOWS, LINK_BPS, UNFAIRNESS_BOUND,
+    build_soak_sim, halt_scenario, quarantine_scenario, run_soak, ChaosReport, FlowLedger,
+    HaltOutcome, QuarantineOutcome, SoakRun, BASE_FLOWS, FLIGHT_CAPACITY, LINK_BPS,
+    UNFAIRNESS_BOUND,
 };

@@ -25,7 +25,7 @@
 use std::collections::BTreeMap;
 
 use hpfq_core::{Hierarchy, MixedScheduler, NodeId, SchedulerKind};
-use hpfq_obs::{EscalationPolicy, InvariantKind, InvariantObserver, JsonlObserver};
+use hpfq_obs::{EscalationPolicy, FlightRecorder, InvariantKind, InvariantObserver, JsonlObserver};
 use hpfq_sim::{CbrSource, PeriodicOnOffSource, PoissonSource, Simulation, SourceConfig};
 
 use crate::config::ChaosConfig;
@@ -40,9 +40,14 @@ pub const BASE_FLOWS: [u32; 3] = [0, 1, 2];
 /// for schedulers that provide isolation (everything but FIFO).
 pub const UNFAIRNESS_BOUND: f64 = 0.35;
 
-/// The observer stack every soak run carries: online invariant checking
-/// plus a full JSONL trace (faults and quarantines included).
-pub type SoakObserver = (InvariantObserver, JsonlObserver<Vec<u8>>);
+/// Events the soak's flight recorder retains (most recent first out).
+pub const FLIGHT_CAPACITY: usize = 4096;
+
+/// The observer stack every soak run carries: online invariant checking,
+/// a full JSONL trace (faults and quarantines included), and a bounded
+/// flight recorder that snapshots the recent past when the escalation
+/// ladder fires.
+pub type SoakObserver = (InvariantObserver, (JsonlObserver<Vec<u8>>, FlightRecorder));
 
 /// Per-flow admission ledger, for cross-scheduler differential checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +99,10 @@ pub struct SoakRun {
     /// The full JSONL trace (every scheduling, fault, and quarantine
     /// event) — byte-identical for identical seeds.
     pub trace: Vec<u8>,
+    /// Post-mortem flight-recorder snapshot: the last
+    /// [`FLIGHT_CAPACITY`] events as JSONL (plus any span samples), ready
+    /// to write to disk and query with `hpfq-trace`.
+    pub flight_dump: String,
 }
 
 impl SoakRun {
@@ -153,7 +162,13 @@ pub fn build_soak_sim(
     kind: SchedulerKind,
     cfg: &ChaosConfig,
 ) -> (Simulation<MixedScheduler, SoakObserver>, [NodeId; 3]) {
-    let obs: SoakObserver = (InvariantObserver::new(), JsonlObserver::new(Vec::new()));
+    let obs: SoakObserver = (
+        InvariantObserver::new(),
+        (
+            JsonlObserver::new(Vec::new()),
+            FlightRecorder::new(FLIGHT_CAPACITY),
+        ),
+    );
     let mut bld = Hierarchy::<MixedScheduler, SoakObserver>::builder_with_observer(
         LINK_BPS,
         move |rate| kind.build(rate),
@@ -264,8 +279,16 @@ fn run_one(kind: SchedulerKind, cfg: &ChaosConfig, plan: ChaosPlan) -> SoakRun {
     let halted = sim.is_halted();
     let command_errors = sim.command_errors.len();
     let conservation = sim.verify_conservation();
+    let spans = sim.span_snapshot();
 
-    let (inv, jsonl) = sim.into_observer();
+    let (inv, (jsonl, mut flight)) = sim.into_observer();
+    flight.attach_spans(&spans);
+    if conservation.is_err() {
+        // Post-mortem on a broken ledger: persist the recent past (no-op
+        // unless a dump path was configured on the recorder).
+        flight.dump();
+    }
+    let flight_dump = flight.snapshot_jsonl();
     let mut excused_wc = 0usize;
     let mut unexcused = Vec::new();
     for viol in inv.violations() {
@@ -296,6 +319,7 @@ fn run_one(kind: SchedulerKind, cfg: &ChaosConfig, plan: ChaosPlan) -> SoakRun {
         unexcused,
         unfairness,
         trace: jsonl.into_inner(),
+        flight_dump,
     }
 }
 
@@ -437,6 +461,60 @@ pub fn quarantine_scenario(seed: u64) -> QuarantineOutcome {
     }
 }
 
+/// Outcome of [`halt_scenario`].
+#[derive(Debug)]
+pub struct HaltOutcome {
+    /// Whether the ladder halted the run (expected `true`).
+    pub halted: bool,
+    /// Flows quarantined before the halt.
+    pub quarantined: Vec<u32>,
+    /// Flight-recorder dumps written to `flight_path`.
+    pub dumps_written: u64,
+    /// The same snapshot, in memory (for callers without a disk path).
+    pub flight_dump: String,
+}
+
+/// Drives the escalation ladder all the way to **halt** and exercises the
+/// flight recorder's post-mortem path: corruption is boosted as in
+/// [`quarantine_scenario`] but the policy halts on the very first
+/// quarantine, and the recorder is given `flight_path`, so the moment the
+/// ladder fires it writes the last [`FLIGHT_CAPACITY`] events there as
+/// JSONL — the artifact `hpfq-trace` then queries.
+pub fn halt_scenario(seed: u64, flight_path: &str) -> HaltOutcome {
+    let mut cfg = ChaosConfig::all_faults(seed, 20.0);
+    cfg.corrupt.prob = 0.05;
+    cfg.link.enabled = false;
+    cfg.churn.enabled = false;
+    cfg.drops.enabled = false;
+    cfg.jitter.enabled = false;
+    let (mut sim, _) = build_soak_sim(SchedulerKind::Wf2qPlus, &cfg);
+    sim.set_fault_injector(ChaosInjector::new(cfg));
+    sim.set_escalation_policy(EscalationPolicy {
+        quarantine_after: 3,
+        halt_after: 1,
+    });
+    sim.observer_mut()
+        .1
+         .1
+        .set_dump_path(Some(flight_path.to_string()));
+    sim.run(cfg.horizon);
+    let halted = sim.is_halted();
+    let quarantined = sim.escalation().quarantined_flows();
+    let spans = sim.span_snapshot();
+    let (_, (_, mut flight)) = sim.into_observer();
+    flight.attach_spans(&spans);
+    // The auto-dump fired mid-run, before any span profile existed;
+    // rewrite the artifact so the on-disk post-mortem carries the spans
+    // too (a no-op table unless built with `profile`).
+    flight.dump();
+    HaltOutcome {
+        halted,
+        quarantined,
+        dumps_written: flight.dumps_written(),
+        flight_dump: flight.snapshot_jsonl(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -477,6 +555,35 @@ mod tests {
         out.conservation.as_ref().unwrap();
         // Fully drained quarantined leaves give their share back.
         assert!(out.root_share_after <= 0.6 + 1e-9, "{out:?}");
+    }
+
+    #[test]
+    fn halt_scenario_dumps_queryable_flight_recording() {
+        let path = std::env::temp_dir().join("hpfq-halt-flight-test.jsonl");
+        let path_str = path.to_string_lossy().into_owned();
+        let _ = std::fs::remove_file(&path);
+        let out = halt_scenario(3, &path_str);
+        assert!(out.halted, "{out:?}");
+        assert!(!out.quarantined.is_empty(), "{out:?}");
+        assert!(out.dumps_written >= 1, "{out:?}");
+        let dumped = std::fs::read_to_string(&path).expect("dump file written");
+        let _ = std::fs::remove_file(&path);
+        // The dump must be line-by-line parseable by the query layer and
+        // must contain the quarantine that tripped the halt.
+        let mut quarantines = 0usize;
+        for line in dumped.lines() {
+            let parsed = hpfq_obs::query::parse_obs_line(line)
+                .unwrap_or_else(|| panic!("unparseable dump line: {line}"));
+            if let hpfq_obs::query::ObsLine::Event(hpfq_obs::TraceEvent::Quarantine(_)) = parsed {
+                quarantines += 1;
+            }
+        }
+        assert!(quarantines >= 1, "dump carries no quarantine event");
+        // The in-memory snapshot has the same shape plus attached spans.
+        let summary = hpfq_obs::query::summarize(&out.flight_dump);
+        assert_eq!(summary.malformed, 0, "{summary:?}");
+        assert_eq!(summary.flights, 1);
+        assert!(summary.events > 0);
     }
 
     #[test]

@@ -29,7 +29,7 @@ fn soak_is_identical_through_simulation_and_network_front_ends() {
     sim.verify_conservation().unwrap();
     let (total_bytes, total_packets) = (sim.stats.total_bytes, sim.stats.total_packets);
     let quarantined = sim.escalation().quarantined_flows();
-    let (inv_a, jsonl_a) = sim.into_observer();
+    let (inv_a, (jsonl_a, _flight_a)) = sim.into_observer();
     assert!(inv_a.events_checked > 0);
 
     // Run B: the same soak, unwrapped to the raw network.
@@ -45,7 +45,7 @@ fn soak_is_identical_through_simulation_and_network_front_ends() {
     assert_eq!(net.stats.total_bytes, total_bytes);
     assert_eq!(net.stats.total_packets, total_packets);
     assert_eq!(net.escalation().quarantined_flows(), quarantined);
-    let (_, jsonl_b) = net.into_observers().pop().expect("one link, one observer");
+    let (_, (jsonl_b, _flight_b)) = net.into_observers().pop().expect("one link, one observer");
     assert_eq!(
         jsonl_a.into_inner(),
         jsonl_b.into_inner(),

@@ -53,7 +53,8 @@ pub const RULES: [Rule; 6] = [
     Rule {
         id: "L006",
         name: "ungated-observer-call",
-        summary: "observer hook call not inside an `O::ENABLED`-gated block in hot-path crates",
+        summary: "observer hook or span-profiler probe call not inside an `ENABLED`-gated block \
+                  in hot-path crates",
     },
 ];
 
@@ -401,6 +402,8 @@ fn l005_float_as_int_cast(ctx: &FileCtx, out: &mut Vec<Finding>) {
 }
 
 /// Observer hook names whose call sites must be `O::ENABLED`-gated.
+/// Includes the span-profiler probes (`span_enter`/`span_exit`), which
+/// follow the same discipline against `SpanProfiler::ENABLED`.
 fn is_observer_hook(name: &str) -> bool {
     matches!(
         name,
@@ -411,6 +414,8 @@ fn is_observer_hook(name: &str) -> bool {
             | "on_tx_complete"
             | "on_node_backlog"
             | "on_busy_reset"
+            | "span_enter"
+            | "span_exit"
     )
 }
 
@@ -536,6 +541,13 @@ mod tests {
     fn l006_gated_calls_pass() {
         let src = "fn f() { if O::ENABLED { obs.on_dispatch(&e); } obs.on_drop(&d); }";
         let f = findings("hpfq-core", "x.rs", src);
+        assert_eq!(f, vec![("L006".into(), 1)]);
+    }
+
+    #[test]
+    fn l006_covers_span_profiler_probes() {
+        let src = "fn f() { if SpanProfiler::ENABLED { p.span_enter(k); } p.span_exit(k); }";
+        let f = findings("hpfq-sim", "x.rs", src);
         assert_eq!(f, vec![("L006".into(), 1)]);
     }
 

@@ -140,13 +140,14 @@ impl<W: Write> Observer for JsonlObserver<W> {
 
 /// A parsed `"key":value` pair list from one flat JSON object. The format
 /// above never nests objects and its only strings are bare identifiers, so
-/// a small scanner suffices.
-struct Fields<'a> {
+/// a small scanner suffices. Shared with `crate::query`, which parses the
+/// span/epoch/flight line families on top of the same scanner.
+pub(crate) struct Fields<'a> {
     pairs: Vec<(&'a str, &'a str)>,
 }
 
 impl<'a> Fields<'a> {
-    fn parse(line: &'a str) -> Option<Self> {
+    pub(crate) fn parse(line: &'a str) -> Option<Self> {
         let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
         let mut pairs = Vec::new();
         let mut rest = body;
@@ -175,19 +176,19 @@ impl<'a> Fields<'a> {
         Some(Fields { pairs })
     }
 
-    fn str(&self, key: &str) -> Option<&'a str> {
+    pub(crate) fn str(&self, key: &str) -> Option<&'a str> {
         self.pairs.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v)
     }
 
-    fn f64(&self, key: &str) -> Option<f64> {
+    pub(crate) fn f64(&self, key: &str) -> Option<f64> {
         self.str(key)?.parse().ok()
     }
 
-    fn usize(&self, key: &str) -> Option<usize> {
+    pub(crate) fn usize(&self, key: &str) -> Option<usize> {
         self.str(key)?.parse().ok()
     }
 
-    fn u64(&self, key: &str) -> Option<u64> {
+    pub(crate) fn u64(&self, key: &str) -> Option<u64> {
         self.str(key)?.parse().ok()
     }
 

@@ -36,13 +36,18 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod escalation;
 pub mod event;
 pub mod invariant;
 pub mod jsonl;
 pub mod metrics;
+pub mod query;
+pub mod recorder;
+pub mod span;
 pub mod vtime;
 
+pub use chrome::chrome_trace;
 pub use escalation::{EscalationLevel, EscalationPolicy, EscalationState};
 pub use event::{
     BacklogEvent, BusyResetEvent, DispatchEvent, DropEvent, EnqueueEvent, FaultEvent, FaultKind,
@@ -51,6 +56,8 @@ pub use event::{
 pub use invariant::{InvariantKind, InvariantObserver, Violation};
 pub use jsonl::{merge_traces, JsonlObserver, SharedBuf};
 pub use metrics::{DelayHistogram, MetricsObserver};
+pub use recorder::FlightRecorder;
+pub use span::{EpochSpan, SpanKind, SpanProfiler, SpanSnapshot, SpanStats};
 
 /// A sink for scheduler events.
 ///

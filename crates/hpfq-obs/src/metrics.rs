@@ -30,6 +30,11 @@ impl Default for DelayHistogram {
 }
 
 impl DelayHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Number of buckets.
     pub const BUCKETS: usize = 27;
     /// Lower edge of bucket 1 in seconds (bucket 0 is `[0, BASE)`).
@@ -90,6 +95,21 @@ impl DelayHistogram {
             }
         }
         Self::bucket_low(Self::BUCKETS - 1)
+    }
+
+    /// Median delay, as a bucket lower edge in seconds.
+    pub fn p50(&self) -> f64 {
+        self.quantile_low_edge(0.5)
+    }
+
+    /// 99th-percentile delay, as a bucket lower edge in seconds.
+    pub fn p99(&self) -> f64 {
+        self.quantile_low_edge(0.99)
+    }
+
+    /// 99.9th-percentile delay, as a bucket lower edge in seconds.
+    pub fn p999(&self) -> f64 {
+        self.quantile_low_edge(0.999)
     }
 }
 
@@ -200,6 +220,55 @@ impl MetricsObserver {
                 m.queue_bytes_max,
             );
         }
+        out
+    }
+
+    /// Renders the registry as one JSON object (same data as
+    /// [`MetricsObserver::report`], machine-readable):
+    /// `{"link":{…},"flows":[…],"nodes":[…]}`. Uses only `std::fmt` —
+    /// floats print with shortest-round-trip `Display`, like the JSONL
+    /// trace format.
+    pub fn report_json(&self) -> String {
+        let mut out = format!(
+            "{{\"link\":{{\"tx_packets\":{},\"tx_bytes\":{}}},\"flows\":[",
+            self.tx_packets, self.tx_bytes
+        );
+        for (i, (&flow, m)) in self.flows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"flow\":{},\"packets\":{},\"bytes\":{},\"drops\":{},\"drop_bytes\":{},\"p50_delay\":{},\"p99_delay\":{},\"p999_delay\":{}}}",
+                flow,
+                m.packets,
+                m.bytes,
+                m.drops,
+                m.drop_bytes,
+                m.delay.p50(),
+                m.delay.p99(),
+                m.delay.p999()
+            );
+        }
+        out.push_str("],\"nodes\":[");
+        for (i, (&node, m)) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"node\":{},\"dispatches\":{},\"busy_resets\":{},\"backlog_transitions\":{},\"queue_depth\":{},\"queue_bytes\":{},\"queue_depth_max\":{},\"queue_bytes_max\":{}}}",
+                node,
+                m.dispatches,
+                m.busy_resets,
+                m.backlog_transitions,
+                m.queue_depth,
+                m.queue_bytes,
+                m.queue_depth_max,
+                m.queue_bytes_max
+            );
+        }
+        out.push_str("]}");
         out
     }
 }
@@ -341,5 +410,24 @@ mod tests {
         assert_eq!(m.tx_bytes, 1000);
         let report = m.report();
         assert!(report.contains("link: 1 packets"));
+        let json = m.report_json();
+        assert!(json.starts_with("{\"link\":{\"tx_packets\":1,\"tx_bytes\":1000}"));
+        assert!(json.contains("\"flow\":3,\"packets\":1"), "{json}");
+        assert!(json.contains("\"node\":0,\"dispatches\":1"), "{json}");
+        assert!(json.ends_with("]}"), "{json}");
+    }
+
+    #[test]
+    fn named_quantile_accessors_match_low_edges() {
+        let mut h = DelayHistogram::new();
+        for _ in 0..999 {
+            h.record(1e-3);
+        }
+        h.record(1.0);
+        assert_eq!(h.p50(), DelayHistogram::bucket_low(10));
+        assert_eq!(h.p99(), DelayHistogram::bucket_low(10));
+        assert_eq!(h.p999(), DelayHistogram::bucket_low(10));
+        assert_eq!(h.quantile_low_edge(1.0), DelayHistogram::bucket_low(20));
+        assert_eq!(DelayHistogram::new().p999(), 0.0);
     }
 }

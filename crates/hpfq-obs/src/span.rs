@@ -1,0 +1,587 @@
+//! Span profiler: feature-gated scoped timers over engine phases.
+//!
+//! The engine and the parallel runtime have a wall-clock life that the
+//! simulation-time event stream cannot see: how long one `pop_due` takes at
+//! 256k flows, how much of an epoch a shard spends blocked on the barrier,
+//! whether merge cost grows with shard count. [`SpanProfiler`] measures
+//! those phases with O(1) scoped timers and aggregates them into
+//! fixed-size, allocation-free [`SpanStats`] (count / total / min / max
+//! plus a power-of-two latency histogram from which p50/p99 are read).
+//!
+//! The profiler is compiled in two shapes selected by the `profile` cargo
+//! feature:
+//!
+//! * **off** (default): [`SpanProfiler`] is a zero-sized struct whose
+//!   methods are empty `#[inline]` bodies and whose
+//!   [`SpanProfiler::ENABLED`] is `false`. Call sites are written
+//!   `if SpanProfiler::ENABLED { profiler.span_enter(…) }`, the same gate
+//!   discipline the [`crate::Observer`] layer uses (and that `hpfq-lint`
+//!   rule L006 enforces), so the whole layer monomorphizes away.
+//! * **on** (`--features profile`): spans are timed against a single
+//!   `std::time::Instant` captured at construction; entering and exiting a
+//!   span is two monotonic clock reads and a handful of integer ops.
+//!
+//! [`SpanSnapshot`] (the aggregated result) and [`EpochSpan`] (one
+//! parallel-runtime epoch on one shard, in *simulation* time) are always
+//! compiled, so report/export/query code needs no feature gates.
+
+use std::fmt::Write as _;
+
+/// Number of power-of-two histogram buckets in [`SpanStats`].
+///
+/// Bucket 0 holds exact-zero durations; bucket `i >= 1` holds durations in
+/// `[2^(i-1), 2^i)` nanoseconds. 40 buckets cover up to ~9 minutes.
+pub const HIST_BUCKETS: usize = 40;
+
+/// An instrumented engine or parallel-runtime phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// Popping the next due event from the event engine.
+    EventPop,
+    /// Handling one popped event (dispatching on its kind).
+    EventHandle,
+    /// Admitting one packet into a leaf FIFO (`try_enqueue`).
+    Enqueue,
+    /// One link dispatch: the RESTART-NODE chain selecting and starting a
+    /// transmission.
+    Dispatch,
+    /// Completing a transmission: virtual-clock update and tag
+    /// recomputation.
+    Vclock,
+    /// One shard draining its events for one conservative epoch.
+    EpochCompute,
+    /// A shard blocked on an epoch barrier.
+    BarrierWait,
+    /// Posting outboxes and sorting/scheduling inboxes between shards.
+    Exchange,
+    /// Merging worker shards back into the parent network.
+    Merge,
+}
+
+impl SpanKind {
+    /// Number of span kinds.
+    pub const COUNT: usize = 9;
+
+    /// Every kind, in declaration (report) order.
+    pub const ALL: [SpanKind; Self::COUNT] = [
+        SpanKind::EventPop,
+        SpanKind::EventHandle,
+        SpanKind::Enqueue,
+        SpanKind::Dispatch,
+        SpanKind::Vclock,
+        SpanKind::EpochCompute,
+        SpanKind::BarrierWait,
+        SpanKind::Exchange,
+        SpanKind::Merge,
+    ];
+
+    /// Stable wire name for JSONL span lines and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::EventPop => "event_pop",
+            SpanKind::EventHandle => "event_handle",
+            SpanKind::Enqueue => "enqueue",
+            SpanKind::Dispatch => "dispatch",
+            SpanKind::Vclock => "vclock",
+            SpanKind::EpochCompute => "epoch_compute",
+            SpanKind::BarrierWait => "barrier_wait",
+            SpanKind::Exchange => "exchange",
+            SpanKind::Merge => "merge",
+        }
+    }
+
+    /// Inverse of [`SpanKind::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|k| k.as_str() == s)
+    }
+}
+
+impl std::fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Aggregated statistics for one span kind.
+///
+/// Fixed-size and allocation-free: recording a sample is a few integer
+/// operations, merging two stats is element-wise addition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all sample durations, nanoseconds.
+    pub total_ns: u64,
+    /// Smallest sample (`u64::MAX` when no samples).
+    pub min_ns: u64,
+    /// Largest sample.
+    pub max_ns: u64,
+    /// Power-of-two latency histogram; see [`HIST_BUCKETS`].
+    hist: [u64; HIST_BUCKETS],
+}
+
+impl Default for SpanStats {
+    fn default() -> Self {
+        SpanStats {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            hist: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+fn bucket_of(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        ((64 - ns.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+fn bucket_low_ns(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+impl SpanStats {
+    /// Records one sample of `ns` nanoseconds.
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        if ns < self.min_ns {
+            self.min_ns = ns;
+        }
+        if ns > self.max_ns {
+            self.max_ns = ns;
+        }
+        self.hist[bucket_of(ns)] += 1;
+    }
+
+    /// Folds `other` into `self`.
+    pub fn merge_from(&mut self, other: &SpanStats) {
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for (a, b) in self.hist.iter_mut().zip(other.hist.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Mean sample duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Lower edge (ns) of the histogram bucket holding the `permille`-th
+    /// quantile sample (`permille` in 0..=1000). Integer math throughout;
+    /// returns 0 when no samples were recorded.
+    pub fn quantile_ns(&self, permille: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((permille * self.count).div_ceil(1000)).max(1);
+        let mut cum = 0u64;
+        for (i, &n) in self.hist.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                return bucket_low_ns(i);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median sample, as a histogram-bucket lower edge.
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(500)
+    }
+
+    /// 99th-percentile sample, as a histogram-bucket lower edge.
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(990)
+    }
+}
+
+/// Aggregated span statistics for every [`SpanKind`] — the result a
+/// [`SpanProfiler`] produces, and the unit the parallel runtime collects
+/// per shard.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpanSnapshot {
+    stats: [SpanStats; SpanKind::COUNT],
+}
+
+impl SpanSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stats for one kind.
+    pub fn get(&self, kind: SpanKind) -> &SpanStats {
+        &self.stats[kind as usize]
+    }
+
+    /// Records one sample against `kind`.
+    #[inline]
+    pub fn record(&mut self, kind: SpanKind, ns: u64) {
+        self.stats[kind as usize].record(ns);
+    }
+
+    /// Folds `other` into `self`, kind by kind.
+    pub fn merge_from(&mut self, other: &SpanSnapshot) {
+        for (a, b) in self.stats.iter_mut().zip(other.stats.iter()) {
+            a.merge_from(b);
+        }
+    }
+
+    /// `true` when no samples of any kind were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stats.iter().all(|s| s.count == 0)
+    }
+
+    /// Total recorded time across all kinds, nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.stats.iter().map(|s| s.total_ns).sum()
+    }
+
+    /// Renders a fixed-width text table (kinds with no samples omitted).
+    pub fn report_text(&self, label: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "spans[{label}]      {:>10} {:>14} {:>10} {:>10} {:>10} {:>12}",
+            "count", "total_ns", "mean_ns", "p50_ns", "p99_ns", "max_ns"
+        );
+        for kind in SpanKind::ALL {
+            let s = self.get(kind);
+            if s.count == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>10} {:>14} {:>10} {:>10} {:>10} {:>12}",
+                kind.as_str(),
+                s.count,
+                s.total_ns,
+                s.mean_ns(),
+                s.p50_ns(),
+                s.p99_ns(),
+                s.max_ns
+            );
+        }
+        if self.is_empty() {
+            let _ = writeln!(out, "  (no samples)");
+        }
+        out
+    }
+
+    /// Renders the snapshot as one JSON object:
+    /// `{"spans":[{"kind":…,"count":…,…}, …]}` (kinds with no samples
+    /// omitted).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"spans\":[");
+        let mut first = true;
+        for kind in SpanKind::ALL {
+            let s = self.get(kind);
+            if s.count == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{}\",\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
+                kind.as_str(),
+                s.count,
+                s.total_ns,
+                s.min_ns,
+                s.max_ns,
+                s.p50_ns(),
+                s.p99_ns()
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Appends one JSONL `{"ev":"span",…}` line per non-empty kind, tagged
+    /// with `shard` — the form flight-recorder dumps carry and
+    /// `hpfq-trace` parses back (see `crate::query`).
+    pub fn write_jsonl(&self, shard: usize, out: &mut String) {
+        for kind in SpanKind::ALL {
+            let s = self.get(kind);
+            if s.count == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{{\"ev\":\"span\",\"shard\":{},\"kind\":\"{}\",\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
+                shard,
+                kind.as_str(),
+                s.count,
+                s.total_ns,
+                s.min_ns,
+                s.max_ns,
+                s.p50_ns(),
+                s.p99_ns()
+            );
+        }
+    }
+}
+
+/// One conservative epoch `[t0, t1)` executed by one shard of
+/// `Network::run_parallel`, in **simulation** time (so epoch timelines are
+/// deterministic and byte-identical run to run).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochSpan {
+    /// Shard that executed the epoch.
+    pub shard: usize,
+    /// Epoch window start (simulation seconds).
+    pub t0: f64,
+    /// Epoch window end (simulation seconds).
+    pub t1: f64,
+    /// Events the shard handled inside the window.
+    pub events: u64,
+}
+
+impl EpochSpan {
+    /// Appends the `{"ev":"epoch",…}` JSONL line for this epoch.
+    pub fn write_jsonl(&self, out: &mut String) {
+        let _ = writeln!(
+            out,
+            "{{\"ev\":\"epoch\",\"shard\":{},\"t0\":{},\"t1\":{},\"events\":{}}}",
+            self.shard, self.t0, self.t1, self.events
+        );
+    }
+}
+
+/// Scoped phase timer; see the module docs for the two compiled shapes.
+///
+/// Spans of *different* kinds may nest freely (an `EventHandle` span
+/// usually contains an `Enqueue` or `Dispatch` span); re-entering the same
+/// kind before exiting it simply restarts that kind's open span.
+#[cfg(feature = "profile")]
+#[derive(Debug, Clone)]
+pub struct SpanProfiler {
+    base: std::time::Instant,
+    open: [u64; SpanKind::COUNT],
+    snap: SpanSnapshot,
+}
+
+#[cfg(feature = "profile")]
+impl SpanProfiler {
+    /// Compile-time liveness flag: `true` with the `profile` feature. Gate
+    /// call sites with `if SpanProfiler::ENABLED { … }` so the disabled
+    /// build carries no dead argument setup.
+    pub const ENABLED: bool = true;
+
+    /// A fresh profiler with its own time base.
+    pub fn new() -> Self {
+        SpanProfiler {
+            base: std::time::Instant::now(),
+            open: [0; SpanKind::COUNT],
+            snap: SpanSnapshot::default(),
+        }
+    }
+
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.base.elapsed().as_nanos() as u64
+    }
+
+    /// Opens a span of `kind`.
+    #[inline]
+    pub fn span_enter(&mut self, kind: SpanKind) {
+        self.open[kind as usize] = self.now_ns();
+    }
+
+    /// Closes the open span of `kind`, recording its duration.
+    #[inline]
+    pub fn span_exit(&mut self, kind: SpanKind) {
+        let end = self.now_ns();
+        let began = self.open[kind as usize];
+        self.snap.record(kind, end.saturating_sub(began));
+    }
+
+    /// The aggregated samples so far.
+    pub fn snapshot(&self) -> SpanSnapshot {
+        self.snap.clone()
+    }
+
+    /// Folds an externally collected snapshot (e.g. a worker shard's) into
+    /// this profiler's aggregate.
+    pub fn absorb(&mut self, other: &SpanSnapshot) {
+        self.snap.merge_from(other);
+    }
+
+    /// Clears all samples (the time base is kept).
+    pub fn reset(&mut self) {
+        self.snap = SpanSnapshot::default();
+    }
+}
+
+#[cfg(feature = "profile")]
+impl Default for SpanProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Scoped phase timer, compiled out (`profile` feature off): zero-sized,
+/// every method an empty inline body, [`SpanProfiler::ENABLED`] `false`.
+#[cfg(not(feature = "profile"))]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpanProfiler;
+
+#[cfg(not(feature = "profile"))]
+impl SpanProfiler {
+    /// Compile-time liveness flag: `false` without the `profile` feature,
+    /// so `if SpanProfiler::ENABLED { … }` blocks are dead code.
+    pub const ENABLED: bool = false;
+
+    /// A fresh (zero-sized) profiler.
+    #[inline]
+    pub fn new() -> Self {
+        SpanProfiler
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn span_enter(&mut self, _kind: SpanKind) {}
+
+    /// No-op.
+    #[inline]
+    pub fn span_exit(&mut self, _kind: SpanKind) {}
+
+    /// Always the empty snapshot.
+    pub fn snapshot(&self) -> SpanSnapshot {
+        SpanSnapshot::default()
+    }
+
+    /// No-op.
+    pub fn absorb(&mut self, _other: &SpanSnapshot) {}
+
+    /// No-op.
+    pub fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(bucket_low_ns(0), 0);
+        assert_eq!(bucket_low_ns(1), 1);
+        assert_eq!(bucket_low_ns(2), 2);
+        assert_eq!(bucket_low_ns(3), 4);
+    }
+
+    #[test]
+    fn stats_record_and_quantiles() {
+        let mut s = SpanStats::default();
+        for ns in [1u64, 2, 3, 4, 100, 1000] {
+            s.record(ns);
+        }
+        assert_eq!(s.count, 6);
+        assert_eq!(s.total_ns, 1110);
+        assert_eq!(s.min_ns, 1);
+        assert_eq!(s.max_ns, 1000);
+        assert_eq!(s.mean_ns(), 185);
+        // p50 of 6 samples = 3rd sample (3ns) -> bucket [2,4) low edge 2.
+        assert_eq!(s.p50_ns(), 2);
+        // p99 of 6 samples = 6th sample (1000ns) -> bucket [512,1024).
+        assert_eq!(s.p99_ns(), 512);
+        assert_eq!(SpanStats::default().p50_ns(), 0);
+    }
+
+    #[test]
+    fn stats_merge_is_elementwise() {
+        let mut a = SpanStats::default();
+        a.record(10);
+        let mut b = SpanStats::default();
+        b.record(1000);
+        b.record(2);
+        a.merge_from(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.total_ns, 1012);
+        assert_eq!(a.min_ns, 2);
+        assert_eq!(a.max_ns, 1000);
+    }
+
+    #[test]
+    fn kind_wire_names_round_trip() {
+        for kind in SpanKind::ALL {
+            assert_eq!(SpanKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(SpanKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn snapshot_reports_and_json() {
+        let mut snap = SpanSnapshot::new();
+        assert!(snap.is_empty());
+        snap.record(SpanKind::Dispatch, 100);
+        snap.record(SpanKind::Dispatch, 200);
+        snap.record(SpanKind::Merge, 5);
+        assert!(!snap.is_empty());
+        assert_eq!(snap.total_ns(), 305);
+        let text = snap.report_text("test");
+        assert!(text.contains("dispatch"), "{text}");
+        assert!(text.contains("merge"), "{text}");
+        assert!(!text.contains("enqueue"), "{text}");
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"spans\":["), "{json}");
+        assert!(json.contains("\"kind\":\"dispatch\",\"count\":2"), "{json}");
+        let mut lines = String::new();
+        snap.write_jsonl(3, &mut lines);
+        assert_eq!(lines.lines().count(), 2);
+        assert!(lines.contains("\"ev\":\"span\",\"shard\":3"), "{lines}");
+    }
+
+    #[test]
+    fn profiler_matches_feature_state() {
+        let mut p = SpanProfiler::new();
+        p.span_enter(SpanKind::EventPop);
+        p.span_exit(SpanKind::EventPop);
+        let snap = p.snapshot();
+        if SpanProfiler::ENABLED {
+            assert_eq!(snap.get(SpanKind::EventPop).count, 1);
+        } else {
+            assert!(snap.is_empty());
+            assert_eq!(std::mem::size_of::<SpanProfiler>(), 0);
+        }
+        p.reset();
+        assert!(p.snapshot().is_empty());
+    }
+
+    #[test]
+    fn epoch_span_jsonl_shape() {
+        let e = EpochSpan {
+            shard: 1,
+            t0: 0.25,
+            t1: 0.5,
+            events: 7,
+        };
+        let mut out = String::new();
+        e.write_jsonl(&mut out);
+        assert_eq!(
+            out,
+            "{\"ev\":\"epoch\",\"shard\":1,\"t0\":0.25,\"t1\":0.5,\"events\":7}\n"
+        );
+    }
+}

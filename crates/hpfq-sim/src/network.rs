@@ -33,8 +33,9 @@ use std::collections::BTreeMap;
 use hpfq_core::{Hierarchy, HpfqError, NodeId, NodeScheduler, Packet};
 use hpfq_events::Engine;
 use hpfq_obs::{
-    DropEvent, EscalationLevel, EscalationPolicy, EscalationState, FaultEvent, FaultKind,
-    NoopObserver, Observer, PacketInfo, QuarantineEvent,
+    DropEvent, EpochSpan, EscalationLevel, EscalationPolicy, EscalationState, FaultEvent,
+    FaultKind, NoopObserver, Observer, PacketInfo, QuarantineEvent, SpanKind, SpanProfiler,
+    SpanSnapshot,
 };
 
 use crate::source::{Source, SourceOutput};
@@ -377,6 +378,16 @@ pub struct Network<S: NodeScheduler, O: Observer = NoopObserver> {
     pub command_errors: Vec<(f64, HpfqError)>,
     /// Set only while this network is one shard of a parallel run.
     pub(crate) shard: Option<ShardCtx>,
+    /// Wall-clock span profiler over engine phases. With the `profile`
+    /// cargo feature off this is a ZST whose probes compile away.
+    pub(crate) profiler: SpanProfiler,
+    /// When `true`, parallel runs log one [`EpochSpan`] per shard epoch.
+    pub(crate) record_epochs: bool,
+    /// Epoch windows recorded by parallel runs (shard order after merge).
+    pub(crate) epoch_log: Vec<EpochSpan>,
+    /// Per-shard span snapshots collected by the last parallel merge
+    /// (empty for sequential runs, and when `profile` is off).
+    pub(crate) shard_spans: Vec<SpanSnapshot>,
 }
 
 impl<S: NodeScheduler, O: Observer> Default for Network<S, O> {
@@ -401,6 +412,10 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
             inflight_bytes: 0,
             command_errors: Vec::new(),
             shard: None,
+            profiler: SpanProfiler::new(),
+            record_epochs: false,
+            epoch_log: Vec::new(),
+            shard_spans: Vec::new(),
         }
     }
 
@@ -715,11 +730,17 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
                     continue;
                 }
             }
-            match self
+            if SpanProfiler::ENABLED {
+                self.profiler.span_enter(SpanKind::Enqueue);
+            }
+            let admitted = self
                 .link_mut(ingress.link)
                 .server
-                .try_enqueue(ingress.leaf, pkt)
-            {
+                .try_enqueue(ingress.leaf, pkt);
+            if SpanProfiler::ENABLED {
+                self.profiler.span_exit(SpanKind::Enqueue);
+            }
+            match admitted {
                 Ok(()) => {
                     self.stats.record_accept(&pkt);
                     let l = &mut self.link_mut(ingress.link).ledger;
@@ -741,7 +762,13 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
                 }
             }
         }
+        if SpanProfiler::ENABLED {
+            self.profiler.span_enter(SpanKind::Dispatch);
+        }
         self.try_start(ingress.link);
+        if SpanProfiler::ENABLED {
+            self.profiler.span_exit(SpanKind::Dispatch);
+        }
     }
 
     fn try_start(&mut self, link: usize) {
@@ -1014,7 +1041,14 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
                 return;
             }
         }
-        match self.link_mut(hop.link).server.try_enqueue(hop.leaf, pkt) {
+        if SpanProfiler::ENABLED {
+            self.profiler.span_enter(SpanKind::Enqueue);
+        }
+        let admitted = self.link_mut(hop.link).server.try_enqueue(hop.leaf, pkt);
+        if SpanProfiler::ENABLED {
+            self.profiler.span_exit(SpanKind::Enqueue);
+        }
+        match admitted {
             Ok(()) => {
                 let l = &mut self.link_mut(hop.link).ledger;
                 l.bytes_in += u64::from(pkt.len_bytes);
@@ -1031,7 +1065,13 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
                 );
             }
         }
+        if SpanProfiler::ENABLED {
+            self.profiler.span_enter(SpanKind::Dispatch);
+        }
         self.try_start(hop.link);
+        if SpanProfiler::ENABLED {
+            self.profiler.span_exit(SpanKind::Dispatch);
+        }
     }
 
     fn tx_complete(&mut self, link: usize, epoch: u64) {
@@ -1041,7 +1081,13 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
             return;
         }
         let t = self.engine.now();
+        if SpanProfiler::ENABLED {
+            self.profiler.span_enter(SpanKind::Vclock);
+        }
         let pkt = self.link_mut(link).server.complete_transmission_at(t);
+        if SpanProfiler::ENABLED {
+            self.profiler.span_exit(SpanKind::Vclock);
+        }
         {
             let l = &mut self.link_mut(link).ledger;
             l.bytes_out += u64::from(pkt.len_bytes);
@@ -1099,7 +1145,13 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
                 end: t,
             });
         }
+        if SpanProfiler::ENABLED {
+            self.profiler.span_enter(SpanKind::Dispatch);
+        }
         self.try_start(link);
+        if SpanProfiler::ENABLED {
+            self.profiler.span_exit(SpanKind::Dispatch);
+        }
     }
 
     /// Runs the simulation until `horizon` seconds (events strictly after
@@ -1109,10 +1161,23 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
     pub fn run(&mut self, horizon: f64) {
         self.start_pending_sources();
         while !self.halted {
-            let Some((t, ev)) = self.engine.pop_due(horizon) else {
+            if SpanProfiler::ENABLED {
+                self.profiler.span_enter(SpanKind::EventPop);
+            }
+            let popped = self.engine.pop_due(horizon);
+            if SpanProfiler::ENABLED {
+                self.profiler.span_exit(SpanKind::EventPop);
+            }
+            let Some((t, ev)) = popped else {
                 break;
             };
+            if SpanProfiler::ENABLED {
+                self.profiler.span_enter(SpanKind::EventHandle);
+            }
             self.handle(t, ev);
+            if SpanProfiler::ENABLED {
+                self.profiler.span_exit(SpanKind::EventHandle);
+            }
         }
         // Unfired events past the horizon stay queued so a subsequent
         // `run` with a larger horizon continues cleanly.
@@ -1221,5 +1286,39 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
             }
         }
         Ok(())
+    }
+
+    /// Aggregated wall-clock span timings recorded so far: the sequential
+    /// engine's own samples plus, after [`crate::run_parallel`], every
+    /// worker shard's (absorbed at merge). Empty unless the crate was
+    /// built with the `profile` feature.
+    pub fn span_snapshot(&self) -> SpanSnapshot {
+        self.profiler.snapshot()
+    }
+
+    /// Per-shard span snapshots from the last parallel run, in shard
+    /// order. Empty for sequential runs and when `profile` is off.
+    pub fn shard_span_snapshots(&self) -> &[SpanSnapshot] {
+        &self.shard_spans
+    }
+
+    /// Enables (or disables) per-epoch logging for parallel runs: each
+    /// shard records one [`EpochSpan`] per conservative epoch window.
+    /// Unlike span timing this is a runtime switch — epochs are stamped
+    /// with *simulation* time, so recording them is deterministic and
+    /// needs no feature gate.
+    pub fn set_record_epochs(&mut self, on: bool) {
+        self.record_epochs = on;
+    }
+
+    /// Epoch windows logged by parallel runs (shard-major order after the
+    /// merge). Empty unless [`Network::set_record_epochs`] was called.
+    pub fn epoch_log(&self) -> &[EpochSpan] {
+        &self.epoch_log
+    }
+
+    /// Renders [`Network::span_snapshot`] as a fixed-width text table.
+    pub fn span_report(&self) -> String {
+        self.profiler.snapshot().report_text("network")
     }
 }

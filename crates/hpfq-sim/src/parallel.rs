@@ -58,7 +58,7 @@ use std::sync::{Barrier, Mutex};
 
 use hpfq_core::NodeScheduler;
 use hpfq_events::Engine;
-use hpfq_obs::Observer;
+use hpfq_obs::{EpochSpan, Observer, SpanKind, SpanProfiler};
 
 use crate::network::{NetEvent, Network, OutMsg, ShardCtx, SourceSlot};
 use crate::stats::SimStats;
@@ -188,7 +188,13 @@ impl<S: NodeScheduler + Send, O: Observer + Send> Network<S, O> {
             }
         });
 
+        if SpanProfiler::ENABLED {
+            self.profiler.span_enter(SpanKind::Merge);
+        }
         self.merge(workers, &link_shard, base_sources);
+        if SpanProfiler::ENABLED {
+            self.profiler.span_exit(SpanKind::Merge);
+        }
         ParallelReport {
             shards: requested,
             epochs: epochs.load(std::sync::atomic::Ordering::Relaxed),
@@ -253,6 +259,13 @@ impl<S: NodeScheduler + Send, O: Observer + Send> Network<S, O> {
                         link_shard: std::sync::Arc::clone(link_shard),
                         outbox: Vec::new(),
                     }),
+                    // Each worker times against its own base Instant;
+                    // snapshots carry only durations, so merging them into
+                    // the master is exact.
+                    profiler: SpanProfiler::new(),
+                    record_epochs: self.record_epochs,
+                    epoch_log: Vec::new(),
+                    shard_spans: Vec::new(),
                 }
             })
             .collect();
@@ -290,7 +303,17 @@ impl<S: NodeScheduler + Send, O: Observer + Send> Network<S, O> {
         let mut leftovers: Vec<(f64, u64, usize, usize, NetEvent)> = Vec::new();
         let mut errors: Vec<(f64, usize, hpfq_core::HpfqError)> = Vec::new();
         let mut max_now = self.engine.now();
+        self.shard_spans.clear();
         for (sid, mut w) in workers.into_iter().enumerate() {
+            // Wall-clock spans fold into the master aggregate and are also
+            // kept per shard; epoch windows (simulation time) append in
+            // shard-major order.
+            if SpanProfiler::ENABLED {
+                let snap = w.profiler.snapshot();
+                self.profiler.absorb(&snap);
+                self.shard_spans.push(snap);
+            }
+            self.epoch_log.append(&mut w.epoch_log);
             // Links move back whole: ledger, hierarchy, observer state and
             // all. Each was owned by exactly one shard.
             for (i, slot) in w.links.iter_mut().enumerate() {
@@ -385,6 +408,10 @@ fn run_shard<S: NodeScheduler + Send, O: Observer + Send>(
         // Drain this shard's events due inside the window (and horizon):
         // strictly before the epoch boundary, inclusively at the horizon
         // (matching the sequential loop's `pop_due` semantics there).
+        if SpanProfiler::ENABLED {
+            net.profiler.span_enter(SpanKind::EpochCompute);
+        }
+        let mut handled = 0u64;
         loop {
             let due = if epoch_end <= horizon {
                 net.engine.pop_strictly_before(epoch_end)
@@ -393,10 +420,25 @@ fn run_shard<S: NodeScheduler + Send, O: Observer + Send>(
             };
             let Some((t, ev)) = due else { break };
             net.handle(t, ev);
+            handled += 1;
+        }
+        if SpanProfiler::ENABLED {
+            net.profiler.span_exit(SpanKind::EpochCompute);
+        }
+        if net.record_epochs {
+            net.epoch_log.push(EpochSpan {
+                shard: sid,
+                t0: t_start,
+                t1: epoch_end.min(horizon),
+                events: handled,
+            });
         }
         // Post everything produced for other shards. `send_seq` keeps the
         // producing order so identical `(t, minor)` envelopes from one
         // sender stay FIFO after the inbox sort.
+        if SpanProfiler::ENABLED {
+            net.profiler.span_enter(SpanKind::Exchange);
+        }
         if let Some(ctx) = net.shard.as_mut() {
             for OutMsg { dest, t, minor, ev } in ctx.outbox.drain(..) {
                 send_seq += 1;
@@ -409,9 +451,21 @@ fn run_shard<S: NodeScheduler + Send, O: Observer + Send>(
                 });
             }
         }
+        if SpanProfiler::ENABLED {
+            net.profiler.span_exit(SpanKind::Exchange);
+        }
+        if SpanProfiler::ENABLED {
+            net.profiler.span_enter(SpanKind::BarrierWait);
+        }
         barrier.wait();
+        if SpanProfiler::ENABLED {
+            net.profiler.span_exit(SpanKind::BarrierWait);
+        }
         // All inboxes are complete now: take mine, order it canonically,
         // feed the engine.
+        if SpanProfiler::ENABLED {
+            net.profiler.span_enter(SpanKind::Exchange);
+        }
         let mut inbox = std::mem::take(&mut *lock_clean(&mailboxes[sid]));
         inbox.sort_by(|a, b| {
             a.t.total_cmp(&b.t)
@@ -422,8 +476,17 @@ fn run_shard<S: NodeScheduler + Send, O: Observer + Send>(
         for env in inbox {
             net.engine.schedule_keyed(env.t, env.minor, env.ev);
         }
+        if SpanProfiler::ENABLED {
+            net.profiler.span_exit(SpanKind::Exchange);
+        }
         lock_clean(next_times)[sid] = net.engine.peek_time().unwrap_or(f64::INFINITY);
+        if SpanProfiler::ENABLED {
+            net.profiler.span_enter(SpanKind::BarrierWait);
+        }
         barrier.wait();
+        if SpanProfiler::ENABLED {
+            net.profiler.span_exit(SpanKind::BarrierWait);
+        }
         // Every shard computes the same next epoch start from the same
         // published vector; no third barrier is needed because slot `sid`
         // is only rewritten after the *next* exchange barrier.

@@ -1,0 +1,114 @@
+//! Span profiling and Perfetto export end-to-end: run the 3-link tandem
+//! under the parallel runtime, print the per-phase wall-clock profile,
+//! and write a `trace.json` timeline openable in Perfetto.
+//!
+//! ```text
+//! cargo run --release --example profiling --features profile [trace.json]
+//! ```
+//!
+//! Without `--features profile` the example still runs — epoch recording
+//! is a runtime switch stamped in *simulation* time, so the Perfetto
+//! export (link tracks + shard epoch tracks) is complete either way — but
+//! the span table prints empty, because the profiler compiles down to a
+//! zero-sized no-op. With the feature on, the table shows where engine
+//! time goes (event pop/handle, enqueue, dispatch, virtual-clock update)
+//! and what the parallel phases cost (epoch compute, barrier wait,
+//! cross-shard exchange, merge), per shard and in aggregate.
+
+use hpfq::core::{Hierarchy, MixedScheduler, SchedulerKind};
+use hpfq::obs::jsonl::{merge_traces, parse_trace};
+use hpfq::obs::{chrome_trace, JsonlObserver, SpanProfiler};
+use hpfq::sim::{CbrSource, Hop, Network, Route};
+
+const LINKS: usize = 3;
+const RATE: f64 = 10e6;
+const PKT: u32 = 1500;
+const SHARDS: usize = 3;
+
+type Obs = JsonlObserver<Vec<u8>>;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "/tmp/hpfq-trace.json".into());
+
+    // 3-link tandem: flow 0 crosses every link with 2 ms propagation
+    // delay (real lookahead for the conservative scheme); one saturating
+    // cross flow per link.
+    let kind = SchedulerKind::Wf2qPlus;
+    let mut net: Network<MixedScheduler, Obs> = Network::new();
+    let mut hops = Vec::new();
+    for li in 0..LINKS {
+        let mut bld = Hierarchy::<MixedScheduler, Obs>::builder_with_observer(
+            RATE,
+            move |r| kind.build(r),
+            JsonlObserver::new(Vec::new()),
+        );
+        let root = bld.root();
+        let tandem_leaf = bld.add_leaf(root, 0.4).expect("valid share");
+        let cross_leaf = bld.add_leaf(root, 0.6).expect("valid share");
+        let link = net.add_link(bld.build());
+        assert_eq!(link, li);
+        hops.push(Hop {
+            link,
+            leaf: tandem_leaf,
+            buffer_bytes: None,
+            prop_delay: 0.002,
+        });
+        let flow = 100 + link as u32;
+        net.add_route(
+            flow,
+            CbrSource::new(flow, PKT, 6e6, 0.0, 2.0),
+            Route::new(vec![Hop {
+                link,
+                leaf: cross_leaf,
+                buffer_bytes: Some(16 * u64::from(PKT)),
+                prop_delay: 0.0,
+            }]),
+        );
+    }
+    net.add_route(0, CbrSource::new(0, PKT, 3e6, 0.0, 2.0), Route::new(hops));
+
+    net.set_record_epochs(true);
+    let report = net.run_parallel(3.0, SHARDS);
+    net.verify_conservation().expect("conservation holds");
+    println!(
+        "parallel run: {} shards, fallback {:?}, {} packets",
+        report.shards, report.fallback, net.stats.total_packets
+    );
+
+    // Per-phase wall-clock profile. Empty (a header-only table) unless
+    // built with `--features profile`.
+    if SpanProfiler::ENABLED {
+        println!("\n{}", net.span_report());
+        for (sid, snap) in net.shard_span_snapshots().iter().enumerate() {
+            println!("{}", snap.report_text(&format!("shard {sid}")));
+        }
+    } else {
+        println!("\nspan profiler compiled out; rebuild with --features profile");
+    }
+
+    // Perfetto timeline: merge the per-link JSONL traces, parse them
+    // back, and render tx slices + epoch windows in simulation time.
+    let epochs = net.epoch_log().to_vec();
+    println!(
+        "{} conservative epochs across {} shards",
+        epochs.len(),
+        report.shards
+    );
+    let bufs: Vec<String> = net
+        .into_observers()
+        .into_iter()
+        .map(|o| String::from_utf8(o.into_inner()).expect("utf8 trace"))
+        .collect();
+    let (events, skipped) = parse_trace(&merge_traces(&bufs));
+    assert_eq!(skipped, 0, "trace had unparseable lines");
+    let json = chrome_trace(&events, &epochs);
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!(
+        "{} trace events -> {} ({} bytes); open in https://ui.perfetto.dev",
+        events.len(),
+        path,
+        json.len()
+    );
+}
