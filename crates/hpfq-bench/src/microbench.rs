@@ -7,6 +7,7 @@
 //! scheduler preemption without criterion's full bootstrap machinery.
 
 use std::hint::black_box;
+// lint:allow(L007): the bench harness exists to measure host elapsed time
 use std::time::Instant;
 
 /// Number of timed batches per measurement; the median is reported.
@@ -71,6 +72,7 @@ impl Profile {
 pub fn time_op_profile<T>(mut op: impl FnMut() -> T, profile: Profile) -> f64 {
     let mut batch: u64 = 16;
     loop {
+        // lint:allow(L007): wall-clock measures the op, never feeds sim state
         let t = Instant::now();
         for _ in 0..batch {
             black_box(op());
@@ -82,6 +84,7 @@ pub fn time_op_profile<T>(mut op: impl FnMut() -> T, profile: Profile) -> f64 {
     }
     let mut samples: Vec<f64> = (0..profile.batches())
         .map(|_| {
+            // lint:allow(L007): wall-clock measures the op, never feeds sim state
             let t = Instant::now();
             for _ in 0..batch {
                 black_box(op());
@@ -197,8 +200,8 @@ pub fn records_to_json(meta: &[(&str, MetaValue<'_>)], records: &[BenchRecord]) 
 /// failed to persist is worse than a crash.
 pub fn write_json(path: &str, meta: &[(&str, MetaValue<'_>)], records: &[BenchRecord]) {
     let doc = records_to_json(meta, records);
-    // lint:allow(L002): bench harness, not simulation hot path — failing to
-    // persist a baseline must be loud
+    // Bench harness, unreachable from the engine entry points — failing
+    // to persist a baseline must be loud.
     std::fs::write(path, doc).unwrap_or_else(|e| panic!("writing bench JSON {path}: {e}"));
     println!("bench JSON written to {path}");
 }
@@ -234,7 +237,6 @@ pub fn sizes_from_args(args: &[String]) -> Option<Vec<u32>> {
         .position(|a| a == "--sizes")
         .and_then(|i| args.get(i + 1))?;
     let sizes: Result<Vec<u32>, String> = spec.split(',').map(parse_size).collect();
-    // lint:allow(L002): bench CLI parsing, not simulation hot path
     Some(sizes.unwrap_or_else(|e| panic!("--sizes {spec}: {e}")))
 }
 

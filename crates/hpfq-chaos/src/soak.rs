@@ -261,7 +261,6 @@ fn run_one(kind: SchedulerKind, cfg: &ChaosConfig, plan: ChaosPlan) -> SoakRun {
             .filter(|r| r.end >= window_start)
             .map(|r| u64::from(r.len_bytes))
             .sum();
-        // lint:allow(L005): byte count over a bounded window, exact in f64
         let bits = bytes as f64 * 8.0;
         norms.push(bits / ((cfg.horizon - window_start) * base_rates[i]));
     }

@@ -541,8 +541,8 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
     /// [`Hierarchy::try_enqueue`] instead.
     pub fn enqueue(&mut self, leaf: NodeId, pkt: Packet) {
         if let Err(e) = self.try_enqueue(leaf, pkt) {
-            // lint:allow(L002): documented contract of the infallible API;
-            // the graceful path is try_enqueue
+            // Documented contract of the infallible convenience API; hot
+            // callers use try_enqueue, so this is not hot-path tainted.
             panic!("enqueue: {e}");
         }
     }
@@ -952,7 +952,8 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
         self.nodes[node.0]
             .sched
             .as_ref()
-            // lint:allow(L002): documented caller contract: node is internal
+            // Diagnostic accessor (documented caller contract: node is
+            // internal); unreachable from the engine entry points.
             .expect("internal node")
             .virtual_time()
     }

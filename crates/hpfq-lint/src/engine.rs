@@ -86,19 +86,28 @@ impl FileCtx {
             .any(|s| s.rules.iter().any(|r| r == rule) && self.covers(s, line))
     }
 
-    /// A directive covers its own line and the first token-bearing line
-    /// after it (comment continuation lines and blanks in between don't
-    /// break the span).
-    fn covers(&self, s: &Suppression, line: u32) -> bool {
+    /// A directive covers the span from its own line through the first
+    /// token-bearing line after it, inclusive — comment continuation lines
+    /// and blanks in between don't break the span, and are themselves
+    /// covered (so an L011 finding, which lands on another directive's
+    /// comment line, can be allowlisted).
+    pub(crate) fn covers(&self, s: &Suppression, line: u32) -> bool {
+        if line < s.line {
+            return false;
+        }
         if s.line == line {
             return true;
         }
-        self.tokens
+        match self
+            .tokens
             .iter()
             .map(|t| t.line)
             .filter(|&l| l > s.line)
             .min()
-            == Some(line)
+        {
+            Some(next_code) => line <= next_code,
+            None => false,
+        }
     }
 
     /// Creates a [`Finding`] for this file, resolving suppression.
@@ -110,6 +119,92 @@ impl FileCtx {
             message,
             suppressed: self.is_suppressed(rule, line),
         }
+    }
+}
+
+/// A shard-worker function carrying cross-shard shared state, for rule
+/// L010: its body token range and the names of its `Mutex`/`Atomic`/
+/// `Barrier`-typed parameters.
+#[derive(Debug, Clone)]
+pub struct WorkerSharedFn {
+    /// Body token range `[open, close]` in the owning file.
+    pub body: (usize, usize),
+    /// Parameter names whose types are cross-shard shared state.
+    pub shared: Vec<String>,
+}
+
+/// Whether a flattened parameter type denotes cross-shard shared state.
+pub fn is_shared_ty(ty: &str) -> bool {
+    ty.contains("Mutex") || ty.contains("Atomic") || ty.contains("Barrier")
+}
+
+/// Workspace-derived context for one file: what the symbol table, call
+/// graph, and taint propagation concluded about it. Built once per file
+/// by [`crate::lint_sources`] and handed to every rule alongside the
+/// [`FileCtx`].
+pub struct FileView<'a> {
+    /// `tokens[i]` lies inside the body of a hot-path-tainted function
+    /// (reachable from the engine entry points).
+    pub hot: Vec<bool>,
+    /// The file's crate contains at least one hot-path function, so its
+    /// state can feed simulation output (rules L007/L009 apply).
+    pub sim_crate: bool,
+    /// Identifiers declared in this file with an unordered-container
+    /// type (`HashSet`/`HashMap`).
+    pub unordered: &'a std::collections::BTreeSet<String>,
+    /// Body ranges of functions that are themselves observer hooks —
+    /// forwarding calls inside them inherit the caller's `ENABLED` gate.
+    pub hook_bodies: Vec<(usize, usize)>,
+    /// Shard-worker functions with shared-state parameters (rule L010).
+    pub workers: Vec<WorkerSharedFn>,
+}
+
+impl<'a> FileView<'a> {
+    /// Derives the view of file `file` from workspace-level analysis
+    /// results (`hot`/`worker` are per-fn taint flags).
+    pub fn build(
+        ctx: &FileCtx,
+        file: usize,
+        st: &'a crate::symbols::SymbolTable,
+        hot: &[bool],
+        worker: &[bool],
+        sim_crates: &std::collections::BTreeSet<String>,
+    ) -> FileView<'a> {
+        let hot_toks = crate::callgraph::token_mask(st, file, ctx.tokens.len(), hot);
+        let mut hook_bodies = Vec::new();
+        let mut workers = Vec::new();
+        for fid in st.fns_of_file(file) {
+            let f = &st.fns[fid];
+            if crate::rules::is_observer_hook(&f.name) && f.body.0 < f.body.1 {
+                hook_bodies.push(f.body);
+            }
+            if worker[fid] {
+                let shared: Vec<String> = f
+                    .params
+                    .iter()
+                    .filter(|p| is_shared_ty(&p.ty))
+                    .map(|p| p.name.clone())
+                    .collect();
+                if !shared.is_empty() {
+                    workers.push(WorkerSharedFn {
+                        body: f.body,
+                        shared,
+                    });
+                }
+            }
+        }
+        FileView {
+            hot: hot_toks,
+            sim_crate: sim_crates.contains(&ctx.krate),
+            unordered: &st.unordered[file],
+            hook_bodies,
+            workers,
+        }
+    }
+
+    /// Whether token `i` lies inside an observer-hook body.
+    pub fn in_hook_body(&self, i: usize) -> bool {
+        self.hook_bodies.iter().any(|&(a, b)| a <= i && i <= b)
     }
 }
 
@@ -254,6 +349,12 @@ fn mark_gated_regions(tokens: &[Tok]) -> Vec<bool> {
 fn parse_suppressions(comments: &[crate::lexer::LineComment]) -> Vec<Suppression> {
     let mut out = Vec::new();
     for c in comments {
+        // Doc comments (`///` → text starts with `/`, `//!` → `!`) are
+        // prose, not directives — their `lint:allow` examples must not
+        // suppress anything (or trip the stale-allow rule L011).
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue;
+        }
         let Some(pos) = c.text.find("lint:allow(") else {
             continue;
         };

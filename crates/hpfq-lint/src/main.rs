@@ -5,22 +5,25 @@
 //! cargo run -p hpfq-lint -- --workspace --deny    # CI: exit 1 on violations
 //! cargo run -p hpfq-lint -- --workspace --json    # machine-readable report
 //! cargo run -p hpfq-lint -- --list-rules
+//! cargo run -p hpfq-lint -- --explain L007        # rationale + fix example
 //! cargo run -p hpfq-lint -- path/to/file.rs …     # lint specific files
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use hpfq_lint::{lint_file, lint_workspace, report, Finding, RULES};
+use hpfq_lint::{explain, lint_files, lint_workspace, report, Finding, RULES};
 
 fn usage() -> &'static str {
-    "usage: hpfq-lint [--workspace | FILE...] [--root DIR] [--json] [--deny] [--list-rules]\n\
+    "usage: hpfq-lint [--workspace | FILE...] [--root DIR] [--json] [--deny] [--list-rules] \
+     [--explain RULE]\n\
      \n\
-     --workspace   lint src/ and crates/*/src/ under the root (default: cwd)\n\
-     --root DIR    workspace root for --workspace and relative diagnostics\n\
-     --json        emit the machine-readable JSON report instead of text\n\
-     --deny        exit non-zero if any unsuppressed violation remains\n\
-     --list-rules  print the rule catalog and exit"
+     --workspace     lint src/ and crates/*/src/ under the root (default: cwd)\n\
+     --root DIR      workspace root for --workspace and relative diagnostics\n\
+     --json          emit the machine-readable JSON report instead of text\n\
+     --deny          exit non-zero if any unsuppressed violation remains\n\
+     --list-rules    print the rule catalog and exit\n\
+     --explain RULE  print a rule's rationale and a minimal fix example"
 }
 
 fn main() -> ExitCode {
@@ -42,6 +45,24 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
+            "--explain" => match args.next() {
+                Some(id) => match explain(&id) {
+                    Some(text) => {
+                        print!("{text}");
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        eprintln!(
+                            "unknown rule `{id}` — run --list-rules for the catalog (L001–L011)"
+                        );
+                        return ExitCode::from(2);
+                    }
+                },
+                None => {
+                    eprintln!("--explain requires a rule id (e.g. L007)\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(d) => root = PathBuf::from(d),
                 None => {
@@ -62,17 +83,15 @@ fn main() -> ExitCode {
     }
 
     // `cargo run -p hpfq-lint` runs from the workspace root; `--root`
-    // overrides for out-of-tree invocations.
+    // overrides for out-of-tree invocations. Explicit files are analysed
+    // together as one unit so cross-file taint propagation still works.
     let findings: std::io::Result<Vec<Finding>> = if workspace {
         lint_workspace(&root)
     } else if paths.is_empty() {
         eprintln!("nothing to lint\n{}", usage());
         return ExitCode::from(2);
     } else {
-        paths.iter().try_fold(Vec::new(), |mut acc, p| {
-            acc.extend(lint_file(&root, p)?);
-            Ok(acc)
-        })
+        lint_files(&root, &paths)
     };
 
     let findings = match findings {

@@ -1,5 +1,13 @@
-// Fixture for rule L002 (hot-path-panic).
-// Violations on lines 7, 9, 11; test code exempt.
+// Fixture for rule L002 (hot-path-panic), taint-scoped.
+// `Network::run` is the taint seed; `hot_path` is reachable from it, so
+// its panics are violations. `cold_path` is unreachable from any entry
+// point — exempt even though it unwraps. Test code exempt.
+
+impl Network {
+    pub fn run(&mut self, q: &mut Vec<u32>, opt: Option<u32>) -> u32 {
+        hot_path(q, opt)
+    }
+}
 
 pub fn hot_path(q: &mut Vec<u32>, opt: Option<u32>) -> u32 {
     let head = q.pop();
@@ -11,6 +19,11 @@ pub fn hot_path(q: &mut Vec<u32>, opt: Option<u32>) -> u32 {
         unreachable!("a was checked non-zero") // VIOLATION.
     }
     a + b
+}
+
+pub fn cold_path(opt: Option<u32>) -> u32 {
+    // Unreachable from the engine entry points: no finding.
+    opt.unwrap()
 }
 
 #[cfg(test)]

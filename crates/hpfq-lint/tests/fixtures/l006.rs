@@ -1,5 +1,15 @@
-// Fixture for rule L006 (ungated-observer-call).
-// Violation on line 14; the gated call is clean.
+// Fixture for rule L006 (ungated-observer-call), taint-scoped.
+// `Network::run` seeds the hot taint; both helpers are reachable.
+// The gated call is clean; the ungated one is a violation. A forwarding
+// call inside an observer hook's own body is exempt (the outer call
+// site's gate covers it).
+
+impl Network {
+    pub fn run(&mut self, now: f64) {
+        dispatch(&mut self.obs, now);
+        drop_packet(&mut self.obs, now);
+    }
+}
 
 pub fn dispatch<O: Observer>(obs: &mut O, now: f64) {
     if O::ENABLED {
@@ -12,4 +22,12 @@ pub fn dispatch<O: Observer>(obs: &mut O, now: f64) {
 pub fn drop_packet<O: Observer>(obs: &mut O, now: f64) {
     let e = DropEvent::new(now);
     obs.on_drop(&e); // VIOLATION: not behind O::ENABLED.
+}
+
+impl<A: Observer, B: Observer> Observer for Tee<A, B> {
+    fn on_drop(&mut self, e: &DropEvent) {
+        // Forwarding inside a hook body: exempt, caller already gated.
+        self.a.on_drop(e);
+        self.b.on_drop(e);
+    }
 }

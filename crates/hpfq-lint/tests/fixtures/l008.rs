@@ -1,0 +1,19 @@
+// Fixture for rule L008 (pointer-identity-key). Workspace-wide: address
+// identity is wrong as a key in every crate, hot or not.
+
+pub fn bad_sort(pkts: &mut Vec<Pkt>) {
+    pkts.sort_by_key(|p| p.as_ptr() as usize); // VIOLATION: address as key.
+}
+
+pub fn bad_identity(a: &Node, b: &Node) -> bool {
+    std::ptr::eq(a, b) // VIOLATION: pointer identity comparison.
+}
+
+pub fn bad_chain(n: &Node) -> u64 {
+    n as *const Node as u64 // VIOLATION: address materialised as integer.
+}
+
+pub fn allowed_debug_id(n: &Node) -> usize {
+    // lint:allow(L008): debug log label only — never ordering or hashing
+    n as *const Node as usize
+}

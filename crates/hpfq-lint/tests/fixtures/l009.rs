@@ -1,0 +1,21 @@
+// Fixture for rule L009 (unordered-iteration). The entry point makes the
+// crate a simulation crate; HashSet mentions and iteration over unordered
+// containers are violations.
+
+impl Network {
+    pub fn run(&mut self) {
+        self.step();
+    }
+}
+
+pub fn bad_collect(seen: HashSet<u32>) { // VIOLATION: HashSet in a sim crate.
+    for s in &seen {
+        // VIOLATION above: unordered iteration order reaches observe().
+        observe(s);
+    }
+}
+
+// lint:allow(L009): membership-only scratch set, order never observed
+pub fn allowed_scratch(tmp: HashSet<u32>) -> usize {
+    tmp.len()
+}

@@ -1,0 +1,21 @@
+// Fixture for rule L010 (cross-shard-access). `run_shard` is the worker
+// seed; its Mutex/Barrier parameters are cross-shard state. Uses must be
+// synchronized and must stay out of the EpochCompute phase.
+
+fn run_shard(sid: usize, next_times: &Mutex<Vec<f64>>, barrier: &Barrier) {
+    loop {
+        if SpanProfiler::ENABLED {
+            prof.span_enter(SpanKind::EpochCompute);
+        }
+        let t = lock_clean(next_times)[sid]; // VIOLATION: compute phase.
+        if SpanProfiler::ENABLED {
+            prof.span_exit(SpanKind::EpochCompute);
+        }
+        barrier.wait();
+        lock_clean(next_times)[sid] = t; // Clean: exchange phase, locked.
+        let raw = next_times; // VIOLATION: unsynchronized alias.
+        // lint:allow(L010): poisoning probe reads the lock state, not the data
+        let poisoned = next_times.is_poisoned();
+        barrier.wait();
+    }
+}

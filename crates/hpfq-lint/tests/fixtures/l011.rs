@@ -1,0 +1,19 @@
+// Fixture for rule L011 (stale-lint-allow). An allow whose violation was
+// fixed (or whose rule scoping changed) matches no finding and is stale.
+
+pub fn fixed_since(q: &[u32]) -> u32 {
+    // lint:allow(L002): head checked — STALE: fn is not hot-path-tainted.
+    q[0]
+}
+
+pub fn justified(finish: f64, recorded: f64) -> bool {
+    // lint:allow(L001): identity test on a stored stamp — matches a live
+    // finding, not stale.
+    finish == recorded
+}
+
+pub fn acknowledged_cold(opt: Option<u32>) -> u32 {
+    // lint:allow(L011): L002 allow kept for the planned re-hot refactor
+    // lint:allow(L002): queue invariant will make this hot again
+    opt.unwrap()
+}

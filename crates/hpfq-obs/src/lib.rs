@@ -232,18 +232,21 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
 
 /// Dispatches a [`TraceEvent`] (e.g. parsed from a JSONL trace) to the
 /// corresponding [`Observer`] hook — the replay path: any sink that can
-/// consume live events can consume recorded ones.
+/// consume live events can consume recorded ones. The `ENABLED` gate
+/// keeps replay-through-a-Noop dead code, same as the live hooks.
 pub fn replay<O: Observer>(obs: &mut O, ev: &TraceEvent) {
-    match ev {
-        TraceEvent::Enqueue(e) => obs.on_enqueue(e),
-        TraceEvent::Drop(e) => obs.on_drop(e),
-        TraceEvent::Dispatch(e) => obs.on_dispatch(e),
-        TraceEvent::TxStart(e) => obs.on_tx_start(e),
-        TraceEvent::TxComplete(e) => obs.on_tx_complete(e),
-        TraceEvent::Backlog(e) => obs.on_node_backlog(e),
-        TraceEvent::BusyReset(e) => obs.on_busy_reset(e),
-        TraceEvent::Fault(e) => obs.on_fault(e),
-        TraceEvent::Quarantine(e) => obs.on_quarantine(e),
+    if O::ENABLED {
+        match ev {
+            TraceEvent::Enqueue(e) => obs.on_enqueue(e),
+            TraceEvent::Drop(e) => obs.on_drop(e),
+            TraceEvent::Dispatch(e) => obs.on_dispatch(e),
+            TraceEvent::TxStart(e) => obs.on_tx_start(e),
+            TraceEvent::TxComplete(e) => obs.on_tx_complete(e),
+            TraceEvent::Backlog(e) => obs.on_node_backlog(e),
+            TraceEvent::BusyReset(e) => obs.on_busy_reset(e),
+            TraceEvent::Fault(e) => obs.on_fault(e),
+            TraceEvent::Quarantine(e) => obs.on_quarantine(e),
+        }
     }
 }
 

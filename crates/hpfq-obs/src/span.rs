@@ -371,6 +371,7 @@ impl EpochSpan {
 #[cfg(feature = "profile")]
 #[derive(Debug, Clone)]
 pub struct SpanProfiler {
+    // lint:allow(L007): profile-feature wall clock measures host overhead, never sim state
     base: std::time::Instant,
     open: [u64; SpanKind::COUNT],
     snap: SpanSnapshot,
@@ -386,6 +387,7 @@ impl SpanProfiler {
     /// A fresh profiler with its own time base.
     pub fn new() -> Self {
         SpanProfiler {
+            // lint:allow(L007): profile-feature wall clock measures host overhead, never sim state
             base: std::time::Instant::now(),
             open: [0; SpanKind::COUNT],
             snap: SpanSnapshot::default(),

@@ -77,6 +77,9 @@ pub enum FallbackReason {
     /// The escalation policy can halt the run — an instantaneous global
     /// transition incompatible with conservative windows.
     HaltCapablePolicy,
+    /// [`Network::run_permuted`] was given an empty order list or an
+    /// entry that is not a permutation of `0..shards`.
+    InvalidOrders,
 }
 
 /// What [`Network::run_parallel`] actually did.
@@ -198,6 +201,174 @@ impl<S: NodeScheduler + Send, O: Observer + Send> Network<S, O> {
         ParallelReport {
             shards: requested,
             epochs: epochs.load(std::sync::atomic::Ordering::Relaxed),
+            lookahead,
+            fallback: None,
+        }
+    }
+
+    /// Replays the conservative-epoch protocol **single-threaded** under
+    /// an explicit per-epoch shard commit order, producing results
+    /// byte-identical to [`Network::run`]`(horizon)`.
+    ///
+    /// This is the schedule-permutation half of the determinism oracle:
+    /// [`Network::run_parallel`] exercises whichever interleaving the OS
+    /// scheduler happens to produce, while this harness pins *every*
+    /// interleaving the protocol admits. Epoch `e` executes shards —
+    /// compute phase, then outbox commit into the mailboxes — in the
+    /// order `orders[e % orders.len()]`. Committing whole outboxes in a
+    /// permuted shard order subsumes the threaded version's
+    /// per-envelope mutex interleavings: the canonical
+    /// `(t, minor, sender, seq)` inbox sort is insensitive to arrival
+    /// order within a mailbox, so any finer interleaving sorts to the
+    /// same inbox the coarse one does. A caller that drives this over
+    /// all `shards!` permutations (plus per-epoch rotations) has
+    /// therefore checked every commit schedule the barrier protocol can
+    /// produce.
+    ///
+    /// Falls back exactly like [`Network::run_parallel`], plus
+    /// [`FallbackReason::InvalidOrders`] when `orders` is empty or an
+    /// entry is not a permutation of `0..shards`.
+    pub fn run_permuted(
+        &mut self,
+        horizon: f64,
+        shards: usize,
+        orders: &[Vec<usize>],
+    ) -> ParallelReport {
+        let requested = shards.clamp(1, self.links.len().max(1));
+        let fallback = |reason| ParallelReport {
+            shards: 1,
+            epochs: 0,
+            lookahead: 0.0,
+            fallback: Some(reason),
+        };
+        if requested < 2 || self.links.len() < 2 {
+            self.run(horizon);
+            return fallback(FallbackReason::SingleShard);
+        }
+        if self.injector.is_some() {
+            self.run(horizon);
+            return fallback(FallbackReason::InjectorInstalled);
+        }
+        if self.policy.halt_after != u32::MAX {
+            self.run(horizon);
+            return fallback(FallbackReason::HaltCapablePolicy);
+        }
+        let is_perm = |o: &Vec<usize>| {
+            let mut seen = vec![false; requested];
+            o.len() == requested
+                && o.iter()
+                    .all(|&s| s < requested && !std::mem::replace(&mut seen[s], true))
+        };
+        if orders.is_empty() || !orders.iter().all(is_perm) {
+            self.run(horizon);
+            return fallback(FallbackReason::InvalidOrders);
+        }
+        if self.halted {
+            return ParallelReport {
+                shards: requested,
+                epochs: 0,
+                lookahead: 0.0,
+                fallback: None,
+            };
+        }
+
+        let link_shard: std::sync::Arc<Vec<usize>> =
+            std::sync::Arc::new((0..self.links.len()).map(|i| i % requested).collect());
+        let lookahead = self.lookahead_of(&link_shard);
+        if lookahead <= 0.0 {
+            self.run(horizon);
+            return fallback(FallbackReason::ZeroLookahead);
+        }
+        self.start_pending_sources();
+        let base_sources = self.sources.len();
+        let mut workers = self.split(&link_shard, requested);
+        let start = self.engine.now();
+
+        let mut mailboxes: Vec<Vec<Envelope>> = (0..requested).map(|_| Vec::new()).collect();
+        let mut next_times = vec![0.0f64; requested];
+        let mut send_seq = vec![0usize; requested];
+        let mut t_start = start;
+        let mut epochs = 0u64;
+        loop {
+            let order = &orders[(epochs as usize) % orders.len()];
+            epochs += 1;
+            let epoch_end = t_start + lookahead;
+            // Compute phase + outbox commit, one shard at a time in the
+            // permuted order. Mailboxes are only written here and only
+            // read after the phase completes — the sequential analogue
+            // of the first barrier in `run_shard`.
+            for &sid in order {
+                let net = &mut workers[sid];
+                net.engine.advance_to(t_start);
+                let mut handled = 0u64;
+                loop {
+                    let due = if epoch_end <= horizon {
+                        net.engine.pop_strictly_before(epoch_end)
+                    } else {
+                        net.engine.pop_due(horizon)
+                    };
+                    let Some((t, ev)) = due else { break };
+                    net.handle(t, ev);
+                    handled += 1;
+                }
+                if net.record_epochs {
+                    net.epoch_log.push(EpochSpan {
+                        shard: sid,
+                        t0: t_start,
+                        t1: epoch_end.min(horizon),
+                        events: handled,
+                    });
+                }
+                if let Some(ctx) = net.shard.as_mut() {
+                    for OutMsg { dest, t, minor, ev } in ctx.outbox.drain(..) {
+                        send_seq[sid] += 1;
+                        mailboxes[dest].push(Envelope {
+                            t,
+                            minor,
+                            sender: sid,
+                            seq: send_seq[sid],
+                            ev,
+                        });
+                    }
+                }
+            }
+            // Delivery phase: every outbox is committed, so each inbox
+            // is complete — sort it canonically and feed the engine,
+            // then publish each shard's next pending event time (the
+            // sequential analogue of the second barrier).
+            for &sid in order {
+                let mut inbox = std::mem::take(&mut mailboxes[sid]);
+                inbox.sort_by(|a, b| {
+                    a.t.total_cmp(&b.t)
+                        .then(a.minor.cmp(&b.minor))
+                        .then(a.sender.cmp(&b.sender))
+                        .then(a.seq.cmp(&b.seq))
+                });
+                let net = &mut workers[sid];
+                for env in inbox {
+                    net.engine.schedule_keyed(env.t, env.minor, env.ev);
+                }
+                next_times[sid] = net.engine.peek_time().unwrap_or(f64::INFINITY);
+            }
+            let global_next = next_times
+                .iter()
+                .fold(f64::INFINITY, |m, &t| if t < m { t } else { m });
+            if !global_next.is_finite() || global_next > horizon {
+                break;
+            }
+            t_start = global_next;
+        }
+
+        if SpanProfiler::ENABLED {
+            self.profiler.span_enter(SpanKind::Merge);
+        }
+        self.merge(workers, &link_shard, base_sources);
+        if SpanProfiler::ENABLED {
+            self.profiler.span_exit(SpanKind::Merge);
+        }
+        ParallelReport {
+            shards: requested,
+            epochs,
             lookahead,
             fallback: None,
         }

@@ -139,8 +139,8 @@ impl<S: NodeScheduler, O: Observer> Simulation<S, O> {
         self.net
             .into_observers()
             .pop()
-            // lint:allow(L002): teardown, not hot path; `Simulation::new`
-            // constructs exactly one link and nothing can remove it
+            // Teardown, unreachable from the engine entry points:
+            // `Simulation::new` constructs exactly one link.
             .expect("a Simulation always owns exactly one link")
     }
 

@@ -182,6 +182,7 @@ impl TcpSource {
             } else {
                 // Timer already armed; just push the deadline (the armed
                 // wake will re-check and re-arm).
+                // lint:allow(L002): the armed branch implies rto_deadline is Some
                 self.rto_deadline = Some(deadline.max(self.rto_deadline.unwrap()));
             }
         } else {
@@ -205,6 +206,7 @@ impl TcpSource {
                 self.srtt = Some(srtt + 0.125 * err);
             }
         }
+        // lint:allow(L002): both match arms above set srtt to Some
         self.rto = (self.srtt.unwrap() + 4.0 * self.rttvar).max(0.2);
     }
 

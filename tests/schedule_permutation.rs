@@ -1,0 +1,262 @@
+//! Schedule-permutation oracle for the conservative-epoch exchange.
+//!
+//! `tests/parallel_determinism.rs` checks `run_parallel` against the
+//! sequential golden under whichever thread interleaving the OS happens
+//! to produce. This suite closes the gap: `Network::run_permuted`
+//! replays the same epoch protocol single-threaded under an *explicit*
+//! per-epoch shard commit order, and we drive it through **every**
+//! permutation of that order — exhaustively for 2 shards (2 orders) on
+//! the 3-link tandem and for 4 shards (24 orders) on a 4-link tandem —
+//! asserting each run's merged trace, per-flow stats, and conservation
+//! ledgers are byte-identical to the sequential run. A rotating schedule
+//! (a different permutation every epoch) covers order changes *within*
+//! a run as well.
+//!
+//! Because the canonical inbox sort is insensitive to arrival order
+//! within a mailbox, whole-outbox commits in permuted shard order
+//! subsume the threaded version's per-envelope mutex interleavings:
+//! passing here means no commit schedule the barrier protocol admits
+//! can change the merged bytes.
+
+use hpfq::core::{Hierarchy, MixedScheduler, SchedulerKind};
+use hpfq::obs::jsonl::merge_traces;
+use hpfq::obs::JsonlObserver;
+use hpfq::sim::{
+    CbrSource, FallbackReason, FlowStats, Hop, LinkLedger, Network, Route, ServiceRecord,
+    SimCommand,
+};
+
+const PKT: u32 = 8192;
+
+type Obs = JsonlObserver<Vec<u8>>;
+
+fn sink() -> Obs {
+    JsonlObserver::new(Vec::new())
+}
+
+/// Everything a run leaves behind that the oracle compares.
+#[derive(Debug, PartialEq)]
+struct Snapshot {
+    flows: Vec<(u32, FlowStats)>,
+    records: Vec<(u32, Vec<ServiceRecord>)>,
+    total_bytes: u64,
+    total_packets: u64,
+    last_departure: f64,
+    ledgers: Vec<LinkLedger>,
+    merged: String,
+}
+
+fn snapshot(net: Network<MixedScheduler, Obs>, flows: &[u32]) -> Snapshot {
+    net.verify_conservation().unwrap();
+    let flows = flows.iter().map(|&f| (f, net.stats.flow(f))).collect();
+    let records = vec![(0, net.stats.trace(0).to_vec())];
+    let total_bytes = net.stats.total_bytes;
+    let total_packets = net.stats.total_packets;
+    let last_departure = net.stats.last_departure;
+    let ledgers = (0..net.link_count()).map(|l| net.link_ledger(l)).collect();
+    let bufs: Vec<String> = net
+        .into_observers()
+        .into_iter()
+        .map(|o| String::from_utf8(o.into_inner()).unwrap())
+        .collect();
+    Snapshot {
+        flows,
+        records,
+        total_bytes,
+        total_packets,
+        last_departure,
+        ledgers,
+        merged: merge_traces(&bufs),
+    }
+}
+
+fn assert_snapshots_match(seq: &Snapshot, par: &Snapshot, label: &str) {
+    assert_eq!(seq.flows, par.flows, "{label}: per-flow stats diverged");
+    assert_eq!(
+        seq.records, par.records,
+        "{label}: service records diverged"
+    );
+    assert_eq!(seq.total_bytes, par.total_bytes, "{label}: total bytes");
+    assert_eq!(seq.total_packets, par.total_packets, "{label}: packets");
+    assert_eq!(
+        seq.last_departure, par.last_departure,
+        "{label}: last departure"
+    );
+    assert_eq!(seq.ledgers, par.ledgers, "{label}: link ledgers diverged");
+    if seq.merged != par.merged {
+        for (i, (a, b)) in seq.merged.lines().zip(par.merged.lines()).enumerate() {
+            assert_eq!(a, b, "{label}: traces diverge at merged line {i}");
+        }
+        panic!(
+            "{label}: trace lengths diverge ({} vs {} lines)",
+            seq.merged.lines().count(),
+            par.merged.lines().count()
+        );
+    }
+}
+
+/// All `n!` permutations of `0..n`, by Heap's algorithm.
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    fn heap(k: usize, a: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k <= 1 {
+            out.push(a.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, a, out);
+            if k.is_multiple_of(2) {
+                a.swap(i, k - 1);
+            } else {
+                a.swap(0, k - 1);
+            }
+        }
+    }
+    let mut a: Vec<usize> = (0..n).collect();
+    let mut out = Vec::new();
+    heap(n, &mut a, &mut out);
+    out
+}
+
+/// An `n`-hop tandem (flow 0) with saturating single-hop cross traffic
+/// on every link, a tight mid-path buffer, a mid-run outage on link 1
+/// and churn (one cross flow leaves, then the tandem flow is removed
+/// mid-path) — the same shape `parallel_determinism` shards, scaled to
+/// `links` hops so 4 shards own one link each.
+fn tandem_net(links: usize) -> Network<MixedScheduler, Obs> {
+    let kind = SchedulerKind::Wf2qPlus;
+    let mut net: Network<MixedScheduler, Obs> = Network::new();
+    let mut hops = Vec::new();
+    for li in 0..links {
+        let mut bld = Hierarchy::<MixedScheduler, Obs>::builder_with_observer(
+            10e6,
+            move |r| kind.build(r),
+            sink(),
+        );
+        let root = bld.root();
+        let phi = if li == 1 { 0.2 } else { 0.5 };
+        let tandem_leaf = bld.add_leaf(root, phi).unwrap();
+        let cross_leaf = bld.add_leaf(root, 1.0 - phi).unwrap();
+        let link = net.add_link(bld.build());
+        assert_eq!(link, li);
+        hops.push(Hop {
+            link,
+            leaf: tandem_leaf,
+            buffer_bytes: if li == 1 {
+                Some(2 * u64::from(PKT))
+            } else {
+                None
+            },
+            prop_delay: 0.002,
+        });
+        let flow = 100 + link as u32;
+        net.add_route(
+            flow,
+            CbrSource::new(flow, PKT, 8e6, 0.0, 5.0),
+            Route::new(vec![Hop {
+                link,
+                leaf: cross_leaf,
+                buffer_bytes: Some(16 * u64::from(PKT)),
+                prop_delay: 0.0,
+            }]),
+        );
+    }
+    net.stats.trace_flow(0);
+    net.add_route(0, CbrSource::new(0, PKT, 4e6, 0.0, 5.0), Route::new(hops));
+    // 50 ms outage on link 1 mid-run, then churn: a cross flow leaves,
+    // and the tandem flow is torn down mid-path with packets in flight.
+    net.schedule_command(1.0, SimCommand::SetLinkRateOn { link: 1, bps: 0.0 });
+    net.schedule_command(1.05, SimCommand::SetLinkRateOn { link: 1, bps: 10e6 });
+    net.schedule_command(2.0, SimCommand::RemoveFlow(101));
+    net.schedule_command(2.5, SimCommand::RemoveFlow(0));
+    net
+}
+
+fn flows(links: usize) -> Vec<u32> {
+    std::iter::once(0)
+        .chain((0..links).map(|li| 100 + li as u32))
+        .collect()
+}
+
+/// Runs every given schedule and holds each result to the golden.
+fn check_orders(links: usize, shards: usize, horizon: f64, schedules: &[(&str, Vec<Vec<usize>>)]) {
+    let fl = flows(links);
+    let mut seq = tandem_net(links);
+    seq.run(horizon);
+    let golden = snapshot(seq, &fl);
+    assert!(
+        golden.merged.lines().count() > 1000,
+        "trace too small to be meaningful"
+    );
+
+    let mut epochs_seen = None;
+    for (label, orders) in schedules {
+        let mut net = tandem_net(links);
+        let report = net.run_permuted(horizon, shards, orders);
+        assert_eq!(report.fallback, None, "{label}: must genuinely shard");
+        assert_eq!(report.shards, shards, "{label}");
+        assert!(report.epochs > 0, "{label}: ran zero epochs");
+        assert_eq!(report.lookahead, 0.002, "{label}");
+        // The epoch trajectory is itself schedule-independent.
+        match epochs_seen {
+            None => epochs_seen = Some(report.epochs),
+            Some(e) => assert_eq!(report.epochs, e, "{label}: epoch count diverged"),
+        }
+        let snap = snapshot(net, &fl);
+        assert_snapshots_match(&golden, &snap, label);
+    }
+}
+
+#[test]
+fn two_shards_all_commit_orders_byte_identical() {
+    let perms = permutations(2);
+    assert_eq!(perms.len(), 2);
+    let mut schedules: Vec<(&str, Vec<Vec<usize>>)> = vec![
+        ("2s forward", vec![perms[0].clone()]),
+        ("2s reversed", vec![perms[1].clone()]),
+        // A different commit order every epoch.
+        ("2s rotating", perms.clone()),
+    ];
+    schedules.push(("2s rotating-rev", perms.into_iter().rev().collect()));
+    check_orders(3, 2, 8.0, &schedules);
+}
+
+#[test]
+fn four_shards_all_commit_orders_byte_identical() {
+    let perms = permutations(4);
+    assert_eq!(perms.len(), 24);
+    let labels: Vec<String> = (0..perms.len()).map(|i| format!("4s perm {i}")).collect();
+    let mut schedules: Vec<(&str, Vec<Vec<usize>>)> = perms
+        .iter()
+        .zip(&labels)
+        .map(|(p, l)| (l.as_str(), vec![p.clone()]))
+        .collect();
+    // Cycle through all 24 orders across epochs in one run.
+    schedules.push(("4s rotating", perms));
+    check_orders(4, 4, 3.0, &schedules);
+}
+
+#[test]
+fn invalid_orders_fall_back_to_sequential() {
+    let fl = flows(3);
+    let mut seq = tandem_net(3);
+    seq.run(3.0);
+    let golden = snapshot(seq, &fl);
+
+    for (label, orders) in [
+        ("empty", vec![]),
+        ("wrong length", vec![vec![0]]),
+        ("repeated shard", vec![vec![0, 0]]),
+        ("out of range", vec![vec![0, 2]]),
+    ] {
+        let mut net = tandem_net(3);
+        let report = net.run_permuted(3.0, 2, &orders);
+        assert_eq!(
+            report.fallback,
+            Some(FallbackReason::InvalidOrders),
+            "{label}"
+        );
+        // The fallback path is still the byte-identical sequential run.
+        let snap = snapshot(net, &fl);
+        assert_snapshots_match(&golden, &snap, label);
+    }
+}
