@@ -17,6 +17,7 @@
 use std::collections::BTreeMap;
 
 use hpfq_core::Packet;
+use hpfq_obs::snap::{SnapError, Value};
 use hpfq_sim::{FaultInjector, PacketVerdict, SmallRng};
 
 use crate::config::ChaosConfig;
@@ -66,6 +67,41 @@ impl ChaosInjector {
             wake_rng: SmallRng::seed_from_u64(seed ^ (u64::from(flow) << 20) ^ 0xC2B2),
             in_burst: false,
         })
+    }
+
+    fn flow_value(flow: u32, st: &FlowChaos) -> Value {
+        let rng = |r: &SmallRng| Value::List(r.state().iter().map(|&w| Value::U64(w)).collect());
+        Value::map(vec![
+            ("flow", Value::U64(u64::from(flow))),
+            ("pkt_rng", rng(&st.pkt_rng)),
+            ("wake_rng", rng(&st.wake_rng)),
+            ("in_burst", Value::Bool(st.in_burst)),
+        ])
+    }
+
+    fn flow_from_value(v: &Value) -> Result<(u32, FlowChaos), SnapError> {
+        let rng = |v: &Value| -> Result<SmallRng, SnapError> {
+            let items = v.items()?;
+            if items.len() != 4 {
+                return Err(SnapError {
+                    at: 0,
+                    what: format!("rng state has {} words, expected 4", items.len()),
+                });
+            }
+            let mut s = [0u64; 4];
+            for (i, w) in items.iter().enumerate() {
+                s[i] = w.as_u64()?;
+            }
+            Ok(SmallRng::from_state(s))
+        };
+        Ok((
+            v.get("flow")?.as_u32()?,
+            FlowChaos {
+                pkt_rng: rng(v.get("pkt_rng")?)?,
+                wake_rng: rng(v.get("wake_rng")?)?,
+                in_burst: v.get("in_burst")?.as_bool()?,
+            },
+        ))
     }
 }
 
@@ -129,6 +165,107 @@ impl FaultInjector for ChaosInjector {
         }
         self.jittered += 1;
         wake + off
+    }
+
+    /// Serializes the full injector state — per-flow RNG words,
+    /// Gilbert–Elliott channel states, fault counters — byte-exactly, so
+    /// an epoch checkpoint can restore the decision streams mid-run.
+    fn save_state(&self) -> Result<Value, SnapError> {
+        Ok(Value::map(vec![
+            ("kind", Value::Str("chaos".into())),
+            ("seed", Value::U64(self.cfg.seed)),
+            ("dropped", Value::U64(self.dropped)),
+            ("corrupted", Value::U64(self.corrupted)),
+            ("jittered", Value::U64(self.jittered)),
+            (
+                "flows",
+                Value::List(
+                    self.flows
+                        .iter()
+                        .map(|(&f, st)| Self::flow_value(f, st))
+                        .collect(),
+                ),
+            ),
+        ]))
+    }
+
+    fn load_state(&mut self, state: &Value) -> Result<(), SnapError> {
+        match state.get("kind")?.as_str()? {
+            "chaos" => {}
+            other => {
+                return Err(SnapError {
+                    at: 0,
+                    what: format!("expected chaos injector state, found '{other}'"),
+                })
+            }
+        }
+        let seed = state.get("seed")?.as_u64()?;
+        if seed != self.cfg.seed {
+            return Err(SnapError {
+                at: 0,
+                what: format!(
+                    "chaos state for seed {seed} loaded into injector seeded {}",
+                    self.cfg.seed
+                ),
+            });
+        }
+        let mut flows = BTreeMap::new();
+        for v in state.get("flows")?.items()? {
+            let (flow, st) = Self::flow_from_value(v)?;
+            flows.insert(flow, st);
+        }
+        self.flows = flows;
+        self.dropped = state.get("dropped")?.as_u64()?;
+        self.corrupted = state.get("corrupted")?.as_u64()?;
+        self.jittered = state.get("jittered")?.as_u64()?;
+        Ok(())
+    }
+
+    /// Moves the decision streams of `flows` into a fresh child injector
+    /// for one shard. Exact by construction: a stream advances only on
+    /// its own flow's packets and timers, all of which the owning shard
+    /// executes; flows the child meets for the first time derive their
+    /// streams from the shared seed exactly as the parent would have. The
+    /// child's fault counters start at zero and are *added* back by
+    /// [`FaultInjector::absorb_shard`].
+    fn fork_shard(&mut self, flows: &[u32]) -> Option<Box<dyn FaultInjector>> {
+        let mut child = ChaosInjector::new(self.cfg);
+        for &f in flows {
+            if let Some(st) = self.flows.remove(&f) {
+                child.flows.insert(f, st);
+            }
+        }
+        Some(Box::new(child))
+    }
+
+    fn absorb_shard(&mut self, state: &Value) -> Result<(), SnapError> {
+        match state.get("kind")?.as_str()? {
+            "chaos" => {}
+            other => {
+                return Err(SnapError {
+                    at: 0,
+                    what: format!("expected chaos shard state, found '{other}'"),
+                })
+            }
+        }
+        let seed = state.get("seed")?.as_u64()?;
+        if seed != self.cfg.seed {
+            return Err(SnapError {
+                at: 0,
+                what: format!(
+                    "chaos shard state for seed {seed} absorbed into injector seeded {}",
+                    self.cfg.seed
+                ),
+            });
+        }
+        for v in state.get("flows")?.items()? {
+            let (flow, st) = Self::flow_from_value(v)?;
+            self.flows.insert(flow, st);
+        }
+        self.dropped += state.get("dropped")?.as_u64()?;
+        self.corrupted += state.get("corrupted")?.as_u64()?;
+        self.jittered += state.get("jittered")?.as_u64()?;
+        Ok(())
     }
 }
 
@@ -197,6 +334,76 @@ mod tests {
             }
         }
         assert!(seen > 50, "corruption rate too low to test ({seen})");
+    }
+
+    #[test]
+    fn save_load_resumes_streams_mid_run() {
+        let cfg = ChaosConfig::all_faults(13, 30.0);
+        let mut whole = ChaosInjector::new(cfg);
+        let mut halves = ChaosInjector::new(cfg);
+        let feed = |inj: &mut ChaosInjector, lo: u64, hi: u64| -> Vec<PacketVerdict> {
+            (lo..hi)
+                .flat_map(|i| {
+                    [1u32, 2].map(|flow| {
+                        let mut p = Packet::new(i, flow, 1000, 0.01 * i as f64);
+                        inj.on_packet(0.01 * i as f64, &mut p)
+                    })
+                })
+                .collect()
+        };
+        let mut expect = feed(&mut whole, 0, 400);
+        expect.extend(feed(&mut whole, 400, 800));
+        let mut got = feed(&mut halves, 0, 400);
+        // Checkpoint, scribble over the state, restore, continue.
+        let snap = halves.save_state().unwrap();
+        assert_eq!(snap, halves.save_state().unwrap(), "snapshot not stable");
+        let _ = feed(&mut halves, 400, 600);
+        halves.load_state(&snap).unwrap();
+        got.extend(feed(&mut halves, 400, 800));
+        assert_eq!(expect, got);
+        assert_eq!(whole.dropped, halves.dropped);
+        assert_eq!(whole.corrupted, halves.corrupted);
+    }
+
+    #[test]
+    fn fork_and_absorb_match_sequential_streams() {
+        let cfg = ChaosConfig::all_faults(17, 30.0);
+        let mut seq = ChaosInjector::new(cfg);
+        let mut par = ChaosInjector::new(cfg);
+        let feed =
+            |inj: &mut dyn FaultInjector, flow: u32, lo: u64, hi: u64| -> Vec<PacketVerdict> {
+                (lo..hi)
+                    .map(|i| {
+                        let mut p = Packet::new(i, flow, 1000, 0.01 * i as f64);
+                        inj.on_packet(0.01 * i as f64, &mut p)
+                    })
+                    .collect()
+            };
+        // Warm both parents identically, then fork the parallel one.
+        for flow in [1u32, 2] {
+            assert_eq!(feed(&mut seq, flow, 0, 300), feed(&mut par, flow, 0, 300));
+        }
+        let mut child1 = par.fork_shard(&[1]).unwrap();
+        let mut child2 = par.fork_shard(&[2]).unwrap();
+        // Each child advances only its own flow; flow 3 is new to child 2.
+        let a1 = feed(child1.as_mut(), 1, 300, 700);
+        let a2 = feed(child2.as_mut(), 2, 300, 700);
+        let a3 = feed(child2.as_mut(), 3, 0, 200);
+        par.absorb_shard(&child1.save_state().unwrap()).unwrap();
+        par.absorb_shard(&child2.save_state().unwrap()).unwrap();
+        // The sequential parent runs the same work single-streamed.
+        assert_eq!(a1, feed(&mut seq, 1, 300, 700));
+        assert_eq!(a2, feed(&mut seq, 2, 300, 700));
+        assert_eq!(a3, feed(&mut seq, 3, 0, 200));
+        // After absorption the two parents are byte-identical.
+        assert_eq!(seq.save_state().unwrap(), par.save_state().unwrap());
+        // And they continue identically.
+        for flow in [1u32, 2, 3] {
+            assert_eq!(
+                feed(&mut seq, flow, 700, 900),
+                feed(&mut par, flow, 700, 900)
+            );
+        }
     }
 
     #[test]

@@ -19,10 +19,12 @@
 //! * [`soak::run_soak`] — the differential harness: all seven scheduler
 //!   policies under the *same* fault schedule, checked for conservation,
 //!   invariant cleanliness, fault determinism, and post-recovery fairness;
-//! * [`parallel::parallel_soak`] — the command-driven fault families
-//!   (link flaps, flow churn) replayed through the deterministic parallel
-//!   front-end (`Network::run_parallel`) and differentially checked
-//!   against the sequential run.
+//! * [`parallel::parallel_soak`] and friends — the chaos scenarios
+//!   replayed through the crash-contained parallel runtime
+//!   (`Network::run_parallel`), genuinely sharded: the injector forks
+//!   per-shard children, escalation halts are replayed byte-exactly from
+//!   epoch checkpoints, and every run is differentially checked against
+//!   the sequential oracle.
 //!
 //! Reproduce any failure from its seed: `cargo run -p hpfq-chaos --bin
 //! chaos-soak -- --seed N`.
@@ -41,7 +43,10 @@ pub use config::{
     LinkFaultConfig,
 };
 pub use inject::ChaosInjector;
-pub use parallel::{parallel_soak, ParallelSoakOutcome};
+pub use parallel::{
+    halting_parallel_soak, halting_parallel_soak_with_flight, injected_parallel_soak,
+    parallel_soak, soak_resume, soak_snapshot, ParallelSoakOutcome,
+};
 pub use plan::{build_plan, ChaosPlan, CHURN_FLOW_BASE};
 pub use soak::{
     build_soak_sim, halt_scenario, quarantine_scenario, run_soak, ChaosReport, FlowLedger,

@@ -1,26 +1,37 @@
-//! Command-driven chaos through the deterministic parallel front-end.
+//! Chaos through the deterministic parallel front-end — genuinely sharded.
 //!
-//! The classic soak ([`crate::soak::run_soak`]) exercises faults through a
-//! stateful [`hpfq_sim::FaultInjector`], which `run_parallel` rightly
-//! refuses to shard (one mutable decision stream cannot be consulted from
-//! concurrent shards deterministically). This module stresses the parallel
-//! engine with the fault families that *are* shardable because they travel
-//! as timestamped [`SimCommand`]s through the ordinary event plumbing:
+//! This module stresses the crash-contained parallel runtime with every
+//! fault family the chaos crate has:
 //!
-//! * link flaps — `SetLinkRateOn` outage/restore pairs on every link;
+//! * link flaps — `SetLinkRateOn` outage/restore pairs on every link,
+//!   travelling as timestamped [`SimCommand`]s through the ordinary event
+//!   plumbing;
 //! * flow churn — `RemoveFlow` mid-run, including a multi-hop flow whose
-//!   downstream detachments ride cross-shard `Detach` events.
+//!   downstream detachments ride cross-shard `Detach` events;
+//! * data-plane faults — a full [`crate::ChaosInjector`] (correlated
+//!   drops, corruption, jitter) *sharded by forking*: each worker gets a
+//!   child injector owning its flows' decision streams, absorbed back at
+//!   every stint boundary (the streams are per-flow and advance only at
+//!   the flow's ingress shard, so the fork is exact);
+//! * escalation — a halt-capable policy, whose mid-stint halt the
+//!   runtime replays sequentially from the epoch checkpoint so the
+//!   stopping point is byte-exact.
 //!
 //! [`parallel_soak`] builds the same seeded multi-link scenario twice,
 //! runs it sequentially and through `run_parallel(shards)`, and verifies
-//! the two runs are *identical* — per-flow statistics and per-link
-//! ledgers — and that both conserve bytes. Graceful degradation and
-//! determinism, checked in one pass.
+//! the two runs are *identical* — per-flow statistics, per-link ledgers,
+//! quarantine rosters, halt flags — and that both conserve bytes.
+//! Graceful degradation and determinism, checked in one pass.
 
 use hpfq_core::{Hierarchy, MixedScheduler, SchedulerKind};
+use hpfq_obs::{EscalationPolicy, FlightRecorder, NoopObserver, Observer, TraceEvent};
 use hpfq_sim::{
-    CbrSource, FallbackReason, Hop, Network, PoissonSource, Route, SimCommand, SmallRng,
+    CbrSource, FallbackReason, Hop, Network, PoissonSource, Route, ShardFailure, SimCommand,
+    SmallRng,
 };
+
+use crate::config::ChaosConfig;
+use crate::inject::ChaosInjector;
 
 /// Links in the parallel-soak topology.
 pub const PARALLEL_SOAK_LINKS: usize = 3;
@@ -40,12 +51,22 @@ pub struct ParallelSoakOutcome {
     pub epochs: u64,
     /// Fallback reason, if the parallel run declined to shard.
     pub fallback: Option<FallbackReason>,
+    /// Contained shard failures reported by the supervisor.
+    pub failures: Vec<ShardFailure>,
+    /// Checkpoint rollbacks the supervisor performed.
+    pub rollbacks: u64,
+    /// Whether a mid-stint halt was replayed sequentially from the
+    /// checkpoint.
+    pub halt_replayed: bool,
+    /// Whether both runs ended halted (they must agree; `healthy` demands
+    /// they agree, not that they be false).
+    pub halted: bool,
     /// Packets served (identical between the two runs on success).
     pub served_packets: u64,
     /// Bytes served.
     pub served_bytes: u64,
-    /// `Ok` iff every per-flow stat and per-link ledger matched the
-    /// sequential run exactly.
+    /// `Ok` iff every per-flow stat, per-link ledger, quarantine roster,
+    /// and halt flag matched the sequential run exactly.
     pub matches_sequential: Result<(), String>,
     /// End-of-run conservation audit over both runs.
     pub conservation: Result<(), String>,
@@ -54,7 +75,10 @@ pub struct ParallelSoakOutcome {
 impl ParallelSoakOutcome {
     /// Whether the parallel soak upheld the full contract.
     pub fn healthy(&self) -> bool {
-        self.matches_sequential.is_ok() && self.conservation.is_ok() && self.fallback.is_none()
+        self.matches_sequential.is_ok()
+            && self.conservation.is_ok()
+            && self.fallback.is_none()
+            && self.failures.is_empty()
     }
 }
 
@@ -73,13 +97,26 @@ fn flow_ids() -> Vec<u32> {
 /// call this with the same seed, so the command schedule — flap windows,
 /// churn times — is identical by construction.
 fn build(seed: u64, horizon: f64) -> Network<MixedScheduler> {
+    build_with(seed, horizon, || NoopObserver)
+}
+
+/// [`build`] with a per-link event sink attached — the flight-recorder
+/// halt soak hangs a bounded post-mortem ring on every link.
+fn build_with<O: Observer>(
+    seed: u64,
+    horizon: f64,
+    mut obs: impl FnMut() -> O,
+) -> Network<MixedScheduler, O> {
     let kind = SchedulerKind::Wf2qPlus;
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0A5_CADE);
-    let mut net: Network<MixedScheduler> = Network::new();
+    let mut net: Network<MixedScheduler, O> = Network::new();
     let mut hops = Vec::new();
     for li in 0..PARALLEL_SOAK_LINKS {
-        let mut bld =
-            Hierarchy::<MixedScheduler>::builder(PARALLEL_LINK_BPS, move |r| kind.build(r));
+        let mut bld = Hierarchy::<MixedScheduler, O>::builder_with_observer(
+            PARALLEL_LINK_BPS,
+            move |r| kind.build(r),
+            obs(),
+        );
         let root = bld.root();
         let tandem = bld.add_leaf(root, 0.3).unwrap();
         let cbr = bld.add_leaf(root, 0.4).unwrap();
@@ -157,15 +194,38 @@ fn build(seed: u64, horizon: f64) -> Network<MixedScheduler> {
     net
 }
 
-/// Runs the command-driven chaos scenario sequentially and through
-/// `run_parallel(shards)`, and differentially checks the results.
-pub fn parallel_soak(seed: u64, horizon: f64, shards: usize) -> ParallelSoakOutcome {
-    let mut seq = build(seed, horizon);
-    seq.run(horizon);
+/// Data-plane chaos for the sharded soaks: drops, corruption, and jitter
+/// from one seed. Link faults and churn stay command-driven (the plan
+/// already schedules flaps and removals); the quiet tail leaves the run's
+/// end fault-free.
+fn injector_cfg(seed: u64, horizon: f64) -> ChaosConfig {
+    let mut cfg = ChaosConfig::all_faults(seed, horizon);
+    cfg.link.enabled = false;
+    cfg.churn.enabled = false;
+    cfg
+}
 
-    let mut par = build(seed, horizon);
-    let report = par.run_parallel(horizon, shards);
+/// Builds the scenario and installs the optional data-plane chaos.
+fn armed(
+    with_chaos: Option<&(ChaosConfig, EscalationPolicy)>,
+    seed: u64,
+    horizon: f64,
+) -> Network<MixedScheduler> {
+    let mut net = build(seed, horizon);
+    if let Some((cfg, policy)) = with_chaos {
+        net.set_fault_injector(ChaosInjector::new(*cfg));
+        net.set_escalation_policy(*policy);
+    }
+    net
+}
 
+/// Differentially compares a finished parallel run against the sequential
+/// oracle and folds everything into the outcome.
+fn compare<O1: Observer, O2: Observer>(
+    seq: &Network<MixedScheduler, O1>,
+    par: &Network<MixedScheduler, O2>,
+    report: hpfq_sim::ParallelReport,
+) -> ParallelSoakOutcome {
     let mut mismatches = Vec::new();
     for flow in flow_ids() {
         let (a, b) = (seq.stats.flow(flow), par.stats.flow(flow));
@@ -190,6 +250,20 @@ pub fn parallel_soak(seed: u64, horizon: f64, shards: usize) -> ParallelSoakOutc
             par.stats.total_bytes
         ));
     }
+    if seq.escalation().quarantined_flows() != par.escalation().quarantined_flows() {
+        mismatches.push(format!(
+            "quarantine: sequential {:?} != parallel {:?}",
+            seq.escalation().quarantined_flows(),
+            par.escalation().quarantined_flows()
+        ));
+    }
+    if seq.is_halted() != par.is_halted() {
+        mismatches.push(format!(
+            "halted: sequential {} != parallel {}",
+            seq.is_halted(),
+            par.is_halted()
+        ));
+    }
 
     let conservation = seq
         .verify_conservation()
@@ -203,6 +277,10 @@ pub fn parallel_soak(seed: u64, horizon: f64, shards: usize) -> ParallelSoakOutc
         shards: report.shards,
         epochs: report.epochs,
         fallback: report.fallback,
+        failures: report.failures,
+        rollbacks: report.rollbacks,
+        halt_replayed: report.halt_replayed,
+        halted: par.is_halted(),
         served_packets: par.stats.total_packets,
         served_bytes: par.stats.total_bytes,
         matches_sequential: if mismatches.is_empty() {
@@ -212,6 +290,179 @@ pub fn parallel_soak(seed: u64, horizon: f64, shards: usize) -> ParallelSoakOutc
         },
         conservation,
     }
+}
+
+/// Runs the scenario sequentially and through `run_parallel(shards)` and
+/// differentially compares everything observable.
+fn differential(
+    with_chaos: Option<(ChaosConfig, EscalationPolicy)>,
+    seed: u64,
+    horizon: f64,
+    shards: usize,
+) -> ParallelSoakOutcome {
+    let mut seq = armed(with_chaos.as_ref(), seed, horizon);
+    seq.run(horizon);
+    let mut par = armed(with_chaos.as_ref(), seed, horizon);
+    let report = par.run_parallel(horizon, shards);
+    compare(&seq, &par, report)
+}
+
+/// Runs the command-driven chaos scenario (flaps + churn, no injector)
+/// sequentially and through `run_parallel(shards)`, and differentially
+/// checks the results.
+pub fn parallel_soak(seed: u64, horizon: f64, shards: usize) -> ParallelSoakOutcome {
+    differential(None, seed, horizon, shards)
+}
+
+/// The full sharded chaos soak: command-driven flaps and churn *plus* a
+/// forked [`ChaosInjector`] (drops, corruption, jitter) under a
+/// quarantine-capable escalation ladder, differentially checked against
+/// the sequential run. The parallel run must genuinely shard — injector
+/// installed and halt-capable policy included — and still match
+/// byte-for-byte.
+pub fn injected_parallel_soak(seed: u64, horizon: f64, shards: usize) -> ParallelSoakOutcome {
+    differential(
+        Some((injector_cfg(seed, horizon), EscalationPolicy::standard())),
+        seed,
+        horizon,
+        shards,
+    )
+}
+
+/// Drives the escalation ladder to a **halt** inside a sharded run:
+/// corruption is boosted so flows strike out fast, and the policy halts
+/// on the first quarantine. The supervisor must roll the stint back and
+/// replay the tail sequentially, ending at the byte-exact halt state the
+/// sequential run ends at.
+pub fn halting_parallel_soak(seed: u64, horizon: f64, shards: usize) -> ParallelSoakOutcome {
+    let mut cfg = injector_cfg(seed, horizon);
+    cfg.corrupt.prob = 0.02;
+    differential(
+        Some((
+            cfg,
+            EscalationPolicy {
+                quarantine_after: 3,
+                halt_after: 1,
+            },
+        )),
+        seed,
+        horizon,
+        shards,
+    )
+}
+
+/// [`halting_parallel_soak`] with flight recorders riding every link: the
+/// crash-contained halt's post-mortem is written to `dump_path` as JSONL
+/// **plus** a `<dump_path>.ckpt` sidecar holding the supervisor's last
+/// epoch checkpoint ([`Network::last_checkpoint`]) — the byte-exact state
+/// the halt was replayed from, inspectable with `hpfq-trace snapshots`.
+///
+/// Returns the differential outcome and whether the post-mortem pair was
+/// written.
+pub fn halting_parallel_soak_with_flight(
+    seed: u64,
+    horizon: f64,
+    shards: usize,
+    dump_path: &str,
+) -> (ParallelSoakOutcome, bool) {
+    let mut cfg = injector_cfg(seed, horizon);
+    cfg.corrupt.prob = 0.02;
+    let policy = EscalationPolicy {
+        quarantine_after: 3,
+        halt_after: 1,
+    };
+
+    let mut seq = armed(Some(&(cfg, policy)), seed, horizon);
+    seq.run(horizon);
+
+    let mut par = build_with(seed, horizon, || {
+        FlightRecorder::new(crate::soak::FLIGHT_CAPACITY)
+    });
+    par.set_fault_injector(ChaosInjector::new(cfg));
+    par.set_escalation_policy(policy);
+    let report = par.run_parallel(horizon, shards);
+
+    let checkpoint = par.last_checkpoint().map(|v| v.to_bytes());
+    let outcome = compare(&seq, &par, report);
+
+    // Dump from the recorder that saw the halting quarantine (falling
+    // back to link 0): its ring is the history that ends at the halt.
+    let mut recorders = par.into_observers();
+    let idx = recorders
+        .iter()
+        .position(|r| r.events().any(|e| matches!(e, TraceEvent::Quarantine(_))))
+        .unwrap_or(0);
+    let mut rec = recorders.swap_remove(idx);
+    rec.set_dump_path(Some(dump_path.to_string()));
+    let has_checkpoint = checkpoint.is_some();
+    if let Some(bytes) = checkpoint {
+        rec.attach_checkpoint(bytes);
+    }
+    let dumped = rec.dump() && has_checkpoint && rec.dump_errors() == 0;
+    (outcome, dumped)
+}
+
+/// Runs the injected sharded soak to `t` and serializes the full network
+/// state — hierarchies, event queue, ledgers, injector decision streams —
+/// as a byte-deterministic snapshot the `--resume` path (or `hpfq-trace
+/// snapshots`) can pick up. `seed` and `horizon` are embedded so a resume
+/// can verify it is rebuilding the same scenario.
+pub fn soak_snapshot(seed: u64, horizon: f64, t: f64, shards: usize) -> Result<Vec<u8>, String> {
+    if !(t > 0.0 && t < horizon) {
+        return Err(format!("snapshot time {t} outside (0, {horizon})"));
+    }
+    let chaos = (injector_cfg(seed, horizon), EscalationPolicy::standard());
+    let mut net = armed(Some(&chaos), seed, horizon);
+    let report = net.run_parallel(t, shards);
+    if let Some(rsn) = report.fallback {
+        return Err(format!("prefix run fell back ({rsn:?})"));
+    }
+    let state = net
+        .snapshot()
+        .map_err(|e| format!("snapshot failed: {e}"))?;
+    let envelope = hpfq_obs::snap::Value::map(vec![
+        ("kind", hpfq_obs::snap::Value::Str("chaos-soak".into())),
+        ("seed", hpfq_obs::snap::Value::U64(seed)),
+        ("horizon", hpfq_obs::snap::Value::F64(horizon)),
+        ("state", state),
+    ]);
+    Ok(envelope.to_bytes())
+}
+
+/// Restores a [`soak_snapshot`] into a freshly built scenario and
+/// completes the run through `run_parallel(shards)`, differentially
+/// checking the stitched `prefix → snapshot → resume` run against an
+/// uninterrupted sequential run of the same seed — the end state must be
+/// byte-identical.
+pub fn soak_resume(snapshot: &[u8], shards: usize) -> Result<ParallelSoakOutcome, String> {
+    let text = std::str::from_utf8(snapshot).map_err(|e| format!("snapshot not UTF-8: {e}"))?;
+    let envelope =
+        hpfq_obs::snap::parse(text.trim_end()).map_err(|e| format!("unparseable snapshot: {e}"))?;
+    let kind = envelope
+        .get("kind")
+        .and_then(|v| v.as_str().map(str::to_string))
+        .map_err(|e| e.to_string())?;
+    if kind != "chaos-soak" {
+        return Err(format!("not a chaos-soak snapshot (kind '{kind}')"));
+    }
+    let seed = envelope
+        .get("seed")
+        .and_then(|v| v.as_u64())
+        .map_err(|e| e.to_string())?;
+    let horizon = envelope
+        .get("horizon")
+        .and_then(|v| v.as_f64())
+        .map_err(|e| e.to_string())?;
+    let chaos = (injector_cfg(seed, horizon), EscalationPolicy::standard());
+
+    let mut par = armed(Some(&chaos), seed, horizon);
+    par.restore(envelope.get("state").map_err(|e| e.to_string())?)
+        .map_err(|e| format!("restore failed: {e}"))?;
+    let report = par.run_parallel(horizon, shards);
+
+    let mut seq = armed(Some(&chaos), seed, horizon);
+    seq.run(horizon);
+    Ok(compare(&seq, &par, report))
 }
 
 #[cfg(test)]
@@ -236,5 +487,78 @@ mod tests {
             assert_eq!(out.shards, shards);
             assert!(out.healthy(), "shards {shards}: {out:?}");
         }
+    }
+
+    #[test]
+    fn injected_parallel_soak_genuinely_shards() {
+        for shards in [2usize, 3] {
+            let out = injected_parallel_soak(5, 8.0, shards);
+            assert!(
+                out.fallback.is_none(),
+                "shards {shards}: injector must fork, not fall back: {out:?}"
+            );
+            assert_eq!(out.shards, shards);
+            assert!(out.epochs > 0, "{out:?}");
+            assert!(out.healthy(), "shards {shards}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn soak_snapshot_resume_round_trip_is_byte_identical() {
+        let snap = soak_snapshot(9, 8.0, 3.0, 2).unwrap();
+        // Snapshots are byte-deterministic: taking it twice gives the
+        // same artifact.
+        assert_eq!(snap, soak_snapshot(9, 8.0, 3.0, 2).unwrap());
+        let out = soak_resume(&snap, 2).unwrap();
+        assert!(out.fallback.is_none(), "{out:?}");
+        assert!(out.healthy(), "{out:?}");
+    }
+
+    #[test]
+    fn halting_soak_flight_dump_carries_checkpoint_sidecar() {
+        let path = std::env::temp_dir().join(format!(
+            "hpfq-chaos-flight-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path = path.to_string_lossy().to_string();
+        let (out, dumped) = halting_parallel_soak_with_flight(3, 12.0, 2, &path);
+        assert!(out.halted, "{out:?}");
+        assert!(out.halt_replayed, "{out:?}");
+        assert!(out.matches_sequential.is_ok(), "{out:?}");
+        assert!(dumped, "post-mortem pair must be written: {out:?}");
+
+        let jsonl = std::fs::read_to_string(&path).unwrap();
+        let sidecar = format!("{path}.ckpt");
+        let ckpt = std::fs::read_to_string(&sidecar).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&sidecar);
+        assert!(jsonl.starts_with("{\"ev\":\"flight\""), "{jsonl}");
+        assert!(jsonl.contains("\"checkpoint\":true"), "{jsonl}");
+        assert!(
+            jsonl.contains("\"ev\":\"quarantine\""),
+            "the ring must end at the halting quarantine"
+        );
+        // The sidecar is a valid bare network checkpoint.
+        let report = hpfq_obs::query::snapshot_report(&ckpt).unwrap();
+        assert_eq!(report.kind, "network");
+        assert_eq!(report.links, PARALLEL_SOAK_LINKS);
+        assert!(!report.halted, "the checkpoint precedes the halt");
+        assert!(report.injector, "injector state rides the checkpoint");
+    }
+
+    #[test]
+    fn halting_parallel_soak_replays_halt_exactly() {
+        let out = halting_parallel_soak(3, 12.0, 2);
+        assert!(out.fallback.is_none(), "{out:?}");
+        assert!(
+            out.halted,
+            "boosted corruption should halt the run: {out:?}"
+        );
+        assert!(
+            out.halt_replayed,
+            "a sharded halt must be replayed sequentially: {out:?}"
+        );
+        assert!(out.matches_sequential.is_ok(), "{out:?}");
     }
 }

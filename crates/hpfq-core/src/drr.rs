@@ -8,7 +8,9 @@
 
 use std::collections::VecDeque;
 
-use crate::scheduler::{NodeScheduler, SessionId};
+use hpfq_obs::snap::{SnapError, Value};
+
+use crate::scheduler::{load_opt_id, save_opt_id, NodeScheduler, SessionId};
 use crate::vtime;
 
 #[derive(Debug, Clone)]
@@ -179,6 +181,85 @@ impl NodeScheduler for Drr {
 
     fn name(&self) -> &'static str {
         "drr"
+    }
+
+    fn save_state(&self) -> Value {
+        // Unlike the virtual-time schedulers, the ring's *order* is state
+        // (it encodes whose turn is next), so it is saved verbatim rather
+        // than rebuilt from per-session flags.
+        Value::map(vec![
+            ("rate", Value::F64(self.rate)),
+            ("quantum_base", Value::F64(self.quantum_base)),
+            ("t", Value::F64(self.t)),
+            ("in_service", save_opt_id(self.in_service)),
+            (
+                "sessions",
+                Value::List(
+                    self.sessions
+                        .iter()
+                        .map(|s| {
+                            Value::map(vec![
+                                ("phi", Value::F64(s.phi)),
+                                ("quantum", Value::F64(s.quantum)),
+                                ("deficit", Value::F64(s.deficit)),
+                                ("head_bits", Value::F64(s.head_bits)),
+                                ("backlogged", Value::Bool(s.backlogged)),
+                                ("turn_credited", Value::Bool(s.turn_credited)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "ring",
+                Value::List(self.ring.iter().map(|id| Value::U64(id.0 as u64)).collect()),
+            ),
+        ])
+    }
+
+    fn load_state(&mut self, state: &Value) -> Result<(), SnapError> {
+        let rate = state.get("rate")?.as_f64()?;
+        let quantum_base = state.get("quantum_base")?.as_f64()?;
+        if rate.to_bits() != self.rate.to_bits()
+            || quantum_base.to_bits() != self.quantum_base.to_bits()
+        {
+            return Err(SnapError {
+                at: 0,
+                what: format!(
+                    "drr config mismatch: snapshot rate {rate} / quantum base {quantum_base}, \
+                     configured {} / {}",
+                    self.rate, self.quantum_base
+                ),
+            });
+        }
+        let mut sessions = Vec::new();
+        for sv in state.get("sessions")?.items()? {
+            sessions.push(DrrSession {
+                phi: sv.get("phi")?.as_f64()?,
+                quantum: sv.get("quantum")?.as_f64()?,
+                deficit: sv.get("deficit")?.as_f64()?,
+                head_bits: sv.get("head_bits")?.as_f64()?,
+                backlogged: sv.get("backlogged")?.as_bool()?,
+                turn_credited: sv.get("turn_credited")?.as_bool()?,
+            });
+        }
+        let mut ring = VecDeque::new();
+        for idv in state.get("ring")?.items()? {
+            let id = idv.as_usize()?;
+            if id >= sessions.len() {
+                return Err(SnapError {
+                    at: 0,
+                    what: format!("ring references session {id} of {}", sessions.len()),
+                });
+            }
+            ring.push_back(SessionId(id));
+        }
+        self.backlogged = sessions.iter().filter(|s| s.backlogged).count();
+        self.sessions = sessions;
+        self.ring = ring;
+        self.t = state.get("t")?.as_f64()?;
+        self.in_service = load_opt_id(state.get("in_service")?)?;
+        Ok(())
     }
 }
 

@@ -9,7 +9,9 @@
 
 use std::collections::VecDeque;
 
-use crate::scheduler::{NodeScheduler, SessionId};
+use hpfq_obs::snap::{SnapError, Value};
+
+use crate::scheduler::{load_opt_id, save_opt_id, NodeScheduler, SessionId};
 
 #[derive(Debug, Clone)]
 struct FifoSession {
@@ -115,6 +117,77 @@ impl NodeScheduler for Fifo {
 
     fn name(&self) -> &'static str {
         "fifo"
+    }
+
+    fn save_state(&self) -> Value {
+        // Offer order is the whole policy; the queue is saved verbatim.
+        Value::map(vec![
+            ("rate", Value::F64(self.rate)),
+            ("t", Value::F64(self.t)),
+            ("in_service", save_opt_id(self.in_service)),
+            (
+                "sessions",
+                Value::List(
+                    self.sessions
+                        .iter()
+                        .map(|s| {
+                            Value::map(vec![
+                                ("phi", Value::F64(s.phi)),
+                                ("head_bits", Value::F64(s.head_bits)),
+                                ("backlogged", Value::Bool(s.backlogged)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "order",
+                Value::List(
+                    self.order
+                        .iter()
+                        .map(|id| Value::U64(id.0 as u64))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn load_state(&mut self, state: &Value) -> Result<(), SnapError> {
+        let rate = state.get("rate")?.as_f64()?;
+        if rate.to_bits() != self.rate.to_bits() {
+            return Err(SnapError {
+                at: 0,
+                what: format!(
+                    "fifo rate mismatch: snapshot {rate}, configured {}",
+                    self.rate
+                ),
+            });
+        }
+        let mut sessions = Vec::new();
+        for sv in state.get("sessions")?.items()? {
+            sessions.push(FifoSession {
+                phi: sv.get("phi")?.as_f64()?,
+                head_bits: sv.get("head_bits")?.as_f64()?,
+                backlogged: sv.get("backlogged")?.as_bool()?,
+            });
+        }
+        let mut order = VecDeque::new();
+        for idv in state.get("order")?.items()? {
+            let id = idv.as_usize()?;
+            if id >= sessions.len() {
+                return Err(SnapError {
+                    at: 0,
+                    what: format!("order references session {id} of {}", sessions.len()),
+                });
+            }
+            order.push_back(SessionId(id));
+        }
+        self.backlogged = sessions.iter().filter(|s| s.backlogged).count();
+        self.sessions = sessions;
+        self.order = order;
+        self.t = state.get("t")?.as_f64()?;
+        self.in_service = load_opt_id(state.get("in_service")?)?;
+        Ok(())
     }
 }
 

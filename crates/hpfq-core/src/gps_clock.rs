@@ -41,6 +41,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use hpfq_obs::snap::{SnapError, Value};
+
 use crate::vtime;
 
 /// A fluid-departure heap entry (min-heap by finish tag).
@@ -231,6 +233,65 @@ impl GpsClock {
     /// (survives [`GpsClock::reset`]).
     pub fn worst_sweep(&self) -> usize {
         self.worst_sweep
+    }
+
+    /// Serializes the clock for an epoch checkpoint. The departure heap is
+    /// not stored: its live content is exactly one entry per active session
+    /// at that session's `last_finish` (stale entries are skipped on peek),
+    /// so [`GpsClock::load_state`] rebuilds it from the session table.
+    /// `active_phi` is an *accumulated* float and is saved verbatim —
+    /// recomputing it as a fresh Σφ could differ in the last ulp and shift
+    /// a slope boundary.
+    pub fn save_state(&self) -> Value {
+        Value::map(vec![
+            ("v", Value::F64(self.v)),
+            ("t", Value::F64(self.t)),
+            ("active_phi", Value::F64(self.active_phi)),
+            ("worst_sweep", Value::U64(self.worst_sweep as u64)),
+            (
+                "sessions",
+                Value::List(
+                    self.sessions
+                        .iter()
+                        .map(|s| {
+                            Value::map(vec![
+                                ("phi", Value::F64(s.phi)),
+                                ("last_finish", Value::F64(s.last_finish)),
+                                ("active", Value::Bool(s.active)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Restores a clock saved by [`GpsClock::save_state`].
+    pub fn load_state(&mut self, state: &Value) -> Result<(), SnapError> {
+        let mut sessions = Vec::new();
+        for sv in state.get("sessions")?.items()? {
+            sessions.push(GpsSession {
+                phi: sv.get("phi")?.as_f64()?,
+                last_finish: sv.get("last_finish")?.as_f64()?,
+                active: sv.get("active")?.as_bool()?,
+            });
+        }
+        self.v = state.get("v")?.as_f64()?;
+        self.t = state.get("t")?.as_f64()?;
+        self.active_phi = state.get("active_phi")?.as_f64()?;
+        self.worst_sweep = state.get("worst_sweep")?.as_usize()?;
+        self.active_count = sessions.iter().filter(|s| s.active).count();
+        self.departures.clear();
+        for (session, s) in sessions.iter().enumerate() {
+            if s.active {
+                self.departures.push(Departure {
+                    finish: s.last_finish,
+                    session,
+                });
+            }
+        }
+        self.sessions = sessions;
+        Ok(())
     }
 
     fn deactivate(&mut self, session: usize) {

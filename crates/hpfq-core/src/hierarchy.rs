@@ -48,6 +48,8 @@ use hpfq_obs::{
     TxEvent,
 };
 
+use hpfq_obs::snap::{SnapError, Value};
+
 use crate::error::HpfqError;
 use crate::packet::Packet;
 use crate::scheduler::{NodeScheduler, SessionId};
@@ -1016,6 +1018,243 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
     pub fn allocated_share(&self, node: NodeId) -> f64 {
         self.nodes[node.0].child_phi_sum
     }
+
+    // ----- epoch checkpointing (DESIGN.md §14) -----------------------------
+
+    /// Serializes the hierarchy's complete mutable state — tree structure,
+    /// leaf FIFOs, per-node scheduler states, the in-flight path, and the
+    /// warped-clock anchors — for an epoch checkpoint. The attached
+    /// observer is *not* included; drivers checkpoint it separately via
+    /// [`Observer::mark`].
+    pub fn save_state(&self) -> Value {
+        Value::map(vec![
+            ("transmitting", Value::Bool(self.transmitting)),
+            ("busy_start", Value::F64(self.busy_start)),
+            ("warp_base", Value::F64(self.warp_base)),
+            ("warp_time", Value::F64(self.warp_time)),
+            ("warp_factor", Value::F64(self.warp_factor)),
+            ("last_time", Value::F64(self.last_time)),
+            ("link", Value::U64(self.link as u64)),
+            (
+                "nodes",
+                Value::List(self.nodes.iter().map(save_node).collect()),
+            ),
+        ])
+    }
+
+    /// Restores state captured by [`Hierarchy::save_state`] onto a
+    /// hierarchy *built with the same topology* (same builder calls, same
+    /// scheduler configurations). Snapshot nodes beyond the rebuilt tree —
+    /// leaves attached by mid-run churn — are re-created; a churn-added
+    /// *internal* node cannot be (its scheduler factory is gone by then)
+    /// and is reported as an error. Conversely, trailing *leaves* the live
+    /// tree has beyond the snapshot — churn that happened after the
+    /// checkpoint — are discarded (the rollback path of a checkpoint
+    /// restore); trailing internal nodes still mismatch. Share validation
+    /// is bypassed: the snapshot's accounting is restored verbatim.
+    pub fn load_state(&mut self, state: &Value) -> Result<(), SnapError> {
+        let err = |what: String| SnapError { at: 0, what };
+        let nodes_v = state.get("nodes")?.items()?;
+        if nodes_v.len() < self.nodes.len() {
+            // Nodes are only ever appended at runtime (removal merely
+            // detaches), so the surplus is a suffix. Only leaves can be
+            // added at runtime, which is what makes dropping them safe:
+            // an internal node in the suffix means this snapshot belongs
+            // to a differently built hierarchy.
+            if self.nodes[nodes_v.len()..].iter().any(|n| !n.is_leaf) {
+                return Err(err(format!(
+                    "snapshot has {} nodes but the rebuilt hierarchy has {} and the \
+                     surplus contains internal nodes",
+                    nodes_v.len(),
+                    self.nodes.len()
+                )));
+            }
+            self.nodes.truncate(nodes_v.len());
+        }
+        // Pass 1: restore per-node fields, creating churn-added leaves.
+        for (i, nv) in nodes_v.iter().enumerate() {
+            let parent = load_parent(nv.get("parent")?)?;
+            let is_leaf = nv.get("is_leaf")?.as_bool()?;
+            if i < self.nodes.len() {
+                let n = &self.nodes[i];
+                if n.is_leaf != is_leaf || n.parent != parent {
+                    return Err(err(format!(
+                        "snapshot node {i} does not match the rebuilt hierarchy's topology"
+                    )));
+                }
+            } else {
+                if !is_leaf {
+                    return Err(err(format!(
+                        "snapshot node {i} is an internal node absent from the rebuilt \
+                         hierarchy; only churn-added leaves can be restored"
+                    )));
+                }
+                let Some((p, _)) = parent else {
+                    return Err(err(format!("churn-added leaf {i} has no parent")));
+                };
+                if p >= i {
+                    return Err(err(format!("leaf {i} references later parent {p}")));
+                }
+                self.nodes.push(Node {
+                    parent,
+                    children: Vec::new(),
+                    sched: None,
+                    rate: 0.0,
+                    phi: 0.0,
+                    child_phi_sum: 0.0,
+                    head: None,
+                    active_child: None,
+                    fifo: VecDeque::new(),
+                    fifo_bytes: 0,
+                    is_leaf: true,
+                    detached: false,
+                    draining: false,
+                });
+            }
+            let n = &mut self.nodes[i];
+            n.rate = nv.get("rate")?.as_f64()?;
+            n.phi = nv.get("phi")?.as_f64()?;
+            n.child_phi_sum = nv.get("child_phi_sum")?.as_f64()?;
+            n.head = {
+                let hv = nv.get("head")?;
+                if hv.is_null() {
+                    None
+                } else {
+                    let items = hv.items()?;
+                    if items.len() != 2 {
+                        return Err(err(format!("node {i}: malformed head record")));
+                    }
+                    Some(Head {
+                        leaf: items[0].as_usize()?,
+                        bits: items[1].as_f64()?,
+                    })
+                }
+            };
+            n.active_child = {
+                let av = nv.get("active_child")?;
+                if av.is_null() {
+                    None
+                } else {
+                    Some(av.as_usize()?)
+                }
+            };
+            n.fifo.clear();
+            for pv in nv.get("fifo")?.items()? {
+                n.fifo.push_back(Packet::load(pv)?);
+            }
+            n.fifo_bytes = nv.get("fifo_bytes")?.as_u64()?;
+            n.detached = nv.get("detached")?.as_bool()?;
+            n.draining = nv.get("draining")?.as_bool()?;
+        }
+        // Pass 2: rebuild the children tables from the parent links (node
+        // ids and session slots are both dense in creation order).
+        for n in &mut self.nodes {
+            n.children.clear();
+        }
+        for i in 1..self.nodes.len() {
+            let Some((p, slot)) = self.nodes[i].parent else {
+                return Err(err(format!("non-root node {i} has no parent")));
+            };
+            if slot.0 != self.nodes[p].children.len() {
+                return Err(err(format!(
+                    "node {i}: session slot {} is not dense under parent {p}",
+                    slot.0
+                )));
+            }
+            self.nodes[p].children.push(i);
+        }
+        // Pass 3: scheduler states (after pass 1, so a parent's restored
+        // session table may cover churn-added children).
+        for (i, nv) in nodes_v.iter().enumerate() {
+            let sv = nv.get("sched")?;
+            match self.nodes[i].sched.as_mut() {
+                Some(s) => s.load_state(sv)?,
+                None => {
+                    if !sv.is_null() {
+                        return Err(err(format!(
+                            "snapshot node {i} carries scheduler state but the rebuilt \
+                             node has no scheduler"
+                        )));
+                    }
+                }
+            }
+        }
+        self.transmitting = state.get("transmitting")?.as_bool()?;
+        self.busy_start = state.get("busy_start")?.as_f64()?;
+        self.warp_base = state.get("warp_base")?.as_f64()?;
+        self.warp_time = state.get("warp_time")?.as_f64()?;
+        self.warp_factor = state.get("warp_factor")?.as_f64()?;
+        self.last_time = state.get("last_time")?.as_f64()?;
+        self.link = state.get("link")?.as_usize()?;
+        self.path_scratch.clear();
+        Ok(())
+    }
+}
+
+/// Serializes one node of the tree (children are rebuilt from the parent
+/// links on load, so they are not stored).
+fn save_node<S: NodeScheduler>(n: &Node<S>) -> Value {
+    Value::map(vec![
+        (
+            "parent",
+            match n.parent {
+                Some((p, slot)) => {
+                    Value::List(vec![Value::U64(p as u64), Value::U64(slot.0 as u64)])
+                }
+                None => Value::Null,
+            },
+        ),
+        ("rate", Value::F64(n.rate)),
+        ("phi", Value::F64(n.phi)),
+        ("child_phi_sum", Value::F64(n.child_phi_sum)),
+        (
+            "head",
+            match n.head {
+                Some(h) => Value::List(vec![Value::U64(h.leaf as u64), Value::F64(h.bits)]),
+                None => Value::Null,
+            },
+        ),
+        (
+            "active_child",
+            match n.active_child {
+                Some(c) => Value::U64(c as u64),
+                None => Value::Null,
+            },
+        ),
+        (
+            "fifo",
+            Value::List(n.fifo.iter().map(Packet::save).collect()),
+        ),
+        ("fifo_bytes", Value::U64(n.fifo_bytes)),
+        ("is_leaf", Value::Bool(n.is_leaf)),
+        ("detached", Value::Bool(n.detached)),
+        ("draining", Value::Bool(n.draining)),
+        (
+            "sched",
+            match &n.sched {
+                Some(s) => s.save_state(),
+                None => Value::Null,
+            },
+        ),
+    ])
+}
+
+/// Restores a `parent` record: `null` or `[parent index, session slot]`.
+fn load_parent(v: &Value) -> Result<Option<(usize, SessionId)>, SnapError> {
+    if v.is_null() {
+        return Ok(None);
+    }
+    let items = v.items()?;
+    if items.len() != 2 {
+        return Err(SnapError {
+            at: 0,
+            what: format!("parent record has {} fields, expected 2", items.len()),
+        });
+    }
+    Ok(Some((
+        items[0].as_usize()?,
+        SessionId(items[1].as_usize()?),
+    )))
 }
 
 #[cfg(test)]

@@ -9,6 +9,8 @@
 //!   leaves inside a best-effort class) build a
 //!   `Hierarchy<MixedScheduler>` and choose a kind per node.
 
+use hpfq_obs::snap::{SnapError, Value};
+
 use crate::drr::Drr;
 use crate::fifo::Fifo;
 use crate::scfq::Scfq;
@@ -163,6 +165,27 @@ impl NodeScheduler for MixedScheduler {
 
     fn name(&self) -> &'static str {
         dispatch!(self, s => s.name())
+    }
+
+    fn save_state(&self) -> Value {
+        Value::map(vec![
+            ("kind", Value::Str(self.name().to_string())),
+            ("state", dispatch!(self, s => s.save_state())),
+        ])
+    }
+
+    fn load_state(&mut self, state: &Value) -> Result<(), SnapError> {
+        let kind = state.get("kind")?.as_str()?;
+        if kind != self.name() {
+            return Err(SnapError {
+                at: 0,
+                what: format!(
+                    "scheduler kind mismatch: snapshot '{kind}', configured '{}'",
+                    self.name()
+                ),
+            });
+        }
+        dispatch!(self, s => s.load_state(state.get("state")?))
     }
 }
 

@@ -1,6 +1,8 @@
 //! The packet type shared by the schedulers, the hierarchy, and the
 //! discrete-event simulator.
 
+use hpfq_obs::snap::{SnapError, Value};
+
 use crate::error::HpfqError;
 
 /// Largest packet length the admission path accepts, in bytes (16 MiB —
@@ -79,6 +81,37 @@ impl Packet {
             return Err(fail("non-finite birth time"));
         }
         Ok(())
+    }
+
+    /// Serializes for an epoch checkpoint, as a fixed-arity list
+    /// `[id, flow, len_bytes, birth, arrival]` — packets dominate snapshot
+    /// volume, so the compact form matters.
+    pub fn save(&self) -> Value {
+        Value::List(vec![
+            Value::U64(self.id),
+            Value::U64(u64::from(self.flow)),
+            Value::U64(u64::from(self.len_bytes)),
+            Value::F64(self.birth),
+            Value::F64(self.arrival),
+        ])
+    }
+
+    /// Restores a packet saved by [`Packet::save`].
+    pub fn load(v: &Value) -> Result<Packet, SnapError> {
+        let items = v.items()?;
+        if items.len() != 5 {
+            return Err(SnapError {
+                at: 0,
+                what: format!("packet record has {} fields, expected 5", items.len()),
+            });
+        }
+        Ok(Packet {
+            id: items[0].as_u64()?,
+            flow: items[1].as_u32()?,
+            len_bytes: items[2].as_u32()?,
+            birth: items[3].as_f64()?,
+            arrival: items[4].as_f64()?,
+        })
     }
 }
 

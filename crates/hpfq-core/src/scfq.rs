@@ -7,7 +7,11 @@
 //! sessions (§3.4 discussion and ref. [10]); the `wfi_table` experiment
 //! measures this against WF²Q+.
 
-use crate::scheduler::{NodeScheduler, SessionId, SessionState};
+use hpfq_obs::snap::{SnapError, Value};
+
+use crate::scheduler::{
+    load_opt_id, load_sessions, save_opt_id, save_sessions, NodeScheduler, SessionId, SessionState,
+};
 use crate::tag_heap::TagHeap;
 
 /// The SCFQ scheduler.
@@ -119,6 +123,42 @@ impl NodeScheduler for Scfq {
 
     fn name(&self) -> &'static str {
         "scfq"
+    }
+
+    fn save_state(&self) -> Value {
+        Value::map(vec![
+            ("rate", Value::F64(self.rate)),
+            ("v", Value::F64(self.v)),
+            ("t", Value::F64(self.t)),
+            ("in_service", save_opt_id(self.in_service)),
+            ("sessions", save_sessions(&self.sessions)),
+        ])
+    }
+
+    fn load_state(&mut self, state: &Value) -> Result<(), SnapError> {
+        let rate = state.get("rate")?.as_f64()?;
+        if rate.to_bits() != self.rate.to_bits() {
+            return Err(SnapError {
+                at: 0,
+                what: format!(
+                    "scfq rate mismatch: snapshot {rate}, configured {}",
+                    self.rate
+                ),
+            });
+        }
+        self.sessions = load_sessions(state.get("sessions")?)?;
+        self.v = state.get("v")?.as_f64()?;
+        self.t = state.get("t")?.as_f64()?;
+        self.in_service = load_opt_id(state.get("in_service")?)?;
+        self.backlogged = self.sessions.iter().filter(|s| s.backlogged).count();
+        self.heap.clear();
+        for (i, s) in self.sessions.iter().enumerate() {
+            let id = SessionId(i);
+            if s.backlogged && self.in_service != Some(id) {
+                self.heap.push(id, s.finish, s.start);
+            }
+        }
+        Ok(())
     }
 }
 

@@ -30,6 +30,8 @@
 //! session tags to zero; tags from a previous busy period must not penalise
 //! (or favour) sessions in the next one.
 
+use hpfq_obs::snap::{SnapError, Value};
+
 /// Index of a session (child logical queue) within one scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SessionId(pub usize);
@@ -113,6 +115,49 @@ pub trait NodeScheduler {
 
     /// Short policy name for reports ("wf2q+", "wfq", …).
     fn name(&self) -> &'static str;
+
+    /// Serializes the scheduler's complete mutable state for an epoch
+    /// checkpoint (DESIGN.md §14). The returned value, fed back through
+    /// [`NodeScheduler::load_state`] on a scheduler constructed with the
+    /// same configuration, must reproduce the original's behaviour exactly
+    /// — every subsequent dispatch decision and tag must be bit-identical.
+    ///
+    /// The default returns [`Value::Null`] ("no checkpointable state"); all
+    /// in-tree schedulers override it.
+    fn save_state(&self) -> Value {
+        Value::Null
+    }
+
+    /// Restores state captured by [`NodeScheduler::save_state`]. The
+    /// default accepts only [`Value::Null`] so that a scheduler without
+    /// checkpoint support fails loudly rather than resuming from garbage.
+    fn load_state(&mut self, state: &Value) -> Result<(), SnapError> {
+        if state.is_null() {
+            Ok(())
+        } else {
+            Err(SnapError {
+                at: 0,
+                what: format!("scheduler '{}' does not support load_state", self.name()),
+            })
+        }
+    }
+}
+
+/// Serializes an optional in-service session id.
+pub(crate) fn save_opt_id(id: Option<SessionId>) -> Value {
+    match id {
+        Some(id) => Value::U64(id.0 as u64),
+        None => Value::Null,
+    }
+}
+
+/// Restores an optional in-service session id.
+pub(crate) fn load_opt_id(v: &Value) -> Result<Option<SessionId>, SnapError> {
+    if v.is_null() {
+        Ok(None)
+    } else {
+        Ok(Some(SessionId(v.as_usize()?)))
+    }
 }
 
 /// Common per-session bookkeeping shared by the virtual-time schedulers.
@@ -181,6 +226,42 @@ impl SessionState {
         self.finish = 0.0;
         debug_assert!(!self.backlogged, "resetting a backlogged session");
     }
+
+    /// Serializes for an epoch checkpoint. Every field is saved verbatim —
+    /// in particular `inv_rate` is *not* recomputed from `phi` on load, so
+    /// the restored tag arithmetic is bit-identical.
+    pub(crate) fn save(&self) -> Value {
+        Value::map(vec![
+            ("phi", Value::F64(self.phi)),
+            ("inv_rate", Value::F64(self.inv_rate)),
+            ("start", Value::F64(self.start)),
+            ("finish", Value::F64(self.finish)),
+            ("head_bits", Value::F64(self.head_bits)),
+            ("backlogged", Value::Bool(self.backlogged)),
+        ])
+    }
+
+    /// Restores a session saved by [`SessionState::save`].
+    pub(crate) fn load(v: &Value) -> Result<SessionState, SnapError> {
+        Ok(SessionState {
+            phi: v.get("phi")?.as_f64()?,
+            inv_rate: v.get("inv_rate")?.as_f64()?,
+            start: v.get("start")?.as_f64()?,
+            finish: v.get("finish")?.as_f64()?,
+            head_bits: v.get("head_bits")?.as_f64()?,
+            backlogged: v.get("backlogged")?.as_bool()?,
+        })
+    }
+}
+
+/// Serializes a `Vec<SessionState>` session table.
+pub(crate) fn save_sessions(sessions: &[SessionState]) -> Value {
+    Value::List(sessions.iter().map(SessionState::save).collect())
+}
+
+/// Restores a session table saved by [`save_sessions`].
+pub(crate) fn load_sessions(v: &Value) -> Result<Vec<SessionState>, SnapError> {
+    v.items()?.iter().map(SessionState::load).collect()
 }
 
 #[cfg(test)]

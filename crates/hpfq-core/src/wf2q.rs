@@ -9,10 +9,15 @@
 
 use std::collections::VecDeque;
 
+use hpfq_obs::snap::{SnapError, Value};
+
 use crate::eligible::{dual_heap::DualHeapEligibleSet, EligibleSet};
 use crate::gps_clock::GpsClock;
-use crate::scheduler::{NodeScheduler, SessionId, SessionState};
+use crate::scheduler::{
+    load_opt_id, load_sessions, save_opt_id, save_sessions, NodeScheduler, SessionId, SessionState,
+};
 use crate::vtime;
+use crate::wfq::{load_pending, save_pending};
 
 /// The WF²Q scheduler (SEFF over the exact GPS virtual time).
 #[derive(Debug, Clone)]
@@ -205,6 +210,46 @@ impl NodeScheduler for Wf2q {
 
     fn name(&self) -> &'static str {
         "wf2q"
+    }
+
+    fn save_state(&self) -> Value {
+        Value::map(vec![
+            ("rate", Value::F64(self.rate)),
+            ("t", Value::F64(self.t)),
+            ("in_service", save_opt_id(self.in_service)),
+            ("sessions", save_sessions(&self.sessions)),
+            ("pending", save_pending(&self.pending)),
+            ("clock", self.clock.save_state()),
+            ("fallback_dispatches", Value::U64(self.fallback_dispatches)),
+        ])
+    }
+
+    fn load_state(&mut self, state: &Value) -> Result<(), SnapError> {
+        let rate = state.get("rate")?.as_f64()?;
+        if rate.to_bits() != self.rate.to_bits() {
+            return Err(SnapError {
+                at: 0,
+                what: format!(
+                    "wf2q rate mismatch: snapshot {rate}, configured {}",
+                    self.rate
+                ),
+            });
+        }
+        self.sessions = load_sessions(state.get("sessions")?)?;
+        self.pending = load_pending(state.get("pending")?, self.sessions.len())?;
+        self.clock.load_state(state.get("clock")?)?;
+        self.t = state.get("t")?.as_f64()?;
+        self.in_service = load_opt_id(state.get("in_service")?)?;
+        self.fallback_dispatches = state.get("fallback_dispatches")?.as_u64()?;
+        self.backlogged = self.sessions.iter().filter(|s| s.backlogged).count();
+        self.set.clear();
+        for (i, s) in self.sessions.iter().enumerate() {
+            let id = SessionId(i);
+            if s.backlogged && self.in_service != Some(id) {
+                self.set.insert(id, s.start, s.finish);
+            }
+        }
+        Ok(())
     }
 }
 

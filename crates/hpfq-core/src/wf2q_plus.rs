@@ -21,8 +21,12 @@
 //! `α_i = L_i,max + (L_max − L_i,max)·r_i/r`, and the GPS-tight delay bound
 //! `σ_i/r_i + L_max/r` for a `(σ_i, r_i)` leaky-bucket session.
 
+use hpfq_obs::snap::{SnapError, Value};
+
 use crate::eligible::{dual_heap::DualHeapEligibleSet, EligibleSet};
-use crate::scheduler::{NodeScheduler, SessionId, SessionState};
+use crate::scheduler::{
+    load_opt_id, load_sessions, save_opt_id, save_sessions, NodeScheduler, SessionId, SessionState,
+};
 
 /// The WF²Q+ scheduler, generic over the eligible-set structure (defaulting
 /// to the production dual-heap; see [`crate::TreapEligibleSet`] for the
@@ -168,6 +172,46 @@ impl<E: EligibleSet> NodeScheduler for Wf2qPlus<E> {
 
     fn name(&self) -> &'static str {
         "wf2q+"
+    }
+
+    fn save_state(&self) -> Value {
+        // The eligible set is not serialized: its membership is exactly the
+        // backlogged, not-in-service sessions, and pop order is a pure
+        // function of membership (lazy deletion inside the structure is
+        // caching, not state), so load_state rebuilds it.
+        Value::map(vec![
+            ("rate", Value::F64(self.rate)),
+            ("v", Value::F64(self.v)),
+            ("t", Value::F64(self.t)),
+            ("in_service", save_opt_id(self.in_service)),
+            ("sessions", save_sessions(&self.sessions)),
+        ])
+    }
+
+    fn load_state(&mut self, state: &Value) -> Result<(), SnapError> {
+        let rate = state.get("rate")?.as_f64()?;
+        if rate.to_bits() != self.rate.to_bits() {
+            return Err(SnapError {
+                at: 0,
+                what: format!(
+                    "wf2q+ rate mismatch: snapshot {rate}, configured {}",
+                    self.rate
+                ),
+            });
+        }
+        self.sessions = load_sessions(state.get("sessions")?)?;
+        self.v = state.get("v")?.as_f64()?;
+        self.t = state.get("t")?.as_f64()?;
+        self.in_service = load_opt_id(state.get("in_service")?)?;
+        self.backlogged = self.sessions.iter().filter(|s| s.backlogged).count();
+        self.set.clear();
+        for (i, s) in self.sessions.iter().enumerate() {
+            let id = SessionId(i);
+            if s.backlogged && self.in_service != Some(id) {
+                self.set.insert(id, s.start, s.finish);
+            }
+        }
+        Ok(())
     }
 }
 

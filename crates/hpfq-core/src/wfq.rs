@@ -13,9 +13,45 @@
 
 use std::collections::VecDeque;
 
+use hpfq_obs::snap::{SnapError, Value};
+
 use crate::gps_clock::GpsClock;
-use crate::scheduler::{NodeScheduler, SessionId, SessionState};
+use crate::scheduler::{
+    load_opt_id, load_sessions, save_opt_id, save_sessions, NodeScheduler, SessionId, SessionState,
+};
 use crate::tag_heap::TagHeap;
+
+/// Serializes per-session pending-stamp queues (shared with [`crate::Wf2q`]).
+pub(crate) fn save_pending(pending: &[VecDeque<f64>]) -> Value {
+    Value::List(
+        pending
+            .iter()
+            .map(|q| Value::List(q.iter().map(|&b| Value::F64(b)).collect()))
+            .collect(),
+    )
+}
+
+/// Restores queues saved by [`save_pending`]; must match the session count.
+pub(crate) fn load_pending(v: &Value, sessions: usize) -> Result<Vec<VecDeque<f64>>, SnapError> {
+    let mut pending = Vec::new();
+    for qv in v.items()? {
+        let mut q = VecDeque::new();
+        for bv in qv.items()? {
+            q.push_back(bv.as_f64()?);
+        }
+        pending.push(q);
+    }
+    if pending.len() != sessions {
+        return Err(SnapError {
+            at: 0,
+            what: format!(
+                "pending queue count {} does not match session count {sessions}",
+                pending.len()
+            ),
+        });
+    }
+    Ok(pending)
+}
 
 /// The WFQ (PGPS) scheduler.
 #[derive(Debug, Clone)]
@@ -175,6 +211,46 @@ impl NodeScheduler for Wfq {
 
     fn name(&self) -> &'static str {
         "wfq"
+    }
+
+    fn save_state(&self) -> Value {
+        // The tag heap is rebuilt on load from the session table (membership
+        // = backlogged and not in service, keys = the saved finish tags).
+        Value::map(vec![
+            ("rate", Value::F64(self.rate)),
+            ("t", Value::F64(self.t)),
+            ("in_service", save_opt_id(self.in_service)),
+            ("sessions", save_sessions(&self.sessions)),
+            ("pending", save_pending(&self.pending)),
+            ("clock", self.clock.save_state()),
+        ])
+    }
+
+    fn load_state(&mut self, state: &Value) -> Result<(), SnapError> {
+        let rate = state.get("rate")?.as_f64()?;
+        if rate.to_bits() != self.rate.to_bits() {
+            return Err(SnapError {
+                at: 0,
+                what: format!(
+                    "wfq rate mismatch: snapshot {rate}, configured {}",
+                    self.rate
+                ),
+            });
+        }
+        self.sessions = load_sessions(state.get("sessions")?)?;
+        self.pending = load_pending(state.get("pending")?, self.sessions.len())?;
+        self.clock.load_state(state.get("clock")?)?;
+        self.t = state.get("t")?.as_f64()?;
+        self.in_service = load_opt_id(state.get("in_service")?)?;
+        self.backlogged = self.sessions.iter().filter(|s| s.backlogged).count();
+        self.heap.clear();
+        for (i, s) in self.sessions.iter().enumerate() {
+            let id = SessionId(i);
+            if s.backlogged && self.in_service != Some(id) {
+                self.heap.push(id, s.finish, 0.0);
+            }
+        }
+        Ok(())
     }
 }
 

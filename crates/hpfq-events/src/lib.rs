@@ -126,6 +126,13 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|Reverse((Key(t, _, _), _))| *t)
     }
 
+    /// Time and minor key of the earliest pending event. The pair is the
+    /// content-derived part of the firing order, so epoch supervisors can
+    /// compare queue heads against a global cut key without popping.
+    pub fn peek_key(&self) -> Option<(f64, u64)> {
+        self.heap.peek().map(|Reverse((Key(t, m, _), _))| (*t, *m))
+    }
+
     /// Removes and returns the earliest event and its time. Ties fire in
     /// `(minor, scheduling order)` order.
     pub fn pop(&mut self) -> Option<(f64, E)> {
@@ -220,6 +227,12 @@ impl<E> Engine<E> {
         self.queue.peek_time()
     }
 
+    /// Time and minor key of the earliest pending event (see
+    /// [`EventQueue::peek_key`]).
+    pub fn peek_key(&self) -> Option<(f64, u64)> {
+        self.queue.peek_key()
+    }
+
     /// Pops the earliest event if it is due at or before `horizon`,
     /// advancing the clock to its time. Events strictly after the horizon
     /// stay queued, so a later call with a larger horizon continues
@@ -255,6 +268,18 @@ impl<E> Engine<E> {
         if t > self.now {
             self.now = t;
         }
+    }
+
+    /// Sets the clock to `t` unconditionally — the *restore* path. Unlike
+    /// [`Engine::advance_to`], this may move the clock backwards: a
+    /// checkpoint rollback rebuilds queue contents from a snapshot taken
+    /// at an earlier time, and subsequent `schedule` calls must be clamped
+    /// against the checkpoint's clock, not the failed run's. Callers must
+    /// restore the clock *before* rescheduling snapshot events, or the
+    /// `max(t, now)` clamp would drag them forward.
+    pub fn reset_to(&mut self, t: f64) {
+        debug_assert!(t.is_finite(), "non-finite clock {t}");
+        self.now = t;
     }
 
     /// Drains every pending event in `(time, minor, seq)` order, returning
@@ -434,6 +459,32 @@ mod tests {
             e.schedule_keyed(t, minor, ev);
         }
         assert_eq!(e.pop_due(10.0), Some((1.0, "a")));
+    }
+
+    #[test]
+    fn peek_key_exposes_time_and_minor() {
+        let mut e = Engine::new();
+        assert_eq!(e.peek_key(), None);
+        e.schedule_keyed(2.0, 7, "later");
+        e.schedule_keyed(1.0, 4, "sooner");
+        assert_eq!(e.peek_key(), Some((1.0, 4)));
+        assert_eq!(e.pop_due(10.0), Some((1.0, "sooner")));
+        assert_eq!(e.peek_key(), Some((2.0, 7)));
+    }
+
+    #[test]
+    fn reset_to_allows_backward_clock_for_restore() {
+        let mut e = Engine::new();
+        e.schedule(1.0, "a");
+        assert_eq!(e.pop_due(10.0), Some((1.0, "a")));
+        assert_eq!(e.now(), 1.0);
+        // Rollback: clock returns to 0.25 and re-scheduled snapshot events
+        // keep their original times instead of being clamped to 1.0.
+        e.reset_to(0.25);
+        assert_eq!(e.now(), 0.25);
+        e.schedule_keyed(0.5, 3, "replayed");
+        assert_eq!(e.pop_due(10.0), Some((0.5, "replayed")));
+        assert_eq!(e.now(), 0.5);
     }
 
     #[test]

@@ -275,6 +275,23 @@ mod tests {
     }
 
     #[test]
+    fn taint_reaches_supervisor_catch_unwind_sites() {
+        // The crash-contained supervisor wraps workers in `catch_unwind`;
+        // panics inside the closure and in the supervisor's own result
+        // handling are still hot-path (run_parallel is a taint seed), so
+        // every such site needs a reasoned L002 allow — the audit this
+        // test pins.
+        let src = "impl Network { pub fn run_parallel(&mut self) {\n    \
+                   let r = catch_unwind(|| self.step());\n    \
+                   r.expect(\"worker panicked\");\n} }\n\
+                   impl Network { fn step(&mut self) { self.q.pop().unwrap(); } }";
+        let f = lint_source("crates/hpfq-sim/src/parallel.rs", src);
+        let rules: Vec<&str> = f.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, ["L002", "L002"], "{f:?}");
+        assert!(f.iter().all(|f| !f.suppressed), "{f:?}");
+    }
+
+    #[test]
     fn stale_allow_is_reported_as_l011() {
         // The allow names L002 but the fn is not hot, so no L002 finding
         // exists and the allow is stale.

@@ -10,6 +10,8 @@
 //!   epochs    Per-shard parallel epoch statistics
 //!   spans     Aggregated wall-clock span table
 //!   chrome    Render a Chrome trace-event (Perfetto) JSON document
+//!   snapshots Validate and summarize a snapshot artifact (a chaos-soak
+//!             --snapshot envelope or a flight recorder's .ckpt sidecar)
 //!
 //! FILE defaults to `-` (stdin).
 //!
@@ -29,11 +31,11 @@ use std::io::Read as _;
 
 use hpfq_obs::query::{
     chrome_from_text, delay_report, epoch_report, filter_lines, render_delays, render_epochs,
-    render_summary, span_report, summarize, Filter,
+    render_snapshot, render_summary, snapshot_report, span_report, summarize, Filter,
 };
 
-const USAGE: &str = "usage: hpfq-trace <summary|filter|delays|epochs|spans|chrome> [FILE|-] \
-                     [--link N] [--flow N] [--node N] [--from T] [--to T] [--out PATH]";
+const USAGE: &str = "usage: hpfq-trace <summary|filter|delays|epochs|spans|chrome|snapshots> \
+                     [FILE|-] [--link N] [--flow N] [--node N] [--from T] [--to T] [--out PATH]";
 
 struct Args {
     command: String,
@@ -118,6 +120,7 @@ fn run(args: &Args) -> Result<String, String> {
         "epochs" => Ok(render_epochs(&epoch_report(&text))),
         "spans" => Ok(span_report(&text)),
         "chrome" => Ok(chrome_from_text(&text)),
+        "snapshots" => snapshot_report(&text).map(|r| render_snapshot(&r)),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     }
 }

@@ -23,6 +23,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::snap::{SnapError, Value};
+
 /// The response the ladder selects for one incident.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EscalationLevel {
@@ -140,6 +142,67 @@ impl EscalationState {
     /// Whether the ladder has demanded a halt.
     pub fn is_halted(&self) -> bool {
         self.halted
+    }
+
+    /// Demands a halt directly, without charging a strike to any flow.
+    ///
+    /// The crash-contained parallel runtime uses this when a failure is a
+    /// property of the *system* rather than of one flow — a shard that
+    /// panics repeatedly past its retry budget, or a worker that wedges at
+    /// a barrier. The flag is as sticky as a policy-driven halt.
+    pub fn mark_halted(&mut self) {
+        self.halted = true;
+    }
+
+    /// Serializes the ladder state for an epoch checkpoint.
+    pub fn save_state(&self) -> Value {
+        Value::map(vec![
+            (
+                "strikes",
+                Value::List(
+                    self.strikes
+                        .iter()
+                        .map(|(&flow, &n)| {
+                            Value::List(vec![Value::U64(u64::from(flow)), Value::U64(u64::from(n))])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "quarantined",
+                Value::List(
+                    self.quarantined
+                        .iter()
+                        .map(|&f| Value::U64(u64::from(f)))
+                        .collect(),
+                ),
+            ),
+            ("halted", Value::Bool(self.halted)),
+        ])
+    }
+
+    /// Restores state saved by [`EscalationState::save_state`], replacing
+    /// the current contents wholesale.
+    pub fn load_state(&mut self, state: &Value) -> Result<(), SnapError> {
+        let mut strikes = BTreeMap::new();
+        for pair in state.get("strikes")?.items()? {
+            let fields = pair.items()?;
+            if fields.len() != 2 {
+                return Err(SnapError {
+                    at: 0,
+                    what: format!("strike record has {} fields, expected 2", fields.len()),
+                });
+            }
+            strikes.insert(fields[0].as_u32()?, fields[1].as_u32()?);
+        }
+        let mut quarantined = BTreeSet::new();
+        for f in state.get("quarantined")?.items()? {
+            quarantined.insert(f.as_u32()?);
+        }
+        self.strikes = strikes;
+        self.quarantined = quarantined;
+        self.halted = state.get("halted")?.as_bool()?;
+        Ok(())
     }
 
     /// Folds `other` into `self`, taking the maximum strike count per

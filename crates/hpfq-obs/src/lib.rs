@@ -44,6 +44,7 @@ pub mod jsonl;
 pub mod metrics;
 pub mod query;
 pub mod recorder;
+pub mod snap;
 pub mod span;
 pub mod vtime;
 
@@ -54,9 +55,10 @@ pub use event::{
     PacketInfo, QuarantineEvent, TraceEvent, TxEvent,
 };
 pub use invariant::{InvariantKind, InvariantObserver, Violation};
-pub use jsonl::{merge_traces, JsonlObserver, SharedBuf};
+pub use jsonl::{merge_traces, JsonlObserver, SharedBuf, TraceSink};
 pub use metrics::{DelayHistogram, MetricsObserver};
 pub use recorder::FlightRecorder;
+pub use snap::{SnapError, Value};
 pub use span::{EpochSpan, SpanKind, SpanProfiler, SpanSnapshot, SpanStats};
 
 /// A sink for scheduler events.
@@ -107,6 +109,24 @@ pub trait Observer {
     /// The degradation layer quarantined a flow.
     #[inline]
     fn on_quarantine(&mut self, _e: &QuarantineEvent) {}
+
+    /// Returns an opaque marker for the sink's current output position.
+    ///
+    /// The crash-contained parallel runtime (DESIGN.md §14) calls this at
+    /// every epoch checkpoint so that rolling the simulation back to the
+    /// checkpoint can also roll the observer's output back — otherwise a
+    /// retried epoch would duplicate its trace lines. Sinks that cannot
+    /// rewind return [`snap::Value::Null`] and accept a best-effort (or
+    /// no-op) [`Observer::rewind`].
+    #[inline]
+    fn mark(&self) -> snap::Value {
+        snap::Value::Null
+    }
+
+    /// Rolls the sink back to a position previously returned by
+    /// [`Observer::mark`]. Events observed since that mark are discarded.
+    #[inline]
+    fn rewind(&mut self, _mark: &snap::Value) {}
 }
 
 /// The do-nothing observer: with it, every hook call compiles away.
@@ -227,6 +247,19 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
     fn on_quarantine(&mut self, e: &QuarantineEvent) {
         self.0.on_quarantine(e);
         self.1.on_quarantine(e);
+    }
+    #[inline]
+    fn mark(&self) -> snap::Value {
+        snap::Value::List(vec![self.0.mark(), self.1.mark()])
+    }
+    #[inline]
+    fn rewind(&mut self, mark: &snap::Value) {
+        if let snap::Value::List(parts) = mark {
+            if parts.len() == 2 {
+                self.0.rewind(&parts[0]);
+                self.1.rewind(&parts[1]);
+            }
+        }
     }
 }
 

@@ -18,6 +18,15 @@
 //! also dump explicitly when a conservation check fails. The dump is a
 //! plain JSONL file: `hpfq-trace` and [`crate::jsonl::parse_trace`] both
 //! read it.
+//!
+//! When the harness has an epoch checkpoint in hand (the crash-contained
+//! parallel runtime, DESIGN.md §14), it can attach the serialized bytes
+//! via [`FlightRecorder::attach_checkpoint`]; every dump then also writes
+//! a `<dump_path>.ckpt` sidecar holding the exact state to resume from —
+//! the post-mortem carries not just *what happened* but *where to restart*.
+//! The recorder also participates in checkpoint rollback: its
+//! [`Observer::mark`]/[`Observer::rewind`] drop ring events recorded after
+//! the mark so a retried stint does not duplicate history.
 
 use std::collections::VecDeque;
 
@@ -26,6 +35,7 @@ use crate::event::{
     QuarantineEvent, TraceEvent, TxEvent,
 };
 use crate::jsonl::JsonlObserver;
+use crate::snap::Value;
 use crate::span::SpanSnapshot;
 use crate::{replay, Observer};
 
@@ -39,6 +49,7 @@ pub struct FlightRecorder {
     dump_path: Option<String>,
     dumps_written: u64,
     dump_errors: u64,
+    checkpoint: Option<Vec<u8>>,
 }
 
 impl FlightRecorder {
@@ -53,6 +64,7 @@ impl FlightRecorder {
             dump_path: None,
             dumps_written: 0,
             dump_errors: 0,
+            checkpoint: None,
         }
     }
 
@@ -115,6 +127,20 @@ impl FlightRecorder {
         self.spans.merge_from(spans);
     }
 
+    /// Attaches the serialized bytes of the last epoch checkpoint (a
+    /// [`crate::snap::Value`] rendered with `to_bytes`). Subsequent
+    /// [`FlightRecorder::dump`]s write them to a `<dump_path>.ckpt`
+    /// sidecar so a post-mortem carries the exact state to resume from
+    /// alongside the event history.
+    pub fn attach_checkpoint(&mut self, bytes: Vec<u8>) {
+        self.checkpoint = Some(bytes);
+    }
+
+    /// The attached epoch checkpoint bytes, if any.
+    pub fn checkpoint(&self) -> Option<&[u8]> {
+        self.checkpoint.as_deref()
+    }
+
     #[inline]
     fn record(&mut self, ev: TraceEvent) {
         if self.ring.len() == self.capacity {
@@ -129,10 +155,11 @@ impl FlightRecorder {
     /// span aggregates.
     pub fn snapshot_jsonl(&self) -> String {
         let mut out = format!(
-            "{{\"ev\":\"flight\",\"capacity\":{},\"len\":{},\"dropped\":{}}}\n",
+            "{{\"ev\":\"flight\",\"capacity\":{},\"len\":{},\"dropped\":{},\"checkpoint\":{}}}\n",
             self.capacity,
             self.ring.len(),
-            self.dropped
+            self.dropped,
+            self.checkpoint.is_some()
         );
         let mut sink = JsonlObserver::new(Vec::new());
         for ev in &self.ring {
@@ -146,6 +173,13 @@ impl FlightRecorder {
     /// Writes [`FlightRecorder::snapshot_jsonl`] to the configured dump
     /// path. Returns `true` on success; without a path this is a no-op
     /// returning `false`. Errors are counted, not propagated.
+    ///
+    /// If checkpoint bytes are attached ([`attach_checkpoint`]), they are
+    /// written alongside to `<dump_path>.ckpt` — a byte-deterministic
+    /// snapshot the run can be resumed from (`hpfq-trace snapshots`
+    /// inspects it, `chaos-soak --resume` replays it).
+    ///
+    /// [`attach_checkpoint`]: FlightRecorder::attach_checkpoint
     pub fn dump(&mut self) -> bool {
         let Some(path) = self.dump_path.clone() else {
             return false;
@@ -153,6 +187,11 @@ impl FlightRecorder {
         match std::fs::write(&path, self.snapshot_jsonl()) {
             Ok(()) => {
                 self.dumps_written += 1;
+                if let Some(ckpt) = &self.checkpoint {
+                    if std::fs::write(format!("{path}.ckpt"), ckpt).is_err() {
+                        self.dump_errors += 1;
+                    }
+                }
                 true
             }
             Err(_) => {
@@ -203,6 +242,25 @@ impl Observer for FlightRecorder {
         // post-mortem moment the recorder exists for.
         self.dump();
     }
+
+    // Epoch-checkpoint support (DESIGN.md §14): the mark is the total
+    // number of events ever recorded; rewinding pops events recorded
+    // after the mark off the back of the ring. Events the ring has
+    // already evicted cannot come back — the rewind is best-effort in
+    // that direction only, which is safe: a retried stint re-records
+    // them, and `dropped` already says the oldest history is gone.
+    fn mark(&self) -> Value {
+        Value::U64(self.dropped + self.ring.len() as u64)
+    }
+
+    fn rewind(&mut self, mark: &Value) {
+        let Ok(target) = mark.as_u64() else { return };
+        while self.dropped + self.ring.len() as u64 > target {
+            if self.ring.pop_back().is_none() {
+                break;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -248,7 +306,7 @@ mod tests {
         let mut lines = snap.lines();
         assert_eq!(
             lines.next(),
-            Some("{\"ev\":\"flight\",\"capacity\":8,\"len\":1,\"dropped\":0}")
+            Some("{\"ev\":\"flight\",\"capacity\":8,\"len\":1,\"dropped\":0,\"checkpoint\":false}")
         );
         // The header and span lines are not TraceEvents; exactly those two
         // are "skipped" by the plain event parser.
@@ -289,5 +347,63 @@ mod tests {
         let mut r = FlightRecorder::new(2);
         assert!(!r.dump());
         assert_eq!(r.dumps_written(), 0);
+    }
+
+    #[test]
+    fn dump_writes_checkpoint_sidecar_when_attached() {
+        let path = std::env::temp_dir().join(format!(
+            "hpfq-flight-ckpt-test-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let mut r = FlightRecorder::with_dump_path(4, path.to_string_lossy());
+        r.on_busy_reset(&reset_at(0.25, 2));
+        r.attach_checkpoint(b"(map (kind snapshot))".to_vec());
+        assert!(r.dump());
+        let sidecar = format!("{}.ckpt", path.to_string_lossy());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let ckpt = std::fs::read(&sidecar).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&sidecar);
+        assert!(text.starts_with("{\"ev\":\"flight\""), "{text}");
+        assert!(text.contains("\"checkpoint\":true"), "{text}");
+        assert_eq!(ckpt, b"(map (kind snapshot))");
+        assert_eq!(r.dump_errors(), 0);
+    }
+
+    #[test]
+    fn mark_rewind_discards_events_recorded_after_the_mark() {
+        let mut r = FlightRecorder::new(8);
+        r.on_busy_reset(&reset_at(0.0, 0));
+        r.on_busy_reset(&reset_at(1.0, 1));
+        let mark = r.mark();
+        r.on_busy_reset(&reset_at(2.0, 2));
+        r.on_busy_reset(&reset_at(3.0, 3));
+        r.rewind(&mark);
+        let nodes: Vec<usize> = r
+            .events()
+            .map(|e| match e {
+                TraceEvent::BusyReset(b) => b.node,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(nodes, [0, 1]);
+        // Re-recording after the rewind continues cleanly.
+        r.on_busy_reset(&reset_at(2.5, 9));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn rewind_past_evicted_history_is_best_effort() {
+        let mut r = FlightRecorder::new(2);
+        let mark = r.mark(); // 0 events seen
+        for i in 0..4 {
+            r.on_busy_reset(&reset_at(i as f64, i));
+        }
+        // Two of the four events were evicted; rewinding to 0 can only
+        // drop what the ring still holds.
+        r.rewind(&mark);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 2);
     }
 }

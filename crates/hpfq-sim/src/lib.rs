@@ -31,17 +31,18 @@ pub mod network;
 pub mod parallel;
 pub mod rng;
 pub mod simulation;
+pub mod snapshot;
 pub mod source;
 pub mod stats;
 
 pub use network::{
     FaultInjector, Hop, LinkLedger, Network, NoFaults, PacketVerdict, Route, SimCommand, SourceId,
 };
-pub use parallel::{FallbackReason, ParallelReport};
+pub use parallel::{FallbackReason, ParallelReport, ShardFailure};
 pub use rng::SmallRng;
 pub use simulation::{Simulation, SourceConfig};
 pub use source::{
-    CbrSource, GreedyLbSource, PacketTrainSource, PeriodicOnOffSource, PoissonSource,
+    load_source, CbrSource, GreedyLbSource, PacketTrainSource, PeriodicOnOffSource, PoissonSource,
     ScheduledOnOffSource, Source, SourceOutput, TraceSource,
 };
 pub use stats::{BandwidthEstimator, FlowStats, ServiceRecord, SimStats};

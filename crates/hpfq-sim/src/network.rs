@@ -32,6 +32,7 @@ use std::collections::BTreeMap;
 
 use hpfq_core::{Hierarchy, HpfqError, NodeId, NodeScheduler, Packet};
 use hpfq_events::Engine;
+use hpfq_obs::snap::{SnapError, Value};
 use hpfq_obs::{
     DropEvent, EpochSpan, EscalationLevel, EscalationPolicy, EscalationState, FaultEvent,
     FaultKind, NoopObserver, Observer, PacketInfo, QuarantineEvent, SpanKind, SpanProfiler,
@@ -173,9 +174,8 @@ pub enum PacketVerdict {
 /// depend only on each flow's own packet/wake order (which open-loop
 /// sources make scheduler-independent).
 ///
-/// `Send` is a supertrait so a `Network` holding an injector is still a
-/// `Send` value (parallel runs *fall back* to sequential when one is
-/// installed, but the container must cross the thread-scope type check).
+/// `Send` is a supertrait so a `Network` holding an injector can cross
+/// the parallel runtime's thread-scope type check.
 pub trait FaultInjector: Send {
     /// Inspect — and possibly mutate — a packet at admission.
     fn on_packet(&mut self, _now: f64, _pkt: &mut Packet) -> PacketVerdict {
@@ -188,13 +188,69 @@ pub trait FaultInjector: Send {
     fn jitter(&mut self, _now: f64, _flow: u32, wake: f64) -> f64 {
         wake
     }
+
+    /// Serializes the injector's internal state for an epoch checkpoint.
+    /// The default refuses: [`Network::snapshot`] then reports that the
+    /// installed injector cannot be checkpointed.
+    fn save_state(&self) -> Result<Value, SnapError> {
+        Err(SnapError {
+            at: 0,
+            what: "fault injector does not support checkpointing".into(),
+        })
+    }
+
+    /// Restores state captured by [`FaultInjector::save_state`] into an
+    /// injector of the same concrete type and configuration.
+    fn load_state(&mut self, _state: &Value) -> Result<(), SnapError> {
+        Err(SnapError {
+            at: 0,
+            what: "fault injector does not support checkpointing".into(),
+        })
+    }
+
+    /// Splits off a child injector owning the per-flow decision streams of
+    /// `flows`, for one shard of a parallel run. Implementations whose
+    /// fault streams depend only on each flow's own packet/wake order can
+    /// fork exactly: the child advances precisely the streams its shard's
+    /// flows would have advanced sequentially. Returning `None` (the
+    /// default) declares the injector unsplittable, and parallel runs fall
+    /// back to sequential with
+    /// [`crate::FallbackReason::InjectorUnsplittable`].
+    fn fork_shard(&mut self, _flows: &[u32]) -> Option<Box<dyn FaultInjector>> {
+        None
+    }
+
+    /// Folds a shard child's final state (its [`FaultInjector::save_state`]
+    /// value) back into the parent after a parallel run, re-synchronizing
+    /// the streams the child advanced.
+    fn absorb_shard(&mut self, _state: &Value) -> Result<(), SnapError> {
+        Ok(())
+    }
 }
 
 /// The no-fault injector (used when none is installed).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoFaults;
 
-impl FaultInjector for NoFaults {}
+impl FaultInjector for NoFaults {
+    fn save_state(&self) -> Result<Value, SnapError> {
+        Ok(Value::map(vec![("kind", Value::Str("none".into()))]))
+    }
+
+    fn load_state(&mut self, state: &Value) -> Result<(), SnapError> {
+        match state.get("kind")?.as_str()? {
+            "none" => Ok(()),
+            other => Err(SnapError {
+                at: 0,
+                what: format!("expected no-fault injector state, found '{other}'"),
+            }),
+        }
+    }
+
+    fn fork_shard(&mut self, _flows: &[u32]) -> Option<Box<dyn FaultInjector>> {
+        Some(Box::new(NoFaults))
+    }
+}
 
 /// Why a leaf is being detached by a [`NetEvent::Detach`] event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -388,6 +444,23 @@ pub struct Network<S: NodeScheduler, O: Observer = NoopObserver> {
     /// Per-shard span snapshots collected by the last parallel merge
     /// (empty for sequential runs, and when `profile` is off).
     pub(crate) shard_spans: Vec<SpanSnapshot>,
+    /// Conservative epochs per supervised stint of a parallel run: shards
+    /// merge back into the master and the epoch checkpoint is refreshed
+    /// every this-many epochs. `0` means one unbounded stint (a single
+    /// checkpoint at the start of the run).
+    pub(crate) stint_epochs: u64,
+    /// Barrier watchdog for parallel runs: a worker stuck at the two-phase
+    /// exchange longer than this poisons the barrier, converting a wedged
+    /// run into a typed [`crate::ShardFailure::BarrierTimeout`].
+    pub(crate) watchdog: std::time::Duration,
+    /// Test hook: `(shard, global epoch)` at which that shard's worker
+    /// panics — armed only on the first attempt of the covering stint, so
+    /// a checkpointed run recovers on retry.
+    pub(crate) panic_plan: Option<(usize, u64)>,
+    /// The last epoch checkpoint a parallel run held when it returned —
+    /// on a halt or exhausted retry budget, the state to resume from.
+    /// Diagnostic only: not itself part of snapshots.
+    pub(crate) last_checkpoint: Option<Value>,
 }
 
 impl<S: NodeScheduler, O: Observer> Default for Network<S, O> {
@@ -416,6 +489,10 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
             record_epochs: false,
             epoch_log: Vec::new(),
             shard_spans: Vec::new(),
+            stint_epochs: 64,
+            watchdog: std::time::Duration::from_secs(10),
+            panic_plan: None,
+            last_checkpoint: None,
         }
     }
 
@@ -1320,5 +1397,43 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
     /// Renders [`Network::span_snapshot`] as a fixed-width text table.
     pub fn span_report(&self) -> String {
         self.profiler.snapshot().report_text("network")
+    }
+
+    /// Sets how many conservative epochs a parallel run executes per
+    /// supervised stint: at each stint boundary the shards merge back into
+    /// the master and the epoch checkpoint is refreshed, bounding how much
+    /// work a crash rollback can lose. Default 64; `0` means a single
+    /// unbounded stint (one checkpoint at the start of the run).
+    pub fn set_stint_epochs(&mut self, epochs: u64) {
+        self.stint_epochs = epochs;
+    }
+
+    /// Sets the watchdog timeout for the parallel runtime's two-barrier
+    /// exchange (default 10 s). A worker waiting longer than this — its
+    /// peer died or wedged — poisons the barrier; the stint fails with a
+    /// typed [`crate::ShardFailure`] instead of hanging, and the
+    /// supervisor rolls back to the last checkpoint.
+    pub fn set_watchdog(&mut self, timeout: std::time::Duration) {
+        self.watchdog = timeout;
+    }
+
+    /// Arms a one-shot injected panic: the worker for `shard` panics when
+    /// the global epoch counter reaches `epoch` — on the **first** attempt
+    /// of the stint containing that epoch only, so a checkpointed run
+    /// recovers on retry. The crash-recovery tests and the CI soak use
+    /// this to prove panic containment end to end.
+    pub fn inject_shard_panic(&mut self, shard: usize, epoch: u64) {
+        self.panic_plan = Some((shard, epoch));
+    }
+
+    /// The last epoch checkpoint the most recent parallel run held when it
+    /// returned: after a clean run, the final stint-boundary refresh; after
+    /// a halt replay or an exhausted retry budget, the exact state the run
+    /// was rolled back to. `None` until a checkpointed parallel run has
+    /// completed. Harnesses attach its serialized bytes to a
+    /// [`hpfq_obs::FlightRecorder`] so post-mortem dumps carry the state to
+    /// resume from.
+    pub fn last_checkpoint(&self) -> Option<&Value> {
+        self.last_checkpoint.as_ref()
     }
 }

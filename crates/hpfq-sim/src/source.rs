@@ -12,6 +12,7 @@
 
 use crate::rng::SmallRng;
 use hpfq_core::{vtime, Packet};
+use hpfq_obs::snap::{SnapError, Value};
 
 /// What a source callback hands back to the simulator.
 #[derive(Debug, Default)]
@@ -64,6 +65,20 @@ pub trait Source: Send {
     fn label(&self) -> String {
         "source".to_owned()
     }
+
+    /// Serializes the source — configuration and mutable position in its
+    /// arrival process — for an epoch checkpoint. Every built-in source
+    /// returns a `kind`-tagged map that [`load_source`] reconstructs
+    /// exactly (RNG state included). External closed-loop sources opt in
+    /// by overriding; the default refuses, so a [`crate::Network`]
+    /// snapshot fails with a typed error instead of silently losing the
+    /// source.
+    fn save_state(&self) -> Result<Value, SnapError> {
+        Err(SnapError {
+            at: 0,
+            what: format!("source '{}' does not support checkpointing", self.label()),
+        })
+    }
 }
 
 impl Source for Box<dyn Source> {
@@ -81,6 +96,31 @@ impl Source for Box<dyn Source> {
 
     fn label(&self) -> String {
         (**self).label()
+    }
+
+    fn save_state(&self) -> Result<Value, SnapError> {
+        (**self).save_state()
+    }
+}
+
+/// Rebuilds a boxed source from a snapshot produced by
+/// [`Source::save_state`]. The `kind` tag selects among the built-in
+/// source types; snapshots of external `Source` implementations cannot be
+/// rebuilt here and yield an error naming the unknown kind.
+pub fn load_source(v: &Value) -> Result<Box<dyn Source>, SnapError> {
+    let kind = v.get("kind")?.as_str()?;
+    match kind {
+        "cbr" => Ok(Box::new(CbrSource::load(v)?)),
+        "onoff" => Ok(Box::new(PeriodicOnOffSource::load(v)?)),
+        "sched" => Ok(Box::new(ScheduledOnOffSource::load(v)?)),
+        "poisson" => Ok(Box::new(PoissonSource::load(v)?)),
+        "train" => Ok(Box::new(PacketTrainSource::load(v)?)),
+        "lb" => Ok(Box::new(GreedyLbSource::load(v)?)),
+        "trace" => Ok(Box::new(TraceSource::load(v)?)),
+        other => Err(SnapError {
+            at: 0,
+            what: format!("unknown source kind '{other}'"),
+        }),
     }
 }
 
@@ -138,6 +178,31 @@ impl Source for CbrSource {
 
     fn label(&self) -> String {
         format!("cbr-{}", self.flow)
+    }
+
+    fn save_state(&self) -> Result<Value, SnapError> {
+        Ok(Value::map(vec![
+            ("kind", Value::Str("cbr".to_owned())),
+            ("flow", Value::U64(u64::from(self.flow))),
+            ("len_bytes", Value::U64(u64::from(self.len_bytes))),
+            ("interval", Value::F64(self.interval)),
+            ("start_time", Value::F64(self.start_time)),
+            ("stop_time", Value::F64(self.stop_time)),
+            ("seq", Value::U64(self.seq)),
+        ]))
+    }
+}
+
+impl CbrSource {
+    fn load(v: &Value) -> Result<Self, SnapError> {
+        Ok(CbrSource {
+            flow: v.get("flow")?.as_u32()?,
+            len_bytes: v.get("len_bytes")?.as_u32()?,
+            interval: v.get("interval")?.as_f64()?,
+            start_time: v.get("start_time")?.as_f64()?,
+            stop_time: v.get("stop_time")?.as_f64()?,
+            seq: v.get("seq")?.as_u64()?,
+        })
     }
 }
 
@@ -231,6 +296,35 @@ impl Source for PeriodicOnOffSource {
     fn label(&self) -> String {
         format!("onoff-{}", self.flow)
     }
+
+    fn save_state(&self) -> Result<Value, SnapError> {
+        Ok(Value::map(vec![
+            ("kind", Value::Str("onoff".to_owned())),
+            ("flow", Value::U64(u64::from(self.flow))),
+            ("len_bytes", Value::U64(u64::from(self.len_bytes))),
+            ("interval", Value::F64(self.interval)),
+            ("on_duration", Value::F64(self.on_duration)),
+            ("period", Value::F64(self.period)),
+            ("start_time", Value::F64(self.start_time)),
+            ("stop_time", Value::F64(self.stop_time)),
+            ("seq", Value::U64(self.seq)),
+        ]))
+    }
+}
+
+impl PeriodicOnOffSource {
+    fn load(v: &Value) -> Result<Self, SnapError> {
+        Ok(PeriodicOnOffSource {
+            flow: v.get("flow")?.as_u32()?,
+            len_bytes: v.get("len_bytes")?.as_u32()?,
+            interval: v.get("interval")?.as_f64()?,
+            on_duration: v.get("on_duration")?.as_f64()?,
+            period: v.get("period")?.as_f64()?,
+            start_time: v.get("start_time")?.as_f64()?,
+            stop_time: v.get("stop_time")?.as_f64()?,
+            seq: v.get("seq")?.as_u64()?,
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -316,6 +410,48 @@ impl Source for ScheduledOnOffSource {
     fn label(&self) -> String {
         format!("sched-{}", self.flow)
     }
+
+    fn save_state(&self) -> Result<Value, SnapError> {
+        Ok(Value::map(vec![
+            ("kind", Value::Str("sched".to_owned())),
+            ("flow", Value::U64(u64::from(self.flow))),
+            ("len_bytes", Value::U64(u64::from(self.len_bytes))),
+            ("interval", Value::F64(self.interval)),
+            (
+                "schedule",
+                Value::List(
+                    self.schedule
+                        .iter()
+                        .map(|&(s, e)| Value::List(vec![Value::F64(s), Value::F64(e)]))
+                        .collect(),
+                ),
+            ),
+            ("seq", Value::U64(self.seq)),
+        ]))
+    }
+}
+
+impl ScheduledOnOffSource {
+    fn load(v: &Value) -> Result<Self, SnapError> {
+        let mut schedule = Vec::new();
+        for iv in v.get("schedule")?.items()? {
+            let pair = iv.items()?;
+            if pair.len() != 2 {
+                return Err(SnapError {
+                    at: 0,
+                    what: format!("schedule interval has {} fields, expected 2", pair.len()),
+                });
+            }
+            schedule.push((pair[0].as_f64()?, pair[1].as_f64()?));
+        }
+        Ok(ScheduledOnOffSource {
+            flow: v.get("flow")?.as_u32()?,
+            len_bytes: v.get("len_bytes")?.as_u32()?,
+            interval: v.get("interval")?.as_f64()?,
+            schedule,
+            seq: v.get("seq")?.as_u64()?,
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -383,6 +519,47 @@ impl Source for PoissonSource {
 
     fn label(&self) -> String {
         format!("poisson-{}", self.flow)
+    }
+
+    fn save_state(&self) -> Result<Value, SnapError> {
+        Ok(Value::map(vec![
+            ("kind", Value::Str("poisson".to_owned())),
+            ("flow", Value::U64(u64::from(self.flow))),
+            ("len_bytes", Value::U64(u64::from(self.len_bytes))),
+            ("mean_interval", Value::F64(self.mean_interval)),
+            ("start_time", Value::F64(self.start_time)),
+            ("stop_time", Value::F64(self.stop_time)),
+            (
+                "rng",
+                Value::List(self.rng.state().iter().map(|&w| Value::U64(w)).collect()),
+            ),
+            ("seq", Value::U64(self.seq)),
+        ]))
+    }
+}
+
+impl PoissonSource {
+    fn load(v: &Value) -> Result<Self, SnapError> {
+        let words = v.get("rng")?.items()?;
+        if words.len() != 4 {
+            return Err(SnapError {
+                at: 0,
+                what: format!("rng state has {} words, expected 4", words.len()),
+            });
+        }
+        let mut s = [0u64; 4];
+        for (slot, w) in s.iter_mut().zip(words) {
+            *slot = w.as_u64()?;
+        }
+        Ok(PoissonSource {
+            flow: v.get("flow")?.as_u32()?,
+            len_bytes: v.get("len_bytes")?.as_u32()?,
+            mean_interval: v.get("mean_interval")?.as_f64()?,
+            start_time: v.get("start_time")?.as_f64()?,
+            stop_time: v.get("stop_time")?.as_f64()?,
+            rng: SmallRng::from_state(s),
+            seq: v.get("seq")?.as_u64()?,
+        })
     }
 }
 
@@ -468,6 +645,37 @@ impl Source for PacketTrainSource {
     fn label(&self) -> String {
         format!("train-{}", self.flow)
     }
+
+    fn save_state(&self) -> Result<Value, SnapError> {
+        Ok(Value::map(vec![
+            ("kind", Value::Str("train".to_owned())),
+            ("flow", Value::U64(u64::from(self.flow))),
+            ("len_bytes", Value::U64(u64::from(self.len_bytes))),
+            ("burst_len", Value::U64(u64::from(self.burst_len))),
+            ("intra_gap", Value::F64(self.intra_gap)),
+            ("period", Value::F64(self.period)),
+            ("start_time", Value::F64(self.start_time)),
+            ("stop_time", Value::F64(self.stop_time)),
+            ("seq", Value::U64(self.seq)),
+            ("in_burst", Value::U64(u64::from(self.in_burst))),
+        ]))
+    }
+}
+
+impl PacketTrainSource {
+    fn load(v: &Value) -> Result<Self, SnapError> {
+        Ok(PacketTrainSource {
+            flow: v.get("flow")?.as_u32()?,
+            len_bytes: v.get("len_bytes")?.as_u32()?,
+            burst_len: v.get("burst_len")?.as_u32()?,
+            intra_gap: v.get("intra_gap")?.as_f64()?,
+            period: v.get("period")?.as_f64()?,
+            start_time: v.get("start_time")?.as_f64()?,
+            stop_time: v.get("stop_time")?.as_f64()?,
+            seq: v.get("seq")?.as_u64()?,
+            in_burst: v.get("in_burst")?.as_u32()?,
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -546,6 +754,35 @@ impl Source for GreedyLbSource {
     fn label(&self) -> String {
         format!("lb-{}", self.flow)
     }
+
+    fn save_state(&self) -> Result<Value, SnapError> {
+        Ok(Value::map(vec![
+            ("kind", Value::Str("lb".to_owned())),
+            ("flow", Value::U64(u64::from(self.flow))),
+            ("len_bytes", Value::U64(u64::from(self.len_bytes))),
+            ("sigma_bytes", Value::U64(u64::from(self.sigma_bytes))),
+            ("rho_bps", Value::F64(self.rho_bps)),
+            ("start_time", Value::F64(self.start_time)),
+            ("stop_time", Value::F64(self.stop_time)),
+            ("seq", Value::U64(self.seq)),
+            ("burst_sent", Value::Bool(self.burst_sent)),
+        ]))
+    }
+}
+
+impl GreedyLbSource {
+    fn load(v: &Value) -> Result<Self, SnapError> {
+        Ok(GreedyLbSource {
+            flow: v.get("flow")?.as_u32()?,
+            len_bytes: v.get("len_bytes")?.as_u32()?,
+            sigma_bytes: v.get("sigma_bytes")?.as_u32()?,
+            rho_bps: v.get("rho_bps")?.as_f64()?,
+            start_time: v.get("start_time")?.as_f64()?,
+            stop_time: v.get("stop_time")?.as_f64()?,
+            seq: v.get("seq")?.as_u64()?,
+            burst_sent: v.get("burst_sent")?.as_bool()?,
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -604,6 +841,48 @@ impl Source for TraceSource {
 
     fn label(&self) -> String {
         format!("trace-{}", self.flow)
+    }
+
+    fn save_state(&self) -> Result<Value, SnapError> {
+        Ok(Value::map(vec![
+            ("kind", Value::Str("trace".to_owned())),
+            ("flow", Value::U64(u64::from(self.flow))),
+            (
+                "entries",
+                Value::List(
+                    self.entries
+                        .iter()
+                        .map(|&(t, len)| {
+                            Value::List(vec![Value::F64(t), Value::U64(u64::from(len))])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("seq", Value::U64(self.seq)),
+        ]))
+    }
+}
+
+impl TraceSource {
+    fn load(v: &Value) -> Result<Self, SnapError> {
+        // `entries` is saved in internal (reversed) order and restored
+        // verbatim, bypassing `new()`'s sort check.
+        let mut entries = Vec::new();
+        for iv in v.get("entries")?.items()? {
+            let pair = iv.items()?;
+            if pair.len() != 2 {
+                return Err(SnapError {
+                    at: 0,
+                    what: format!("trace entry has {} fields, expected 2", pair.len()),
+                });
+            }
+            entries.push((pair[0].as_f64()?, pair[1].as_u32()?));
+        }
+        Ok(TraceSource {
+            flow: v.get("flow")?.as_u32()?,
+            entries,
+            seq: v.get("seq")?.as_u64()?,
+        })
     }
 }
 

@@ -5,6 +5,7 @@
 use std::collections::BTreeMap;
 
 use hpfq_core::Packet;
+use hpfq_obs::snap::{SnapError, Value};
 
 /// One transmitted packet, as recorded by the simulator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,6 +29,38 @@ impl ServiceRecord {
     /// metric).
     pub fn delay(&self) -> f64 {
         self.end - self.arrival
+    }
+
+    /// Serializes as a fixed-arity list — records dominate the traced
+    /// portion of a checkpoint, so the compact form matters.
+    pub fn save(&self) -> Value {
+        Value::List(vec![
+            Value::U64(self.id),
+            Value::U64(u64::from(self.flow)),
+            Value::U64(u64::from(self.len_bytes)),
+            Value::F64(self.arrival),
+            Value::F64(self.start),
+            Value::F64(self.end),
+        ])
+    }
+
+    /// Restores a record saved by [`ServiceRecord::save`].
+    pub fn load(v: &Value) -> Result<ServiceRecord, SnapError> {
+        let items = v.items()?;
+        if items.len() != 6 {
+            return Err(SnapError {
+                at: 0,
+                what: format!("service record has {} fields, expected 6", items.len()),
+            });
+        }
+        Ok(ServiceRecord {
+            id: items[0].as_u64()?,
+            flow: items[1].as_u32()?,
+            len_bytes: items[2].as_u32()?,
+            arrival: items[3].as_f64()?,
+            start: items[4].as_f64()?,
+            end: items[5].as_f64()?,
+        })
     }
 }
 
@@ -85,6 +118,56 @@ impl FlowStats {
         } else {
             self.drops as f64 / self.offered_packets as f64
         }
+    }
+
+    /// Serializes every counter as a fixed-arity list (field order matches
+    /// the struct declaration).
+    pub fn save(&self) -> Value {
+        Value::List(vec![
+            Value::U64(self.packets),
+            Value::U64(self.bytes),
+            Value::U64(self.drops),
+            Value::U64(self.drop_bytes),
+            Value::U64(self.offered_packets),
+            Value::U64(self.offered_bytes),
+            Value::U64(self.accepted_packets),
+            Value::U64(self.accepted_bytes),
+            Value::U64(self.fault_drops),
+            Value::U64(self.fault_drop_bytes),
+            Value::U64(self.purged_packets),
+            Value::U64(self.purged_bytes),
+            Value::F64(self.delay_sum),
+            Value::F64(self.delay_max),
+            Value::F64(self.last_departure),
+        ])
+    }
+
+    /// Restores aggregates saved by [`FlowStats::save`].
+    pub fn load(v: &Value) -> Result<FlowStats, SnapError> {
+        let items = v.items()?;
+        if items.len() != 15 {
+            return Err(SnapError {
+                at: 0,
+                what: format!("flow stats record has {} fields, expected 15", items.len()),
+            });
+        }
+        Ok(FlowStats {
+            packets: items[0].as_u64()?,
+            bytes: items[1].as_u64()?,
+            drops: items[2].as_u64()?,
+            drop_bytes: items[3].as_u64()?,
+            offered_packets: items[4].as_u64()?,
+            offered_bytes: items[5].as_u64()?,
+            accepted_packets: items[6].as_u64()?,
+            accepted_bytes: items[7].as_u64()?,
+            fault_drops: items[8].as_u64()?,
+            fault_drop_bytes: items[9].as_u64()?,
+            purged_packets: items[10].as_u64()?,
+            purged_bytes: items[11].as_u64()?,
+            delay_sum: items[12].as_f64()?,
+            delay_max: items[13].as_f64()?,
+            last_departure: items[14].as_f64()?,
+        })
     }
 }
 
@@ -230,6 +313,40 @@ impl SimStats {
         self.traced.keys().copied().collect()
     }
 
+    /// Removes and returns `flow`'s aggregate entry.
+    ///
+    /// The parallel split moves each flow's accumulator to the one shard
+    /// that writes its service-side fields (the flow's **last** hop), so
+    /// `delay_sum` keeps accumulating incrementally on its single writer.
+    /// A checkpointed master with non-zero prefix stats then merges back
+    /// bit-identically: every other shard contributes `+ 0.0` to the sum
+    /// instead of forcing a re-associated `prefix + partial` addition.
+    pub fn extract_flow(&mut self, flow: u32) -> Option<FlowStats> {
+        self.flows.remove(&flow)
+    }
+
+    /// Installs `stats` as `flow`'s aggregate entry — the receiving end of
+    /// [`SimStats::extract_flow`]. Any existing entry is replaced.
+    pub fn seed_flow(&mut self, flow: u32, stats: FlowStats) {
+        self.flows.insert(flow, stats);
+    }
+
+    /// Moves out the captured trace for `flow`, leaving the registration
+    /// in place (an empty vector) so future records are still captured.
+    pub fn extract_trace(&mut self, flow: u32) -> Vec<ServiceRecord> {
+        self.traced
+            .get_mut(&flow)
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Seeds `flow`'s trace with `records` (the prefix from a checkpointed
+    /// run segment); newly captured records append after them. The
+    /// receiving end of [`SimStats::extract_trace`].
+    pub fn seed_trace(&mut self, flow: u32, records: Vec<ServiceRecord>) {
+        self.traced.insert(flow, records);
+    }
+
     /// Folds `other` into `self` **exactly** (no approximation): counters
     /// sum, extrema take the maximum, and per-flow traces concatenate.
     ///
@@ -270,6 +387,76 @@ impl SimStats {
         if other.last_departure > self.last_departure {
             self.last_departure = other.last_departure;
         }
+    }
+
+    /// Serializes the collector — aggregates, trace registrations, and
+    /// captured trace records — for an epoch checkpoint.
+    pub fn save_state(&self) -> Value {
+        Value::map(vec![
+            (
+                "flows",
+                Value::List(
+                    self.flows
+                        .iter()
+                        .map(|(&flow, f)| Value::List(vec![Value::U64(u64::from(flow)), f.save()]))
+                        .collect(),
+                ),
+            ),
+            (
+                "traced",
+                Value::List(
+                    self.traced
+                        .iter()
+                        .map(|(&flow, records)| {
+                            Value::List(vec![
+                                Value::U64(u64::from(flow)),
+                                Value::List(records.iter().map(ServiceRecord::save).collect()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("total_bytes", Value::U64(self.total_bytes)),
+            ("total_packets", Value::U64(self.total_packets)),
+            ("last_departure", Value::F64(self.last_departure)),
+        ])
+    }
+
+    /// Restores state saved by [`SimStats::save_state`], replacing the
+    /// current contents wholesale.
+    pub fn load_state(&mut self, state: &Value) -> Result<(), SnapError> {
+        let mut flows = BTreeMap::new();
+        for pair in state.get("flows")?.items()? {
+            let fields = pair.items()?;
+            if fields.len() != 2 {
+                return Err(SnapError {
+                    at: 0,
+                    what: format!("flow entry has {} fields, expected 2", fields.len()),
+                });
+            }
+            flows.insert(fields[0].as_u32()?, FlowStats::load(&fields[1])?);
+        }
+        let mut traced = BTreeMap::new();
+        for pair in state.get("traced")?.items()? {
+            let fields = pair.items()?;
+            if fields.len() != 2 {
+                return Err(SnapError {
+                    at: 0,
+                    what: format!("trace entry has {} fields, expected 2", fields.len()),
+                });
+            }
+            let mut records = Vec::new();
+            for rv in fields[1].items()? {
+                records.push(ServiceRecord::load(rv)?);
+            }
+            traced.insert(fields[0].as_u32()?, records);
+        }
+        self.flows = flows;
+        self.traced = traced;
+        self.total_bytes = state.get("total_bytes")?.as_u64()?;
+        self.total_packets = state.get("total_packets")?.as_u64()?;
+        self.last_departure = state.get("last_departure")?.as_f64()?;
+        Ok(())
     }
 }
 

@@ -16,10 +16,15 @@ use hpfq::analysis::{empirical_bwfi, service_curve_from_records, wf2q_plus_bwfi}
 use hpfq::core::eligible::{
     dual_heap::DualHeapEligibleSet, treap::TreapEligibleSet, BruteForceEligibleSet, EligibleSet,
 };
-use hpfq::core::{Hierarchy, NodeId, NodeScheduler, SessionId, Sfq, Wf2qPlus};
+use hpfq::core::{
+    Hierarchy, MixedScheduler, NodeId, NodeScheduler, SchedulerKind, SessionId, Sfq, Wf2qPlus,
+};
 use hpfq::fluid::{Arrival, FluidNodeId, FluidSim, FluidTree};
-use hpfq::obs::InvariantObserver;
-use hpfq::sim::{CbrSource, SimCommand, Simulation, SmallRng, SourceConfig, TraceSource};
+use hpfq::obs::{InvariantObserver, NoopObserver};
+use hpfq::sim::{
+    CbrSource, Hop, Network, PoissonSource, Route, SimCommand, Simulation, SmallRng, SourceConfig,
+    TraceSource,
+};
 
 // ---------------------------------------------------------------------------
 // Eligible sets: both O(log N) structures behave exactly like the O(N)
@@ -555,6 +560,223 @@ fn churn_case<S: NodeScheduler>(factory: impl Fn(f64) -> S + 'static, seed: u64)
         "seed {seed}: invariant violations under churn: {}",
         obs.summary()
     );
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot/restore round-trip identity: for *arbitrary* multi-link
+// networks with random hierarchies, mixed sources, outages, and flow
+// churn, checkpointing at a random instant and restoring — into the same
+// network after it ran further (rollback) or into a freshly built twin
+// (resume) — must reproduce the uncheckpointed run exactly. The final
+// full-state snapshot is the equality witness: byte-identical bytes mean
+// identical clocks, queues, sources, shares, ledgers, and stats.
+// ---------------------------------------------------------------------------
+
+/// One random network: 1–3 links, each with a randomized hierarchy (an
+/// optional internal class), a trunk flow routed across every link, per-link
+/// cross traffic (CBR or Poisson), plus a random outage window, a mid-run
+/// `RemoveFlow`, and a mid-run `AddFlow` join on link 0.
+fn random_churn_net(rng_seed: u64) -> (Network<MixedScheduler, NoopObserver>, f64) {
+    const LINK_BPS: f64 = 10e6;
+    const HORIZON: f64 = 2.0;
+    let mut rng = SmallRng::seed_from_u64(rng_seed);
+    let kind = match rng.gen_range_u32(0, 3) {
+        0 => SchedulerKind::Wf2qPlus,
+        1 => SchedulerKind::Sfq,
+        _ => SchedulerKind::Wfq,
+    };
+
+    let nlinks = rng.gen_range_usize(1, 4);
+    let mut net: Network<MixedScheduler, NoopObserver> = Network::new();
+    let mut trunk_hops = Vec::new();
+    let mut link0_root = NodeId(0);
+    let mut cross_flows = Vec::new();
+    for li in 0..nlinks {
+        let mut bld = Hierarchy::<MixedScheduler, NoopObserver>::builder_with_observer(
+            LINK_BPS,
+            move |r| kind.build(r),
+            NoopObserver,
+        );
+        let root = bld.root();
+        if li == 0 {
+            link0_root = root;
+        }
+        // Reserve 0.1 of the root for churn joins; split the rest between
+        // the trunk leaf and a randomly-shaped cross-traffic subtree.
+        let trunk_phi = rng.gen_range_f64(0.2, 0.4);
+        let cross_budget = 0.9 - trunk_phi;
+        let trunk_leaf = bld.add_leaf(root, trunk_phi).unwrap();
+        let cross_parent = if rng.gen_range_u32(0, 2) == 0 {
+            bld.add_internal(root, cross_budget).unwrap()
+        } else {
+            root
+        };
+        let under_class = cross_parent != root;
+        let ncross = rng.gen_range_usize(1, 4);
+        let raw: Vec<f64> = (0..ncross).map(|_| rng.gen_range_f64(0.2, 2.0)).collect();
+        let total: f64 = raw.iter().sum();
+        let mut pending = Vec::new();
+        for (k, w) in raw.iter().enumerate() {
+            // Under an internal class weights are relative to the class;
+            // directly under the root they must fit the remaining budget.
+            let phi = if under_class {
+                w / total
+            } else {
+                cross_budget * w / total
+            };
+            let leaf = bld.add_leaf(cross_parent, phi).unwrap();
+            let flow = 100 + 10 * li as u32 + k as u32;
+            cross_flows.push(flow);
+            pending.push((flow, leaf));
+        }
+        let link = net.add_link(bld.build());
+        for (flow, leaf) in pending {
+            let rate = rng.gen_range_f64(1e6, 4e6);
+            let pkt = 250 * rng.gen_range_u32(2, 7);
+            let end = rng.gen_range_f64(1.0, HORIZON);
+            let buffer = if rng.gen_range_u32(0, 2) == 0 {
+                Some(8 * u64::from(pkt))
+            } else {
+                None
+            };
+            let route = Route::new(vec![Hop {
+                link,
+                leaf,
+                buffer_bytes: buffer,
+                prop_delay: rng.gen_range_f64(0.0, 0.002),
+            }]);
+            if rng.gen_range_u32(0, 2) == 0 {
+                net.add_route(flow, CbrSource::new(flow, pkt, rate, 0.0, end), route);
+            } else {
+                net.add_route(
+                    flow,
+                    PoissonSource::new(
+                        flow,
+                        pkt,
+                        rate,
+                        0.0,
+                        end,
+                        rng_seed.wrapping_add(flow.into()),
+                    ),
+                    route,
+                );
+            }
+        }
+        trunk_hops.push(Hop {
+            link,
+            leaf: trunk_leaf,
+            buffer_bytes: if rng.gen_range_u32(0, 2) == 0 {
+                Some(6000)
+            } else {
+                None
+            },
+            prop_delay: rng.gen_range_f64(0.001, 0.004),
+        });
+    }
+    net.add_route(
+        0,
+        CbrSource::new(0, 1000, rng.gen_range_f64(1e6, 3e6), 0.0, HORIZON),
+        Route::new(trunk_hops),
+    );
+
+    // Outage window on a random link.
+    let out_link = rng.gen_range_usize(0, nlinks);
+    let t_down = rng.gen_range_f64(0.3, 1.2);
+    net.schedule_command(
+        t_down,
+        SimCommand::SetLinkRateOn {
+            link: out_link,
+            bps: 0.0,
+        },
+    );
+    net.schedule_command(
+        t_down + rng.gen_range_f64(0.01, 0.1),
+        SimCommand::SetLinkRateOn {
+            link: out_link,
+            bps: LINK_BPS,
+        },
+    );
+    // Churn: one leave (a random cross flow) and one join on link 0.
+    let victim = cross_flows[rng.gen_range_usize(0, cross_flows.len())];
+    net.schedule_command(rng.gen_range_f64(0.5, 1.5), SimCommand::RemoveFlow(victim));
+    let t_join = rng.gen_range_f64(0.3, 1.4);
+    let phi = rng.gen_range_f64(0.02, 0.08);
+    net.schedule_command(
+        t_join,
+        SimCommand::AddFlow {
+            parent: link0_root,
+            phi,
+            flow: 50,
+            source: Box::new(CbrSource::new(
+                50,
+                750,
+                phi * LINK_BPS * 1.3,
+                t_join,
+                HORIZON,
+            )),
+            buffer_bytes: Some(9000),
+            delivery_delay: 0.0,
+        },
+    );
+    (net, HORIZON)
+}
+
+/// `run(0..T)` ≡ `run(0..t) → snapshot → restore → run(t..T)` on random
+/// networks: the rollback and fresh-resume tails must land on a final
+/// state whose serialized snapshot is byte-identical to the golden run's,
+/// and re-capturing a checkpoint must be byte-stable.
+#[test]
+fn snapshot_restore_round_trip_identity_on_random_churn_networks() {
+    for case in 0..24u64 {
+        let seed = 0x54a9_0000 + case;
+        let (mut golden, horizon) = random_churn_net(seed);
+        golden.run(horizon);
+        golden.verify_conservation().unwrap_or_else(|e| {
+            panic!("case {case}: golden run broke conservation: {e}");
+        });
+        assert!(
+            golden.command_errors.is_empty(),
+            "case {case}: churn commands failed: {:?}",
+            golden.command_errors
+        );
+        assert!(
+            golden.stats.total_packets > 100,
+            "case {case}: degenerate workload ({} packets)",
+            golden.stats.total_packets
+        );
+        let golden_final = golden.snapshot().unwrap().to_bytes();
+
+        let mut case_rng = SmallRng::seed_from_u64(seed ^ 0x5eed);
+        let t = case_rng.gen_range_f64(0.1, horizon - 0.1);
+        let (mut net, _) = random_churn_net(seed);
+        net.run(t);
+        let snap = net.snapshot().unwrap();
+        assert_eq!(
+            snap.to_bytes(),
+            net.snapshot().unwrap().to_bytes(),
+            "case {case}: re-capture at t={t} changed bytes"
+        );
+
+        // Rollback: run to completion, rewind to the checkpoint, replay.
+        net.run(horizon);
+        net.restore(&snap).unwrap();
+        net.run(horizon);
+        assert_eq!(
+            net.snapshot().unwrap().to_bytes(),
+            golden_final,
+            "case {case}: rollback from t={t} diverged from the golden run"
+        );
+
+        // Resume: restore into a freshly built twin and run the tail.
+        let (mut fresh, _) = random_churn_net(seed);
+        fresh.restore(&snap).unwrap();
+        fresh.run(horizon);
+        assert_eq!(
+            fresh.snapshot().unwrap().to_bytes(),
+            golden_final,
+            "case {case}: fresh resume from t={t} diverged from the golden run"
+        );
+    }
 }
 
 #[test]
