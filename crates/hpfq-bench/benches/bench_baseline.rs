@@ -24,9 +24,32 @@ use hpfq_bench::microbench::{
     json_path_from_args, sizes_from_args, time_op_profile, write_json, BenchRecord, MetaValue,
     Profile,
 };
-use hpfq_core::{Hierarchy, MixedScheduler, NodeId, Packet, SchedulerKind};
+use hpfq_core::pifo::rank::DrrRank;
+use hpfq_core::{Drr, Hierarchy, MixedScheduler, NodeId, Packet, PifoTree, SchedulerKind};
 use hpfq_obs::SpanKind;
 use hpfq_sim::{CbrSource, Network, Route};
+
+/// Which scheduler implementation backs every tree node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    /// `SchedulerKind::build`: the shared PIFO substrate (product default).
+    Pifo,
+    /// `SchedulerKind::build_legacy`: the hand-rolled originals — the
+    /// committed dispatch baseline PIFO rows must stay within 15% of.
+    Legacy,
+}
+
+impl Backend {
+    /// Row-name suffix: legacy rows keep their historical names, PIFO rows
+    /// append `/pifo` (bench_compare also gates each `<name>/pifo` row
+    /// against the committed hand-rolled `<name>` row).
+    fn suffix(self) -> &'static str {
+        match self {
+            Backend::Pifo => "/pifo",
+            Backend::Legacy => "",
+        }
+    }
+}
 
 const LEAVES: usize = 64;
 /// `(label, depth, fanout)`: fanout^depth == LEAVES for both shapes.
@@ -35,13 +58,36 @@ const SHAPES: [(&str, u32, usize); 2] = [("depth1", 1, 64), ("depth3", 3, 4)];
 const DEFAULT_SIZES: [u32; 4] = [64, 1024, 16384, 262144];
 
 /// Builds a uniform `depth`-level tree of `fanout^depth` leaves running
-/// `kind` at every node.
+/// `kind` at every node, on the PIFO substrate (`Backend::Pifo`, the
+/// product default) or the hand-rolled originals (`Backend::Legacy`, the
+/// committed perf baseline the PIFO rows are gated against).
+///
+/// DRR nodes run at the policy's designed operating point unless
+/// `drr_base` overrides it: a per-session quantum of one MTU (12 kbit).
+/// Shreedhar & Varghese's O(1)-per-packet bound holds only for quantum >=
+/// max packet size; the crate's default `quantum_base` (12 kbit *shared
+/// across `fanout` sessions*) puts every bench packet ~64 quanta deep, so
+/// each dispatch degenerates to ~64 ring rotations. That regime is a
+/// rotation-loop stress test, not a dispatch-rate measurement — the
+/// ungated `stress` rows keep it visible.
 fn build(
     kind: SchedulerKind,
+    backend: Backend,
     depth: u32,
     fanout: usize,
+    drr_base: Option<f64>,
 ) -> (Hierarchy<MixedScheduler>, Vec<NodeId>) {
-    let mut bld = Hierarchy::builder(1e9, move |rate| kind.build(rate));
+    let drr_base = drr_base.unwrap_or(12_000.0 * fanout as f64);
+    let mut bld = Hierarchy::builder(1e9, move |rate| match (backend, kind) {
+        (Backend::Pifo, SchedulerKind::Drr) => {
+            MixedScheduler::PifoDrr(PifoTree::new(rate, DrrRank::with_quantum_base(drr_base)))
+        }
+        (Backend::Legacy, SchedulerKind::Drr) => {
+            MixedScheduler::Drr(Drr::with_quantum_base(rate, drr_base))
+        }
+        (Backend::Pifo, _) => kind.build(rate),
+        (Backend::Legacy, _) => kind.build_legacy(rate),
+    });
     let mut parents = vec![bld.root()];
     for _ in 1..depth {
         let mut next = Vec::new();
@@ -62,10 +108,21 @@ fn build(
     (bld.build(), leaves)
 }
 
-/// Median ns per dispatch: every leaf starts two deep; each op transmits
-/// one packet and replenishes the drained leaf.
-fn bench_dispatch(kind: SchedulerKind, depth: u32, fanout: usize, profile: Profile) -> f64 {
-    let (mut h, leaves) = build(kind, depth, fanout);
+/// Ns per dispatch: every leaf starts two deep; each op transmits one
+/// packet and replenishes the drained leaf. Dispatch rows are *gated*
+/// (bench_compare --deny), so the full profile reports the best of three
+/// batch medians — medians alone still wander double-digit percent on a
+/// shared single-vCPU runner, and the minimum is the standard
+/// noise-robust estimator for tight loops.
+fn bench_dispatch(
+    kind: SchedulerKind,
+    backend: Backend,
+    depth: u32,
+    fanout: usize,
+    profile: Profile,
+    drr_base: Option<f64>,
+) -> f64 {
+    let (mut h, leaves) = build(kind, backend, depth, fanout, drr_base);
     let mut id = 0u64;
     for &leaf in &leaves {
         for _ in 0..2 {
@@ -73,25 +130,39 @@ fn bench_dispatch(kind: SchedulerKind, depth: u32, fanout: usize, profile: Profi
             h.enqueue(leaf, Packet::new(id, leaf.0 as u32, 1500, 0.0));
         }
     }
-    let ns = time_op_profile(
-        || {
-            let pkt = h.dequeue().expect("backlogged");
-            id += 1;
-            h.enqueue(
-                NodeId(pkt.flow as usize),
-                Packet::new(id, pkt.flow, 1500, 0.0),
-            );
-            pkt.id
-        },
-        profile,
-    );
+    let reps = match profile {
+        Profile::Full => 3,
+        Profile::Smoke => 1,
+    };
+    let mut ns = f64::INFINITY;
+    for _ in 0..reps {
+        let sample = time_op_profile(
+            || {
+                let pkt = h.dequeue().expect("backlogged");
+                id += 1;
+                h.enqueue(
+                    NodeId(pkt.flow as usize),
+                    Packet::new(id, pkt.flow, 1500, 0.0),
+                );
+                pkt.id
+            },
+            profile,
+        );
+        ns = ns.min(sample);
+    }
     while h.dequeue().is_some() {}
     ns
 }
 
 /// Median ns per arrival into a backlogged leaf (round-robin over leaves).
-fn bench_enqueue(kind: SchedulerKind, depth: u32, fanout: usize, profile: Profile) -> f64 {
-    let (mut h, leaves) = build(kind, depth, fanout);
+fn bench_enqueue(
+    kind: SchedulerKind,
+    backend: Backend,
+    depth: u32,
+    fanout: usize,
+    profile: Profile,
+) -> f64 {
+    let (mut h, leaves) = build(kind, backend, depth, fanout, None);
     let mut id = 0u64;
     for &leaf in &leaves {
         id += 1;
@@ -183,11 +254,13 @@ fn main() {
     );
     for (label, depth, fanout) in SHAPES {
         for kind in SchedulerKind::ALL {
-            let name = format!("{}/{label}", kind.name());
-            let ns = bench_dispatch(kind, depth, fanout, profile);
-            records.push(BenchRecord::reported("dispatch", &name, LEAVES, ns));
-            let ns = bench_enqueue(kind, depth, fanout, profile);
-            records.push(BenchRecord::reported("enqueue", &name, LEAVES, ns));
+            for backend in [Backend::Legacy, Backend::Pifo] {
+                let name = format!("{}/{label}{}", kind.name(), backend.suffix());
+                let ns = bench_dispatch(kind, backend, depth, fanout, profile, None);
+                records.push(BenchRecord::reported("dispatch", &name, LEAVES, ns));
+                let ns = bench_enqueue(kind, backend, depth, fanout, profile);
+                records.push(BenchRecord::reported("enqueue", &name, LEAVES, ns));
+            }
         }
     }
 
@@ -197,20 +270,32 @@ fn main() {
     println!("== scaling sweep (wf2q+, flat): sizes {:?} ==", sizes);
     let kind = SchedulerKind::Wf2qPlus;
     for &size in &sizes {
-        let ns = bench_dispatch(kind, 1, size as usize, profile);
-        records.push(BenchRecord::reported(
-            "dispatch",
-            "wf2q+/scale",
-            size as usize,
-            ns,
-        ));
-        let ns = bench_enqueue(kind, 1, size as usize, profile);
-        records.push(BenchRecord::reported(
-            "enqueue",
-            "wf2q+/scale",
-            size as usize,
-            ns,
-        ));
+        for backend in [Backend::Legacy, Backend::Pifo] {
+            let name = format!("wf2q+/scale{}", backend.suffix());
+            let ns = bench_dispatch(kind, backend, 1, size as usize, profile, None);
+            records.push(BenchRecord::reported("dispatch", &name, size as usize, ns));
+            let ns = bench_enqueue(kind, backend, 1, size as usize, profile);
+            records.push(BenchRecord::reported("enqueue", &name, size as usize, ns));
+        }
+    }
+
+    // Sub-MTU-quantum DRR stress rows: the crate's default quantum base
+    // shared across 64 flows gives 187.5-bit quanta vs 12-kbit packets, so
+    // every dispatch pays ~64 ring rotations. Useful for watching the
+    // rotation loop of both backends; deliberately NOT in the gated
+    // `dispatch` group (see `build` docs).
+    println!("== stress: sub-MTU-quantum drr ==");
+    for backend in [Backend::Legacy, Backend::Pifo] {
+        let name = format!("drr/subquantum{}", backend.suffix());
+        let ns = bench_dispatch(
+            SchedulerKind::Drr,
+            backend,
+            1,
+            LEAVES,
+            profile,
+            Some(12_000.0),
+        );
+        records.push(BenchRecord::reported("stress", &name, LEAVES, ns));
     }
 
     // Event-engine section: wall clock through the full Network loop (and,

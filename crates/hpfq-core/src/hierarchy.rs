@@ -383,8 +383,21 @@ impl<S: NodeScheduler, O: Observer> Hierarchy<S, O> {
         Ok(())
     }
 
-    fn push_node(&mut self, parent: NodeId, phi: f64, sched: Option<S>, is_leaf: bool) -> NodeId {
+    fn push_node(
+        &mut self,
+        parent: NodeId,
+        phi: f64,
+        mut sched: Option<S>,
+        is_leaf: bool,
+    ) -> NodeId {
         let rate = phi * self.nodes[parent.0].rate;
+        // Every node below the root sees reference time only through its
+        // own served work: the dispatch loop passes `ref_now = None` to
+        // internal nodes, and root-aware schedulers (PIFO-backed) assert
+        // that convention in debug builds.
+        if let Some(s) = sched.as_mut() {
+            s.set_is_root(false);
+        }
         let idx = self.nodes.len();
         let slot = self.nodes[parent.0]
             .sched
@@ -1260,10 +1273,14 @@ fn load_parent(v: &Value) -> Result<Option<(usize, SessionId)>, SnapError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::wf2q_plus::Wf2qPlus;
+    use crate::mixed::{MixedScheduler, SchedulerKind};
 
-    fn wf2qp(rate: f64) -> Hierarchy<Wf2qPlus> {
-        Hierarchy::builder(rate, Wf2qPlus::new).build()
+    fn wf2qp_node(rate: f64) -> MixedScheduler {
+        SchedulerKind::Wf2qPlus.build(rate)
+    }
+
+    fn wf2qp(rate: f64) -> Hierarchy<MixedScheduler> {
+        Hierarchy::builder(rate, wf2qp_node).build()
     }
 
     fn pkt(id: u64, flow: u32) -> Packet {
@@ -1296,7 +1313,7 @@ mod tests {
     /// becomes active the split is 75/5/20.
     #[test]
     fn hierarchical_excess_distribution() {
-        let mut bld = Hierarchy::builder(1000.0, Wf2qPlus::new);
+        let mut bld = Hierarchy::builder(1000.0, wf2qp_node);
         let root = bld.root();
         let a = bld.add_internal(root, 0.8).unwrap();
         let b = bld.add_leaf(root, 0.2).unwrap();
@@ -1524,7 +1541,7 @@ mod tests {
 
     #[test]
     fn remove_internal_requires_empty_subtree() {
-        let mut bld = Hierarchy::builder(1000.0, Wf2qPlus::new);
+        let mut bld = Hierarchy::builder(1000.0, wf2qp_node);
         let root = bld.root();
         let cls = bld.add_internal(root, 0.8).unwrap();
         let l1 = bld.add_leaf(cls, 0.5).unwrap();
@@ -1604,14 +1621,17 @@ mod tests {
     /// monotonicity violation the invariant checker flags.
     #[test]
     fn degraded_link_resync_keeps_gps_virtual_time_monotone() {
-        use crate::wfq::Wfq;
         use hpfq_obs::InvariantObserver;
 
-        let mut bld = Hierarchy::builder_with_observer(8000.0, Wfq::new, InvariantObserver::new());
+        let mut bld = Hierarchy::builder_with_observer(
+            8000.0,
+            |r| SchedulerKind::Wfq.build(r),
+            InvariantObserver::new(),
+        );
         let root = bld.root();
         let a = bld.add_leaf(root, 0.5).unwrap();
         let b = bld.add_leaf(root, 0.5).unwrap();
-        let mut h: Hierarchy<Wfq, InvariantObserver> = bld.build();
+        let mut h: Hierarchy<MixedScheduler, InvariantObserver> = bld.build();
         // The physical link now delivers half the nominal rate: a 1000-bit
         // packet takes 0.25 s instead of 0.125 s.
         h.set_link_rate_factor(0.0, 0.5).unwrap();
@@ -1664,7 +1684,7 @@ mod tests {
 
     #[test]
     fn introspection() {
-        let mut bld = Hierarchy::builder(1000.0, Wf2qPlus::new);
+        let mut bld = Hierarchy::builder(1000.0, wf2qp_node);
         let root = bld.root();
         let a = bld.add_internal(root, 0.8).unwrap();
         let a1 = bld.add_leaf(a, 0.5).unwrap();

@@ -15,6 +15,15 @@
 //!   schedulers implementing the paper's ARRIVE / RESTART-NODE / RESET-PATH
 //!   pseudocode, generic over the node scheduler (H-WFQ, H-SCFQ, H-WF²Q+, …).
 //!
+//! All seven policies run on one substrate: [`PifoTree`], a programmable
+//! scheduler in the PIFO model of Sivaraman et al. (SIGCOMM 2016), drives
+//! any [`RankProgram`] over the SoA dual-heap priority structure —
+//! [`SchedulerKind::build`] constructs PIFO-backed nodes by default. The
+//! hand-rolled per-policy implementations named above remain behind the
+//! `legacy-schedulers` feature (on by default for one release) as the
+//! differential oracle proving each rank program byte-identical; see the
+//! [`pifo`] module docs.
+//!
 //! ## Conventions
 //!
 //! * Real (simulation) time and *reference time* (§4.1 of the paper,
@@ -37,20 +46,29 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "legacy-schedulers")]
 pub mod drr;
 pub mod eligible;
 pub mod error;
+#[cfg(feature = "legacy-schedulers")]
 pub mod fifo;
 pub mod gps_clock;
 pub mod hierarchy;
 pub mod mixed;
 pub mod packet;
+pub mod pifo;
+#[cfg(feature = "legacy-schedulers")]
 pub mod scfq;
 pub mod scheduler;
+#[cfg(feature = "legacy-schedulers")]
 pub mod sfq;
+#[cfg(feature = "legacy-schedulers")]
 mod tag_heap;
+#[cfg(feature = "legacy-schedulers")]
 pub mod wf2q;
+#[cfg(feature = "legacy-schedulers")]
 pub mod wf2q_plus;
+#[cfg(feature = "legacy-schedulers")]
 pub mod wfq;
 
 /// Canonical virtual-time comparison helpers (single `EPS`, tolerance-aware
@@ -60,19 +78,27 @@ pub mod wfq;
 /// rules L001/L003 enforce its use).
 pub use hpfq_obs::vtime;
 
+#[cfg(feature = "legacy-schedulers")]
 pub use drr::Drr;
 pub use eligible::{dual_heap::DualHeapEligibleSet, treap::TreapEligibleSet, EligibleSet};
 pub use error::HpfqError;
+#[cfg(feature = "legacy-schedulers")]
 pub use fifo::Fifo;
 pub use gps_clock::GpsClock;
 pub use hierarchy::{Hierarchy, HierarchyBuilder, NodeId};
 pub use mixed::{MixedScheduler, SchedulerKind};
 pub use packet::Packet;
+pub use pifo::{Admission, PifoTree, Rank, RankProgram, Threshold};
+#[cfg(feature = "legacy-schedulers")]
 pub use scfq::Scfq;
-pub use scheduler::{NodeScheduler, SessionId};
+pub use scheduler::{NodeScheduler, SessionId, SessionState};
+#[cfg(feature = "legacy-schedulers")]
 pub use sfq::Sfq;
+#[cfg(feature = "legacy-schedulers")]
 pub use wf2q::Wf2q;
+#[cfg(feature = "legacy-schedulers")]
 pub use wf2q_plus::Wf2qPlus;
+#[cfg(feature = "legacy-schedulers")]
 pub use wfq::Wfq;
 
 /// Converts a packet length in bytes to bits.

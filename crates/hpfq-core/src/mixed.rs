@@ -11,13 +11,22 @@
 
 use hpfq_obs::snap::{SnapError, Value};
 
+#[cfg(feature = "legacy-schedulers")]
 use crate::drr::Drr;
+#[cfg(feature = "legacy-schedulers")]
 use crate::fifo::Fifo;
+use crate::pifo::rank::{DrrRank, FifoRank, ScfqRank, SfqRank, Wf2qPlusRank, Wf2qRank, WfqRank};
+use crate::pifo::PifoTree;
+#[cfg(feature = "legacy-schedulers")]
 use crate::scfq::Scfq;
 use crate::scheduler::{NodeScheduler, SessionId};
+#[cfg(feature = "legacy-schedulers")]
 use crate::sfq::Sfq;
+#[cfg(feature = "legacy-schedulers")]
 use crate::wf2q::Wf2q;
+#[cfg(feature = "legacy-schedulers")]
 use crate::wf2q_plus::Wf2qPlus;
+#[cfg(feature = "legacy-schedulers")]
 use crate::wfq::Wfq;
 
 /// Identifies a one-level scheduling policy.
@@ -51,8 +60,39 @@ impl SchedulerKind {
         SchedulerKind::Fifo,
     ];
 
-    /// Builds a scheduler of this kind for a server of `rate_bps`.
+    /// Builds a scheduler of this kind for a server of `rate_bps`, backed
+    /// by the PIFO substrate ([`PifoTree`] running this kind's rank
+    /// program) — byte-identical to the hand-rolled implementation, which
+    /// remains available via [`SchedulerKind::build_legacy`].
     pub fn build(self, rate_bps: f64) -> MixedScheduler {
+        // One monomorphized `PifoTree<P>` per program: the driver inlines
+        // each policy's rank hooks instead of matching a program enum on
+        // every per-packet call.
+        match self {
+            SchedulerKind::Wf2qPlus => {
+                MixedScheduler::PifoWf2qPlus(PifoTree::new(rate_bps, Wf2qPlusRank::new()))
+            }
+            SchedulerKind::Wfq => MixedScheduler::PifoWfq(PifoTree::new(rate_bps, WfqRank::new())),
+            SchedulerKind::Wf2q => {
+                MixedScheduler::PifoWf2q(PifoTree::new(rate_bps, Wf2qRank::new()))
+            }
+            SchedulerKind::Scfq => {
+                MixedScheduler::PifoScfq(PifoTree::new(rate_bps, ScfqRank::new()))
+            }
+            SchedulerKind::Sfq => MixedScheduler::PifoSfq(PifoTree::new(rate_bps, SfqRank::new())),
+            SchedulerKind::Drr => MixedScheduler::PifoDrr(PifoTree::new(rate_bps, DrrRank::new())),
+            SchedulerKind::Fifo => {
+                MixedScheduler::PifoFifo(PifoTree::new(rate_bps, FifoRank::new()))
+            }
+        }
+    }
+
+    /// Builds the hand-rolled (pre-PIFO) scheduler of this kind: the
+    /// differential oracle for `tests/pifo_equivalence.rs` and the bench
+    /// baseline. Kept for one release behind the `legacy-schedulers`
+    /// feature.
+    #[cfg(feature = "legacy-schedulers")]
+    pub fn build_legacy(self, rate_bps: f64) -> MixedScheduler {
         match self {
             SchedulerKind::Wf2qPlus => MixedScheduler::Wf2qPlus(Wf2qPlus::new(rate_bps)),
             SchedulerKind::Wfq => MixedScheduler::Wfq(Wfq::new(rate_bps)),
@@ -96,27 +136,60 @@ impl std::str::FromStr for SchedulerKind {
 }
 
 /// A one-level scheduler whose policy is chosen at runtime.
+///
+/// [`SchedulerKind::build`] always yields a `Pifo*` variant (one
+/// monomorphized [`PifoTree`] per rank program); the hand-rolled variants
+/// exist behind the `legacy-schedulers` feature (via
+/// [`SchedulerKind::build_legacy`]) as the differential oracle.
 #[derive(Debug, Clone)]
 #[allow(missing_docs)]
 pub enum MixedScheduler {
+    PifoWf2qPlus(PifoTree<Wf2qPlusRank>),
+    PifoWfq(PifoTree<WfqRank>),
+    PifoWf2q(PifoTree<Wf2qRank>),
+    PifoScfq(PifoTree<ScfqRank>),
+    PifoSfq(PifoTree<SfqRank>),
+    PifoDrr(PifoTree<DrrRank>),
+    PifoFifo(PifoTree<FifoRank>),
+    #[cfg(feature = "legacy-schedulers")]
     Wf2qPlus(Wf2qPlus),
+    #[cfg(feature = "legacy-schedulers")]
     Wfq(Wfq),
+    #[cfg(feature = "legacy-schedulers")]
     Wf2q(Wf2q),
+    #[cfg(feature = "legacy-schedulers")]
     Scfq(Scfq),
+    #[cfg(feature = "legacy-schedulers")]
     Sfq(Sfq),
+    #[cfg(feature = "legacy-schedulers")]
     Drr(Drr),
+    #[cfg(feature = "legacy-schedulers")]
     Fifo(Fifo),
 }
 
 macro_rules! dispatch {
     ($self:expr, $inner:ident => $body:expr) => {
         match $self {
+            MixedScheduler::PifoWf2qPlus($inner) => $body,
+            MixedScheduler::PifoWfq($inner) => $body,
+            MixedScheduler::PifoWf2q($inner) => $body,
+            MixedScheduler::PifoScfq($inner) => $body,
+            MixedScheduler::PifoSfq($inner) => $body,
+            MixedScheduler::PifoDrr($inner) => $body,
+            MixedScheduler::PifoFifo($inner) => $body,
+            #[cfg(feature = "legacy-schedulers")]
             MixedScheduler::Wf2qPlus($inner) => $body,
+            #[cfg(feature = "legacy-schedulers")]
             MixedScheduler::Wfq($inner) => $body,
+            #[cfg(feature = "legacy-schedulers")]
             MixedScheduler::Wf2q($inner) => $body,
+            #[cfg(feature = "legacy-schedulers")]
             MixedScheduler::Scfq($inner) => $body,
+            #[cfg(feature = "legacy-schedulers")]
             MixedScheduler::Sfq($inner) => $body,
+            #[cfg(feature = "legacy-schedulers")]
             MixedScheduler::Drr($inner) => $body,
+            #[cfg(feature = "legacy-schedulers")]
             MixedScheduler::Fifo($inner) => $body,
         }
     };
@@ -167,6 +240,10 @@ impl NodeScheduler for MixedScheduler {
         dispatch!(self, s => s.name())
     }
 
+    fn set_is_root(&mut self, is_root: bool) {
+        dispatch!(self, s => s.set_is_root(is_root))
+    }
+
     fn save_state(&self) -> Value {
         Value::map(vec![
             ("kind", Value::Str(self.name().to_string())),
@@ -200,6 +277,16 @@ mod tests {
             assert_eq!(sched.name(), kind.name());
             assert_eq!(sched.rate_bps(), 1e6);
             assert_eq!(kind.name().parse::<SchedulerKind>().unwrap(), kind);
+        }
+    }
+
+    #[cfg(feature = "legacy-schedulers")]
+    #[test]
+    fn legacy_build_and_name_round_trip() {
+        for kind in SchedulerKind::ALL {
+            let sched = kind.build_legacy(1e6);
+            assert_eq!(sched.name(), kind.name());
+            assert_eq!(sched.rate_bps(), 1e6);
         }
     }
 

@@ -1,0 +1,79 @@
+//! FIFO (the null scheduler baseline) as a PIFO rank program.
+//!
+//! Head-offer order as a rank: each offered head receives the next value of
+//! a monotone sequence counter as its primary key, so popping the minimum
+//! rank replays the legacy `VecDeque` offer order exactly. No tags are
+//! stamped ([`NodeScheduler::tags`] stays `(0, 0)`) and the virtual time is
+//! the driver's reference time.
+//!
+//! [`NodeScheduler::tags`]: crate::NodeScheduler::tags
+
+use hpfq_obs::snap::{SnapError, Value};
+
+use crate::pifo::{Rank, RankProgram};
+use crate::scheduler::{SessionId, SessionState};
+
+/// The FIFO rank program. Byte-identical to the legacy `Fifo` scheduler
+/// (differential oracle behind the `legacy-schedulers` feature).
+#[derive(Debug, Clone, Default)]
+pub struct FifoRank {
+    /// Next sequence value to hand out. `f64` is exact for sequence values
+    /// below 2^53, far beyond any busy period, and the counter resets with
+    /// each one. No per-session state: the driver persists the queue (and
+    /// with it the offer order) verbatim across checkpoints.
+    next: f64,
+}
+
+impl FifoRank {
+    /// Creates the program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn next_seq(&mut self) -> f64 {
+        let q = self.next;
+        self.next += 1.0;
+        q
+    }
+}
+
+impl RankProgram for FifoRank {
+    // Offer order is a single global sequence counter: open ranks, strictly
+    // increasing — the ring-discipline contract.
+    const MONOTONE_RANKS: bool = true;
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn rank_backlog(
+        &mut self,
+        _id: SessionId,
+        _s: &mut SessionState,
+        _head_bits: f64,
+        _ref_now: Option<f64>,
+        _ref_time: f64,
+    ) -> Rank {
+        Rank::open(self.next_seq(), 0.0)
+    }
+
+    fn rank_continuation(&mut self, _id: SessionId, _s: &mut SessionState, _bits: f64) -> Rank {
+        // The next head re-joins at the back, like the legacy push_back.
+        Rank::open(self.next_seq(), 0.0)
+    }
+
+    fn on_busy_reset(&mut self) {
+        // No live offers remain; restart the counter so it never drifts
+        // toward the 2^53 exactness bound across busy periods.
+        self.next = 0.0;
+    }
+
+    fn save_state(&self) -> Value {
+        Value::map(vec![("next", Value::F64(self.next))])
+    }
+
+    fn load_state(&mut self, state: &Value, _sessions: &[SessionState]) -> Result<(), SnapError> {
+        self.next = state.get("next")?.as_f64()?;
+        Ok(())
+    }
+}

@@ -1,0 +1,27 @@
+//! The seven in-tree rank programs — one per [`SchedulerKind`] — each
+//! proven byte-identical to its hand-rolled original in
+//! `tests/pifo_equivalence.rs`; the originals remain available behind the
+//! `legacy-schedulers` feature for one release as the differential oracle.
+//!
+//! [`crate::MixedScheduler`] holds a monomorphized `PifoTree<P>` per
+//! program (rather than one tree over a program *enum*) so each policy's
+//! driver specializes and inlines its rank hooks — the enum indirection
+//! cost double-digit percent on the cheap policies (FIFO, DRR).
+//!
+//! [`SchedulerKind`]: crate::mixed::SchedulerKind
+
+pub mod drr;
+pub mod fifo;
+pub mod scfq;
+pub mod sfq;
+pub mod wf2q;
+pub mod wf2q_plus;
+pub mod wfq;
+
+pub use drr::DrrRank;
+pub use fifo::FifoRank;
+pub use scfq::ScfqRank;
+pub use sfq::SfqRank;
+pub use wf2q::Wf2qRank;
+pub use wf2q_plus::Wf2qPlusRank;
+pub use wfq::WfqRank;

@@ -1,0 +1,123 @@
+//! WFQ (PGPS, paper §3.1) as a PIFO rank program.
+//!
+//! The SFF policy: every head is immediately eligible and ranked by its GPS
+//! virtual finish tag (ties by session id, matching the paper's Fig. 2
+//! timeline). Virtual time comes from the exact GPS emulation in
+//! [`GpsClock`] — O(N) worst case per advance, as the paper notes.
+
+use std::collections::VecDeque;
+
+use hpfq_obs::snap::{SnapError, Value};
+
+use crate::gps_clock::GpsClock;
+use crate::pifo::{Rank, RankProgram};
+use crate::scheduler::{load_pending, save_pending, SessionId, SessionState};
+
+/// The WFQ rank program. Byte-identical to the legacy `Wfq` scheduler
+/// (differential oracle behind the `legacy-schedulers` feature).
+#[derive(Debug, Clone, Default)]
+pub struct WfqRank {
+    clock: GpsClock,
+    /// Per-session virtual start tags of queued-behind-the-head packets
+    /// announced via `arrival_hint`, in arrival order: each is the exact
+    /// `max(F_prev, V(a_k))` of eq. (28), consumed when the packet becomes
+    /// the head.
+    pending: Vec<VecDeque<f64>>,
+}
+
+impl WfqRank {
+    /// Creates the program (no per-session state yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Largest number of GPS fluid departures a single virtual-clock
+    /// advance has processed (see [`GpsClock::worst_sweep`]).
+    pub fn worst_clock_sweep(&self) -> usize {
+        self.clock.worst_sweep()
+    }
+}
+
+impl RankProgram for WfqRank {
+    fn name(&self) -> &'static str {
+        "wfq"
+    }
+
+    fn on_add_session(&mut self, phi: f64) {
+        self.pending.push(VecDeque::new());
+        let gps_id = self.clock.add_session(phi);
+        debug_assert_eq!(gps_id, self.pending.len() - 1);
+    }
+
+    fn rank_backlog(
+        &mut self,
+        id: SessionId,
+        s: &mut SessionState,
+        head_bits: f64,
+        ref_now: Option<f64>,
+        ref_time: f64,
+    ) -> Rank {
+        let v = self.clock.advance_to(ref_now.unwrap_or(ref_time));
+        debug_assert!(self.pending[id.0].is_empty());
+        s.stamp_new_backlog(v, head_bits);
+        self.clock.on_stamp(id.0, s.finish);
+        // Finish-tag ties break by session index (secondary held at 0),
+        // matching the paper's Fig. 2 timeline where session 1's 10th
+        // packet (GPS finish 20) precedes the small sessions' packets.
+        Rank::open(s.finish, 0.0)
+    }
+
+    fn arrival_hint(
+        &mut self,
+        id: SessionId,
+        s: &SessionState,
+        bits: f64,
+        ref_now: Option<f64>,
+        ref_time: f64,
+    ) {
+        let _ = self.clock.advance_to(ref_now.unwrap_or(ref_time));
+        let base = self.clock.extend_backlog(id.0, bits * s.inv_rate);
+        self.pending[id.0].push_back(base);
+    }
+
+    fn rank_continuation(&mut self, id: SessionId, s: &mut SessionState, bits: f64) -> Rank {
+        // If the next head was announced at its arrival, its exact eq. (28)
+        // start base `max(F_prev, V(a_k))` was recorded then; otherwise
+        // fall back to the continuation rule S = F.
+        match self.pending[id.0].pop_front() {
+            Some(b) => {
+                s.start = s.finish.max(b);
+                s.finish = s.start + bits * s.inv_rate;
+                s.head_bits = bits;
+            }
+            None => s.stamp_continuation(bits),
+        }
+        self.clock.on_stamp(id.0, s.finish);
+        Rank::open(s.finish, 0.0)
+    }
+
+    fn on_busy_reset(&mut self) {
+        self.clock.reset();
+        for p in &mut self.pending {
+            debug_assert!(p.is_empty(), "pending stamps at busy-period end");
+            p.clear();
+        }
+    }
+
+    fn virtual_time(&self, _ref_time: f64) -> f64 {
+        self.clock.virtual_time()
+    }
+
+    fn save_state(&self) -> Value {
+        Value::map(vec![
+            ("pending", save_pending(&self.pending)),
+            ("clock", self.clock.save_state()),
+        ])
+    }
+
+    fn load_state(&mut self, state: &Value, sessions: &[SessionState]) -> Result<(), SnapError> {
+        self.pending = load_pending(state.get("pending")?, sessions.len())?;
+        self.clock.load_state(state.get("clock")?)?;
+        Ok(())
+    }
+}

@@ -116,6 +116,17 @@ pub trait NodeScheduler {
     /// Short policy name for reports ("wf2q+", "wfq", …).
     fn name(&self) -> &'static str;
 
+    /// Tells the scheduler whether it serves the hierarchy root. The
+    /// hierarchy calls `set_is_root(false)` on every scheduler it attaches
+    /// below the root, centralizing the `ref_now` convention of
+    /// [`NodeScheduler::backlog`]: only root servers may receive
+    /// `Some(ref_now)`, and [`crate::PifoTree`] debug-asserts it. The
+    /// default is a no-op so standalone servers (which are their own root)
+    /// and schedulers indifferent to the convention need not implement it.
+    fn set_is_root(&mut self, is_root: bool) {
+        let _ = is_root;
+    }
+
     /// Serializes the scheduler's complete mutable state for an epoch
     /// checkpoint (DESIGN.md §14). The returned value, fed back through
     /// [`NodeScheduler::load_state`] on a scheduler constructed with the
@@ -160,12 +171,14 @@ pub(crate) fn load_opt_id(v: &Value) -> Result<Option<SessionId>, SnapError> {
     }
 }
 
-/// Common per-session bookkeeping shared by the virtual-time schedulers.
+/// Common per-session bookkeeping shared by the virtual-time schedulers
+/// and the [`crate::pifo`] rank programs (which is why it is public: a
+/// user-supplied [`crate::RankProgram`] stamps tags through this type).
 ///
 /// Stores the share, the derived inverse guaranteed rate, the head tags
 /// `(start, finish)` of eq. (28)/(29), and the backlog flag.
 #[derive(Debug, Clone)]
-pub(crate) struct SessionState {
+pub struct SessionState {
     /// Guaranteed share of the parent server's rate.
     pub phi: f64,
     /// `1 / (phi * server_rate)` — seconds of virtual time per bit.
@@ -182,7 +195,8 @@ pub(crate) struct SessionState {
 }
 
 impl SessionState {
-    pub(crate) fn new(phi: f64, server_rate: f64) -> Self {
+    /// Creates an idle session with share `phi` of a `server_rate` server.
+    pub fn new(phi: f64, server_rate: f64) -> Self {
         assert!(
             phi.is_finite() && phi > 0.0,
             "session share must be a positive finite number, got {phi}"
@@ -203,7 +217,7 @@ impl SessionState {
 
     /// Stamps tags for a head arriving to an idle session: `S = max(F, V)`,
     /// `F = S + L / r_i` (eq. 28 second case + eq. 29).
-    pub(crate) fn stamp_new_backlog(&mut self, v: f64, head_bits: f64) {
+    pub fn stamp_new_backlog(&mut self, v: f64, head_bits: f64) {
         debug_assert!(head_bits.is_finite() && head_bits > 0.0);
         self.start = self.finish.max(v);
         self.finish = self.start + head_bits * self.inv_rate;
@@ -213,7 +227,7 @@ impl SessionState {
 
     /// Stamps tags for the next head of a continuously backlogged session:
     /// `S = F` (eq. 28 first case).
-    pub(crate) fn stamp_continuation(&mut self, head_bits: f64) {
+    pub fn stamp_continuation(&mut self, head_bits: f64) {
         debug_assert!(head_bits.is_finite() && head_bits > 0.0);
         self.start = self.finish;
         self.finish = self.start + head_bits * self.inv_rate;
@@ -221,7 +235,7 @@ impl SessionState {
     }
 
     /// Resets tags at a busy-period boundary.
-    pub(crate) fn reset(&mut self) {
+    pub fn reset(&mut self) {
         self.start = 0.0;
         self.finish = 0.0;
         debug_assert!(!self.backlogged, "resetting a backlogged session");
@@ -262,6 +276,43 @@ pub(crate) fn save_sessions(sessions: &[SessionState]) -> Value {
 /// Restores a session table saved by [`save_sessions`].
 pub(crate) fn load_sessions(v: &Value) -> Result<Vec<SessionState>, SnapError> {
     v.items()?.iter().map(SessionState::load).collect()
+}
+
+/// Serializes per-session pending-stamp queues (the eq. (28) start bases
+/// recorded by `arrival_hint` in the GPS-emulating policies — WFQ, WF²Q,
+/// and their rank programs).
+pub(crate) fn save_pending(pending: &[std::collections::VecDeque<f64>]) -> Value {
+    Value::List(
+        pending
+            .iter()
+            .map(|q| Value::List(q.iter().map(|&b| Value::F64(b)).collect()))
+            .collect(),
+    )
+}
+
+/// Restores queues saved by [`save_pending`]; must match the session count.
+pub(crate) fn load_pending(
+    v: &Value,
+    sessions: usize,
+) -> Result<Vec<std::collections::VecDeque<f64>>, SnapError> {
+    let mut pending = Vec::new();
+    for qv in v.items()? {
+        let mut q = std::collections::VecDeque::new();
+        for bv in qv.items()? {
+            q.push_back(bv.as_f64()?);
+        }
+        pending.push(q);
+    }
+    if pending.len() != sessions {
+        return Err(SnapError {
+            at: 0,
+            what: format!(
+                "pending queue count {} does not match session count {sessions}",
+                pending.len()
+            ),
+        });
+    }
+    Ok(pending)
 }
 
 #[cfg(test)]

@@ -14,10 +14,10 @@ use hpfq_obs::snap::{SnapError, Value};
 use crate::eligible::{dual_heap::DualHeapEligibleSet, EligibleSet};
 use crate::gps_clock::GpsClock;
 use crate::scheduler::{
-    load_opt_id, load_sessions, save_opt_id, save_sessions, NodeScheduler, SessionId, SessionState,
+    load_opt_id, load_pending, load_sessions, save_opt_id, save_pending, save_sessions,
+    NodeScheduler, SessionId, SessionState,
 };
 use crate::vtime;
-use crate::wfq::{load_pending, save_pending};
 
 /// The WF²Q scheduler (SEFF over the exact GPS virtual time).
 #[derive(Debug, Clone)]

@@ -17,41 +17,10 @@ use hpfq_obs::snap::{SnapError, Value};
 
 use crate::gps_clock::GpsClock;
 use crate::scheduler::{
-    load_opt_id, load_sessions, save_opt_id, save_sessions, NodeScheduler, SessionId, SessionState,
+    load_opt_id, load_pending, load_sessions, save_opt_id, save_pending, save_sessions,
+    NodeScheduler, SessionId, SessionState,
 };
 use crate::tag_heap::TagHeap;
-
-/// Serializes per-session pending-stamp queues (shared with [`crate::Wf2q`]).
-pub(crate) fn save_pending(pending: &[VecDeque<f64>]) -> Value {
-    Value::List(
-        pending
-            .iter()
-            .map(|q| Value::List(q.iter().map(|&b| Value::F64(b)).collect()))
-            .collect(),
-    )
-}
-
-/// Restores queues saved by [`save_pending`]; must match the session count.
-pub(crate) fn load_pending(v: &Value, sessions: usize) -> Result<Vec<VecDeque<f64>>, SnapError> {
-    let mut pending = Vec::new();
-    for qv in v.items()? {
-        let mut q = VecDeque::new();
-        for bv in qv.items()? {
-            q.push_back(bv.as_f64()?);
-        }
-        pending.push(q);
-    }
-    if pending.len() != sessions {
-        return Err(SnapError {
-            at: 0,
-            what: format!(
-                "pending queue count {} does not match session count {sessions}",
-                pending.len()
-            ),
-        });
-    }
-    Ok(pending)
-}
 
 /// The WFQ (PGPS) scheduler.
 #[derive(Debug, Clone)]

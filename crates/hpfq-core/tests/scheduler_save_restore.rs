@@ -3,9 +3,7 @@
 //! reproduce the original's subsequent behaviour *bit-identically* — every
 //! dispatch decision, every tag, and the next snapshot's serialized bytes.
 
-use hpfq_core::{
-    Hierarchy, MixedScheduler, NodeScheduler, Packet, SchedulerKind, SessionId, Wf2qPlus,
-};
+use hpfq_core::{Hierarchy, MixedScheduler, NodeScheduler, Packet, SchedulerKind, SessionId};
 
 /// A deterministic packet-length pattern with enough variety to exercise
 /// tag arithmetic (primes keep lengths from aliasing into round numbers).
@@ -163,7 +161,7 @@ fn pkt(id: u64, flow: u32, bytes: u32) -> Packet {
 #[test]
 fn hierarchy_round_trips_with_churn_leaf() {
     let build = || {
-        let mut b = Hierarchy::builder(1e6, Wf2qPlus::new);
+        let mut b = Hierarchy::builder(1e6, |r| SchedulerKind::Wf2qPlus.build(r));
         let root = b.root();
         let cls = b.add_internal(root, 0.5).unwrap();
         let l0 = b.add_leaf(cls, 0.5).unwrap();
@@ -215,14 +213,14 @@ fn hierarchy_round_trips_with_churn_leaf() {
 /// rejected, not silently mis-wired.
 #[test]
 fn hierarchy_restore_rejects_topology_mismatch() {
-    let mut b = Hierarchy::builder(1e6, Wf2qPlus::new);
+    let mut b = Hierarchy::builder(1e6, |r| SchedulerKind::Wf2qPlus.build(r));
     let root = b.root();
     b.add_leaf(root, 0.5).unwrap();
     let h = b.build();
     let snap = h.save_state();
 
     // Rebuilt with an internal node where the snapshot has a leaf.
-    let mut b2 = Hierarchy::builder(1e6, Wf2qPlus::new);
+    let mut b2 = Hierarchy::builder(1e6, |r| SchedulerKind::Wf2qPlus.build(r));
     let root2 = b2.root();
     b2.add_internal(root2, 0.5).unwrap();
     let mut wrong = b2.build();

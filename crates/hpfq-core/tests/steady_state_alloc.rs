@@ -15,7 +15,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use hpfq_core::{Hierarchy, Packet, Wf2qPlus};
+use hpfq_core::{Hierarchy, MixedScheduler, Packet, SchedulerKind};
 
 struct CountingAlloc;
 
@@ -48,7 +48,7 @@ fn allocations() -> u64 {
 fn depth3_wf2qplus_steady_state_cycle_is_allocation_free() {
     // Depth-3 tree: root -> 2 classes -> 2 subclasses each -> 2 leaves
     // each (8 leaves).
-    let mut b = Hierarchy::builder(8e6, Wf2qPlus::new);
+    let mut b = Hierarchy::builder(8e6, |r| SchedulerKind::Wf2qPlus.build(r));
     let root = b.root();
     let mut leaves = Vec::new();
     for _ in 0..2 {
@@ -64,7 +64,7 @@ fn depth3_wf2qplus_steady_state_cycle_is_allocation_free() {
 
     let mut id = 0u64;
     let mut now = 0.0;
-    let mut cycle = |h: &mut Hierarchy<Wf2qPlus>, leaves: &[hpfq_core::NodeId]| {
+    let mut cycle = |h: &mut Hierarchy<MixedScheduler>, leaves: &[hpfq_core::NodeId]| {
         // One arrival per leaf, then drain one packet per leaf: the tree
         // stays busy and every FIFO oscillates around its warmed depth.
         for (i, &leaf) in leaves.iter().enumerate() {

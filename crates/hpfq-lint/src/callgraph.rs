@@ -39,6 +39,13 @@ pub struct CallGraph {
 pub fn is_hot_seed(f: &FnSym) -> bool {
     match f.self_ty.as_deref() {
         Some("Network") => matches!(f.name.as_str(), "run" | "run_parallel" | "run_permuted"),
+        // The PIFO substrate's per-packet dispatch surface: everything a
+        // rank program does runs under one of these, so the taint makes
+        // L002/L007/L009 cover rank programs out of tree too.
+        Some("PifoTree") => matches!(
+            f.name.as_str(),
+            "select_next" | "backlog" | "requeue" | "arrival_hint"
+        ),
         Some("EventQueue") | Some("Engine") => f.krate == "hpfq-events",
         _ => f.name == "run_shard",
     }

@@ -1,0 +1,34 @@
+// Fixture for the PIFO dispatch taint roots: rank-program methods reached
+// from `PifoTree::select_next` / `backlog` / `requeue` / `arrival_hint`
+// are hot-path, so panics (L002) fire inside them; raw virtual-time
+// comparisons (L001) and unordered containers (L009) fire crate-wide.
+
+impl PifoTree {
+    pub fn select_next(&mut self) -> Option<SessionId> {
+        let thr = self.program.threshold(self.t);
+        self.serve(thr)
+    }
+}
+
+impl WfqRank {
+    pub fn threshold(&mut self, ref_time: f64) -> f64 {
+        let v_clock = self.v;
+        if v_clock < ref_time {
+            panic!("virtual clock ran backwards");
+        }
+        ref_time
+    }
+}
+
+impl ScfqRank {
+    pub fn admit(&mut self, ready: HashSet<u32>) {
+        for id in &ready {
+            self.serve(id);
+        }
+    }
+}
+
+// lint:allow(L009): membership-only scratch set, order never observed
+pub fn dedup_ranks(tmp: HashSet<u32>) -> usize {
+    tmp.len()
+}

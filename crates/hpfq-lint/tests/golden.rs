@@ -136,3 +136,15 @@ fn taint_replaces_crate_scoping() {
         .collect();
     assert_eq!(lines, vec![("L002", 15), ("L002", 17), ("L002", 19)]);
 }
+
+#[test]
+fn pifo_rank_program_hot_path() {
+    // The L002 hit inside `WfqRank::threshold` proves the PIFO dispatch
+    // entry points (`PifoTree::select_next` & co.) seed the hot-path
+    // taint, so rank programs — in-tree or external — are covered.
+    assert_findings(
+        "pifo_rank.rs",
+        &[("L001", 16), ("L002", 17), ("L009", 24), ("L009", 25)],
+    );
+    assert_suppressed_case("pifo_rank.rs", "L009");
+}
