@@ -11,10 +11,13 @@
 //!   arrival cost.
 //!
 //! A second axis — the **flow-count scaling sweep** (`--sizes
-//! 64,1k,16k,256k`, `k` = ×1024) — measures the same two operations on
-//! flat WF²Q+ trees of growing width. Dispatch cost is dominated by the
-//! dual-heap eligible set, so ns/op across the sweep must grow
-//! sub-linearly (O(log N)); the committed baseline pins that curve.
+//! 64,1k,16k,256k,1m,4m`, `k` = ×1024, `m` = ×1024²) — measures the same
+//! two operations on flat WF²Q+ trees of growing width, once per eligible
+//! set backend (dual heap, treap, calendar). Dispatch cost is dominated
+//! by the eligible set: the heap rows must grow sub-linearly (O(log N)),
+//! the calendar rows near-flat (amortized O(1)); the committed baseline
+//! pins both curves. `--eligible <dual-heap|treap|calendar>` restricts
+//! the sweep to one backend for targeted runs.
 //!
 //! Output: aligned rows on stdout, plus `--json <path>` for the
 //! machine-readable form committed as `results/bench_baseline.json`.
@@ -25,37 +28,52 @@ use hpfq_bench::microbench::{
     Profile,
 };
 use hpfq_core::pifo::rank::DrrRank;
-use hpfq_core::{Drr, Hierarchy, MixedScheduler, NodeId, Packet, PifoTree, SchedulerKind};
+use hpfq_core::{
+    Drr, EligibleBackend, Hierarchy, MixedScheduler, NodeId, Packet, PifoTree, SchedulerKind,
+};
 use hpfq_obs::SpanKind;
 use hpfq_sim::{CbrSource, Network, Route};
 
 /// Which scheduler implementation backs every tree node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Backend {
-    /// `SchedulerKind::build`: the shared PIFO substrate (product default).
-    Pifo,
+    /// `SchedulerKind::build_with_backend`: the shared PIFO substrate on
+    /// the given eligible-set backend (`DualHeap` is the product default).
+    Pifo(EligibleBackend),
     /// `SchedulerKind::build_legacy`: the hand-rolled originals — the
     /// committed dispatch baseline PIFO rows must stay within 15% of.
     Legacy,
 }
 
 impl Backend {
-    /// Row-name suffix: legacy rows keep their historical names, PIFO rows
-    /// append `/pifo` (bench_compare also gates each `<name>/pifo` row
-    /// against the committed hand-rolled `<name>` row).
+    /// Row-name suffix: legacy rows keep their historical names, default
+    /// PIFO rows append `/pifo` (bench_compare also gates each
+    /// `<name>/pifo` row against the committed hand-rolled `<name>` row),
+    /// and alternate eligible sets append `/pifo-<backend>`.
     fn suffix(self) -> &'static str {
         match self {
-            Backend::Pifo => "/pifo",
+            Backend::Pifo(EligibleBackend::DualHeap) => "/pifo",
+            Backend::Pifo(EligibleBackend::Treap) => "/pifo-treap",
+            Backend::Pifo(EligibleBackend::Calendar) => "/pifo-calendar",
             Backend::Legacy => "",
         }
     }
+}
+
+/// Parses `--eligible <dual-heap|treap|calendar>`: restricts the scaling
+/// sweep to one PIFO backend (the depth-shape rows always run the
+/// dual-heap default, which is what ships).
+fn eligible_from_args(args: &[String]) -> Option<EligibleBackend> {
+    let pos = args.iter().position(|a| a == "--eligible")?;
+    let v = args.get(pos + 1).expect("--eligible requires a value");
+    Some(v.parse().unwrap_or_else(|e| panic!("--eligible: {e}")))
 }
 
 const LEAVES: usize = 64;
 /// `(label, depth, fanout)`: fanout^depth == LEAVES for both shapes.
 const SHAPES: [(&str, u32, usize); 2] = [("depth1", 1, 64), ("depth3", 3, 4)];
 /// Default flow-count sweep (overridable via `--sizes`).
-const DEFAULT_SIZES: [u32; 4] = [64, 1024, 16384, 262144];
+const DEFAULT_SIZES: [u32; 6] = [64, 1024, 16384, 262144, 1_048_576, 4_194_304];
 
 /// Builds a uniform `depth`-level tree of `fanout^depth` leaves running
 /// `kind` at every node, on the PIFO substrate (`Backend::Pifo`, the
@@ -79,13 +97,13 @@ fn build(
 ) -> (Hierarchy<MixedScheduler>, Vec<NodeId>) {
     let drr_base = drr_base.unwrap_or(12_000.0 * fanout as f64);
     let mut bld = Hierarchy::builder(1e9, move |rate| match (backend, kind) {
-        (Backend::Pifo, SchedulerKind::Drr) => {
+        (Backend::Pifo(EligibleBackend::DualHeap), SchedulerKind::Drr) => {
             MixedScheduler::PifoDrr(PifoTree::new(rate, DrrRank::with_quantum_base(drr_base)))
         }
         (Backend::Legacy, SchedulerKind::Drr) => {
             MixedScheduler::Drr(Drr::with_quantum_base(rate, drr_base))
         }
-        (Backend::Pifo, _) => kind.build(rate),
+        (Backend::Pifo(eb), _) => kind.build_with_backend(rate, eb),
         (Backend::Legacy, _) => kind.build_legacy(rate),
     });
     let mut parents = vec![bld.root()];
@@ -246,6 +264,7 @@ fn main() {
     let profile = Profile::from_args(&args);
     let json = json_path_from_args(&args);
     let sizes = sizes_from_args(&args).unwrap_or_else(|| DEFAULT_SIZES.to_vec());
+    let eligible = eligible_from_args(&args);
 
     let mut records = Vec::new();
     println!(
@@ -254,7 +273,10 @@ fn main() {
     );
     for (label, depth, fanout) in SHAPES {
         for kind in SchedulerKind::ALL {
-            for backend in [Backend::Legacy, Backend::Pifo] {
+            for backend in [Backend::Legacy, Backend::Pifo(EligibleBackend::DualHeap)] {
+                if backend == Backend::Legacy && !kind.has_legacy() {
+                    continue; // rr is PIFO-native; no hand-rolled oracle row
+                }
                 let name = format!("{}/{label}{}", kind.name(), backend.suffix());
                 let ns = bench_dispatch(kind, backend, depth, fanout, profile, None);
                 records.push(BenchRecord::reported("dispatch", &name, LEAVES, ns));
@@ -264,13 +286,24 @@ fn main() {
         }
     }
 
-    // Flow-count scaling sweep: flat WF²Q+ trees of growing width. The
-    // per-dispatch cost is the dual-heap's O(log N); the sweep pins the
-    // curve's shape, not just one point.
+    // Flow-count scaling sweep: flat WF²Q+ trees of growing width, one
+    // row family per eligible-set backend. The heap rows pin the O(log N)
+    // trajectory; the calendar rows pin the amortized-O(1) one. The sweep
+    // — not any single point — is the committed artifact.
     println!("== scaling sweep (wf2q+, flat): sizes {:?} ==", sizes);
     let kind = SchedulerKind::Wf2qPlus;
+    let backends: Vec<Backend> = match eligible {
+        Some(eb) => vec![Backend::Pifo(eb)],
+        None => std::iter::once(Backend::Legacy)
+            .chain(
+                EligibleBackend::all_for(kind)
+                    .iter()
+                    .map(|&eb| Backend::Pifo(eb)),
+            )
+            .collect(),
+    };
     for &size in &sizes {
-        for backend in [Backend::Legacy, Backend::Pifo] {
+        for &backend in &backends {
             let name = format!("wf2q+/scale{}", backend.suffix());
             let ns = bench_dispatch(kind, backend, 1, size as usize, profile, None);
             records.push(BenchRecord::reported("dispatch", &name, size as usize, ns));
@@ -285,7 +318,7 @@ fn main() {
     // rotation loop of both backends; deliberately NOT in the gated
     // `dispatch` group (see `build` docs).
     println!("== stress: sub-MTU-quantum drr ==");
-    for backend in [Backend::Legacy, Backend::Pifo] {
+    for backend in [Backend::Legacy, Backend::Pifo(EligibleBackend::DualHeap)] {
         let name = format!("drr/subquantum{}", backend.suffix());
         let ns = bench_dispatch(
             SchedulerKind::Drr,

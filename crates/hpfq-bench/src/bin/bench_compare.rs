@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! bench_compare <baseline.json> <current.json> [--threshold 15] [--deny]
+//!               [--max-growth 8] [--deny-slope]
 //! ```
 //!
 //! Rows are matched on `(group, name, size)`. A `dispatch`-group row more
@@ -12,6 +13,18 @@
 //! non-blocking, because smoke-profile numbers on shared runners are
 //! noisy and a hard gate would flake. Rows present on one side only are
 //! listed so coverage drift is visible, never silent.
+//!
+//! Dispatch rows measured at several sizes (the flow-count scaling sweep)
+//! additionally get a **slope check**: per name, the full per-size
+//! trajectory is diffed and the end-to-end growth factor
+//! `ns(max size) / ns(min size)` must stay within `--max-growth`
+//! (default 8, i.e. the committed O(log N) trajectory at up to 4M flows;
+//! the calendar rows sit near 1). Growth is a property of the *current*
+//! run alone, so it flags a complexity regression even when every
+//! per-size row drifted in lockstep under the pairwise threshold. Slope
+//! violations print a `SLOPE` warning and only affect the exit code under
+//! `--deny-slope` — absolute ns on shared runners are noisy, but a
+//! blown-up growth factor is load-independent enough to gate on.
 
 use std::process::ExitCode;
 
@@ -30,6 +43,8 @@ fn main() -> ExitCode {
     let mut positional: Vec<&String> = Vec::new();
     let mut threshold = 15.0f64;
     let mut deny = false;
+    let mut deny_slope = false;
+    let mut max_growth = 8.0f64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -41,11 +56,22 @@ fn main() -> ExitCode {
                 threshold = v.parse().unwrap_or_else(|e| panic!("--threshold {v}: {e}"));
             }
             "--deny" => deny = true,
+            "--deny-slope" => deny_slope = true,
+            "--max-growth" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--max-growth requires a value");
+                    return ExitCode::FAILURE;
+                };
+                max_growth = v.parse().unwrap_or_else(|e| panic!("--max-growth {v}: {e}"));
+            }
             _ => positional.push(a),
         }
     }
     let [baseline_path, current_path] = positional.as_slice() else {
-        eprintln!("usage: bench_compare <baseline.json> <current.json> [--threshold N] [--deny]");
+        eprintln!(
+            "usage: bench_compare <baseline.json> <current.json> [--threshold N] [--deny] \
+             [--max-growth F] [--deny-slope]"
+        );
         return ExitCode::FAILURE;
     };
 
@@ -137,6 +163,79 @@ fn main() -> ExitCode {
         println!("== {pifo_gated} PIFO dispatch row(s) gated against the hand-rolled baseline ==");
     }
 
+    // Scaling-sweep slope check: every dispatch row family measured at 2+
+    // sizes is a complexity trajectory, not a point. Print the per-size
+    // diff as one table per family and gate the end-to-end growth factor
+    // of the *current* run, so a structure that quietly degenerated to a
+    // steeper curve is caught even if the committed baseline drifted with
+    // it (the pairwise rows above would then all read "ok").
+    let mut slope_violations = 0usize;
+    let mut sweep_names: Vec<&str> = current
+        .iter()
+        .filter(|r| r.group == "dispatch")
+        .map(|r| r.name.as_str())
+        .collect();
+    sweep_names.sort_unstable();
+    sweep_names.dedup();
+    let mut any_sweep = false;
+    for name in sweep_names {
+        let mut rows: Vec<&BenchRecord> = current
+            .iter()
+            .filter(|r| r.group == "dispatch" && r.name == name)
+            .collect();
+        if rows.len() < 2 {
+            continue;
+        }
+        rows.sort_by_key(|r| r.size);
+        if !any_sweep {
+            println!("== scaling sweeps: growth factor gated at {max_growth}x ==");
+            any_sweep = true;
+        }
+        let (first, last) = (rows[0], rows[rows.len() - 1]);
+        let growth = last.ns_per_op / first.ns_per_op;
+        let blown = growth > max_growth;
+        if blown {
+            slope_violations += 1;
+        }
+        println!(
+            "  {:<10} dispatch/{name}: {:.1}x growth over {} -> {} flows{}",
+            if blown { "SLOPE" } else { "ok" },
+            growth,
+            first.size,
+            last.size,
+            if blown {
+                format!(" (limit {max_growth}x)")
+            } else {
+                String::new()
+            }
+        );
+        for row in &rows {
+            let base = baseline
+                .iter()
+                .find(|b| b.group == row.group && b.name == row.name && b.size == row.size)
+                .map(|b| {
+                    format!(
+                        "{:>10.1} -> {:>10.1} ns/op ({:+.1}%)",
+                        b.ns_per_op,
+                        row.ns_per_op,
+                        (row.ns_per_op / b.ns_per_op - 1.0) * 100.0
+                    )
+                })
+                .unwrap_or_else(|| format!("{:>24.1} ns/op (no baseline)", row.ns_per_op));
+            println!("    @{:<8} {base}", row.size);
+        }
+    }
+    if slope_violations > 0 {
+        eprintln!(
+            "warning: {slope_violations} sweep(s) grew beyond {max_growth}x ({})",
+            if deny_slope {
+                "gating"
+            } else {
+                "non-blocking; pass --deny-slope to gate"
+            }
+        );
+    }
+
     // Per-phase wall-clock breakdown (group "phase", emitted by profile
     // builds): show each phase's share of the total and its drift. Purely
     // informational — phase means are wall-clock on shared runners.
@@ -171,7 +270,8 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "== {matched} rows compared, {regressions} dispatch regression(s) over {threshold}% =="
+        "== {matched} rows compared, {regressions} dispatch regression(s) over {threshold}%, \
+         {slope_violations} sweep slope violation(s) over {max_growth}x =="
     );
     if regressions > 0 {
         eprintln!(
@@ -180,7 +280,7 @@ fn main() -> ExitCode {
             if deny { "" } else { "; pass --deny to gate" }
         );
     }
-    if deny && regressions > 0 {
+    if (deny && regressions > 0) || (deny_slope && slope_violations > 0) {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

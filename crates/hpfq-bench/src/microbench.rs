@@ -217,18 +217,19 @@ pub fn json_path_from_args(args: &[String]) -> Option<String> {
 /// Parses one `--sizes` element: a bare integer with an optional `k`
 /// suffix meaning ×1024 (`"16k"` → 16384).
 fn parse_size(tok: &str) -> Result<u32, String> {
-    let (digits, mult) = match tok.strip_suffix(['k', 'K']) {
-        Some(d) => (d, 1024u32),
-        None => (tok, 1),
+    let (digits, mult) = match (tok.strip_suffix(['k', 'K']), tok.strip_suffix(['m', 'M'])) {
+        (Some(d), _) => (d, 1024u32),
+        (None, Some(d)) => (d, 1024 * 1024),
+        (None, None) => (tok, 1),
     };
     digits
         .parse::<u32>()
         .ok()
         .and_then(|n| n.checked_mul(mult))
-        .ok_or_else(|| format!("bad size {tok:?} (expected e.g. 64, 1k, 256k)"))
+        .ok_or_else(|| format!("bad size {tok:?} (expected e.g. 64, 1k, 256k, 4m)"))
 }
 
-/// Extracts the `--sizes 64,1k,16k,256k` flow-count sweep, if present.
+/// Extracts the `--sizes 64,1k,16k,256k,1m,4m` flow-count sweep, if present.
 /// `k` means ×1024. Malformed lists abort: a sweep that silently ran the
 /// wrong sizes would poison the committed baseline.
 pub fn sizes_from_args(args: &[String]) -> Option<Vec<u32>> {

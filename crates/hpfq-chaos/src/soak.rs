@@ -522,7 +522,7 @@ mod tests {
     fn soak_all_schedulers_healthy_seed_1() {
         let cfg = ChaosConfig::all_faults(1, 30.0);
         let report = run_soak(&cfg);
-        assert_eq!(report.runs.len(), 7);
+        assert_eq!(report.runs.len(), SchedulerKind::ALL.len());
         if let Err(problems) = report.assert_healthy() {
             panic!("unhealthy soak:\n{}", problems.join("\n"));
         }

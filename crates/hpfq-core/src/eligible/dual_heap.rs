@@ -43,7 +43,7 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
-use super::EligibleSet;
+use super::{EligibleSet, PifoBackend};
 use crate::scheduler::SessionId;
 use crate::vtime;
 
@@ -298,7 +298,7 @@ impl DualHeapEligibleSet {
         // participate (a custom rank program may mix gated and un-gated
         // ranks); for purely un-gated programs `pending` is empty and this
         // is a single peek.
-        self.pop_min_finish(f64::INFINITY)
+        EligibleSet::pop_min_finish(self, f64::INFINITY)
     }
 
     /// Drops stale entries from the top of `pending` and migrates every
@@ -428,7 +428,7 @@ impl EligibleSet for DualHeapEligibleSet {
     }
 
     fn eligibility_threshold(&mut self, v: f64) -> Option<f64> {
-        if self.len() == 0 {
+        if EligibleSet::len(self) == 0 {
             return None;
         }
         // Any ready member has start <= some earlier threshold <= v
@@ -494,6 +494,62 @@ impl EligibleSet for DualHeapEligibleSet {
             *g += 1;
         }
         self.stale = 0;
+    }
+}
+
+/// The PIFO-backend view: straight delegation to the inherent ranked
+/// interface (these methods *are* the trait's reference semantics).
+impl PifoBackend for DualHeapEligibleSet {
+    fn backend_name(&self) -> &'static str {
+        "dual-heap"
+    }
+
+    #[inline]
+    fn ensure_sessions(&mut self, n: usize) {
+        DualHeapEligibleSet::ensure_sessions(self, n);
+    }
+
+    #[inline]
+    fn insert_ranked(&mut self, id: SessionId, elig: Option<f64>, primary: f64, secondary: f64) {
+        DualHeapEligibleSet::insert_ranked(self, id, elig, primary, secondary);
+    }
+
+    #[inline]
+    fn push_monotone(&mut self, id: SessionId, primary: f64, secondary: f64) {
+        DualHeapEligibleSet::push_monotone(self, id, primary, secondary);
+    }
+
+    #[inline]
+    fn pop_monotone(&mut self) -> Option<SessionId> {
+        DualHeapEligibleSet::pop_monotone(self)
+    }
+
+    #[inline]
+    fn pop_min_ranked(&mut self) -> Option<SessionId> {
+        DualHeapEligibleSet::pop_min_ranked(self)
+    }
+
+    #[inline]
+    fn clamp_threshold(&mut self, v: f64) -> Option<f64> {
+        EligibleSet::eligibility_threshold(self, v)
+    }
+
+    #[inline]
+    fn pop_eligible(&mut self, thr: f64) -> Option<SessionId> {
+        EligibleSet::pop_min_finish(self, thr)
+    }
+
+    fn members_in_order(&self) -> Vec<(SessionId, Option<f64>, f64, f64)> {
+        DualHeapEligibleSet::members_in_order(self)
+    }
+
+    #[inline]
+    fn members(&self) -> usize {
+        EligibleSet::len(self)
+    }
+
+    fn reset(&mut self) {
+        EligibleSet::clear(self);
     }
 }
 

@@ -22,11 +22,71 @@
 //! Both are exercised against [`BruteForceEligibleSet`] in unit and property
 //! tests, and against each other in the `eligible_set` bench ablation.
 
+pub mod calendar;
 pub mod dual_heap;
 pub mod treap;
 
 use crate::scheduler::SessionId;
 use crate::vtime;
+
+/// Backing priority structure for the PIFO driver ([`crate::pifo::PifoTree`]).
+///
+/// This is the generalized *ranked* interface the dual-heap set grew for the
+/// PIFO substrate, lifted to a trait so the driver can swap structures: the
+/// dual heap (amortized O(log N)), the treap (worst-case O(log N) start-keyed
+/// BST), and the hierarchical calendar queue (amortized O(1)). Every method
+/// mirrors the dual-heap original; the semantic contract — rank model,
+/// monotone thresholds within a busy period, id tie-breaks, the
+/// `MONOTONE_RANKS` tail promise — is documented on
+/// [`dual_heap::DualHeapEligibleSet`] and applies verbatim to every
+/// implementation. All implementations must pop in the exact same
+/// `(primary, secondary, id)` order: the PIFO equivalence suite drives them
+/// in lockstep and requires byte-identical dispatch sequences.
+pub trait PifoBackend: std::fmt::Debug + Clone + Default {
+    /// Short structure name for snapshots and diagnostics.
+    fn backend_name(&self) -> &'static str;
+
+    /// Pre-sizes the per-session arrays for ids `< n` (the driver registers
+    /// every session before scheduling starts).
+    fn ensure_sessions(&mut self, n: usize);
+
+    /// Inserts a member under the PIFO rank model: optional eligibility key
+    /// (`None` = immediately eligible), lexicographic `(primary, secondary)`
+    /// rank, ties by session id.
+    fn insert_ranked(&mut self, id: SessionId, elig: Option<f64>, primary: f64, secondary: f64);
+
+    /// Ring-discipline insert under the `MONOTONE_RANKS` promise (open rank,
+    /// >= everything queued or <= everything queued).
+    fn push_monotone(&mut self, id: SessionId, primary: f64, secondary: f64);
+
+    /// Pop for `MONOTONE_RANKS` programs: the front of the sorted tail.
+    fn pop_monotone(&mut self) -> Option<SessionId>;
+
+    /// Pops the minimum `(primary, secondary, id)` rank regardless of
+    /// eligibility keys ([`Threshold::All`](crate::pifo::Threshold::All)).
+    fn pop_min_ranked(&mut self) -> Option<SessionId>;
+
+    /// `max(v, Smin)` over all members — eq. (27)'s clamp. `None` if empty.
+    /// ([`EligibleSet::eligibility_threshold`] under a non-colliding name:
+    /// every backend also implements the narrow trait, and duplicated
+    /// method names would force UFCS at each call site.)
+    fn clamp_threshold(&mut self, v: f64) -> Option<f64>;
+
+    /// Pops the minimum-rank member among those eligible at `thr`
+    /// ([`EligibleSet::pop_min_finish`] generalized to ranks).
+    fn pop_eligible(&mut self, thr: f64) -> Option<SessionId>;
+
+    /// Live membership as re-insertable `(id, elig, primary, secondary)`
+    /// ranks, replayable through [`PifoBackend::insert_ranked`]. Must be a
+    /// deterministic function of the live membership (snapshot stability).
+    fn members_in_order(&self) -> Vec<(SessionId, Option<f64>, f64, f64)>;
+
+    /// Number of members.
+    fn members(&self) -> usize;
+
+    /// Removes all members and resets monotone state (new busy period).
+    fn reset(&mut self);
+}
 
 /// A set of backlogged sessions, each with immutable `(start, finish)`
 /// virtual tags, supporting the SEFF queries.

@@ -7,11 +7,19 @@
 //! realization of the paper's §3.4 complexity claim, benchmarked against the
 //! dual-heap structure in the `eligible_set` ablation.
 
-use super::{EligibleSet, FinishKey};
+use std::collections::VecDeque;
+
+use super::{EligibleSet, FinishKey, PifoBackend};
 use crate::scheduler::SessionId;
 use crate::vtime;
 
 type Link = Option<usize>;
+
+/// Sentinel start tag for *open* PIFO ranks living in the treap: finite (so
+/// the tag assertions hold) and below every real virtual time, so the member
+/// is admitted at any threshold and never perturbs the `max(v, Smin)` clamp
+/// (`max(v, f64::MIN) == v` for all finite thresholds).
+const OPEN_START: f64 = f64::MIN;
 
 #[derive(Debug, Clone)]
 struct Node {
@@ -61,6 +69,15 @@ pub struct TreapEligibleSet {
     slots: Vec<Option<(f64, f64)>>,
     live: usize,
     rng: XorShift64,
+    /// Sorted deque for ring-discipline ranks (`MONOTONE_RANKS`) and
+    /// in-order open inserts — same O(1) fast path as the dual heap's
+    /// `ready_tail`. Entries are `(primary, id)`; the PIFO interface on
+    /// this backend requires zero secondary keys (see
+    /// [`PifoBackend::insert_ranked`] below).
+    ready_tail: VecDeque<(f64, u32)>,
+    /// Per-session flag: the member was inserted *open* (treap start tag is
+    /// the [`OPEN_START`] sentinel, not a real eligibility key).
+    open: Vec<bool>,
 }
 
 impl Default for TreapEligibleSet {
@@ -79,7 +96,17 @@ impl TreapEligibleSet {
             slots: Vec::new(),
             live: 0,
             rng: XorShift64(0x9E37_79B9_7F4A_7C15),
+            ready_tail: VecDeque::new(),
+            open: Vec::new(),
         }
+    }
+
+    fn tail_front_key(&self) -> Option<FinishKey> {
+        self.ready_tail.front().map(|&(primary, id)| FinishKey {
+            finish: primary,
+            start: OPEN_START,
+            id: SessionId(id as usize),
+        })
     }
 
     fn key(&self, n: usize) -> (f64, usize) {
@@ -239,9 +266,11 @@ impl EligibleSet for TreapEligibleSet {
         );
         if id.0 >= self.slots.len() {
             self.slots.resize(id.0 + 1, None);
+            self.open.resize(id.0 + 1, false);
         }
         assert!(self.slots[id.0].is_none(), "session {id:?} inserted twice");
         self.slots[id.0] = Some((start, finish));
+        self.open[id.0] = vtime::same_stamp(start, OPEN_START);
         let n = self.alloc(id, start, finish);
         self.root = Some(self.insert_at(self.root, n));
         self.live += 1;
@@ -250,8 +279,13 @@ impl EligibleSet for TreapEligibleSet {
     fn remove(&mut self, id: SessionId) {
         if let Some(Some((start, _))) = self.slots.get(id.0).copied() {
             self.slots[id.0] = None;
+            self.open[id.0] = false;
             self.root = self.delete_at(self.root, (start, id.0));
             self.live -= 1;
+        } else if let Some(pos) = self.ready_tail.iter().position(|&(_, t)| t as usize == id.0) {
+            // Tail members are pruned physically (same policy as the dual
+            // heap's `ready_tail`).
+            self.ready_tail.remove(pos);
         }
     }
 
@@ -277,6 +311,156 @@ impl EligibleSet for TreapEligibleSet {
         self.root = None;
         self.slots.fill(None);
         self.live = 0;
+        self.ready_tail.clear();
+        self.open.fill(false);
+    }
+}
+
+impl PifoBackend for TreapEligibleSet {
+    fn backend_name(&self) -> &'static str {
+        "treap"
+    }
+
+    fn ensure_sessions(&mut self, n: usize) {
+        if self.slots.len() < n {
+            self.slots.resize(n, None);
+            self.open.resize(n, false);
+        }
+    }
+
+    /// The treap orders strictly by [`FinishKey`] — `(primary, id)` — so it
+    /// can only back rank programs whose secondary key is always zero
+    /// (WF²Q+/WF²Q gated ranks, WFQ/FIFO/DRR/RR open ranks). SCFQ and SFQ
+    /// carry a live secondary and are rejected by the debug assertion;
+    /// [`crate::MixedScheduler`] only exposes the treap under WF²Q+.
+    fn insert_ranked(&mut self, id: SessionId, elig: Option<f64>, primary: f64, secondary: f64) {
+        debug_assert!(
+            secondary == 0.0,
+            "treap backend requires zero secondary keys (got {secondary} for {id:?})"
+        );
+        match elig {
+            Some(start) => EligibleSet::insert(self, id, start, primary),
+            None => {
+                debug_assert!(
+                    self.slots.get(id.0).copied().flatten().is_none()
+                        && !self.ready_tail.iter().any(|&(_, t)| t as usize == id.0),
+                    "session {id:?} inserted twice"
+                );
+                // In-order open ranks ride the sorted tail in O(1); only
+                // out-of-order ones pay the treap's O(log N), parked at the
+                // always-eligible sentinel start.
+                match self.ready_tail.back() {
+                    Some(&(bp, bi)) if (primary, id.0 as u32) < (bp, bi) => {
+                        EligibleSet::insert(self, id, OPEN_START, primary);
+                    }
+                    _ => self.ready_tail.push_back((primary, id.0 as u32)),
+                }
+            }
+        }
+    }
+
+    fn push_monotone(&mut self, id: SessionId, primary: f64, secondary: f64) {
+        debug_assert!(
+            secondary == 0.0,
+            "treap backend requires zero secondary keys (got {secondary} for {id:?})"
+        );
+        debug_assert!(
+            primary.is_finite(),
+            "bad rank {primary} for session {id:?}"
+        );
+        let e = (primary, id.0 as u32);
+        match self.ready_tail.back() {
+            Some(&b) if e < b => {
+                debug_assert!(
+                    self.ready_tail.front().is_none_or(|&f| e <= f),
+                    "MONOTONE_RANKS violated: rank between the tail front and back"
+                );
+                self.ready_tail.push_front(e);
+            }
+            _ => self.ready_tail.push_back(e),
+        }
+    }
+
+    fn pop_monotone(&mut self) -> Option<SessionId> {
+        debug_assert!(
+            self.live == 0,
+            "MONOTONE_RANKS program has treap entries"
+        );
+        self.ready_tail
+            .pop_front()
+            .map(|(_, id)| SessionId(id as usize))
+    }
+
+    fn pop_min_ranked(&mut self) -> Option<SessionId> {
+        PifoBackend::pop_eligible(self, f64::INFINITY)
+    }
+
+    fn clamp_threshold(&mut self, v: f64) -> Option<f64> {
+        if !self.ready_tail.is_empty() {
+            // Tail members are open: Smin is effectively -inf, the clamp
+            // degenerates to v itself.
+            return Some(v);
+        }
+        EligibleSet::eligibility_threshold(self, v)
+    }
+
+    fn pop_eligible(&mut self, thr: f64) -> Option<SessionId> {
+        let tree_best = self.query_best(thr);
+        let tail_best = self.tail_front_key();
+        let from_tree = match (&tree_best, &tail_best) {
+            (Some(t), Some(f)) => t.better_than(f),
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if from_tree {
+            let best = tree_best?;
+            self.slots[best.id.0] = None;
+            self.open[best.id.0] = false;
+            self.root = self.delete_at(self.root, (best.start, best.id.0));
+            self.live -= 1;
+            Some(best.id)
+        } else {
+            self.ready_tail
+                .pop_front()
+                .map(|(_, id)| SessionId(id as usize))
+        }
+    }
+
+    fn members_in_order(&self) -> Vec<(SessionId, Option<f64>, f64, f64)> {
+        // Same shape as the dual heap's snapshot: open members first sorted
+        // by rank (admitted members stay admitted under monotone
+        // thresholds), then gated members with their eligibility keys. The
+        // id-indexed slot scan makes the order a pure function of the live
+        // membership.
+        let mut open: Vec<(f64, u32)> = self.ready_tail.iter().copied().collect();
+        let mut gated: Vec<(SessionId, Option<f64>, f64, f64)> = Vec::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            let Some((start, finish)) = *slot else { continue };
+            if self.open[i] {
+                open.push((finish, i as u32));
+            } else {
+                gated.push((SessionId(i), Some(start), finish, 0.0));
+            }
+        }
+        open.sort_by(|a, b| {
+            a.partial_cmp(b)
+                // lint:allow(L002): cold snapshot path; ranks are finite
+                .expect("ranks must not be NaN")
+        });
+        let mut out: Vec<(SessionId, Option<f64>, f64, f64)> = open
+            .into_iter()
+            .map(|(primary, id)| (SessionId(id as usize), None, primary, 0.0))
+            .collect();
+        out.extend(gated);
+        out
+    }
+
+    fn members(&self) -> usize {
+        self.live + self.ready_tail.len()
+    }
+
+    fn reset(&mut self) {
+        EligibleSet::clear(self);
     }
 }
 

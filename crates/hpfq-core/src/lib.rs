@@ -80,18 +80,21 @@ pub use hpfq_obs::vtime;
 
 #[cfg(feature = "legacy-schedulers")]
 pub use drr::Drr;
-pub use eligible::{dual_heap::DualHeapEligibleSet, treap::TreapEligibleSet, EligibleSet};
+pub use eligible::{
+    calendar::CalendarEligibleSet, dual_heap::DualHeapEligibleSet, treap::TreapEligibleSet,
+    EligibleSet, PifoBackend,
+};
 pub use error::HpfqError;
 #[cfg(feature = "legacy-schedulers")]
 pub use fifo::Fifo;
 pub use gps_clock::GpsClock;
 pub use hierarchy::{Hierarchy, HierarchyBuilder, NodeId};
-pub use mixed::{MixedScheduler, SchedulerKind};
+pub use mixed::{EligibleBackend, MixedScheduler, SchedulerKind};
 pub use packet::Packet;
 pub use pifo::{Admission, PifoTree, Rank, RankProgram, Threshold};
 #[cfg(feature = "legacy-schedulers")]
 pub use scfq::Scfq;
-pub use scheduler::{NodeScheduler, SessionId, SessionState};
+pub use scheduler::{NodeScheduler, SessionId, SessionState, SessionTable};
 #[cfg(feature = "legacy-schedulers")]
 pub use sfq::Sfq;
 #[cfg(feature = "legacy-schedulers")]

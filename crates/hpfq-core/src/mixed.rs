@@ -15,7 +15,9 @@ use hpfq_obs::snap::{SnapError, Value};
 use crate::drr::Drr;
 #[cfg(feature = "legacy-schedulers")]
 use crate::fifo::Fifo;
-use crate::pifo::rank::{DrrRank, FifoRank, ScfqRank, SfqRank, Wf2qPlusRank, Wf2qRank, WfqRank};
+use crate::eligible::calendar::CalendarEligibleSet;
+use crate::eligible::treap::TreapEligibleSet;
+use crate::pifo::rank::{DrrRank, FifoRank, RrRank, ScfqRank, SfqRank, Wf2qPlusRank, Wf2qRank, WfqRank};
 use crate::pifo::PifoTree;
 #[cfg(feature = "legacy-schedulers")]
 use crate::scfq::Scfq;
@@ -46,11 +48,14 @@ pub enum SchedulerKind {
     Drr,
     /// FIFO.
     Fifo,
+    /// Overlapped round robin (integer finish rounds; see
+    /// [`crate::pifo::rank::RrRank`]). PIFO-native — no legacy original.
+    Rr,
 }
 
 impl SchedulerKind {
     /// Every kind, in report order.
-    pub const ALL: [SchedulerKind; 7] = [
+    pub const ALL: [SchedulerKind; 8] = [
         SchedulerKind::Wf2qPlus,
         SchedulerKind::Wfq,
         SchedulerKind::Wf2q,
@@ -58,7 +63,16 @@ impl SchedulerKind {
         SchedulerKind::Sfq,
         SchedulerKind::Drr,
         SchedulerKind::Fifo,
+        SchedulerKind::Rr,
     ];
+
+    /// Whether a hand-rolled (pre-PIFO) original exists for this kind —
+    /// i.e. whether [`SchedulerKind::build_legacy`] is callable. The
+    /// differential suites iterate [`SchedulerKind::ALL`] and skip the
+    /// legacy oracle where there is none.
+    pub fn has_legacy(self) -> bool {
+        !matches!(self, SchedulerKind::Rr)
+    }
 
     /// Builds a scheduler of this kind for a server of `rate_bps`, backed
     /// by the PIFO substrate ([`PifoTree`] running this kind's rank
@@ -84,6 +98,56 @@ impl SchedulerKind {
             SchedulerKind::Fifo => {
                 MixedScheduler::PifoFifo(PifoTree::new(rate_bps, FifoRank::new()))
             }
+            SchedulerKind::Rr => MixedScheduler::PifoRr(PifoTree::new(rate_bps, RrRank::new())),
+        }
+    }
+
+    /// Builds a scheduler of this kind on the chosen eligible-set backend.
+    /// `EligibleBackend::DualHeap` is exactly [`SchedulerKind::build`];
+    /// the calendar serves every kind; the treap orders strictly by
+    /// `(primary, id)` and is only exposed under WF²Q+ (the one gated
+    /// policy whose secondary keys are identically zero — see
+    /// `PifoBackend for TreapEligibleSet`).
+    pub fn build_with_backend(self, rate_bps: f64, backend: EligibleBackend) -> MixedScheduler {
+        match backend {
+            EligibleBackend::DualHeap => self.build(rate_bps),
+            EligibleBackend::Calendar => match self {
+                SchedulerKind::Wf2qPlus => MixedScheduler::CalWf2qPlus(PifoTree::with_backend(
+                    rate_bps,
+                    Wf2qPlusRank::new(),
+                )),
+                SchedulerKind::Wfq => {
+                    MixedScheduler::CalWfq(PifoTree::with_backend(rate_bps, WfqRank::new()))
+                }
+                SchedulerKind::Wf2q => {
+                    MixedScheduler::CalWf2q(PifoTree::with_backend(rate_bps, Wf2qRank::new()))
+                }
+                SchedulerKind::Scfq => {
+                    MixedScheduler::CalScfq(PifoTree::with_backend(rate_bps, ScfqRank::new()))
+                }
+                SchedulerKind::Sfq => {
+                    MixedScheduler::CalSfq(PifoTree::with_backend(rate_bps, SfqRank::new()))
+                }
+                SchedulerKind::Drr => {
+                    MixedScheduler::CalDrr(PifoTree::with_backend(rate_bps, DrrRank::new()))
+                }
+                SchedulerKind::Fifo => {
+                    MixedScheduler::CalFifo(PifoTree::with_backend(rate_bps, FifoRank::new()))
+                }
+                SchedulerKind::Rr => {
+                    MixedScheduler::CalRr(PifoTree::with_backend(rate_bps, RrRank::new()))
+                }
+            },
+            EligibleBackend::Treap => match self {
+                SchedulerKind::Wf2qPlus => MixedScheduler::TreapWf2qPlus(PifoTree::with_backend(
+                    rate_bps,
+                    Wf2qPlusRank::new(),
+                )),
+                other => panic!(
+                    "the treap backend only serves wf2q+ (zero secondary keys); got '{}'",
+                    other.name()
+                ),
+            },
         }
     }
 
@@ -101,6 +165,9 @@ impl SchedulerKind {
             SchedulerKind::Sfq => MixedScheduler::Sfq(Sfq::new(rate_bps)),
             SchedulerKind::Drr => MixedScheduler::Drr(Drr::new(rate_bps)),
             SchedulerKind::Fifo => MixedScheduler::Fifo(Fifo::new(rate_bps)),
+            SchedulerKind::Rr => panic!(
+                "rr is PIFO-native and has no legacy original; gate on has_legacy()"
+            ),
         }
     }
 
@@ -114,6 +181,7 @@ impl SchedulerKind {
             SchedulerKind::Sfq => "sfq",
             SchedulerKind::Drr => "drr",
             SchedulerKind::Fifo => "fifo",
+            SchedulerKind::Rr => "rr",
         }
     }
 }
@@ -130,7 +198,61 @@ impl std::str::FromStr for SchedulerKind {
             "sfq" => Ok(SchedulerKind::Sfq),
             "drr" => Ok(SchedulerKind::Drr),
             "fifo" => Ok(SchedulerKind::Fifo),
+            "rr" => Ok(SchedulerKind::Rr),
             other => Err(format!("unknown scheduler kind '{other}'")),
+        }
+    }
+}
+
+/// Identifies the priority structure backing a [`PifoTree`]: see
+/// [`crate::eligible::PifoBackend`]. Selected per experiment (e.g.
+/// `--eligible calendar` in the bench harness); every backend pops in the
+/// same rank order, so the choice affects cost, never behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EligibleBackend {
+    /// Lazy dual binary heaps — amortized O(log N), the default.
+    #[default]
+    DualHeap,
+    /// Start-keyed treap with subtree finish minima — worst-case O(log N);
+    /// WF²Q+ only (needs zero secondary keys).
+    Treap,
+    /// Hierarchical calendar queue / timing wheel — amortized O(1).
+    Calendar,
+}
+
+impl EligibleBackend {
+    /// Backends applicable to `kind` (for sweeps).
+    pub fn all_for(kind: SchedulerKind) -> &'static [EligibleBackend] {
+        if kind == SchedulerKind::Wf2qPlus {
+            &[
+                EligibleBackend::DualHeap,
+                EligibleBackend::Treap,
+                EligibleBackend::Calendar,
+            ]
+        } else {
+            &[EligibleBackend::DualHeap, EligibleBackend::Calendar]
+        }
+    }
+
+    /// Short structure name ("dual-heap", "treap", "calendar").
+    pub fn name(self) -> &'static str {
+        match self {
+            EligibleBackend::DualHeap => "dual-heap",
+            EligibleBackend::Treap => "treap",
+            EligibleBackend::Calendar => "calendar",
+        }
+    }
+}
+
+impl std::str::FromStr for EligibleBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dual-heap" | "dualheap" | "dual_heap" | "heap" => Ok(EligibleBackend::DualHeap),
+            "treap" => Ok(EligibleBackend::Treap),
+            "calendar" | "cal" => Ok(EligibleBackend::Calendar),
+            other => Err(format!("unknown eligible backend '{other}'")),
         }
     }
 }
@@ -151,6 +273,16 @@ pub enum MixedScheduler {
     PifoSfq(PifoTree<SfqRank>),
     PifoDrr(PifoTree<DrrRank>),
     PifoFifo(PifoTree<FifoRank>),
+    PifoRr(PifoTree<RrRank>),
+    CalWf2qPlus(PifoTree<Wf2qPlusRank, CalendarEligibleSet>),
+    CalWfq(PifoTree<WfqRank, CalendarEligibleSet>),
+    CalWf2q(PifoTree<Wf2qRank, CalendarEligibleSet>),
+    CalScfq(PifoTree<ScfqRank, CalendarEligibleSet>),
+    CalSfq(PifoTree<SfqRank, CalendarEligibleSet>),
+    CalDrr(PifoTree<DrrRank, CalendarEligibleSet>),
+    CalFifo(PifoTree<FifoRank, CalendarEligibleSet>),
+    CalRr(PifoTree<RrRank, CalendarEligibleSet>),
+    TreapWf2qPlus(PifoTree<Wf2qPlusRank, TreapEligibleSet>),
     #[cfg(feature = "legacy-schedulers")]
     Wf2qPlus(Wf2qPlus),
     #[cfg(feature = "legacy-schedulers")]
@@ -177,6 +309,16 @@ macro_rules! dispatch {
             MixedScheduler::PifoSfq($inner) => $body,
             MixedScheduler::PifoDrr($inner) => $body,
             MixedScheduler::PifoFifo($inner) => $body,
+            MixedScheduler::PifoRr($inner) => $body,
+            MixedScheduler::CalWf2qPlus($inner) => $body,
+            MixedScheduler::CalWfq($inner) => $body,
+            MixedScheduler::CalWf2q($inner) => $body,
+            MixedScheduler::CalScfq($inner) => $body,
+            MixedScheduler::CalSfq($inner) => $body,
+            MixedScheduler::CalDrr($inner) => $body,
+            MixedScheduler::CalFifo($inner) => $body,
+            MixedScheduler::CalRr($inner) => $body,
+            MixedScheduler::TreapWf2qPlus($inner) => $body,
             #[cfg(feature = "legacy-schedulers")]
             MixedScheduler::Wf2qPlus($inner) => $body,
             #[cfg(feature = "legacy-schedulers")]
@@ -244,6 +386,10 @@ impl NodeScheduler for MixedScheduler {
         dispatch!(self, s => s.set_is_root(is_root))
     }
 
+    fn set_dispatch_batch(&mut self, k: usize) {
+        dispatch!(self, s => s.set_dispatch_batch(k))
+    }
+
     fn save_state(&self) -> Value {
         Value::map(vec![
             ("kind", Value::Str(self.name().to_string())),
@@ -283,11 +429,63 @@ mod tests {
     #[cfg(feature = "legacy-schedulers")]
     #[test]
     fn legacy_build_and_name_round_trip() {
-        for kind in SchedulerKind::ALL {
+        for kind in SchedulerKind::ALL.into_iter().filter(|k| k.has_legacy()) {
             let sched = kind.build_legacy(1e6);
             assert_eq!(sched.name(), kind.name());
             assert_eq!(sched.rate_bps(), 1e6);
         }
+    }
+
+    #[test]
+    fn backend_builds_cover_every_applicable_pair() {
+        for kind in SchedulerKind::ALL {
+            for &backend in EligibleBackend::all_for(kind) {
+                let mut m = kind.build_with_backend(1e6, backend);
+                assert_eq!(m.name(), kind.name());
+                let a = m.add_session(0.5);
+                let b = m.add_session(0.5);
+                m.backlog(a, 1000.0, None);
+                m.backlog(b, 1000.0, None);
+                let first = m.select_next().unwrap();
+                m.requeue(first, None);
+                let second = m.select_next().unwrap();
+                assert_ne!(first, second, "{} on {}", kind.name(), backend.name());
+                m.requeue(second, None);
+            }
+        }
+    }
+
+    #[test]
+    fn backend_name_round_trip() {
+        for backend in [
+            EligibleBackend::DualHeap,
+            EligibleBackend::Treap,
+            EligibleBackend::Calendar,
+        ] {
+            assert_eq!(backend.name().parse::<EligibleBackend>().unwrap(), backend);
+        }
+    }
+
+    #[test]
+    fn rr_shares_capacity_by_phi() {
+        // 3:1 shares, equal packet sizes: over any long window the heavy
+        // session must receive ~3x the dispatches.
+        let mut m = SchedulerKind::Rr.build(1e6);
+        let heavy = m.add_session(0.75);
+        let light = m.add_session(0.25);
+        m.backlog(heavy, 3000.0, None);
+        m.backlog(light, 3000.0, None);
+        let mut served = [0u32; 2];
+        for _ in 0..400 {
+            let id = m.select_next().unwrap();
+            served[id.0] += 1;
+            m.requeue(id, Some(3000.0));
+        }
+        let ratio = f64::from(served[heavy.0]) / f64::from(served[light.0]);
+        assert!(
+            (ratio - 3.0).abs() < 0.1,
+            "rr served {served:?}: ratio {ratio} far from shares 3:1"
+        );
     }
 
     #[test]

@@ -51,10 +51,8 @@ pub mod rank;
 use hpfq_obs::snap::{SnapError, Value};
 
 use crate::eligible::dual_heap::DualHeapEligibleSet;
-use crate::eligible::EligibleSet;
-use crate::scheduler::{
-    load_opt_id, load_sessions, save_opt_id, save_sessions, NodeScheduler, SessionId, SessionState,
-};
+use crate::eligible::PifoBackend;
+use crate::scheduler::{load_opt_id, save_opt_id, NodeScheduler, SessionId, SessionTable};
 
 /// A PIFO rank: where a head packet slots into the service order.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -128,10 +126,11 @@ pub enum Admission {
 /// [`Threshold`], advances its virtual clock on dispatch, and resets at
 /// busy-period boundaries.
 ///
-/// The driver owns the [`SessionState`] table (shares, eq. (28)/(29) tags,
-/// head lengths, backlog flags) and the priority structure; the program
-/// owns everything policy-specific (virtual clocks, GPS emulation, deficit
-/// counters, …). `ref_time` arguments carry the driver's reference time
+/// The driver owns the [`SessionTable`] (shares, eq. (28)/(29) tags, head
+/// lengths, backlog flags — structure-of-arrays, so each dispatch pulls
+/// dense tag lanes instead of 48-byte records) and the priority structure;
+/// the program owns everything policy-specific (virtual clocks, GPS
+/// emulation, deficit counters, …). `ref_time` arguments carry the driver's reference time
 /// `T = W(0,t)/r`, advanced by `L/r` per dispatch and reset to zero at busy
 /// period end — identical across all policies, which is why it lives in the
 /// driver.
@@ -162,14 +161,15 @@ pub trait RankProgram {
     }
 
     /// Session `id` transitions idle → backlogged with a head of
-    /// `head_bits`. Stamp `s` (via [`SessionState::stamp_new_backlog`] for
-    /// virtual-time policies) and return the head's rank. `ref_now` follows
-    /// the [`NodeScheduler::backlog`] convention — already validated by the
-    /// driver — and `ref_time` is the driver's reference time.
+    /// `head_bits`. Stamp its tags (via [`SessionTable::stamp_new_backlog`]
+    /// for virtual-time policies) and return the head's rank. `ref_now`
+    /// follows the [`NodeScheduler::backlog`] convention — already
+    /// validated by the driver — and `ref_time` is the driver's reference
+    /// time.
     fn rank_backlog(
         &mut self,
         id: SessionId,
-        s: &mut SessionState,
+        sessions: &mut SessionTable,
         head_bits: f64,
         ref_now: Option<f64>,
         ref_time: f64,
@@ -181,18 +181,19 @@ pub trait RankProgram {
     fn arrival_hint(
         &mut self,
         id: SessionId,
-        s: &SessionState,
+        sessions: &SessionTable,
         bits: f64,
         ref_now: Option<f64>,
         ref_time: f64,
     ) {
-        let _ = (id, s, bits, ref_now, ref_time);
+        let _ = (id, sessions, bits, ref_now, ref_time);
     }
 
     /// Session `id` continues with a next head of `bits` after a dispatch
     /// (`S = F` continuation, eq. (28) first case, for virtual-time
-    /// policies). Stamp `s` and return the new head's rank.
-    fn rank_continuation(&mut self, id: SessionId, s: &mut SessionState, bits: f64) -> Rank;
+    /// policies). Stamp its tags and return the new head's rank.
+    fn rank_continuation(&mut self, id: SessionId, sessions: &mut SessionTable, bits: f64)
+        -> Rank;
 
     /// Eligibility rule for the next dispatch, computed once per dispatch
     /// ([`Admission::Rotate`] rounds re-pop under the same rule); the
@@ -204,8 +205,8 @@ pub trait RankProgram {
 
     /// Last word on the popped minimum-rank member; the default serves it.
     /// Round-robin programs apply their quantum accounting here.
-    fn admit(&mut self, id: SessionId, s: &SessionState) -> Admission {
-        let _ = (id, s);
+    fn admit(&mut self, id: SessionId, sessions: &SessionTable) -> Admission {
+        let _ = (id, sessions);
         Admission::Serve
     }
 
@@ -214,12 +215,12 @@ pub trait RankProgram {
     /// default ignores it.
     fn on_fallback(&mut self) {}
 
-    /// Session `id` (state `s`, head already accounted) was picked. `thr`
-    /// is the eligibility threshold that admitted it (`+∞` under
+    /// Session `id` (head already accounted) was picked. `thr` is the
+    /// eligibility threshold that admitted it (`+∞` under
     /// [`Threshold::All`]) and `dt = head_bits / rate` the head's service
     /// time; virtual-clock advance rules (RESTART-NODE line 12) go here.
-    fn on_dispatch(&mut self, id: SessionId, s: &SessionState, thr: f64, dt: f64) {
-        let _ = (id, s, thr, dt);
+    fn on_dispatch(&mut self, id: SessionId, sessions: &SessionTable, thr: f64, dt: f64) {
+        let _ = (id, sessions, thr, dt);
     }
 
     /// Session `id` went idle (its dispatched head had no successor).
@@ -250,7 +251,7 @@ pub trait RankProgram {
     /// Restores state saved by [`RankProgram::save_state`]. `sessions` is
     /// the already-restored session table for validation. The default
     /// accepts only [`Value::Null`].
-    fn load_state(&mut self, state: &Value, sessions: &[SessionState]) -> Result<(), SnapError> {
+    fn load_state(&mut self, state: &Value, sessions: &SessionTable) -> Result<(), SnapError> {
         let _ = sessions;
         if state.is_null() {
             Ok(())
@@ -263,13 +264,17 @@ pub trait RankProgram {
     }
 }
 
-/// A [`NodeScheduler`] driving any [`RankProgram`] over the SoA dual-heap
-/// priority structure. See the [module documentation](self).
+/// A [`NodeScheduler`] driving any [`RankProgram`] over a pluggable
+/// [`PifoBackend`] priority structure — the SoA dual heap by default, the
+/// hierarchical calendar queue for amortized O(1) dispatch at scale. See
+/// the [module documentation](self).
 #[derive(Debug, Clone)]
-pub struct PifoTree<P: RankProgram> {
+pub struct PifoTree<P: RankProgram, Q: PifoBackend = DualHeapEligibleSet> {
     rate: f64,
-    sessions: Vec<SessionState>,
-    queue: DualHeapEligibleSet,
+    /// SoA flow table: each dispatch reads dense tag lanes, not 48-byte
+    /// per-session records (see [`SessionTable`]).
+    sessions: SessionTable,
+    queue: Q,
     /// Reference time `T = W(0,t)/r`, advanced by `L/r` per dispatch —
     /// identical across all seven policies, hence owned by the driver.
     t: f64,
@@ -278,24 +283,46 @@ pub struct PifoTree<P: RankProgram> {
     /// Whether this scheduler serves the hierarchy root (the default for a
     /// standalone server); cleared by [`NodeScheduler::set_is_root`].
     is_root: bool,
+    /// Dispatch batch size `k`: the eligibility [`Threshold`] is recomputed
+    /// every `k` dispatches instead of every dispatch. `k = 1` (default)
+    /// is the exact per-dispatch path; `k > 1` trades a bounded amount of
+    /// short-term fairness (see DESIGN.md §16) for fewer virtual-clock
+    /// reads on the hot path.
+    batch_k: usize,
+    /// Dispatches remaining under the cached [`Self::batch_rule`].
+    batch_left: usize,
+    /// Threshold cached for the current batch (valid while `batch_left > 0`).
+    batch_rule: Threshold,
     program: P,
 }
 
 impl<P: RankProgram> PifoTree<P> {
-    /// Creates a PIFO-backed server of the given rate running `program`.
+    /// Creates a PIFO-backed server of the given rate running `program`
+    /// over the default dual-heap structure.
     pub fn new(rate_bps: f64, program: P) -> Self {
+        Self::with_backend(rate_bps, program)
+    }
+}
+
+impl<P: RankProgram, Q: PifoBackend> PifoTree<P, Q> {
+    /// Creates a PIFO-backed server over the backend chosen by the `Q`
+    /// type parameter ([`PifoTree::new`] pins the dual heap).
+    pub fn with_backend(rate_bps: f64, program: P) -> Self {
         assert!(
             rate_bps.is_finite() && rate_bps > 0.0,
             "invalid rate {rate_bps}"
         );
         PifoTree {
             rate: rate_bps,
-            sessions: Vec::new(),
-            queue: DualHeapEligibleSet::new(),
+            sessions: SessionTable::new(),
+            queue: Q::default(),
             t: 0.0,
             in_service: None,
             backlogged: 0,
             is_root: true,
+            batch_k: 1,
+            batch_left: 0,
+            batch_rule: Threshold::All,
             program,
         }
     }
@@ -312,18 +339,18 @@ impl<P: RankProgram> PifoTree<P> {
     }
 }
 
-impl<P: RankProgram> NodeScheduler for PifoTree<P> {
+impl<P: RankProgram, Q: PifoBackend> NodeScheduler for PifoTree<P, Q> {
     fn rate_bps(&self) -> f64 {
         self.rate
     }
 
     fn add_session(&mut self, phi: f64) -> SessionId {
-        self.sessions.push(SessionState::new(phi, self.rate));
+        let id = self.sessions.push(phi, self.rate);
         // Pre-size the priority structure's per-session arrays so the
         // per-packet insert path skips the growth check.
         self.queue.ensure_sessions(self.sessions.len());
         self.program.on_add_session(phi);
-        SessionId(self.sessions.len() - 1)
+        id
     }
 
     #[inline]
@@ -333,11 +360,14 @@ impl<P: RankProgram> NodeScheduler for PifoTree<P> {
             "internal nodes must pass ref_now = None (only the root's \
              reference time coincides with real time, paper eq. 32)"
         );
-        let s = &mut self.sessions[id.0];
-        debug_assert!(!s.backlogged, "backlog() on a backlogged session");
-        let rank = self.program.rank_backlog(id, s, head_bits, ref_now, self.t);
-        s.head_bits = head_bits;
-        s.backlogged = true;
+        debug_assert!(
+            !self.sessions.is_backlogged(id),
+            "backlog() on a backlogged session"
+        );
+        let rank = self
+            .program
+            .rank_backlog(id, &mut self.sessions, head_bits, ref_now, self.t);
+        self.sessions.note_head(id, head_bits, true);
         if P::MONOTONE_RANKS {
             debug_assert!(rank.elig.is_none(), "MONOTONE_RANKS rank is gated");
             self.queue.push_monotone(id, rank.primary, rank.secondary);
@@ -354,9 +384,12 @@ impl<P: RankProgram> NodeScheduler for PifoTree<P> {
             self.is_root || ref_now.is_none(),
             "internal nodes must pass ref_now = None"
         );
-        let s = &self.sessions[id.0];
-        debug_assert!(s.backlogged, "arrival_hint() on an idle session");
-        self.program.arrival_hint(id, s, bits, ref_now, self.t);
+        debug_assert!(
+            self.sessions.is_backlogged(id),
+            "arrival_hint() on an idle session"
+        );
+        self.program
+            .arrival_hint(id, &self.sessions, bits, ref_now, self.t);
     }
 
     #[inline]
@@ -373,7 +406,18 @@ impl<P: RankProgram> NodeScheduler for PifoTree<P> {
         }
         // One eligibility rule per dispatch: rotation rounds re-pop under
         // the same rule (the in-tree rotator, DRR, is threshold-free).
-        let rule = self.program.threshold(self.t);
+        // Batched dispatch (k > 1) holds one rule for k consecutive
+        // dispatches; at k = 1 this is exactly the per-dispatch path.
+        let rule = if self.batch_k > 1 {
+            if self.batch_left == 0 {
+                self.batch_rule = self.program.threshold(self.t);
+                self.batch_left = self.batch_k;
+            }
+            self.batch_left -= 1;
+            self.batch_rule
+        } else {
+            self.program.threshold(self.t)
+        };
         let (id, thr) = loop {
             let (id, thr) = match rule {
                 Threshold::All => {
@@ -389,35 +433,35 @@ impl<P: RankProgram> NodeScheduler for PifoTree<P> {
                 Threshold::Clamped(v) => {
                     let thr = self
                         .queue
-                        .eligibility_threshold(v)
+                        .clamp_threshold(v)
                         // lint:allow(L002): queue verified non-empty above
                         .expect("queue is non-empty");
                     let id = self
                         .queue
-                        .pop_min_finish(thr)
+                        .pop_eligible(thr)
                         // lint:allow(L002): thr = max(V, Smin) admits the Smin session
                         .expect("max(V, Smin) always admits at least one session");
                     (id, thr)
                 }
-                Threshold::ExactWithFallback(v) => match self.queue.pop_min_finish(v) {
+                Threshold::ExactWithFallback(v) => match self.queue.pop_eligible(v) {
                     Some(id) => (id, v),
                     None => {
                         self.program.on_fallback();
                         let thr = self
                             .queue
-                            .eligibility_threshold(v)
+                            .clamp_threshold(v)
                             // lint:allow(L002): queue verified non-empty above
                             .expect("queue is non-empty");
                         let id = self
                             .queue
-                            .pop_min_finish(thr)
+                            .pop_eligible(thr)
                             // lint:allow(L002): thr = max(V, Smin) admits the Smin session
                             .expect("max(V, Smin) always admits at least one session");
                         (id, thr)
                     }
                 },
             };
-            match self.program.admit(id, &self.sessions[id.0]) {
+            match self.program.admit(id, &self.sessions) {
                 Admission::Serve => break (id, thr),
                 Admission::Rotate(rank) => {
                     if P::MONOTONE_RANKS {
@@ -430,11 +474,10 @@ impl<P: RankProgram> NodeScheduler for PifoTree<P> {
                 }
             }
         };
-        let s = &self.sessions[id.0];
-        let dt = s.head_bits / self.rate;
+        let dt = self.sessions.head_bits(id) / self.rate;
         // lint:allow(L006): RankProgram hook, not an Observer call — the
         // rank program's virtual clock must advance unconditionally
-        self.program.on_dispatch(id, s, thr, dt);
+        self.program.on_dispatch(id, &self.sessions, thr, dt);
         // RESTART-NODE line 13.
         self.t += dt;
         self.in_service = Some(id);
@@ -451,9 +494,8 @@ impl<P: RankProgram> NodeScheduler for PifoTree<P> {
         self.in_service = None;
         match next_head_bits {
             Some(bits) => {
-                let s = &mut self.sessions[id.0];
-                let rank = self.program.rank_continuation(id, s, bits);
-                s.head_bits = bits;
+                let rank = self.program.rank_continuation(id, &mut self.sessions, bits);
+                self.sessions.note_head(id, bits, true);
                 if P::MONOTONE_RANKS {
                     debug_assert!(rank.elig.is_none(), "MONOTONE_RANKS rank is gated");
                     self.queue.push_monotone(id, rank.primary, rank.secondary);
@@ -463,17 +505,17 @@ impl<P: RankProgram> NodeScheduler for PifoTree<P> {
                 }
             }
             None => {
-                self.sessions[id.0].backlogged = false;
+                self.sessions.set_idle(id);
                 self.program.on_idle(id);
                 self.backlogged -= 1;
                 if self.backlogged == 0 {
                     // Busy period over (paper eq. 4): restart the reference
-                    // clock, session tags, and the program's virtual clock.
+                    // clock, session tags, the program's virtual clock, and
+                    // any half-consumed dispatch batch.
                     self.t = 0.0;
-                    self.queue.clear();
-                    for s in &mut self.sessions {
-                        s.reset();
-                    }
+                    self.batch_left = 0;
+                    self.queue.reset();
+                    self.sessions.reset_tags();
                     // lint:allow(L006): RankProgram hook, not an Observer
                     // call — busy-period reset is unconditional policy state
                     self.program.on_busy_reset();
@@ -491,12 +533,11 @@ impl<P: RankProgram> NodeScheduler for PifoTree<P> {
     }
 
     fn phi(&self, id: SessionId) -> f64 {
-        self.sessions[id.0].phi
+        self.sessions.phi(id)
     }
 
     fn tags(&self, id: SessionId) -> (f64, f64) {
-        let s = &self.sessions[id.0];
-        (s.start, s.finish)
+        (self.sessions.start(id), self.sessions.finish(id))
     }
 
     fn name(&self) -> &'static str {
@@ -505,6 +546,14 @@ impl<P: RankProgram> NodeScheduler for PifoTree<P> {
 
     fn set_is_root(&mut self, is_root: bool) {
         self.is_root = is_root;
+    }
+
+    fn set_dispatch_batch(&mut self, k: usize) {
+        assert!(k >= 1, "dispatch batch must be at least 1");
+        self.batch_k = k;
+        // Any cached rule dies with the old batch size: the next dispatch
+        // recomputes (k = 1 never reads the cache).
+        self.batch_left = 0;
     }
 
     fn save_state(&self) -> Value {
@@ -516,7 +565,7 @@ impl<P: RankProgram> NodeScheduler for PifoTree<P> {
             ("rate", Value::F64(self.rate)),
             ("t", Value::F64(self.t)),
             ("in_service", save_opt_id(self.in_service)),
-            ("sessions", save_sessions(&self.sessions)),
+            ("sessions", self.sessions.save()),
             (
                 "queue",
                 Value::List(
@@ -556,13 +605,16 @@ impl<P: RankProgram> NodeScheduler for PifoTree<P> {
                 ),
             });
         }
-        self.sessions = load_sessions(state.get("sessions")?)?;
+        self.sessions = SessionTable::load(state.get("sessions")?)?;
         self.program
             .load_state(state.get("program")?, &self.sessions)?;
         self.t = state.get("t")?.as_f64()?;
         self.in_service = load_opt_id(state.get("in_service")?)?;
-        self.backlogged = self.sessions.iter().filter(|s| s.backlogged).count();
-        self.queue.clear();
+        self.backlogged = self.sessions.backlogged_count();
+        // Restores never resume mid-batch: the threshold cache is a
+        // transient perf artifact, not schedule state.
+        self.batch_left = 0;
+        self.queue.reset();
         self.queue.ensure_sessions(self.sessions.len());
         let mut queued = 0usize;
         let mut seen = vec![false; self.sessions.len()];
@@ -578,7 +630,7 @@ impl<P: RankProgram> NodeScheduler for PifoTree<P> {
             let secondary = mv.get("secondary")?.as_f64()?;
             let valid = id < self.sessions.len()
                 && !std::mem::replace(&mut seen[id], true)
-                && self.sessions[id].backlogged
+                && self.sessions.is_backlogged(SessionId(id))
                 && self.in_service != Some(SessionId(id))
                 && primary.is_finite()
                 && secondary.is_finite()
@@ -593,11 +645,9 @@ impl<P: RankProgram> NodeScheduler for PifoTree<P> {
                 .insert_ranked(SessionId(id), elig, primary, secondary);
             queued += 1;
         }
-        let expected = self
-            .sessions
-            .iter()
-            .enumerate()
-            .filter(|(i, s)| s.backlogged && self.in_service != Some(SessionId(*i)))
+        let expected = (0..self.sessions.len())
+            .map(SessionId)
+            .filter(|&i| self.sessions.is_backlogged(i) && self.in_service != Some(i))
             .count();
         if queued != expected {
             return Err(SnapError {

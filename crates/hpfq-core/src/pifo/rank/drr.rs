@@ -20,7 +20,7 @@
 use hpfq_obs::snap::{SnapError, Value};
 
 use crate::pifo::{Admission, Rank, RankProgram};
-use crate::scheduler::{SessionId, SessionState};
+use crate::scheduler::{SessionId, SessionTable};
 use crate::vtime;
 
 /// Per-session deficit accounting.
@@ -108,7 +108,7 @@ impl RankProgram for DrrRank {
     fn rank_backlog(
         &mut self,
         id: SessionId,
-        _s: &mut SessionState,
+        _sessions: &mut SessionTable,
         _head_bits: f64,
         _ref_now: Option<f64>,
         _ref_time: f64,
@@ -119,15 +119,16 @@ impl RankProgram for DrrRank {
         Rank::open(self.next_seq(id), 0.0)
     }
 
-    fn admit(&mut self, id: SessionId, s: &SessionState) -> Admission {
+    fn admit(&mut self, id: SessionId, sessions: &SessionTable) -> Admission {
         let slot = &mut self.slots[id.0];
         if !slot.turn_credited {
             slot.deficit += slot.quantum;
             slot.turn_credited = true;
         }
         // Tolerance absorbs float drift from repeated credits.
-        if vtime::approx_le(s.head_bits, slot.deficit) {
-            slot.deficit -= s.head_bits;
+        let head_bits = sessions.head_bits(id);
+        if vtime::approx_le(head_bits, slot.deficit) {
+            slot.deficit -= head_bits;
             Admission::Serve
         } else {
             // Head does not fit: next turn (deficit carries over so the
@@ -137,7 +138,7 @@ impl RankProgram for DrrRank {
         }
     }
 
-    fn rank_continuation(&mut self, id: SessionId, _s: &mut SessionState, bits: f64) -> Rank {
+    fn rank_continuation(&mut self, id: SessionId, _sessions: &mut SessionTable, bits: f64) -> Rank {
         let slot = &mut self.slots[id.0];
         // The front session keeps its turn (and its ring position — the old
         // sequence value is still the minimum) while the deficit covers the
@@ -187,7 +188,7 @@ impl RankProgram for DrrRank {
         ])
     }
 
-    fn load_state(&mut self, state: &Value, sessions: &[SessionState]) -> Result<(), SnapError> {
+    fn load_state(&mut self, state: &Value, sessions: &SessionTable) -> Result<(), SnapError> {
         let quantum_base = state.get("quantum_base")?.as_f64()?;
         if quantum_base.to_bits() != self.quantum_base.to_bits() {
             return Err(SnapError {

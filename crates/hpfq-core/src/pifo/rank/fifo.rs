@@ -11,7 +11,7 @@
 use hpfq_obs::snap::{SnapError, Value};
 
 use crate::pifo::{Rank, RankProgram};
-use crate::scheduler::{SessionId, SessionState};
+use crate::scheduler::{SessionId, SessionTable};
 
 /// The FIFO rank program. Byte-identical to the legacy `Fifo` scheduler
 /// (differential oracle behind the `legacy-schedulers` feature).
@@ -49,7 +49,7 @@ impl RankProgram for FifoRank {
     fn rank_backlog(
         &mut self,
         _id: SessionId,
-        _s: &mut SessionState,
+        _sessions: &mut SessionTable,
         _head_bits: f64,
         _ref_now: Option<f64>,
         _ref_time: f64,
@@ -57,7 +57,7 @@ impl RankProgram for FifoRank {
         Rank::open(self.next_seq(), 0.0)
     }
 
-    fn rank_continuation(&mut self, _id: SessionId, _s: &mut SessionState, _bits: f64) -> Rank {
+    fn rank_continuation(&mut self, _id: SessionId, _sessions: &mut SessionTable, _bits: f64) -> Rank {
         // The next head re-joins at the back, like the legacy push_back.
         Rank::open(self.next_seq(), 0.0)
     }
@@ -72,7 +72,7 @@ impl RankProgram for FifoRank {
         Value::map(vec![("next", Value::F64(self.next))])
     }
 
-    fn load_state(&mut self, state: &Value, _sessions: &[SessionState]) -> Result<(), SnapError> {
+    fn load_state(&mut self, state: &Value, _sessions: &SessionTable) -> Result<(), SnapError> {
         self.next = state.get("next")?.as_f64()?;
         Ok(())
     }

@@ -1,7 +1,9 @@
-//! The seven in-tree rank programs — one per [`SchedulerKind`] — each
+//! The eight in-tree rank programs — one per [`SchedulerKind`] — each
 //! proven byte-identical to its hand-rolled original in
 //! `tests/pifo_equivalence.rs`; the originals remain available behind the
 //! `legacy-schedulers` feature for one release as the differential oracle.
+//! (The overlapped round-robin program [`RrRank`] is PIFO-native: it has no
+//! legacy original and therefore no oracle entry.)
 //!
 //! [`crate::MixedScheduler`] holds a monomorphized `PifoTree<P>` per
 //! program (rather than one tree over a program *enum*) so each policy's
@@ -12,6 +14,7 @@
 
 pub mod drr;
 pub mod fifo;
+pub mod rr;
 pub mod scfq;
 pub mod sfq;
 pub mod wf2q;
@@ -20,6 +23,7 @@ pub mod wfq;
 
 pub use drr::DrrRank;
 pub use fifo::FifoRank;
+pub use rr::RrRank;
 pub use scfq::ScfqRank;
 pub use sfq::SfqRank;
 pub use wf2q::Wf2qRank;

@@ -8,7 +8,7 @@
 use hpfq_obs::snap::{SnapError, Value};
 
 use crate::pifo::{Rank, RankProgram};
-use crate::scheduler::{SessionId, SessionState};
+use crate::scheduler::{SessionId, SessionTable};
 
 /// The SCFQ rank program. Byte-identical to the legacy `Scfq` scheduler
 /// (differential oracle behind the `legacy-schedulers` feature).
@@ -32,26 +32,26 @@ impl RankProgram for ScfqRank {
 
     fn rank_backlog(
         &mut self,
-        _id: SessionId,
-        s: &mut SessionState,
+        id: SessionId,
+        sessions: &mut SessionTable,
         head_bits: f64,
         _ref_now: Option<f64>,
         _ref_time: f64,
     ) -> Rank {
         // F = max(V, F_prev) + L/r_i — Golestani's tag rule. The
         // self-clocked virtual time ignores ref_now entirely.
-        s.stamp_new_backlog(self.v, head_bits);
-        Rank::open(s.finish, s.start)
+        sessions.stamp_new_backlog(id, self.v, head_bits);
+        Rank::open(sessions.finish(id), sessions.start(id))
     }
 
-    fn rank_continuation(&mut self, _id: SessionId, s: &mut SessionState, bits: f64) -> Rank {
-        s.stamp_continuation(bits);
-        Rank::open(s.finish, s.start)
+    fn rank_continuation(&mut self, id: SessionId, sessions: &mut SessionTable, bits: f64) -> Rank {
+        sessions.stamp_continuation(id, bits);
+        Rank::open(sessions.finish(id), sessions.start(id))
     }
 
-    fn on_dispatch(&mut self, _id: SessionId, s: &SessionState, _thr: f64, _dt: f64) {
+    fn on_dispatch(&mut self, id: SessionId, sessions: &SessionTable, _thr: f64, _dt: f64) {
         // Self-clocking: V jumps to the dispatched packet's finish tag.
-        self.v = s.finish;
+        self.v = sessions.finish(id);
     }
 
     fn on_busy_reset(&mut self) {
@@ -66,7 +66,7 @@ impl RankProgram for ScfqRank {
         Value::map(vec![("v", Value::F64(self.v))])
     }
 
-    fn load_state(&mut self, state: &Value, _sessions: &[SessionState]) -> Result<(), SnapError> {
+    fn load_state(&mut self, state: &Value, _sessions: &SessionTable) -> Result<(), SnapError> {
         self.v = state.get("v")?.as_f64()?;
         Ok(())
     }

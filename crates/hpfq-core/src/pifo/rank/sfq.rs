@@ -7,7 +7,7 @@
 use hpfq_obs::snap::{SnapError, Value};
 
 use crate::pifo::{Rank, RankProgram};
-use crate::scheduler::{SessionId, SessionState};
+use crate::scheduler::{SessionId, SessionTable};
 
 /// The SFQ rank program. Byte-identical to the legacy `Sfq` scheduler
 /// (differential oracle behind the `legacy-schedulers` feature).
@@ -31,23 +31,23 @@ impl RankProgram for SfqRank {
 
     fn rank_backlog(
         &mut self,
-        _id: SessionId,
-        s: &mut SessionState,
+        id: SessionId,
+        sessions: &mut SessionTable,
         head_bits: f64,
         _ref_now: Option<f64>,
         _ref_time: f64,
     ) -> Rank {
-        s.stamp_new_backlog(self.v, head_bits);
-        Rank::open(s.start, s.finish)
+        sessions.stamp_new_backlog(id, self.v, head_bits);
+        Rank::open(sessions.start(id), sessions.finish(id))
     }
 
-    fn rank_continuation(&mut self, _id: SessionId, s: &mut SessionState, bits: f64) -> Rank {
-        s.stamp_continuation(bits);
-        Rank::open(s.start, s.finish)
+    fn rank_continuation(&mut self, id: SessionId, sessions: &mut SessionTable, bits: f64) -> Rank {
+        sessions.stamp_continuation(id, bits);
+        Rank::open(sessions.start(id), sessions.finish(id))
     }
 
-    fn on_dispatch(&mut self, _id: SessionId, s: &SessionState, _thr: f64, _dt: f64) {
-        self.v = s.start;
+    fn on_dispatch(&mut self, id: SessionId, sessions: &SessionTable, _thr: f64, _dt: f64) {
+        self.v = sessions.start(id);
     }
 
     fn on_busy_reset(&mut self) {
@@ -62,7 +62,7 @@ impl RankProgram for SfqRank {
         Value::map(vec![("v", Value::F64(self.v))])
     }
 
-    fn load_state(&mut self, state: &Value, _sessions: &[SessionState]) -> Result<(), SnapError> {
+    fn load_state(&mut self, state: &Value, _sessions: &SessionTable) -> Result<(), SnapError> {
         self.v = state.get("v")?.as_f64()?;
         Ok(())
     }

@@ -13,7 +13,7 @@ use hpfq_obs::snap::{SnapError, Value};
 
 use crate::gps_clock::GpsClock;
 use crate::pifo::{Rank, RankProgram, Threshold};
-use crate::scheduler::{load_pending, save_pending, SessionId, SessionState};
+use crate::scheduler::{load_pending, save_pending, SessionId, SessionTable};
 use crate::vtime;
 
 /// The WF²Q rank program. Byte-identical to the legacy `Wf2q` scheduler
@@ -64,7 +64,7 @@ impl RankProgram for Wf2qRank {
     fn rank_backlog(
         &mut self,
         id: SessionId,
-        s: &mut SessionState,
+        sessions: &mut SessionTable,
         head_bits: f64,
         ref_now: Option<f64>,
         ref_time: f64,
@@ -74,35 +74,31 @@ impl RankProgram for Wf2qRank {
         // (bounded one-packet skew, see GpsClock docs).
         let v = self.clock.advance_to(ref_now.unwrap_or(ref_time));
         debug_assert!(self.pending[id.0].is_empty());
-        s.stamp_new_backlog(v, head_bits);
-        self.clock.on_stamp(id.0, s.finish);
-        Rank::gated(s.start, s.finish)
+        sessions.stamp_new_backlog(id, v, head_bits);
+        self.clock.on_stamp(id.0, sessions.finish(id));
+        Rank::gated(sessions.start(id), sessions.finish(id))
     }
 
     fn arrival_hint(
         &mut self,
         id: SessionId,
-        s: &SessionState,
+        sessions: &SessionTable,
         bits: f64,
         ref_now: Option<f64>,
         ref_time: f64,
     ) {
         let _ = self.clock.advance_to(ref_now.unwrap_or(ref_time));
-        let base = self.clock.extend_backlog(id.0, bits * s.inv_rate);
+        let base = self.clock.extend_backlog(id.0, bits * sessions.inv_rate(id));
         self.pending[id.0].push_back(base);
     }
 
-    fn rank_continuation(&mut self, id: SessionId, s: &mut SessionState, bits: f64) -> Rank {
+    fn rank_continuation(&mut self, id: SessionId, sessions: &mut SessionTable, bits: f64) -> Rank {
         match self.pending[id.0].pop_front() {
-            Some(b) => {
-                s.start = s.finish.max(b);
-                s.finish = s.start + bits * s.inv_rate;
-                s.head_bits = bits;
-            }
-            None => s.stamp_continuation(bits),
+            Some(b) => sessions.stamp_from_base(id, b, bits),
+            None => sessions.stamp_continuation(id, bits),
         }
-        self.clock.on_stamp(id.0, s.finish);
-        Rank::gated(s.start, s.finish)
+        self.clock.on_stamp(id.0, sessions.finish(id));
+        Rank::gated(sessions.start(id), sessions.finish(id))
     }
 
     fn threshold(&mut self, ref_time: f64) -> Threshold {
@@ -140,7 +136,7 @@ impl RankProgram for Wf2qRank {
         ])
     }
 
-    fn load_state(&mut self, state: &Value, sessions: &[SessionState]) -> Result<(), SnapError> {
+    fn load_state(&mut self, state: &Value, sessions: &SessionTable) -> Result<(), SnapError> {
         self.pending = load_pending(state.get("pending")?, sessions.len())?;
         self.clock.load_state(state.get("clock")?)?;
         self.fallback_dispatches = state.get("fallback_dispatches")?.as_u64()?;

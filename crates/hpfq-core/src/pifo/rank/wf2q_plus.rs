@@ -9,7 +9,7 @@
 use hpfq_obs::snap::{SnapError, Value};
 
 use crate::pifo::{Rank, RankProgram, Threshold};
-use crate::scheduler::{SessionId, SessionState};
+use crate::scheduler::{SessionId, SessionTable};
 
 /// The WF²Q+ rank program. Byte-identical to the legacy `Wf2qPlus`
 /// scheduler (differential oracle behind the `legacy-schedulers` feature).
@@ -33,8 +33,8 @@ impl RankProgram for Wf2qPlusRank {
 
     fn rank_backlog(
         &mut self,
-        _id: SessionId,
-        s: &mut SessionState,
+        id: SessionId,
+        sessions: &mut SessionTable,
         head_bits: f64,
         ref_now: Option<f64>,
         ref_time: f64,
@@ -48,13 +48,13 @@ impl RankProgram for Wf2qPlusRank {
             Some(t) => self.v + (t - ref_time).max(0.0),
             None => self.v,
         };
-        s.stamp_new_backlog(v, head_bits);
-        Rank::gated(s.start, s.finish)
+        sessions.stamp_new_backlog(id, v, head_bits);
+        Rank::gated(sessions.start(id), sessions.finish(id))
     }
 
-    fn rank_continuation(&mut self, _id: SessionId, s: &mut SessionState, bits: f64) -> Rank {
-        s.stamp_continuation(bits);
-        Rank::gated(s.start, s.finish)
+    fn rank_continuation(&mut self, id: SessionId, sessions: &mut SessionTable, bits: f64) -> Rank {
+        sessions.stamp_continuation(id, bits);
+        Rank::gated(sessions.start(id), sessions.finish(id))
     }
 
     fn threshold(&mut self, _ref_time: f64) -> Threshold {
@@ -63,7 +63,7 @@ impl RankProgram for Wf2qPlusRank {
         Threshold::Clamped(self.v)
     }
 
-    fn on_dispatch(&mut self, _id: SessionId, _s: &SessionState, thr: f64, dt: f64) {
+    fn on_dispatch(&mut self, _id: SessionId, _sessions: &SessionTable, thr: f64, dt: f64) {
         // RESTART-NODE line 12: V = max(V, Smin) + L/r.
         self.v = thr + dt;
     }
@@ -80,7 +80,7 @@ impl RankProgram for Wf2qPlusRank {
         Value::map(vec![("v", Value::F64(self.v))])
     }
 
-    fn load_state(&mut self, state: &Value, _sessions: &[SessionState]) -> Result<(), SnapError> {
+    fn load_state(&mut self, state: &Value, _sessions: &SessionTable) -> Result<(), SnapError> {
         self.v = state.get("v")?.as_f64()?;
         Ok(())
     }

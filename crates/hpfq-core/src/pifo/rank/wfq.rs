@@ -11,7 +11,7 @@ use hpfq_obs::snap::{SnapError, Value};
 
 use crate::gps_clock::GpsClock;
 use crate::pifo::{Rank, RankProgram};
-use crate::scheduler::{load_pending, save_pending, SessionId, SessionState};
+use crate::scheduler::{load_pending, save_pending, SessionId, SessionTable};
 
 /// The WFQ rank program. Byte-identical to the legacy `Wfq` scheduler
 /// (differential oracle behind the `legacy-schedulers` feature).
@@ -52,48 +52,44 @@ impl RankProgram for WfqRank {
     fn rank_backlog(
         &mut self,
         id: SessionId,
-        s: &mut SessionState,
+        sessions: &mut SessionTable,
         head_bits: f64,
         ref_now: Option<f64>,
         ref_time: f64,
     ) -> Rank {
         let v = self.clock.advance_to(ref_now.unwrap_or(ref_time));
         debug_assert!(self.pending[id.0].is_empty());
-        s.stamp_new_backlog(v, head_bits);
-        self.clock.on_stamp(id.0, s.finish);
+        sessions.stamp_new_backlog(id, v, head_bits);
+        self.clock.on_stamp(id.0, sessions.finish(id));
         // Finish-tag ties break by session index (secondary held at 0),
         // matching the paper's Fig. 2 timeline where session 1's 10th
         // packet (GPS finish 20) precedes the small sessions' packets.
-        Rank::open(s.finish, 0.0)
+        Rank::open(sessions.finish(id), 0.0)
     }
 
     fn arrival_hint(
         &mut self,
         id: SessionId,
-        s: &SessionState,
+        sessions: &SessionTable,
         bits: f64,
         ref_now: Option<f64>,
         ref_time: f64,
     ) {
         let _ = self.clock.advance_to(ref_now.unwrap_or(ref_time));
-        let base = self.clock.extend_backlog(id.0, bits * s.inv_rate);
+        let base = self.clock.extend_backlog(id.0, bits * sessions.inv_rate(id));
         self.pending[id.0].push_back(base);
     }
 
-    fn rank_continuation(&mut self, id: SessionId, s: &mut SessionState, bits: f64) -> Rank {
+    fn rank_continuation(&mut self, id: SessionId, sessions: &mut SessionTable, bits: f64) -> Rank {
         // If the next head was announced at its arrival, its exact eq. (28)
         // start base `max(F_prev, V(a_k))` was recorded then; otherwise
         // fall back to the continuation rule S = F.
         match self.pending[id.0].pop_front() {
-            Some(b) => {
-                s.start = s.finish.max(b);
-                s.finish = s.start + bits * s.inv_rate;
-                s.head_bits = bits;
-            }
-            None => s.stamp_continuation(bits),
+            Some(b) => sessions.stamp_from_base(id, b, bits),
+            None => sessions.stamp_continuation(id, bits),
         }
-        self.clock.on_stamp(id.0, s.finish);
-        Rank::open(s.finish, 0.0)
+        self.clock.on_stamp(id.0, sessions.finish(id));
+        Rank::open(sessions.finish(id), 0.0)
     }
 
     fn on_busy_reset(&mut self) {
@@ -115,7 +111,7 @@ impl RankProgram for WfqRank {
         ])
     }
 
-    fn load_state(&mut self, state: &Value, sessions: &[SessionState]) -> Result<(), SnapError> {
+    fn load_state(&mut self, state: &Value, sessions: &SessionTable) -> Result<(), SnapError> {
         self.pending = load_pending(state.get("pending")?, sessions.len())?;
         self.clock.load_state(state.get("clock")?)?;
         Ok(())

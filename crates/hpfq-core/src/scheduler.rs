@@ -127,6 +127,17 @@ pub trait NodeScheduler {
         let _ = is_root;
     }
 
+    /// Sets the dispatch batch size `k`: schedulers that support batched
+    /// dispatch ([`crate::PifoTree`]) recompute their eligibility threshold
+    /// once per `k` dispatches instead of every dispatch. `k = 1` (the
+    /// default everywhere) is the exact per-dispatch schedule; `k > 1`
+    /// trades a bounded amount of short-term fairness for hot-path work.
+    /// The default ignores the hint — batching is an optimization, never a
+    /// semantic requirement.
+    fn set_dispatch_batch(&mut self, k: usize) {
+        let _ = k;
+    }
+
     /// Serializes the scheduler's complete mutable state for an epoch
     /// checkpoint (DESIGN.md §14). The returned value, fed back through
     /// [`NodeScheduler::load_state`] on a scheduler constructed with the
@@ -276,6 +287,210 @@ pub(crate) fn save_sessions(sessions: &[SessionState]) -> Value {
 /// Restores a session table saved by [`save_sessions`].
 pub(crate) fn load_sessions(v: &Value) -> Result<Vec<SessionState>, SnapError> {
     v.items()?.iter().map(SessionState::load).collect()
+}
+
+/// Structure-of-arrays session table: the per-session metadata the PIFO
+/// driver touches on **every dispatch** — shares, derived inverse rates,
+/// the eq. (28)/(29) head tags, head lengths, and backlog flags — laid
+/// out in parallel `Vec`s indexed by session id.
+///
+/// This extends the dual-heap eligible set's SoA layout to the flow table
+/// itself: a dispatch reads 2–3 of the six fields, so pulling a dense
+/// `f64` lane instead of a 48-byte [`SessionState`] record keeps the hot
+/// cache lines at a million-session scale packed with useful tags (the
+/// scaling sweep in `hpfq-bench` measures exactly this path). The legacy
+/// schedulers keep the AoS [`SessionState`]; serialization is
+/// format-compatible between the two ([`SessionTable::save`] emits the
+/// same per-session maps as [`save_sessions`]).
+#[derive(Debug, Clone, Default)]
+pub struct SessionTable {
+    /// Guaranteed share of the parent server's rate, per session.
+    phi: Vec<f64>,
+    /// `1 / (phi * server_rate)` — seconds of virtual time per bit.
+    inv_rate: Vec<f64>,
+    /// Virtual start tag of each session's head packet.
+    start: Vec<f64>,
+    /// Virtual finish tag of each session's head packet.
+    finish: Vec<f64>,
+    /// Length of each session's head packet in bits (valid while
+    /// backlogged).
+    head_bits: Vec<f64>,
+    /// Whether each session currently offers a head packet (or has one in
+    /// service).
+    backlogged: Vec<bool>,
+}
+
+impl SessionTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered sessions.
+    pub fn len(&self) -> usize {
+        self.phi.len()
+    }
+
+    /// Whether no session is registered.
+    pub fn is_empty(&self) -> bool {
+        self.phi.is_empty()
+    }
+
+    /// Registers an idle session with share `phi` of a `server_rate`
+    /// server and returns its id (same validation as
+    /// [`SessionState::new`]).
+    pub fn push(&mut self, phi: f64, server_rate: f64) -> SessionId {
+        assert!(
+            phi.is_finite() && phi > 0.0,
+            "session share must be a positive finite number, got {phi}"
+        );
+        assert!(
+            server_rate.is_finite() && server_rate > 0.0,
+            "server rate must be a positive finite number, got {server_rate}"
+        );
+        self.phi.push(phi);
+        self.inv_rate.push(1.0 / (phi * server_rate));
+        self.start.push(0.0);
+        self.finish.push(0.0);
+        self.head_bits.push(0.0);
+        self.backlogged.push(false);
+        SessionId(self.phi.len() - 1)
+    }
+
+    /// The session's guaranteed share.
+    #[inline]
+    pub fn phi(&self, id: SessionId) -> f64 {
+        self.phi[id.0]
+    }
+
+    /// Seconds of virtual time per bit at the session's guaranteed rate.
+    #[inline]
+    pub fn inv_rate(&self, id: SessionId) -> f64 {
+        self.inv_rate[id.0]
+    }
+
+    /// Virtual start tag of the session's head packet.
+    #[inline]
+    pub fn start(&self, id: SessionId) -> f64 {
+        self.start[id.0]
+    }
+
+    /// Virtual finish tag of the session's head packet.
+    #[inline]
+    pub fn finish(&self, id: SessionId) -> f64 {
+        self.finish[id.0]
+    }
+
+    /// Length of the session's head packet in bits.
+    #[inline]
+    pub fn head_bits(&self, id: SessionId) -> f64 {
+        self.head_bits[id.0]
+    }
+
+    /// Whether the session currently offers a head packet.
+    #[inline]
+    pub fn is_backlogged(&self, id: SessionId) -> bool {
+        self.backlogged[id.0]
+    }
+
+    /// Stamps tags for a head arriving to an idle session: `S = max(F, V)`,
+    /// `F = S + L / r_i` (eq. 28 second case + eq. 29).
+    #[inline]
+    pub fn stamp_new_backlog(&mut self, id: SessionId, v: f64, head_bits: f64) {
+        debug_assert!(head_bits.is_finite() && head_bits > 0.0);
+        let i = id.0;
+        self.start[i] = self.finish[i].max(v);
+        self.finish[i] = self.start[i] + head_bits * self.inv_rate[i];
+        self.head_bits[i] = head_bits;
+        self.backlogged[i] = true;
+    }
+
+    /// Stamps tags for the next head of a continuously backlogged session:
+    /// `S = F` (eq. 28 first case).
+    #[inline]
+    pub fn stamp_continuation(&mut self, id: SessionId, head_bits: f64) {
+        debug_assert!(head_bits.is_finite() && head_bits > 0.0);
+        let i = id.0;
+        self.start[i] = self.finish[i];
+        self.finish[i] = self.start[i] + head_bits * self.inv_rate[i];
+        self.head_bits[i] = head_bits;
+    }
+
+    /// Stamps the next head against an exact eq. (28) start base recorded
+    /// at its arrival (the GPS-emulating policies' `arrival_hint` path):
+    /// `S = max(F, base)`, `F = S + L / r_i`.
+    #[inline]
+    pub fn stamp_from_base(&mut self, id: SessionId, base: f64, head_bits: f64) {
+        debug_assert!(head_bits.is_finite() && head_bits > 0.0);
+        let i = id.0;
+        self.start[i] = self.finish[i].max(base);
+        self.finish[i] = self.start[i] + head_bits * self.inv_rate[i];
+        self.head_bits[i] = head_bits;
+    }
+
+    /// Records the head length and backlog flag without touching tags (the
+    /// driver's bookkeeping after a program ranked the head).
+    #[inline]
+    pub(crate) fn note_head(&mut self, id: SessionId, head_bits: f64, backlogged: bool) {
+        self.head_bits[id.0] = head_bits;
+        self.backlogged[id.0] = backlogged;
+    }
+
+    /// Marks the session idle (its dispatched head had no successor).
+    #[inline]
+    pub(crate) fn set_idle(&mut self, id: SessionId) {
+        self.backlogged[id.0] = false;
+    }
+
+    /// Number of sessions currently flagged backlogged.
+    pub(crate) fn backlogged_count(&self) -> usize {
+        self.backlogged.iter().filter(|&&b| b).count()
+    }
+
+    /// Resets every session's tags at a busy-period boundary.
+    pub(crate) fn reset_tags(&mut self) {
+        debug_assert!(
+            !self.backlogged.iter().any(|&b| b),
+            "resetting a backlogged session"
+        );
+        self.start.fill(0.0);
+        self.finish.fill(0.0);
+    }
+
+    /// Serializes the table — byte-identical to [`save_sessions`] over the
+    /// equivalent `Vec<SessionState>`, so PIFO and legacy snapshots stay
+    /// interchangeable.
+    pub(crate) fn save(&self) -> Value {
+        Value::List(
+            (0..self.len())
+                .map(|i| {
+                    Value::map(vec![
+                        ("phi", Value::F64(self.phi[i])),
+                        ("inv_rate", Value::F64(self.inv_rate[i])),
+                        ("start", Value::F64(self.start[i])),
+                        ("finish", Value::F64(self.finish[i])),
+                        ("head_bits", Value::F64(self.head_bits[i])),
+                        ("backlogged", Value::Bool(self.backlogged[i])),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Restores a table saved by [`SessionTable::save`] (or
+    /// [`save_sessions`]).
+    pub(crate) fn load(v: &Value) -> Result<SessionTable, SnapError> {
+        let mut t = SessionTable::new();
+        for sv in v.items()? {
+            t.phi.push(sv.get("phi")?.as_f64()?);
+            t.inv_rate.push(sv.get("inv_rate")?.as_f64()?);
+            t.start.push(sv.get("start")?.as_f64()?);
+            t.finish.push(sv.get("finish")?.as_f64()?);
+            t.head_bits.push(sv.get("head_bits")?.as_f64()?);
+            t.backlogged.push(sv.get("backlogged")?.as_bool()?);
+        }
+        Ok(t)
+    }
 }
 
 /// Serializes per-session pending-stamp queues (the eq. (28) start bases

@@ -28,7 +28,7 @@
 //! flow's leaves are removed at every hop), or halt. Nothing in this path
 //! panics.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use hpfq_core::{Hierarchy, HpfqError, NodeId, NodeScheduler, Packet};
 use hpfq_events::Engine;
@@ -359,6 +359,14 @@ pub(crate) struct Link<S: NodeScheduler, O: Observer> {
     pub(crate) tx_remaining_bits: f64,
     /// Time `tx_remaining_bits` was last brought up to date.
     pub(crate) tx_updated: f64,
+    /// Batched-dispatch train: transmissions already planned against the
+    /// hierarchy (selected, virtual clock advanced) but not yet completed
+    /// on the wire, as `(planned start, packet)` in service order. Always
+    /// empty when the network's dispatch batch is 1 — the pristine
+    /// one-packet path never touches it. Train packets have left their
+    /// leaf queues, so byte accounting counts them as queued-on-link
+    /// until their `TxComplete` fires.
+    pub(crate) train: VecDeque<(f64, Packet)>,
     pub(crate) ledger: LinkLedger,
 }
 
@@ -461,6 +469,9 @@ pub struct Network<S: NodeScheduler, O: Observer = NoopObserver> {
     /// on a halt or exhausted retry budget, the state to resume from.
     /// Diagnostic only: not itself part of snapshots.
     pub(crate) last_checkpoint: Option<Value>,
+    /// Packets dispatched per virtual-clock update (see
+    /// [`Network::set_dispatch_batch`]). 1 = classic per-packet mode.
+    pub(crate) dispatch_batch: usize,
 }
 
 impl<S: NodeScheduler, O: Observer> Default for Network<S, O> {
@@ -493,6 +504,31 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
             watchdog: std::time::Duration::from_secs(10),
             panic_plan: None,
             last_checkpoint: None,
+            dispatch_batch: 1,
+        }
+    }
+
+    /// Sets the dispatch batch size `k`: each time a link goes (or stays)
+    /// busy, up to `k` transmissions are planned against its hierarchy in
+    /// one pass — one virtual-clock update per batch instead of per packet
+    /// — and then complete on the wire back-to-back as a *train*.
+    ///
+    /// `k = 1` (the default) is the classic mode and is byte-identical to
+    /// the historical per-packet event loop. `k > 1` trades scheduling
+    /// exactness for amortized cost: packets arriving while a train is
+    /// planned cannot preempt it, so any session can be served up to
+    /// `k - 1` packets late — an `O(k * Lmax)` service deviation
+    /// (`hpfq-analysis` checks the bound). Under mid-train link-rate
+    /// changes the recorded per-packet start times keep their planned
+    /// values; only the train front's completion is rescheduled exactly.
+    ///
+    /// Also forwards `k` to every link hierarchy so the PIFO driver
+    /// batches its virtual-clock updates to match.
+    pub fn set_dispatch_batch(&mut self, k: usize) {
+        let k = k.max(1);
+        self.dispatch_batch = k;
+        for link in self.links.iter_mut().flatten() {
+            link.server.set_dispatch_batch(k);
         }
     }
 
@@ -527,6 +563,7 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
     pub fn add_link(&mut self, mut server: Hierarchy<S, O>) -> usize {
         let idx = self.links.len();
         server.set_link_id(idx);
+        server.set_dispatch_batch(self.dispatch_batch);
         let rate = server.link_rate();
         self.links.push(Some(Link {
             server,
@@ -535,6 +572,7 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
             tx_epoch: 0,
             tx_remaining_bits: 0.0,
             tx_updated: 0.0,
+            train: VecDeque::new(),
             ledger: LinkLedger::default(),
         }));
         idx
@@ -851,18 +889,65 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
     fn try_start(&mut self, link: usize) {
         let halted = self.halted;
         let now = self.engine.now();
+        let k = self.dispatch_batch;
         let l = self.link_mut(link);
-        if l.rate > 0.0 && !halted && !l.server.is_transmitting() && l.server.has_pending() {
-            // has_pending() was checked just above, so this is always
-            // Some; degrade to a no-op rather than asserting.
-            let Some(pkt) = l.server.start_transmission_at(now) else {
-                return;
+        if l.rate <= 0.0 || halted || l.server.is_transmitting() || !l.train.is_empty() {
+            return;
+        }
+        if k <= 1 {
+            if l.server.has_pending() {
+                // has_pending() was checked just above, so this is always
+                // Some; degrade to a no-op rather than asserting.
+                let Some(pkt) = l.server.start_transmission_at(now) else {
+                    return;
+                };
+                l.tx_start = now;
+                l.tx_remaining_bits = pkt.bits();
+                l.tx_updated = now;
+                let epoch = l.tx_epoch;
+                let done = now + pkt.tx_time(l.rate);
+                self.send(done, NetEvent::TxComplete { link, epoch });
+            }
+            return;
+        }
+        // Batched mode: plan up to k back-to-back transmissions against the
+        // hierarchy in one pass (each start/complete pair runs at its
+        // projected wire time under the current rate), then ride them out
+        // as a train — one pending TxComplete for the front at a time.
+        let rate = l.rate;
+        let mut start = now;
+        for _ in 0..k {
+            if !l.server.has_pending() {
+                break;
+            }
+            let Some(pkt) = l.server.start_transmission_at(start) else {
+                break;
             };
-            l.tx_start = now;
-            l.tx_remaining_bits = pkt.bits();
-            l.tx_updated = now;
+            let end = start + pkt.tx_time(rate);
+            let sent = l.server.complete_transmission_at(end);
+            debug_assert_eq!(sent.id, pkt.id);
+            l.train.push_back((start, sent));
+            start = end;
+        }
+        self.arm_train_front(link, now);
+    }
+
+    /// Schedules the pending `TxComplete` for the train's front packet and
+    /// points the in-flight bookkeeping (`tx_start`/`tx_remaining_bits`/
+    /// `tx_updated`) at it. No-op when the train is empty; during an
+    /// outage the bookkeeping is set but the completion waits for
+    /// `set_link_rate` to restore a positive rate.
+    fn arm_train_front(&mut self, link: usize, now: f64) {
+        let l = self.link_mut(link);
+        let Some(&(start, ref pkt)) = l.train.front() else {
+            return;
+        };
+        l.tx_start = start;
+        l.tx_remaining_bits = pkt.bits();
+        l.tx_updated = now;
+        if l.rate > 0.0 {
             let epoch = l.tx_epoch;
-            let done = now + pkt.tx_time(l.rate);
+            let done = now + l.tx_remaining_bits / l.rate;
             self.send(done, NetEvent::TxComplete { link, epoch });
         }
     }
@@ -879,9 +964,12 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
             return;
         }
         let l = self.link_mut(link);
-        if l.server.is_transmitting() {
+        if l.server.is_transmitting() || !l.train.is_empty() {
             // Credit bits sent under the old rate, then reschedule the
-            // remainder under the new one.
+            // remainder under the new one. In batched mode this applies to
+            // the train's front packet; queued train members keep their
+            // full length and are timed at the prevailing rate when they
+            // reach the front.
             let sent = (now - l.tx_updated) * l.rate;
             l.tx_remaining_bits = (l.tx_remaining_bits - sent).max(0.0);
             l.tx_updated = now;
@@ -901,7 +989,7 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
         if let Err(e) = l.server.set_link_rate_factor(now, factor) {
             self.command_errors.push((now, e));
         }
-        if !self.link(link).server.is_transmitting() {
+        if !self.link(link).server.is_transmitting() && self.link(link).train.is_empty() {
             self.try_start(link);
         }
     }
@@ -1161,7 +1249,16 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
         if SpanProfiler::ENABLED {
             self.profiler.span_enter(SpanKind::Vclock);
         }
-        let pkt = self.link_mut(link).server.complete_transmission_at(t);
+        // Batched mode: the hierarchy already completed this packet at plan
+        // time; pop it off the train. Classic mode completes it now.
+        let (pkt, started) = match self.link_mut(link).train.pop_front() {
+            Some((start, pkt)) => (pkt, start),
+            None => {
+                let pkt = self.link_mut(link).server.complete_transmission_at(t);
+                let started = self.link(link).tx_start;
+                (pkt, started)
+            }
+        };
         if SpanProfiler::ENABLED {
             self.profiler.span_exit(SpanKind::Vclock);
         }
@@ -1203,7 +1300,7 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
                         flow: pkt.flow,
                         len_bytes: pkt.len_bytes,
                         arrival: pkt.arrival,
-                        start: self.link(link).tx_start,
+                        start: started,
                         end: t,
                     });
                     let delay = route.hops.last().map(|h| h.prop_delay).unwrap_or(0.0);
@@ -1218,13 +1315,16 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
                 flow: pkt.flow,
                 len_bytes: pkt.len_bytes,
                 arrival: pkt.arrival,
-                start: self.link(link).tx_start,
+                start: started,
                 end: t,
             });
         }
         if SpanProfiler::ENABLED {
             self.profiler.span_enter(SpanKind::Dispatch);
         }
+        // Batched mode: the next train member (if any) goes on the wire
+        // back-to-back; try_start is then a no-op until the train drains.
+        self.arm_train_front(link, t);
         self.try_start(link);
         if SpanProfiler::ENABLED {
             self.profiler.span_exit(SpanKind::Dispatch);
@@ -1307,14 +1407,23 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
         }
     }
 
-    /// Bytes currently queued at `link` (including any in-flight packet,
-    /// which stays in its leaf queue until completion).
+    /// Bytes currently queued at `link`: leaf queues (including any
+    /// in-flight packet, which stays in its leaf queue until completion)
+    /// plus any planned train packets (batched mode), which have left
+    /// their leaves but not yet completed on the wire.
     pub fn queued_bytes_on(&self, link: usize) -> u64 {
-        let server = &self.link(link).server;
-        server
+        let l = self.link(link);
+        let leaves: u64 = l
+            .server
             .leaves_iter()
-            .map(|l| server.leaf_queue_bytes(l))
-            .sum()
+            .map(|leaf| l.server.leaf_queue_bytes(leaf))
+            .sum();
+        let train: u64 = l
+            .train
+            .iter()
+            .map(|(_, p)| u64::from(p.len_bytes))
+            .sum();
+        leaves + train
     }
 
     /// Bytes currently queued across every link.
@@ -1323,10 +1432,17 @@ impl<S: NodeScheduler, O: Observer> Network<S, O> {
             .iter()
             .flatten()
             .map(|l| {
-                l.server
+                let leaves: u64 = l
+                    .server
                     .leaves_iter()
                     .map(|leaf| l.server.leaf_queue_bytes(leaf))
-                    .sum::<u64>()
+                    .sum();
+                let train: u64 = l
+                    .train
+                    .iter()
+                    .map(|(_, p)| u64::from(p.len_bytes))
+                    .sum();
+                leaves + train
             })
             .sum()
     }

@@ -1008,6 +1008,7 @@ impl<S: NodeScheduler + Send, O: Observer + Send> Network<S, O> {
                     watchdog: self.watchdog,
                     panic_plan: None,
                     last_checkpoint: None,
+                    dispatch_batch: self.dispatch_batch,
                 }
             })
             .collect();

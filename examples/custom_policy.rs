@@ -26,7 +26,7 @@
 //! eligibility threshold, admission, and virtual-clock hooks keep their
 //! defaults.
 
-use hpfq::core::{Hierarchy, Packet, PifoTree, Rank, RankProgram, SessionId, SessionState};
+use hpfq::core::{Hierarchy, Packet, PifoTree, Rank, RankProgram, SessionId, SessionTable};
 use hpfq::obs::snap::{SnapError, Value};
 
 /// Weighted strict priority: serve the largest-share backlogged session,
@@ -44,20 +44,20 @@ impl RankProgram for PriorityRank {
 
     fn rank_backlog(
         &mut self,
-        _id: SessionId,
-        s: &mut SessionState,
+        id: SessionId,
+        sessions: &mut SessionTable,
         _head_bits: f64,
         _ref_now: Option<f64>,
         _ref_time: f64,
     ) -> Rank {
         // Larger share = smaller primary key = served first.
         self.seq += 1.0;
-        Rank::open(-s.phi, self.seq)
+        Rank::open(-sessions.phi(id), self.seq)
     }
 
-    fn rank_continuation(&mut self, _id: SessionId, s: &mut SessionState, _bits: f64) -> Rank {
+    fn rank_continuation(&mut self, id: SessionId, sessions: &mut SessionTable, _bits: f64) -> Rank {
         self.seq += 1.0;
-        Rank::open(-s.phi, self.seq)
+        Rank::open(-sessions.phi(id), self.seq)
     }
 
     fn on_busy_reset(&mut self) {
@@ -68,7 +68,7 @@ impl RankProgram for PriorityRank {
         Value::map(vec![("seq", Value::F64(self.seq))])
     }
 
-    fn load_state(&mut self, state: &Value, _sessions: &[SessionState]) -> Result<(), SnapError> {
+    fn load_state(&mut self, state: &Value, _sessions: &SessionTable) -> Result<(), SnapError> {
         self.seq = state.get("seq")?.as_f64()?;
         Ok(())
     }
@@ -88,7 +88,7 @@ impl RankProgram for SjfRank {
     fn rank_backlog(
         &mut self,
         _id: SessionId,
-        _s: &mut SessionState,
+        _sessions: &mut SessionTable,
         head_bits: f64,
         _ref_now: Option<f64>,
         _ref_time: f64,
@@ -97,7 +97,7 @@ impl RankProgram for SjfRank {
         Rank::open(head_bits, self.seq)
     }
 
-    fn rank_continuation(&mut self, _id: SessionId, _s: &mut SessionState, bits: f64) -> Rank {
+    fn rank_continuation(&mut self, _id: SessionId, _sessions: &mut SessionTable, bits: f64) -> Rank {
         self.seq += 1.0;
         Rank::open(bits, self.seq)
     }

@@ -17,7 +17,9 @@
 //! [`SchedulerKind::build`]: hpfq::core::SchedulerKind::build
 //! [`SchedulerKind::build_legacy`]: hpfq::core::SchedulerKind::build_legacy
 
-use hpfq::core::{Hierarchy, MixedScheduler, NodeId, NodeScheduler, SchedulerKind, SessionId};
+use hpfq::core::{
+    EligibleBackend, Hierarchy, MixedScheduler, NodeId, NodeScheduler, SchedulerKind, SessionId,
+};
 use hpfq::obs::{JsonlObserver, Observer, SharedBuf};
 use hpfq::sim::{
     CbrSource, PacketTrainSource, PeriodicOnOffSource, PoissonSource, SimCommand, Simulation,
@@ -61,8 +63,23 @@ fn assert_lockstep(kind: SchedulerKind, step: u64, pifo: &MixedScheduler, legacy
 /// virtual clock at every step. The schedule periodically drains both
 /// schedulers completely so the busy-period reset path is exercised too.
 fn drive_lockstep(kind: SchedulerKind, n: usize, steps: u64, seed: u64) {
-    let mut pifo = kind.build(1e6);
-    let mut legacy = kind.build_legacy(1e6);
+    let pifo = kind.build(1e6);
+    let legacy = kind.build_legacy(1e6);
+    drive_lockstep_pair(kind, pifo, legacy, n, steps, seed);
+}
+
+/// Drives any two schedulers of the same kind through the same schedule,
+/// asserting bit-identical selections, tags, and virtual times. Used both
+/// for PIFO-vs-legacy and for backend-vs-backend (calendar/treap vs dual
+/// heap) equivalence.
+fn drive_lockstep_pair(
+    kind: SchedulerKind,
+    mut pifo: MixedScheduler,
+    mut legacy: MixedScheduler,
+    n: usize,
+    steps: u64,
+    seed: u64,
+) {
     for _ in 0..n {
         pifo.add_session(1.0 / n as f64);
         legacy.add_session(1.0 / n as f64);
@@ -120,7 +137,7 @@ fn drive_lockstep(kind: SchedulerKind, n: usize, steps: u64, seed: u64) {
 
 #[test]
 fn every_policy_matches_legacy_in_lockstep() {
-    for kind in SchedulerKind::ALL {
+    for kind in SchedulerKind::ALL.into_iter().filter(|k| k.has_legacy()) {
         drive_lockstep(kind, 5, 600, 3);
         drive_lockstep(kind, 9, 400, 17);
     }
@@ -238,7 +255,7 @@ fn run_fig3ish(
 
 #[test]
 fn fig3_trace_is_byte_identical_for_every_policy() {
-    for kind in SchedulerKind::ALL {
+    for kind in SchedulerKind::ALL.into_iter().filter(|k| k.has_legacy()) {
         let (trace_p, stats_p) = run_fig3ish(move |r| kind.build(r), 1.6);
         let (trace_l, stats_l) = run_fig3ish(move |r| kind.build_legacy(r), 1.6);
         assert!(
@@ -270,7 +287,7 @@ fn fig3_trace_is_byte_identical_for_every_policy() {
 #[test]
 fn pifo_snapshot_resume_matches_legacy_straight_run() {
     const N: usize = 6;
-    for kind in SchedulerKind::ALL {
+    for kind in SchedulerKind::ALL.into_iter().filter(|k| k.has_legacy()) {
         let mut legacy = kind.build_legacy(1e6);
         let mut pifo = kind.build(1e6);
         for _ in 0..N {
@@ -330,6 +347,119 @@ fn pifo_snapshot_resume_matches_legacy_straight_run() {
 }
 
 // ---------------------------------------------------------------------------
+// Backend equivalence: every eligible-set backend (dual heap, calendar,
+// treap where applicable) must pop in the exact same rank order, so the
+// full dispatch sequence — selections, tags, virtual-time bits, network
+// traces — is byte-identical across backends for every policy.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_backend_matches_dual_heap_in_lockstep() {
+    for kind in SchedulerKind::ALL {
+        for &backend in EligibleBackend::all_for(kind) {
+            if backend == EligibleBackend::DualHeap {
+                continue;
+            }
+            let alt = kind.build_with_backend(1e6, backend);
+            let heap = kind.build(1e6);
+            drive_lockstep_pair(kind, alt, heap, 5, 600, 3);
+            let alt = kind.build_with_backend(1e6, backend);
+            let heap = kind.build(1e6);
+            drive_lockstep_pair(kind, alt, heap, 9, 400, 17);
+        }
+    }
+}
+
+#[test]
+fn fig3_trace_is_byte_identical_across_backends() {
+    for kind in SchedulerKind::ALL {
+        let (trace_h, stats_h) = run_fig3ish(move |r| kind.build(r), 1.6);
+        for &backend in EligibleBackend::all_for(kind) {
+            if backend == EligibleBackend::DualHeap {
+                continue;
+            }
+            let (trace_b, stats_b) =
+                run_fig3ish(move |r| kind.build_with_backend(r, backend), 1.6);
+            assert_eq!(
+                stats_b,
+                stats_h,
+                "{} on {}: statistics diverged from dual heap",
+                kind.name(),
+                backend.name()
+            );
+            assert_eq!(
+                trace_b,
+                trace_h,
+                "{} on {}: trace diverged from dual heap",
+                kind.name(),
+                backend.name()
+            );
+        }
+    }
+}
+
+/// Snapshots are backend-portable: the rank-model membership saved from a
+/// calendar-backed run restores into a dual-heap scheduler (and vice versa)
+/// and both continue identically.
+#[test]
+fn snapshot_restores_across_backends() {
+    const N: usize = 6;
+    for kind in SchedulerKind::ALL {
+        for (&from, &to) in [
+            (&EligibleBackend::Calendar, &EligibleBackend::DualHeap),
+            (&EligibleBackend::DualHeap, &EligibleBackend::Calendar),
+        ] {
+            let mut a = kind.build_with_backend(1e6, from);
+            let mut b = kind.build_with_backend(1e6, to);
+            for _ in 0..N {
+                a.add_session(1.0 / N as f64);
+                b.add_session(1.0 / N as f64);
+            }
+            let mut queued: Vec<u64> = (0..N as u64).map(|i| 3 + i % 3).collect();
+            for (i, &q) in queued.iter().enumerate() {
+                if q > 0 {
+                    a.backlog(SessionId(i), len_pattern(i as u64), None);
+                }
+            }
+            // Run `a` mid-busy-period, then restore into `b` (the other
+            // backend) and drive both forward in lockstep.
+            for step in 0..40u64 {
+                let Some(id) = a.select_next() else { break };
+                queued[id.0] -= 1;
+                let next = (queued[id.0] > 0).then(|| len_pattern(step + 2));
+                a.requeue(id, next);
+            }
+            b.load_state(&a.save_state()).unwrap();
+            for step in 0..80u64 {
+                let x = a.select_next();
+                let y = b.select_next();
+                assert_eq!(
+                    x,
+                    y,
+                    "{} {}->{} step {step}: post-restore selection diverged",
+                    kind.name(),
+                    from.name(),
+                    to.name()
+                );
+                let Some(id) = x else { break };
+                assert_eq!(
+                    a.tags(id).1.to_bits(),
+                    b.tags(id).1.to_bits(),
+                    "{} {}->{} step {step}: tags diverged",
+                    kind.name(),
+                    from.name(),
+                    to.name()
+                );
+                queued[id.0] = queued[id.0].saturating_sub(1);
+                let next = (queued[id.0] > 0).then(|| len_pattern(step + 5));
+                a.requeue(id, next);
+                b.requeue(id, next);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Randomized churn + outage differential suites (proptest-tests feature).
 // ---------------------------------------------------------------------------
 
@@ -338,64 +468,103 @@ mod random_differential {
     use super::*;
     use hpfq::sim::SmallRng;
 
-    /// Arbitrary admissible op sequences: random backlogs on idle sessions,
-    /// random service continuations/drains, random full-drain idle gaps.
+    /// One random admissible op schedule driven into two schedulers that
+    /// must stay bit-identical: random backlogs on idle sessions, random
+    /// service continuations/drains, random full-drain idle gaps.
+    fn drive_random_schedule(
+        kind: SchedulerKind,
+        label: &str,
+        case: u64,
+        mut pifo: MixedScheduler,
+        mut legacy: MixedScheduler,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(0x91f0_0000 + case);
+        let n = rng.gen_range_usize(2, 12);
+        for i in 0..n {
+            let phi = 1.0 / n as f64 * if i % 2 == 0 { 1.2 } else { 0.8 };
+            pifo.add_session(phi);
+            legacy.add_session(phi);
+        }
+        // queued[i] > 0 ⇔ session i is offered to the scheduler.
+        let mut queued = vec![0u64; n];
+        for step in 0..rng.gen_range_usize(50, 400) as u64 {
+            // Random arrivals on idle sessions (more likely when
+            // everything is idle, so busy periods restart).
+            let idle_all = queued.iter().all(|&q| q == 0);
+            let arrivals = if idle_all {
+                rng.gen_range_usize(1, n + 1)
+            } else {
+                rng.gen_range_usize(0, 3)
+            };
+            for _ in 0..arrivals {
+                let i = rng.gen_range_usize(0, n);
+                let bits = (rng.gen_range_usize(1, 24) * 500) as f64;
+                if queued[i] == 0 {
+                    pifo.backlog(SessionId(i), bits, None);
+                    legacy.backlog(SessionId(i), bits, None);
+                    queued[i] = rng.gen_range_usize(1, 5) as u64;
+                }
+            }
+            let a = pifo.select_next();
+            let b = legacy.select_next();
+            assert_eq!(a, b, "{} {label} case {case} step {step}", kind.name());
+            let Some(id) = a else { continue };
+            let (ps, pf) = pifo.tags(id);
+            let (ls, lf) = legacy.tags(id);
+            assert_eq!(
+                (ps.to_bits(), pf.to_bits()),
+                (ls.to_bits(), lf.to_bits()),
+                "{} {label} case {case} step {step}: tags",
+                kind.name()
+            );
+            assert_eq!(
+                pifo.virtual_time().to_bits(),
+                legacy.virtual_time().to_bits(),
+                "{} {label} case {case} step {step}: virtual time",
+                kind.name()
+            );
+            queued[id.0] -= 1;
+            let next = (queued[id.0] > 0).then(|| (rng.gen_range_usize(1, 24) * 500) as f64);
+            pifo.requeue(id, next);
+            legacy.requeue(id, next);
+        }
+    }
+
+    /// Arbitrary admissible op sequences against the hand-rolled legacy
+    /// oracle (policies that have one — rr is PIFO-native).
     #[test]
     fn random_schedules_agree_for_every_policy() {
-        for kind in SchedulerKind::ALL {
+        for kind in SchedulerKind::ALL.into_iter().filter(|k| k.has_legacy()) {
             for case in 0..24u64 {
-                let mut rng = SmallRng::seed_from_u64(0x91f0_0000 + case);
-                let n = rng.gen_range_usize(2, 12);
-                let mut pifo = kind.build(1e6);
-                let mut legacy = kind.build_legacy(1e6);
-                for i in 0..n {
-                    let phi = 1.0 / n as f64 * if i % 2 == 0 { 1.2 } else { 0.8 };
-                    pifo.add_session(phi);
-                    legacy.add_session(phi);
+                drive_random_schedule(
+                    kind,
+                    "vs-legacy",
+                    case,
+                    kind.build(1e6),
+                    kind.build_legacy(1e6),
+                );
+            }
+        }
+    }
+
+    /// The same randomized schedules with the calendar (and, for WF²Q+,
+    /// treap) eligible set selected against the dual-heap default — the
+    /// lockstep differential CI runs with the calendar backend.
+    #[test]
+    fn random_schedules_agree_across_backends() {
+        for kind in SchedulerKind::ALL {
+            for &backend in EligibleBackend::all_for(kind) {
+                if backend == EligibleBackend::DualHeap {
+                    continue;
                 }
-                // queued[i] > 0 ⇔ session i is offered to the scheduler.
-                let mut queued = vec![0u64; n];
-                for step in 0..rng.gen_range_usize(50, 400) as u64 {
-                    // Random arrivals on idle sessions (more likely when
-                    // everything is idle, so busy periods restart).
-                    let idle_all = queued.iter().all(|&q| q == 0);
-                    let arrivals = if idle_all {
-                        rng.gen_range_usize(1, n + 1)
-                    } else {
-                        rng.gen_range_usize(0, 3)
-                    };
-                    for _ in 0..arrivals {
-                        let i = rng.gen_range_usize(0, n);
-                        let bits = (rng.gen_range_usize(1, 24) * 500) as f64;
-                        if queued[i] == 0 {
-                            pifo.backlog(SessionId(i), bits, None);
-                            legacy.backlog(SessionId(i), bits, None);
-                            queued[i] = rng.gen_range_usize(1, 5) as u64;
-                        }
-                    }
-                    let a = pifo.select_next();
-                    let b = legacy.select_next();
-                    assert_eq!(a, b, "{} case {case} step {step}", kind.name());
-                    let Some(id) = a else { continue };
-                    let (ps, pf) = pifo.tags(id);
-                    let (ls, lf) = legacy.tags(id);
-                    assert_eq!(
-                        (ps.to_bits(), pf.to_bits()),
-                        (ls.to_bits(), lf.to_bits()),
-                        "{} case {case} step {step}: tags",
-                        kind.name()
+                for case in 0..24u64 {
+                    drive_random_schedule(
+                        kind,
+                        backend.name(),
+                        case,
+                        kind.build_with_backend(1e6, backend),
+                        kind.build(1e6),
                     );
-                    assert_eq!(
-                        pifo.virtual_time().to_bits(),
-                        legacy.virtual_time().to_bits(),
-                        "{} case {case} step {step}: virtual time",
-                        kind.name()
-                    );
-                    queued[id.0] -= 1;
-                    let next =
-                        (queued[id.0] > 0).then(|| (rng.gen_range_usize(1, 24) * 500) as f64);
-                    pifo.requeue(id, next);
-                    legacy.requeue(id, next);
                 }
             }
         }
@@ -453,7 +622,11 @@ mod random_differential {
     fn random_outage_and_churn_traces_agree() {
         for case in 0..6u64 {
             let mut rng = SmallRng::seed_from_u64(0x07a6_e000 + case);
-            let kind = SchedulerKind::ALL[rng.gen_range_usize(0, SchedulerKind::ALL.len())];
+            let legacy_kinds: Vec<SchedulerKind> = SchedulerKind::ALL
+                .into_iter()
+                .filter(|k| k.has_legacy())
+                .collect();
+            let kind = legacy_kinds[rng.gen_range_usize(0, legacy_kinds.len())];
             let out_start = rng.gen_range_f64(0.2, 1.0);
             let out_len = rng.gen_range_f64(0.005, 0.08);
             let churn_at = rng.gen_range_f64(0.3, 1.3);
